@@ -1,0 +1,95 @@
+// Ablation (DESIGN.md §5): granularity of the reliability weight used by
+// the event detector — per-user smoothed estimate vs the Top-k group
+// prior vs a single global prior. Per-user and per-group should both
+// beat unweighted; global weighting is a no-op for relative weights and
+// must match the unweighted baseline.
+
+#include "bench_util.h"
+#include "core/reliability.h"
+#include "event/event_sim.h"
+#include "event/toretter.h"
+
+int main(int argc, char** argv) {
+  using namespace stir;
+  double scale = bench::ScaleFromArgs(argc, argv, 0.5);
+  bench::PrintHeader("Ablation — reliability weight granularity",
+                     "per-user vs per-group vs global, profile-only source");
+
+  bench::StudyRun run = bench::RunKoreanStudy(scale);
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  core::ReliabilityModel reliability =
+      core::ReliabilityModel::FromGroupings(run.result.groupings);
+  std::unordered_map<twitter::UserId, geo::RegionId> profiles;
+  for (const core::RefinedUser& user : run.result.refined) {
+    profiles.emplace(user.user, user.profile_region);
+  }
+
+  const geo::LatLng epicenters[] = {
+      {37.55, 127.00}, {35.20, 129.00}, {36.35, 127.40}, {35.85, 128.60},
+      {37.30, 127.00}, {35.15, 126.90}, {36.60, 127.50}, {36.00, 129.35},
+  };
+  event::EventSimulator simulator(&db, &run.data.truth);
+
+  struct Config {
+    const char* label;
+    bool weighted;
+    core::ReliabilityGranularity granularity;
+  };
+  const Config configs[] = {
+      {"unweighted", false, core::ReliabilityGranularity::kGlobal},
+      {"weighted / per-user", true,
+       core::ReliabilityGranularity::kPerUser},
+      {"weighted / per-group", true,
+       core::ReliabilityGranularity::kPerGroup},
+      {"weighted / global", true, core::ReliabilityGranularity::kGlobal},
+  };
+  double mean_error[4] = {};
+  int events = 0;
+  for (size_t e = 0; e < sizeof(epicenters) / sizeof(epicenters[0]); ++e) {
+    event::EventSpec spec;
+    spec.epicenter = epicenters[e];
+    spec.felt_radius_km = 150.0;
+    spec.response_rate = 0.45;
+    Rng sim_rng(2000 + e);
+    auto reports =
+        simulator.Simulate(spec, run.data.dataset.users(), sim_rng);
+    if (reports.size() < 25) continue;
+    ++events;
+    for (size_t c = 0; c < 4; ++c) {
+      event::ToretterOptions options;
+      options.source = event::LocationSource::kProfileOnly;
+      options.estimator = event::LocationEstimator::kWeightedCentroid;
+      options.reliability_weighted = configs[c].weighted;
+      options.reliability_granularity = configs[c].granularity;
+      event::ToretterDetector detector(&db, options);
+      detector.set_profile_regions(&profiles);
+      detector.set_reliability(&reliability);
+      Rng rng(5);
+      auto estimate = detector.EstimateLocation(reports, rng);
+      mean_error[c] += estimate.ok()
+                           ? geo::HaversineKm(estimate->location,
+                                              spec.epicenter)
+                           : 500.0;
+    }
+  }
+  for (double& e : mean_error) e /= std::max(1, events);
+
+  std::printf("%d events\n\n%-24s %14s\n", events, "weighting",
+              "mean error km");
+  for (size_t c = 0; c < 4; ++c) {
+    std::printf("%-24s %14.1f\n", configs[c].label, mean_error[c]);
+  }
+  std::printf("\n");
+
+  bool ok = true;
+  std::printf("shape checks:\n");
+  ok &= bench::Check(events >= 5, "enough events simulated");
+  ok &= bench::Check(mean_error[1] < mean_error[0],
+                     "per-user weighting beats unweighted");
+  ok &= bench::Check(mean_error[2] < mean_error[0],
+                     "group-prior weighting beats unweighted");
+  ok &= bench::Check(std::fabs(mean_error[3] - mean_error[0]) < 0.5,
+                     "global weighting == unweighted (uniform weights "
+                     "cancel in the centroid)");
+  return ok ? 0 : 1;
+}

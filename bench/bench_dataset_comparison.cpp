@@ -1,0 +1,54 @@
+// Slide figures 4+5 (STIR talk deck): the Korean crawl vs the "Lady
+// Gaga" Search/Streaming-API dataset, side by side — users per group and
+// average tweet locations per group. The topical global fanbase shows
+// weaker profile-location locality: smaller Top-1, larger None, more
+// distinct tweet districts per user.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace stir;
+  double scale = bench::ScaleFromArgs(argc, argv, 1.0);
+  bench::PrintHeader(
+      "Slides 4+5 — Korean dataset vs Lady Gaga dataset",
+      "user share and avg tweet locations per group, both corpora");
+
+  bench::StudyRun korean = bench::RunKoreanStudy(scale);
+  bench::StudyRun gaga = bench::RunLadyGagaStudy(scale);
+
+  std::printf("dataset sizes: Korean %zu users / %lld tweets; Lady Gaga "
+              "%zu users / %lld tweets\n\n",
+              korean.data.dataset.users().size(),
+              static_cast<long long>(korean.data.dataset.total_tweet_count()),
+              gaga.data.dataset.users().size(),
+              static_cast<long long>(gaga.data.dataset.total_tweet_count()));
+
+  std::printf("%-8s | %12s %12s | %12s %12s\n", "group", "KR user%",
+              "GAGA user%", "KR avg_loc", "GAGA avg_loc");
+  for (int g = 0; g < core::kNumTopKGroups; ++g) {
+    std::printf("%-8s | %11.2f%% %11.2f%% | %12.2f %12.2f\n",
+                core::TopKGroupToString(static_cast<core::TopKGroup>(g)),
+                korean.result.groups[g].user_share * 100.0,
+                gaga.result.groups[g].user_share * 100.0,
+                korean.result.groups[g].avg_tweet_locations,
+                gaga.result.groups[g].avg_tweet_locations);
+  }
+  std::printf("final users: KR %lld, GAGA %lld\n\n",
+              static_cast<long long>(korean.result.final_users),
+              static_cast<long long>(gaga.result.final_users));
+
+  int none = static_cast<int>(core::TopKGroup::kNone);
+  bool ok = true;
+  std::printf("shape checks:\n");
+  ok &= bench::Check(gaga.result.groups[0].user_share <
+                         korean.result.groups[0].user_share,
+                     "Lady Gaga Top-1 share below Korean Top-1 share");
+  ok &= bench::Check(gaga.result.groups[none].user_share >
+                         korean.result.groups[none].user_share,
+                     "Lady Gaga None share above Korean None share");
+  ok &= bench::Check(korean.result.groups[0].user_share > 0.30,
+                     "Korean Top-1 stays dominant");
+  ok &= bench::Check(gaga.result.final_users > 50,
+                     "Lady Gaga study sample is non-trivial");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Fig. 6 (paper §IV): average number of distinct tweet districts per
+// Top-k group. Paper-legible anchors: Top-1 ~ 3.4 districts, counts
+// increase with k, None ~ 2.5 districts, overall average ~ 3 ("they have
+// 3 major spots for posting tweets").
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace stir;
+  double scale = bench::ScaleFromArgs(argc, argv, 1.0);
+  bench::PrintHeader(
+      "Fig. 6 — average number of tweet locations in each group",
+      "series shape: rising with k; None low (~2.5); Top-1 ~3.4");
+  bench::StudyRun run = bench::RunKoreanStudy(scale);
+  const core::StudyResult& result = run.result;
+
+  std::printf("%-8s %8s %16s\n", "group", "users", "avg_locations");
+  for (int g = 0; g < core::kNumTopKGroups; ++g) {
+    std::printf("%-8s %8lld %16.2f\n",
+                core::TopKGroupToString(static_cast<core::TopKGroup>(g)),
+                static_cast<long long>(result.groups[g].users),
+                result.groups[g].avg_tweet_locations);
+  }
+  std::printf("overall (user-weighted): %.2f   (paper: ~3)\n\n",
+              result.overall_avg_locations);
+
+  const core::GroupStats* groups = result.groups;
+  bool ok = true;
+  std::printf("shape checks:\n");
+  ok &= bench::Check(groups[0].avg_tweet_locations > 2.4 &&
+                         groups[0].avg_tweet_locations < 4.2,
+                     "Top-1 average near the paper's ~3.4");
+  ok &= bench::Check(groups[0].avg_tweet_locations <
+                             groups[2].avg_tweet_locations &&
+                         groups[2].avg_tweet_locations <
+                             groups[5].avg_tweet_locations,
+                     "averages rise with k (Top-1 < Top-3 < Top-6+)");
+  int none = static_cast<int>(core::TopKGroup::kNone);
+  ok &= bench::Check(groups[none].avg_tweet_locations > 1.6 &&
+                         groups[none].avg_tweet_locations < 3.0,
+                     "None group near the paper's ~2.5 (low mobility)");
+  ok &= bench::Check(groups[none].avg_tweet_locations <
+                         groups[0].avg_tweet_locations,
+                     "None group below Top-1 (stays-in-one-place story)");
+  ok &= bench::Check(result.overall_avg_locations > 2.5 &&
+                         result.overall_avg_locations < 3.6,
+                     "overall average ~3 tweet locations per user");
+  return ok ? 0 : 1;
+}

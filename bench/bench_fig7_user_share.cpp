@@ -1,0 +1,45 @@
+// Fig. 7 (paper §IV): number (share) of users per Top-k group. Paper
+// claims: Top-1+Top-2 hold "more than 40%" of users — "nearly half of
+// all users post tweets in their hometown" — while ~30% of users have no
+// tweet at all from their profile district (None).
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace stir;
+  double scale = bench::ScaleFromArgs(argc, argv, 1.0);
+  bench::PrintHeader("Fig. 7 — number of users in each group",
+                     "Top-1 dominant; Top-1+Top-2 ~ half; None ~ 30%");
+  bench::StudyRun run = bench::RunKoreanStudy(scale);
+  const core::StudyResult& result = run.result;
+
+  std::printf("%-8s %8s %9s   histogram\n", "group", "users", "share");
+  for (int g = 0; g < core::kNumTopKGroups; ++g) {
+    int bar = static_cast<int>(result.groups[g].user_share * 100.0);
+    std::printf("%-8s %8lld %8.2f%%   %s\n",
+                core::TopKGroupToString(static_cast<core::TopKGroup>(g)),
+                static_cast<long long>(result.groups[g].users),
+                result.groups[g].user_share * 100.0,
+                std::string(static_cast<size_t>(bar), '#').c_str());
+  }
+  std::printf("final users: %lld\n\n",
+              static_cast<long long>(result.final_users));
+
+  const core::GroupStats* groups = result.groups;
+  double top12 = groups[0].user_share + groups[1].user_share;
+  double none = groups[static_cast<int>(core::TopKGroup::kNone)].user_share;
+  bool ok = true;
+  std::printf("shape checks:\n");
+  ok &= bench::Check(groups[0].user_share > 0.30,
+                     "Top-1 is the dominant group (>30%)");
+  ok &= bench::Check(top12 > 0.42 && top12 < 0.68,
+                     "Top-1 + Top-2 ~ half of users (paper: 'more than "
+                     "40%' / 'nearly half')");
+  ok &= bench::Check(none > 0.22 && none < 0.40,
+                     "None ~ 30% (paper: 'about 30% ... do not have any "
+                     "tweets in their locations')");
+  ok &= bench::Check(groups[1].user_share > groups[2].user_share &&
+                         groups[2].user_share > groups[3].user_share,
+                     "monotone decline Top-2 > Top-3 > Top-4");
+  return ok ? 0 : 1;
+}

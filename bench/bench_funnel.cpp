@@ -1,0 +1,54 @@
+// Data-collection funnel (paper §III.B + slide 1): crawled users ->
+// well-defined profile locations -> GPS-tagged tweets -> final study
+// sample. The paper's absolute numbers (digits partially lost to OCR;
+// see EXPERIMENTS.md): 52,200 crawled; ~30,000 well-defined; ~11.1M
+// tweets; ~2x,xxx GPS tweets; ~1,0xx final users.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace stir;
+  double scale = bench::ScaleFromArgs(argc, argv, 1.0);
+  bench::PrintHeader("Funnel — §III.B refinement pipeline",
+                     "paper-reported vs measured at the same crawl scale");
+  bench::StudyRun run = bench::RunKoreanStudy(scale);
+  const core::FunnelStats& funnel = run.result.funnel;
+
+  auto scaled = [&](double paper_value) { return paper_value * scale; };
+  std::printf("%-28s %14s %14s\n", "stage", "paper(@scale)", "measured");
+  std::printf("%-28s %14.0f %14lld\n", "crawled users", scaled(52200),
+              static_cast<long long>(funnel.crawled_users));
+  std::printf("%-28s %14.0f %14lld\n", "well-defined profiles",
+              scaled(30000),
+              static_cast<long long>(funnel.well_defined_users));
+  std::printf("%-28s %14.0f %14lld\n", "total tweets", scaled(11139920),
+              static_cast<long long>(funnel.total_tweets));
+  std::printf("%-28s %14s %14lld\n", "GPS-tagged tweets", "~2x,xxx*scale",
+              static_cast<long long>(funnel.gps_tweets));
+  std::printf("%-28s %14.0f %14lld\n", "final users", scaled(1046),
+              static_cast<long long>(funnel.final_users));
+  std::printf("\ncrawl cost: %lld follower-list requests, %.1f simulated "
+              "hours\n\n",
+              static_cast<long long>(run.data.crawl_requests),
+              static_cast<double>(run.data.crawl_elapsed_seconds) / 3600.0);
+
+  double crawled = static_cast<double>(funnel.crawled_users);
+  bool ok = true;
+  std::printf("shape checks:\n");
+  ok &= bench::Check(
+      funnel.well_defined_users > 0.50 * crawled &&
+          funnel.well_defined_users < 0.70 * crawled,
+      "well-defined share ~57% of crawl (paper 52.2k -> ~30k)");
+  ok &= bench::Check(funnel.final_users > 0.010 * crawled &&
+                         funnel.final_users < 0.045 * crawled,
+                     "final users ~2% of crawl (paper ~1k of 52.2k)");
+  ok &= bench::Check(
+      static_cast<double>(funnel.gps_tweets) <
+          0.01 * static_cast<double>(funnel.total_tweets),
+      "GPS tweets are <1% of the corpus (the 'lack of GPS' problem)");
+  ok &= bench::Check(funnel.geocode_failures <
+                         funnel.gps_tweets / 20 + 1,
+                     "reverse geocoding failures are rare");
+  std::printf("\n%s", run.result.FunnelString().c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,171 @@
+// Performance microbenchmarks (google-benchmark): throughput of the hot
+// components — reverse geocoding, profile parsing, grouping, and the
+// end-to-end study — so regressions in the substrate are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/study.h"
+#include "geo/reverse_geocoder.h"
+#include "text/location_parser.h"
+#include "twitter/column_store.h"
+#include "twitter/generator.h"
+
+namespace {
+
+using namespace stir;
+
+void BM_ReverseGeocode(benchmark::State& state) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  geo::ReverseGeocoderOptions options;
+  options.enable_cache = state.range(0) != 0;
+  geo::ReverseGeocoder geocoder(&db, options);
+  Rng rng(1);
+  std::vector<geo::LatLng> points;
+  for (int i = 0; i < 4096; ++i) {
+    auto id = static_cast<geo::RegionId>(
+        rng.UniformInt(0, static_cast<int64_t>(db.size()) - 1));
+    points.push_back(db.SamplePointIn(id, rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = geocoder.Reverse(points[i++ & 4095]);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReverseGeocode)->Arg(0)->Arg(1);
+
+void BM_ReverseGeocodeXmlRoundTrip(benchmark::State& state) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  geo::ReverseGeocoderOptions options;
+  options.enable_cache = false;
+  geo::ReverseGeocoder geocoder(&db, options);
+  geo::LatLng p{37.5170, 126.8666};
+  for (auto _ : state) {
+    auto xml = geocoder.ReverseToXml(p);
+    auto parsed = geo::ReverseGeocoder::ParseResponse(*xml);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReverseGeocodeXmlRoundTrip);
+
+void BM_ProfileLocationParse(benchmark::State& state) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  text::LocationParser parser(&db);
+  const std::vector<std::string> samples = {
+      "Seoul Yangcheon-gu", "Uiwang-si",     "Jung-gu",
+      "37.517000,126.866600", "Earth",        "Seoul",
+      "Gold Coast Australia / Jung-gu",       "seoul mapo-gu, korea",
+  };
+  size_t i = 0;
+  for (auto _ : state) {
+    auto parsed = parser.Parse(samples[i++ % samples.size()]);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileLocationParse);
+
+void BM_GroupUser(benchmark::State& state) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  Rng rng(2);
+  core::RefinedUser user;
+  user.user = 1;
+  user.profile_region = 0;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    user.tweet_regions.push_back(static_cast<geo::RegionId>(
+        rng.UniformInt(0, 7)));  // 8 districts, realistic multiplicity
+  }
+  for (auto _ : state) {
+    core::UserGrouping grouping = core::GroupUser(user, db);
+    benchmark::DoNotOptimize(grouping);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupUser)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  double scale = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    twitter::DatasetGenerator generator(
+        &db, twitter::DatasetGenerator::KoreanConfig(scale));
+    auto data = generator.Generate();
+    benchmark::DoNotOptimize(data);
+    state.counters["users"] =
+        static_cast<double>(data.dataset.users().size());
+  }
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_FullStudy(benchmark::State& state) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  double scale = static_cast<double>(state.range(0)) / 1000.0;
+  twitter::DatasetGenerator generator(
+      &db, twitter::DatasetGenerator::KoreanConfig(scale));
+  auto data = generator.Generate();
+  core::CorrelationStudy study(&db);
+  for (auto _ : state) {
+    core::StudyResult result = study.Run(data.dataset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.dataset.users().size()));
+}
+BENCHMARK(BM_FullStudy)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+const twitter::Dataset& ScanCorpus() {
+  static const twitter::GeneratedData& data = *new twitter::GeneratedData(
+      [] {
+        const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+        auto config = twitter::DatasetGenerator::KoreanConfig(0.2);
+        config.plain_tweet_sample = 0.05;  // ~100k materialized tweets
+        return twitter::DatasetGenerator(&db, config).Generate();
+      }());
+  return data.dataset;
+}
+
+void BM_ScanRowStore(benchmark::State& state) {
+  const twitter::Dataset& dataset = ScanCorpus();
+  for (auto _ : state) {
+    int64_t gps = 0;
+    SimTime latest = 0;
+    for (const twitter::Tweet& tweet : dataset.tweets()) {
+      if (tweet.gps.has_value()) {
+        ++gps;
+        latest = std::max(latest, tweet.time);
+      }
+    }
+    benchmark::DoNotOptimize(gps);
+    benchmark::DoNotOptimize(latest);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.tweets().size()));
+}
+BENCHMARK(BM_ScanRowStore);
+
+void BM_ScanColumnStore(benchmark::State& state) {
+  static const twitter::TweetColumnStore& store =
+      *new twitter::TweetColumnStore(
+          twitter::TweetColumnStore::FromDataset(ScanCorpus()));
+  for (auto _ : state) {
+    int64_t gps = 0;
+    SimTime latest = 0;
+    const auto& times = store.times();
+    store.ForEachGps([&](size_t i, const geo::LatLng&) {
+      ++gps;
+      latest = std::max(latest, times[i]);
+    });
+    benchmark::DoNotOptimize(gps);
+    benchmark::DoNotOptimize(latest);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(store.size()));
+  state.counters["bytes"] = static_cast<double>(store.MemoryBytes());
+}
+BENCHMARK(BM_ScanColumnStore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

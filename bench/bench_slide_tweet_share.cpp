@@ -1,0 +1,44 @@
+// Slide figure (STIR talk deck): number of *tweets* in each group (%).
+// Because Top-k users by construction post many tweets from their
+// matched district, the Top-1 group's tweet share exceeds its user share
+// while the None group's falls below it.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace stir;
+  double scale = bench::ScaleFromArgs(argc, argv, 1.0);
+  bench::PrintHeader("Slide — number of tweets in each group (%)",
+                     "GPS-tweet share vs user share per group");
+  bench::StudyRun run = bench::RunKoreanStudy(scale);
+  const core::StudyResult& result = run.result;
+
+  std::printf("%-8s %12s %10s %10s\n", "group", "gps_tweets", "tweet%",
+              "user%");
+  for (int g = 0; g < core::kNumTopKGroups; ++g) {
+    std::printf("%-8s %12lld %9.2f%% %9.2f%%\n",
+                core::TopKGroupToString(static_cast<core::TopKGroup>(g)),
+                static_cast<long long>(result.groups[g].gps_tweets),
+                result.groups[g].tweet_share * 100.0,
+                result.groups[g].user_share * 100.0);
+  }
+  std::printf("\n");
+
+  const core::GroupStats* groups = result.groups;
+  int none = static_cast<int>(core::TopKGroup::kNone);
+  bool ok = true;
+  std::printf("shape checks:\n");
+  ok &= bench::Check(groups[0].tweet_share > groups[0].user_share,
+                     "Top-1 over-represented in tweets vs users");
+  ok &= bench::Check(groups[none].tweet_share < groups[none].user_share,
+                     "None under-represented in tweets vs users");
+  ok &= bench::Check(groups[0].tweet_share > 0.35,
+                     "Top-1 carries the plurality of GPS tweets");
+  double total = 0.0;
+  for (int g = 0; g < core::kNumTopKGroups; ++g) {
+    total += result.groups[g].tweet_share;
+  }
+  ok &= bench::Check(total > 0.999 && total < 1.001,
+                     "tweet shares sum to 100%");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+#ifndef STIR_BENCH_BENCH_UTIL_H_
+#define STIR_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction benches. Each bench binary
+// regenerates one table or figure of the paper and prints paper-reported
+// values (where legible in the source text) next to measured ones, with a
+// PASS/CHECK verdict on the qualitative shape.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/study.h"
+#include "geo/admin_db.h"
+#include "twitter/generator.h"
+
+namespace stir::bench {
+
+/// Scale for dataset generation: 1.0 = the paper's 52,200-user crawl.
+/// Benches default to full scale (about a second of generation) and
+/// accept an override as argv[1].
+inline double ScaleFromArgs(int argc, char** argv, double fallback = 1.0) {
+  if (argc > 1) {
+    double scale = std::atof(argv[1]);
+    if (scale > 0.0) return scale;
+  }
+  return fallback;
+}
+
+struct StudyRun {
+  twitter::GeneratedData data;
+  core::StudyResult result;
+};
+
+/// Generates the Korean-preset corpus and runs the full study.
+inline StudyRun RunKoreanStudy(double scale) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  twitter::DatasetGenerator generator(
+      &db, twitter::DatasetGenerator::KoreanConfig(scale));
+  StudyRun run{generator.Generate(), {}};
+  core::CorrelationStudy study(&db);
+  run.result = study.Run(run.data.dataset);
+  return run;
+}
+
+/// Generates the Lady-Gaga-preset corpus (world gazetteer) and runs the
+/// study.
+inline StudyRun RunLadyGagaStudy(double scale) {
+  const geo::AdminDb& db = geo::AdminDb::WorldCities();
+  twitter::DatasetGenerator generator(
+      &db, twitter::DatasetGenerator::LadyGagaConfig(scale));
+  StudyRun run{generator.Generate(), {}};
+  core::CorrelationStudy study(&db);
+  run.result = study.Run(run.data.dataset);
+  return run;
+}
+
+/// One PASS/CHECK line for a shape assertion.
+inline bool Check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "CHECK", what);
+  return ok;
+}
+
+inline void PrintHeader(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace stir::bench
+
+#endif  // STIR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+#ifndef STIR_COMMON_CLOCK_H_
+#define STIR_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stir {
+
+/// Seconds since the simulation epoch. The library never reads the wall
+/// clock; all timestamps come from generators or from a SimClock that the
+/// harness advances, keeping every run reproducible.
+using SimTime = int64_t;
+
+inline constexpr SimTime kSecondsPerMinute = 60;
+inline constexpr SimTime kSecondsPerHour = 3600;
+inline constexpr SimTime kSecondsPerDay = 86400;
+
+/// Simulated clock for drivers (crawler rate limits, streaming APIs,
+/// event detectors). Advancing is explicit; nothing moves time implicitly.
+class SimClock {
+ public:
+  explicit SimClock(SimTime start = 0) : now_(start) {}
+
+  SimTime Now() const { return now_; }
+  void Advance(SimTime seconds) { now_ += seconds; }
+  void Set(SimTime t) { now_ = t; }
+
+ private:
+  SimTime now_;
+};
+
+/// Hour-of-day in [0, 24) for a timestamp.
+inline int HourOfDay(SimTime t) {
+  SimTime s = ((t % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay;
+  return static_cast<int>(s / kSecondsPerHour);
+}
+
+/// Day index since the epoch (floor division).
+inline int64_t DayIndex(SimTime t) {
+  return t >= 0 ? t / kSecondsPerDay : (t - kSecondsPerDay + 1) / kSecondsPerDay;
+}
+
+/// "dD hh:mm:ss" rendering for logs and reports.
+inline std::string FormatSimTime(SimTime t) {
+  int64_t day = DayIndex(t);
+  SimTime rem = ((t % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay;
+  int h = static_cast<int>(rem / kSecondsPerHour);
+  int m = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  int s = static_cast<int>(rem % kSecondsPerMinute);
+  char buf[48];
+  snprintf(buf, sizeof(buf), "d%lld %02d:%02d:%02d",
+           static_cast<long long>(day), h, m, s);
+  return buf;
+}
+
+}  // namespace stir
+
+#endif  // STIR_COMMON_CLOCK_H_

@@ -1,0 +1,126 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace stir {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field, const CsvOptions& options) {
+  for (char c : field) {
+    if (c == options.delimiter || c == options.quote || c == '\n' ||
+        c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FormatCsvRow(const std::vector<std::string>& fields,
+                         const CsvOptions& options) {
+  std::string row;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) row.push_back(options.delimiter);
+    const std::string& field = fields[i];
+    if (NeedsQuoting(field, options)) {
+      row.push_back(options.quote);
+      for (char c : field) {
+        row.push_back(c);
+        if (c == options.quote) row.push_back(options.quote);
+      }
+      row.push_back(options.quote);
+    } else {
+      row.append(field);
+    }
+  }
+  return row;
+}
+
+StatusOr<std::vector<std::string>> ParseCsvRow(std::string_view line,
+                                               const CsvOptions& options) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == options.quote) {
+        if (i + 1 < line.size() && line[i + 1] == options.quote) {
+          current.push_back(options.quote);
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        current.push_back(c);
+        ++i;
+      }
+    } else if (c == options.quote && current.empty()) {
+      in_quotes = true;
+      ++i;
+    } else if (c == options.delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+    } else {
+      current.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line;
+    if (end == std::string_view::npos) {
+      line = text.substr(start);
+      start = text.size() + 1;
+    } else {
+      line = text.substr(start, end - start);
+      start = end + 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    STIR_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          ParseCsvRow(line, options));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (const auto& row : rows) {
+    out << FormatCsvRow(row, options) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+}  // namespace stir

@@ -1,0 +1,45 @@
+#ifndef STIR_COMMON_CSV_H_
+#define STIR_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stir {
+
+/// Options shared by the CSV/TSV reader and writer.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Quote fields that contain the delimiter, quotes, or newlines.
+  char quote = '"';
+};
+
+/// Serializes one row, quoting fields as needed (RFC 4180 style: quotes
+/// inside quoted fields are doubled). No trailing newline.
+std::string FormatCsvRow(const std::vector<std::string>& fields,
+                         const CsvOptions& options = {});
+
+/// Parses a single CSV line into fields. Fails on an unterminated quoted
+/// field. Does not handle embedded newlines (rows must be pre-split).
+StatusOr<std::vector<std::string>> ParseCsvRow(std::string_view line,
+                                               const CsvOptions& options = {});
+
+/// Parses a whole document: splits on '\n' (tolerating trailing '\r') and
+/// parses each non-empty line.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, const CsvOptions& options = {});
+
+/// Writes rows to `path`, one FormatCsvRow per line.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, const CsvOptions& options = {});
+
+}  // namespace stir
+
+#endif  // STIR_COMMON_CSV_H_

@@ -1,0 +1,37 @@
+#ifndef STIR_COMMON_HASH_H_
+#define STIR_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace stir {
+
+/// 64-bit FNV-1a over bytes; stable across platforms, used for string
+/// interning and deterministic salts.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Strong 64-bit integer mixer (splitmix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combines two 64-bit hashes (boost-style with a 64-bit constant).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace stir
+
+#endif  // STIR_COMMON_HASH_H_

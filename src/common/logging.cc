@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stir {
+
+namespace {
+LogLevel g_min_level = LogLevel::kInfo;
+}  // namespace
+
+const char* LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetMinLogLevel() { return g_min_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  // Strip the directory part of the path for compact output.
+  const char* basename = file_;
+  for (const char* p = file_; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelToString(level_), basename,
+               line_, stream_.str().c_str());
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace stir

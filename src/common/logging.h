@@ -1,0 +1,83 @@
+#ifndef STIR_COMMON_LOGGING_H_
+#define STIR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace stir {
+
+/// Severity levels for the library logger, ordered by increasing severity.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns "DEBUG", "INFO", ... for `level`.
+const char* LogLevelToString(LogLevel level);
+
+/// Global minimum severity; messages below it are dropped. Defaults to
+/// kInfo. Not thread-safe to mutate concurrently with logging (set it once
+/// at startup, as tests and benches do).
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message that emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Turns the ostream& produced by a log expression into void so the
+/// ternary in the macros below type-checks; `&` binds looser than `<<`,
+/// letting callers chain stream insertions (the glog idiom).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define STIR_LOG(level)                                               \
+  (::stir::LogLevel::k##level < ::stir::GetMinLogLevel())             \
+      ? (void)0                                                       \
+      : ::stir::internal_logging::Voidify() &                         \
+            ::stir::internal_logging::LogMessage(                     \
+                ::stir::LogLevel::k##level, __FILE__, __LINE__)       \
+                .stream()
+
+/// Fatal assertion used for programmer errors (invariant violations),
+/// enabled in all build modes.
+#define STIR_CHECK(cond)                                              \
+  (cond) ? (void)0                                                    \
+         : ::stir::internal_logging::Voidify() &                      \
+               ::stir::internal_logging::LogMessage(                  \
+                   ::stir::LogLevel::kFatal, __FILE__, __LINE__)      \
+                   .stream()                                          \
+                   << "Check failed: " #cond " "
+
+#define STIR_CHECK_EQ(a, b) STIR_CHECK((a) == (b))
+#define STIR_CHECK_NE(a, b) STIR_CHECK((a) != (b))
+#define STIR_CHECK_LT(a, b) STIR_CHECK((a) < (b))
+#define STIR_CHECK_LE(a, b) STIR_CHECK((a) <= (b))
+#define STIR_CHECK_GT(a, b) STIR_CHECK((a) > (b))
+#define STIR_CHECK_GE(a, b) STIR_CHECK((a) >= (b))
+
+}  // namespace stir
+
+#endif  // STIR_COMMON_LOGGING_H_

@@ -1,0 +1,104 @@
+#ifndef STIR_COMMON_RANDOM_H_
+#define STIR_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace stir {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). All randomness in the library flows through an Rng that the
+/// caller seeds, so every dataset, crawl, and simulation is reproducible
+/// bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi). Requires lo < hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate `lambda` (> 0).
+  double Exponential(double lambda);
+
+  /// Poisson-distributed count with mean `lambda` (>= 0). Uses Knuth's
+  /// method for small lambda and a normal approximation above 64.
+  int64_t Poisson(double lambda);
+
+  /// Zipf-distributed value in [1, n] with exponent s (> 0): P(k) ~ k^-s.
+  /// Uses inversion on the precomputed CDF is avoided; this draws by
+  /// rejection-free inversion over the harmonic partial sums computed
+  /// lazily per call for small n, so prefer ZipfDistribution for hot loops.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j =
+          static_cast<std::size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator; streams are decorrelated by
+  /// splitmix64 over (state, salt).
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Precomputed Zipf sampler over [1, n]: P(k) proportional to k^-s.
+/// O(log n) per draw via binary search over the CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double s);
+
+  int64_t Sample(Rng& rng) const;
+  int64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  int64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+/// Alias-method sampler over arbitrary non-negative weights; O(1) per draw.
+/// Indices are 0-based. All-zero weights degenerate to uniform.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return prob_.size(); }
+  /// Normalized probability of index i (for tests).
+  double probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace stir
+
+#endif  // STIR_COMMON_RANDOM_H_

@@ -1,0 +1,165 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stir {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view text, char delim) {
+  std::vector<std::string> pieces;
+  for (const std::string& raw : Split(text, delim)) {
+    std::string trimmed = Trim(raw);
+    if (!trimmed.empty()) pieces.push_back(std::move(trimmed));
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view delim) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result.append(delim);
+    result.append(pieces[i]);
+  }
+  return result;
+}
+
+std::string_view TrimView(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view text) { return std::string(TrimView(text)); }
+
+std::string ToLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x80) c = static_cast<char>(std::tolower(u));
+  }
+  return result;
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x80) c = static_cast<char>(std::toupper(u));
+  }
+  return result;
+}
+
+namespace {
+char AsciiLower(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return u < 0x80 ? static_cast<char>(std::tolower(u)) : c;
+}
+}  // namespace
+
+bool ContainsIgnoreCase(std::string_view text, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > text.size()) return false;
+  for (size_t i = 0; i + needle.size() <= text.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < needle.size(); ++j) {
+      if (AsciiLower(text[i + j]) != AsciiLower(needle[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (AsciiLower(a[i]) != AsciiLower(b[i])) return false;
+  }
+  return true;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  std::string_view trimmed = TrimView(text);
+  if (trimmed.empty()) return std::nullopt;
+  std::string buf(trimmed);
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return static_cast<int64_t>(value);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  std::string_view trimmed = TrimView(text);
+  if (trimmed.empty()) return std::nullopt;
+  std::string buf(trimmed);
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string result;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      result.append(text.substr(start));
+      break;
+    }
+    result.append(text.substr(start, pos - start));
+    result.append(to);
+    start = pos + from.size();
+  }
+  return result;
+}
+
+}  // namespace stir

@@ -1,0 +1,54 @@
+#ifndef STIR_COMMON_STRING_UTIL_H_
+#define STIR_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stir {
+
+/// Splits `text` on `delim`, keeping empty fields ("a##b" -> {"a","","b"}).
+/// An empty input yields a single empty field, matching common CSV
+/// semantics.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Splits and drops empty fields after trimming whitespace from each piece.
+std::vector<std::string> SplitAndTrim(std::string_view text, char delim);
+
+/// Joins `pieces` with `delim` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view text);
+std::string Trim(std::string_view text);
+
+/// ASCII lowercase / uppercase (bytes >= 0x80 pass through unchanged, so
+/// UTF-8 content is preserved).
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+/// True when `text` contains `needle` case-insensitively (ASCII folding).
+bool ContainsIgnoreCase(std::string_view text, std::string_view needle);
+
+/// True when the two strings are equal under ASCII case folding.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Parses a decimal integer / floating point number; returns nullopt on any
+/// trailing garbage or empty input.
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string (GCC 12 lacks std::format).
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+}  // namespace stir
+
+#endif  // STIR_COMMON_STRING_UTIL_H_

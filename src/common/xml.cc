@@ -1,0 +1,289 @@
+#include "common/xml.h"
+
+#include <cctype>
+
+namespace stir {
+
+const std::string* XmlNode::FindAttribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+XmlNode& XmlNode::AddChild(std::string name) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(name)));
+  return *children_.back();
+}
+
+const XmlNode* XmlNode::FindChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::string XmlNode::ChildText(std::string_view name) const {
+  const XmlNode* child = FindChild(name);
+  return child != nullptr ? child->text() : std::string();
+}
+
+std::string XmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string XmlUnescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '&') {
+      auto try_entity = [&](std::string_view entity, char replacement) {
+        if (text.substr(i, entity.size()) == entity) {
+          out.push_back(replacement);
+          i += entity.size();
+          return true;
+        }
+        return false;
+      };
+      if (try_entity("&amp;", '&') || try_entity("&lt;", '<') ||
+          try_entity("&gt;", '>') || try_entity("&quot;", '"') ||
+          try_entity("&apos;", '\'')) {
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+void XmlNode::AppendTo(std::string& out, int indent, int depth) const {
+  std::string pad =
+      indent >= 0 ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  const char* newline = indent >= 0 ? "\n" : "";
+  out += pad;
+  out += '<';
+  out += name_;
+  for (const auto& [k, v] : attributes_) {
+    out += ' ';
+    out += k;
+    out += "=\"";
+    out += XmlEscape(v);
+    out += '"';
+  }
+  if (text_.empty() && children_.empty()) {
+    out += "/>";
+    out += newline;
+    return;
+  }
+  out += '>';
+  if (children_.empty()) {
+    out += XmlEscape(text_);
+  } else {
+    out += newline;
+    for (const auto& child : children_) {
+      child->AppendTo(out, indent, depth + 1);
+    }
+    if (!text_.empty()) {
+      out += pad;
+      out += XmlEscape(text_);
+      out += newline;
+    }
+    out += pad;
+  }
+  out += "</";
+  out += name_;
+  out += '>';
+  out += newline;
+}
+
+std::string XmlNode::ToString(int indent) const {
+  std::string out;
+  AppendTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a cursor.
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  StatusOr<std::unique_ptr<XmlNode>> Parse() {
+    SkipProlog();
+    STIR_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseElement());
+    SkipWhitespaceAndComments();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      } else if (text_.substr(pos_, 4) == "<!--") {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespaceAndComments();
+    if (text_.substr(pos_, 5) == "<?xml") {
+      size_t end = text_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+    }
+    SkipWhitespaceAndComments();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':' || c == '.';
+  }
+
+  StatusOr<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Status::InvalidArgument("expected XML name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::unique_ptr<XmlNode>> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::InvalidArgument("expected '<'");
+    }
+    ++pos_;
+    STIR_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto node = std::make_unique<XmlNode>(name);
+
+    // Attributes.
+    while (true) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated element: " + name);
+      }
+      if (text_[pos_] == '/' || text_[pos_] == '>') break;
+      STIR_ASSIGN_OR_RETURN(std::string key, ParseName());
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Status::InvalidArgument("expected '=' in attribute");
+      }
+      ++pos_;
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return Status::InvalidArgument("expected quoted attribute value");
+      }
+      char quote = text_[pos_++];
+      size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated attribute value");
+      }
+      node->AddAttribute(std::move(key),
+                         XmlUnescape(text_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+
+    if (text_[pos_] == '/') {
+      if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>') {
+        return Status::InvalidArgument("malformed self-closing tag");
+      }
+      pos_ += 2;
+      return node;
+    }
+    ++pos_;  // consume '>'
+
+    // Content: text and child elements until </name>.
+    std::string content;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("missing close tag for: " + name);
+      }
+      if (text_[pos_] == '<') {
+        if (text_.substr(pos_, 4) == "<!--") {
+          size_t end = text_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) {
+            return Status::InvalidArgument("unterminated comment");
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+          pos_ += 2;
+          STIR_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+          if (close_name != name) {
+            return Status::InvalidArgument("mismatched close tag: expected " +
+                                           name + ", got " + close_name);
+          }
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return Status::InvalidArgument("malformed close tag");
+          }
+          ++pos_;
+          break;
+        }
+        STIR_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> child, ParseElement());
+        node->AdoptChild(std::move(child));
+        continue;
+      }
+      content.push_back(text_[pos_]);
+      ++pos_;
+    }
+
+    // Trim pure-whitespace interleaving text (indentation).
+    size_t begin = content.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) {
+      content.clear();
+    } else {
+      size_t last = content.find_last_not_of(" \t\r\n");
+      content = content.substr(begin, last - begin + 1);
+    }
+    node->set_text(XmlUnescape(content));
+    return node;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<XmlNode>> ParseXml(std::string_view text) {
+  return XmlParser(text).Parse();
+}
+
+}  // namespace stir

@@ -1,0 +1,71 @@
+#ifndef STIR_COMMON_XML_H_
+#define STIR_COMMON_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stir {
+
+/// Minimal XML document tree, sufficient for the Yahoo-Open-API-shaped
+/// reverse geocoding responses the paper's pipeline consumed (Fig. 5):
+/// nested elements, attributes, and text content. Not a general XML
+/// implementation: no namespaces, DTDs, or processing instructions.
+class XmlNode {
+ public:
+  explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  void AddAttribute(std::string key, std::string value) {
+    attributes_.emplace_back(std::move(key), std::move(value));
+  }
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  /// Returns the attribute value or nullptr.
+  const std::string* FindAttribute(std::string_view key) const;
+
+  /// Appends a child element and returns a reference to it.
+  XmlNode& AddChild(std::string name);
+  /// Appends an already-built child element.
+  void AdoptChild(std::unique_ptr<XmlNode> child) {
+    children_.push_back(std::move(child));
+  }
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+  /// First child with the given element name, or nullptr.
+  const XmlNode* FindChild(std::string_view name) const;
+  /// Text of the first child with the given name, or "" when absent.
+  std::string ChildText(std::string_view name) const;
+
+  /// Serializes the subtree. `indent` < 0 emits a compact single line.
+  std::string ToString(int indent = 2) const;
+
+ private:
+  void AppendTo(std::string& out, int indent, int depth) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/// Escapes &, <, >, ", ' for use in XML text or attribute values.
+std::string XmlEscape(std::string_view text);
+
+/// Parses a single-rooted XML document produced by XmlNode::ToString (or
+/// any equally simple document). Skips an optional <?xml ...?> prolog and
+/// comments.
+StatusOr<std::unique_ptr<XmlNode>> ParseXml(std::string_view text);
+
+}  // namespace stir
+
+#endif  // STIR_COMMON_XML_H_

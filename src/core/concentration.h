@@ -1,0 +1,57 @@
+#ifndef STIR_CORE_CONCENTRATION_H_
+#define STIR_CORE_CONCENTRATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/grouping.h"
+
+namespace stir::core {
+
+/// Continuous alternatives to the paper's ordinal Top-k classification,
+/// computed from the same merged per-user district counts: how
+/// *concentrated* is a user's tweeting across districts? These back the
+/// extension analysis (bench_ext_concentration): the Top-k rank is a
+/// coarse view of the same underlying concentration signal.
+struct ConcentrationMetrics {
+  /// Shannon entropy of the tweet-district distribution, in bits.
+  double entropy_bits = 0.0;
+  /// Entropy / log2(#districts); 0 for single-district users, defined 0
+  /// when only one district exists.
+  double normalized_entropy = 0.0;
+  /// Gini coefficient of the district counts (0 = perfectly even,
+  /// -> 1 = all mass in one district among many).
+  double gini = 0.0;
+  /// Share of the most-visited district.
+  double top_share = 0.0;
+  /// Share of GPS tweets posted from the profile district (0 for None).
+  double matched_share = 0.0;
+};
+
+/// Computes the metrics from a classified user. Users must have at least
+/// one GPS tweet (guaranteed by refinement).
+ConcentrationMetrics ComputeConcentration(const UserGrouping& grouping);
+
+/// Corpus-level summary of the relationship between the ordinal group
+/// and the continuous concentration view.
+struct ConcentrationStudyResult {
+  /// Mean entropy (bits) per Top-k group, indexed like TopKGroup.
+  double mean_entropy[kNumTopKGroups] = {};
+  /// Mean matched share per group.
+  double mean_matched_share[kNumTopKGroups] = {};
+  /// Spearman correlation between matched rank and entropy over matched
+  /// users only (None has no rank): positive — deeper ranks come with
+  /// more dispersed tweeting.
+  double rank_entropy_spearman = 0.0;
+  /// Spearman correlation between matched share and (negated) rank.
+  double share_rank_spearman = 0.0;
+};
+
+/// Runs the concentration analysis over all classified users. Fails when
+/// fewer than 3 users are available.
+StatusOr<ConcentrationStudyResult> AnalyzeConcentration(
+    const std::vector<UserGrouping>& groupings);
+
+}  // namespace stir::core
+
+#endif  // STIR_CORE_CONCENTRATION_H_

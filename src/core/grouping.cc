@@ -1,0 +1,74 @@
+#include "core/grouping.h"
+
+namespace stir::core {
+
+const char* TopKGroupToString(TopKGroup group) {
+  switch (group) {
+    case TopKGroup::kTop1:
+      return "Top-1";
+    case TopKGroup::kTop2:
+      return "Top-2";
+    case TopKGroup::kTop3:
+      return "Top-3";
+    case TopKGroup::kTop4:
+      return "Top-4";
+    case TopKGroup::kTop5:
+      return "Top-5";
+    case TopKGroup::kTopPlus:
+      return "Top-6+";
+    case TopKGroup::kNone:
+      return "None";
+  }
+  return "unknown";
+}
+
+TopKGroup GroupForRank(int rank) {
+  if (rank < 1) return TopKGroup::kNone;
+  if (rank <= 5) return static_cast<TopKGroup>(rank - 1);
+  return TopKGroup::kTopPlus;
+}
+
+UserGrouping GroupUser(const RefinedUser& user, const geo::AdminDb& db,
+                       TieBreak tie_break) {
+  const geo::Region& profile = db.region(user.profile_region);
+
+  std::vector<LocationRecord> records;
+  records.reserve(user.tweet_regions.size());
+  for (geo::RegionId tweet_region : user.tweet_regions) {
+    const geo::Region& region = db.region(tweet_region);
+    LocationRecord record;
+    record.user = user.user;
+    record.profile_state = profile.state;
+    record.profile_county = profile.county;
+    record.tweet_state = region.state;
+    record.tweet_county = region.county;
+    records.push_back(std::move(record));
+  }
+
+  UserGrouping grouping;
+  grouping.user = user.user;
+  grouping.gps_tweet_count = static_cast<int64_t>(records.size());
+  grouping.ordered = MergeAndOrder(records, tie_break);
+  for (size_t i = 0; i < grouping.ordered.size(); ++i) {
+    if (grouping.ordered[i].record.IsMatched()) {
+      grouping.match_rank = static_cast<int>(i) + 1;
+      grouping.matched_tweet_count = grouping.ordered[i].count;
+      break;
+    }
+  }
+  grouping.group = GroupForRank(grouping.match_rank);
+  return grouping;
+}
+
+std::vector<UserGrouping> GroupUsers(const std::vector<RefinedUser>& users,
+                                     const geo::AdminDb& db,
+                                     TieBreak tie_break) {
+  std::vector<UserGrouping> groupings;
+  groupings.reserve(users.size());
+  for (const RefinedUser& user : users) {
+    groupings.push_back(GroupUser(user, db, tie_break));
+  }
+  return groupings;
+}
+
+}  // namespace stir::core

@@ -1,0 +1,67 @@
+#ifndef STIR_CORE_GROUPING_H_
+#define STIR_CORE_GROUPING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/location_string.h"
+#include "core/refinement.h"
+#include "geo/admin_db.h"
+
+namespace stir::core {
+
+/// The paper's user categories: Top-k when the matched string (profile
+/// district == tweet district) ranks k-th in the user's merged, ordered
+/// list; None when no tweet was ever posted from the profile district.
+enum class TopKGroup : int {
+  kTop1 = 0,
+  kTop2 = 1,
+  kTop3 = 2,
+  kTop4 = 3,
+  kTop5 = 4,
+  kTopPlus = 5,  ///< Matched rank 6 or beyond ("Top-6+").
+  kNone = 6,
+};
+
+inline constexpr int kNumTopKGroups = 7;
+
+/// "Top-1" ... "Top-5", "Top-6+", "None".
+const char* TopKGroupToString(TopKGroup group);
+
+/// Maps a 1-based matched rank (or -1 for no match) to its group.
+TopKGroup GroupForRank(int rank);
+
+/// A classified user: the Table II rows plus the derived rank/group.
+struct UserGrouping {
+  twitter::UserId user = twitter::kInvalidUser;
+  /// Merged and ordered per-tweet strings (the paper's Table II).
+  std::vector<MergedLocationString> ordered;
+  /// 1-based rank of the matched string; -1 when absent.
+  int match_rank = -1;
+  TopKGroup group = TopKGroup::kNone;
+  /// Number of GPS tweets that produced the strings.
+  int64_t gps_tweet_count = 0;
+  /// Number of matched (profile == tweet district) GPS tweets.
+  int64_t matched_tweet_count = 0;
+  /// Distinct districts the user tweeted from — |ordered| (the profile
+  /// part of each string is constant per user).
+  int64_t distinct_tweet_locations() const {
+    return static_cast<int64_t>(ordered.size());
+  }
+};
+
+/// Builds the text-based grouping for one refined user: renders each GPS
+/// tweet into a Table I record using the gazetteer's (state, county)
+/// names, merges, orders (breaking count ties per `tie_break`), and
+/// locates the matched string.
+UserGrouping GroupUser(const RefinedUser& user, const geo::AdminDb& db,
+                       TieBreak tie_break = TieBreak::kLexicographic);
+
+/// Classifies every refined user.
+std::vector<UserGrouping> GroupUsers(
+    const std::vector<RefinedUser>& users, const geo::AdminDb& db,
+    TieBreak tie_break = TieBreak::kLexicographic);
+
+}  // namespace stir::core
+
+#endif  // STIR_CORE_GROUPING_H_

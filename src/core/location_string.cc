@@ -1,0 +1,73 @@
+#include "core/location_string.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace stir::core {
+
+std::string LocationRecord::ToString() const {
+  return StrFormat("%lld#%s#%s#%s#%s", static_cast<long long>(user),
+                   profile_state.c_str(), profile_county.c_str(),
+                   tweet_state.c_str(), tweet_county.c_str());
+}
+
+StatusOr<LocationRecord> LocationRecord::FromString(std::string_view text) {
+  std::vector<std::string> fields = Split(text, '#');
+  if (fields.size() != 5) {
+    return Status::InvalidArgument(
+        StrFormat("expected 5 '#'-fields, got %zu", fields.size()));
+  }
+  auto user = ParseInt64(fields[0]);
+  if (!user) {
+    return Status::InvalidArgument("bad user id: " + fields[0]);
+  }
+  LocationRecord record;
+  record.user = *user;
+  record.profile_state = fields[1];
+  record.profile_county = fields[2];
+  record.tweet_state = fields[3];
+  record.tweet_county = fields[4];
+  return record;
+}
+
+bool operator==(const LocationRecord& a, const LocationRecord& b) {
+  return a.user == b.user && a.profile_state == b.profile_state &&
+         a.profile_county == b.profile_county &&
+         a.tweet_state == b.tweet_state && a.tweet_county == b.tweet_county;
+}
+
+std::string MergedLocationString::ToString() const {
+  return StrFormat("%s (%lld)", record.ToString().c_str(),
+                   static_cast<long long>(count));
+}
+
+std::vector<MergedLocationString> MergeAndOrder(
+    const std::vector<LocationRecord>& records, TieBreak tie_break) {
+  // Keyed by the serialized record; std::map gives the deterministic
+  // lexicographic tie order for free.
+  std::map<std::string, MergedLocationString> merged;
+  for (const LocationRecord& record : records) {
+    STIR_CHECK_EQ(record.user, records.front().user)
+        << "MergeAndOrder expects a single user's records";
+    auto [it, inserted] =
+        merged.try_emplace(record.ToString(), MergedLocationString{record, 0});
+    ++it->second.count;
+  }
+  std::vector<MergedLocationString> ordered;
+  ordered.reserve(merged.size());
+  for (auto& [key, value] : merged) ordered.push_back(std::move(value));
+  if (tie_break == TieBreak::kReverseLexicographic) {
+    std::reverse(ordered.begin(), ordered.end());
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const MergedLocationString& a,
+                      const MergedLocationString& b) {
+                     return a.count > b.count;  // stable keeps tie order
+                   });
+  return ordered;
+}
+
+}  // namespace stir::core

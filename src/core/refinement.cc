@@ -1,0 +1,68 @@
+#include "core/refinement.h"
+
+#include "common/logging.h"
+
+namespace stir::core {
+
+RefinementPipeline::RefinementPipeline(const text::LocationParser* parser,
+                                       geo::ReverseGeocoder* geocoder,
+                                       RefinementOptions options)
+    : parser_(parser), geocoder_(geocoder), options_(options) {
+  STIR_CHECK(parser != nullptr);
+  STIR_CHECK(geocoder != nullptr);
+}
+
+StatusOr<geo::RegionId> RefinementPipeline::Geocode(
+    const geo::LatLng& point) const {
+  if (!options_.faithful_xml_pipeline) {
+    STIR_ASSIGN_OR_RETURN(geo::GeocodeResult result,
+                          geocoder_->Reverse(point));
+    return result.region;
+  }
+  // Faithful mode: serialize the response to XML, parse it back, and
+  // resolve the (state, county) pair against the gazetteer — exactly the
+  // dance the original study performed against the Yahoo Open API.
+  STIR_ASSIGN_OR_RETURN(std::string xml, geocoder_->ReverseToXml(point));
+  STIR_ASSIGN_OR_RETURN(geo::GeocodeResult parsed,
+                        geo::ReverseGeocoder::ParseResponse(xml));
+  return geocoder_->db().FindCounty(parsed.state, parsed.county);
+}
+
+std::vector<RefinedUser> RefinementPipeline::Run(
+    const twitter::Dataset& dataset, FunnelStats* funnel) const {
+  FunnelStats local;
+  FunnelStats& stats = funnel != nullptr ? *funnel : local;
+  stats = FunnelStats{};
+  stats.crawled_users = static_cast<int64_t>(dataset.users().size());
+  stats.total_tweets = dataset.total_tweet_count();
+  stats.gps_tweets = dataset.gps_tweet_count();
+
+  std::vector<RefinedUser> refined;
+  for (const twitter::User& user : dataset.users()) {
+    text::ParsedLocation parsed = parser_->Parse(user.profile_location);
+    ++stats.quality_counts[static_cast<int>(parsed.quality)];
+    if (parsed.quality != text::LocationQuality::kWellDefined) continue;
+    ++stats.well_defined_users;
+
+    RefinedUser candidate;
+    candidate.user = user.id;
+    candidate.profile_region = parsed.region;
+    candidate.total_tweets = user.total_tweets;
+    for (size_t index : dataset.TweetIndicesOf(user.id)) {
+      const twitter::Tweet& tweet = dataset.tweets()[index];
+      if (!tweet.gps.has_value()) continue;
+      auto region = Geocode(*tweet.gps);
+      if (!region.ok()) {
+        ++stats.geocode_failures;
+        continue;
+      }
+      candidate.tweet_regions.push_back(*region);
+    }
+    if (candidate.tweet_regions.empty()) continue;
+    ++stats.final_users;
+    refined.push_back(std::move(candidate));
+  }
+  return refined;
+}
+
+}  // namespace stir::core

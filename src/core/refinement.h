@@ -1,0 +1,75 @@
+#ifndef STIR_CORE_REFINEMENT_H_
+#define STIR_CORE_REFINEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/reverse_geocoder.h"
+#include "text/location_parser.h"
+#include "twitter/dataset.h"
+
+namespace stir::core {
+
+/// A user who survived both refinement gates (§III.B): a well-defined
+/// profile location and at least one geocodable GPS tweet.
+struct RefinedUser {
+  twitter::UserId user = twitter::kInvalidUser;
+  geo::RegionId profile_region = geo::kInvalidRegion;
+  /// District of each GPS tweet, in dataset order.
+  std::vector<geo::RegionId> tweet_regions;
+  int64_t total_tweets = 0;
+};
+
+/// Per-stage accounting of the paper's data-collection funnel
+/// (52.2k crawled -> ~30k well-defined -> ... -> ~1k final users).
+struct FunnelStats {
+  int64_t crawled_users = 0;
+  /// Users by profile-location quality, indexed by text::LocationQuality.
+  int64_t quality_counts[5] = {0, 0, 0, 0, 0};
+  int64_t well_defined_users = 0;
+  /// Full corpus size (counters, not materialized records).
+  int64_t total_tweets = 0;
+  /// Materialized GPS-tagged tweets across all users.
+  int64_t gps_tweets = 0;
+  /// GPS tweets of well-defined users that failed reverse geocoding
+  /// (outside coverage).
+  int64_t geocode_failures = 0;
+  /// Well-defined users with >= 1 geocoded GPS tweet — the final sample.
+  int64_t final_users = 0;
+};
+
+/// Options for the refinement pass.
+struct RefinementOptions {
+  /// Route every reverse-geocode through the XML serialize/parse path,
+  /// byte-for-byte reproducing the original Yahoo-API pipeline (slower;
+  /// the structured path is semantically identical and is the default).
+  bool faithful_xml_pipeline = false;
+};
+
+/// The §III.B refinement pipeline: parse profile locations, drop vague /
+/// insufficient / ambiguous ones, reverse-geocode GPS tweets, keep users
+/// with at least one geocoded tweet.
+class RefinementPipeline {
+ public:
+  /// `parser` and `geocoder` must outlive the pipeline. The parser's and
+  /// geocoder's AdminDb should be the same gazetteer.
+  RefinementPipeline(const text::LocationParser* parser,
+                     geo::ReverseGeocoder* geocoder,
+                     RefinementOptions options = {});
+
+  /// Runs the funnel over `dataset`. `funnel` receives the accounting.
+  std::vector<RefinedUser> Run(const twitter::Dataset& dataset,
+                               FunnelStats* funnel) const;
+
+ private:
+  StatusOr<geo::RegionId> Geocode(const geo::LatLng& point) const;
+
+  const text::LocationParser* parser_;
+  geo::ReverseGeocoder* geocoder_;
+  RefinementOptions options_;
+};
+
+}  // namespace stir::core
+
+#endif  // STIR_CORE_REFINEMENT_H_

@@ -1,0 +1,79 @@
+#include "core/reliability.h"
+
+namespace stir::core {
+
+const char* ReliabilityGranularityToString(ReliabilityGranularity g) {
+  switch (g) {
+    case ReliabilityGranularity::kPerUser:
+      return "per-user";
+    case ReliabilityGranularity::kPerGroup:
+      return "per-group";
+    case ReliabilityGranularity::kGlobal:
+      return "global";
+  }
+  return "unknown";
+}
+
+ReliabilityModel ReliabilityModel::FromGroupings(
+    const std::vector<UserGrouping>& groupings, ReliabilityOptions options) {
+  ReliabilityModel model;
+  double alpha = options.smoothing_alpha;
+  int64_t group_matched[kNumTopKGroups] = {};
+  int64_t group_total[kNumTopKGroups] = {};
+  int64_t all_matched = 0;
+  int64_t all_total = 0;
+  for (const UserGrouping& grouping : groupings) {
+    double weight =
+        (static_cast<double>(grouping.matched_tweet_count) + alpha) /
+        (static_cast<double>(grouping.gps_tweet_count) + 2.0 * alpha);
+    model.user_weights_[grouping.user] = weight;
+    model.user_groups_[grouping.user] = grouping.group;
+    int g = static_cast<int>(grouping.group);
+    group_matched[g] += grouping.matched_tweet_count;
+    group_total[g] += grouping.gps_tweet_count;
+    all_matched += grouping.matched_tweet_count;
+    all_total += grouping.gps_tweet_count;
+  }
+  for (int g = 0; g < kNumTopKGroups; ++g) {
+    model.group_weights_[g] =
+        group_total[g] > 0 ? static_cast<double>(group_matched[g]) /
+                                 static_cast<double>(group_total[g])
+                           : 0.0;
+  }
+  model.global_weight_ = all_total > 0 ? static_cast<double>(all_matched) /
+                                             static_cast<double>(all_total)
+                                       : 0.0;
+  return model;
+}
+
+double ReliabilityModel::UserWeight(twitter::UserId user) const {
+  auto it = user_weights_.find(user);
+  return it != user_weights_.end() ? it->second : global_weight_;
+}
+
+double ReliabilityModel::GroupWeight(TopKGroup group) const {
+  return group_weights_[static_cast<int>(group)];
+}
+
+TopKGroup ReliabilityModel::GroupOf(twitter::UserId user) const {
+  auto it = user_groups_.find(user);
+  return it != user_groups_.end() ? it->second : TopKGroup::kNone;
+}
+
+double ReliabilityModel::WeightFor(twitter::UserId user,
+                                   ReliabilityGranularity granularity) const {
+  switch (granularity) {
+    case ReliabilityGranularity::kPerUser:
+      return UserWeight(user);
+    case ReliabilityGranularity::kPerGroup: {
+      auto it = user_groups_.find(user);
+      if (it == user_groups_.end()) return global_weight_;
+      return group_weights_[static_cast<int>(it->second)];
+    }
+    case ReliabilityGranularity::kGlobal:
+      return global_weight_;
+  }
+  return global_weight_;
+}
+
+}  // namespace stir::core

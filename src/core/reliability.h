@@ -1,0 +1,75 @@
+#ifndef STIR_CORE_RELIABILITY_H_
+#define STIR_CORE_RELIABILITY_H_
+
+#include <unordered_map>
+
+#include "core/grouping.h"
+
+namespace stir::core {
+
+/// Smoothing for per-user reliability estimates.
+struct ReliabilityOptions {
+  /// Laplace pseudo-count: weight = (matched + a) / (gps + 2a).
+  double smoothing_alpha = 1.0;
+};
+
+/// Which estimate WeightFor returns — the ablation axis of
+/// bench_ablation_weights: per-user weights carry the most signal but
+/// the least data per estimate; the group prior pools users in the same
+/// Top-k bucket; the global prior is a single number.
+enum class ReliabilityGranularity : int {
+  kPerUser = 0,
+  kPerGroup = 1,
+  kGlobal = 2,
+};
+
+const char* ReliabilityGranularityToString(ReliabilityGranularity g);
+
+/// The paper's proposed application (§V): turn the measured correlation
+/// into a *weight factor* for the profile location, so event-detection
+/// systems that fall back on profile locations (Twitris-style) can
+/// discount unreliable ones.
+///
+/// For a user, the weight estimates P(a random post by the user was made
+/// from the profile district); users in Top-1 get weights near their
+/// matched-tweet share, None users get weights near 0.
+class ReliabilityModel {
+ public:
+  /// Fits the model from classified users.
+  static ReliabilityModel FromGroupings(
+      const std::vector<UserGrouping>& groupings,
+      ReliabilityOptions options = {});
+
+  /// Smoothed per-user weight; falls back to global_weight() for users
+  /// outside the fitted sample.
+  double UserWeight(twitter::UserId user) const;
+
+  /// Weight at a chosen granularity; kPerGroup uses the user's fitted
+  /// Top-k group's aggregate, kGlobal the corpus aggregate. Unknown
+  /// users fall back to the global weight at every granularity.
+  double WeightFor(twitter::UserId user,
+                   ReliabilityGranularity granularity) const;
+
+  /// Fitted group of a user, or kNone for users outside the sample.
+  TopKGroup GroupOf(twitter::UserId user) const;
+
+  /// Mean matched-tweet share within a group (unsmoothed aggregate).
+  double GroupWeight(TopKGroup group) const;
+
+  /// Matched share over the whole sample — the single-number reliability
+  /// of "profile location == tweet location" the paper reports (~50% of
+  /// users post mostly from their profile district).
+  double global_weight() const { return global_weight_; }
+
+  size_t num_users() const { return user_weights_.size(); }
+
+ private:
+  std::unordered_map<twitter::UserId, double> user_weights_;
+  std::unordered_map<twitter::UserId, TopKGroup> user_groups_;
+  double group_weights_[kNumTopKGroups] = {};
+  double global_weight_ = 0.0;
+};
+
+}  // namespace stir::core
+
+#endif  // STIR_CORE_RELIABILITY_H_

@@ -1,0 +1,74 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace stir::core {
+
+Status WriteStudyReportCsv(const StudyResult& result,
+                           const std::string& directory) {
+  auto number = [](double v) { return StrFormat("%.6f", v); };
+  auto integer = [](int64_t v) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  };
+
+  std::vector<std::vector<std::string>> funnel_rows = {
+      {"stage", "value"},
+      {"crawled_users", integer(result.funnel.crawled_users)},
+      {"empty_profiles", integer(result.funnel.quality_counts[0])},
+      {"vague_profiles", integer(result.funnel.quality_counts[1])},
+      {"insufficient_profiles", integer(result.funnel.quality_counts[2])},
+      {"ambiguous_profiles", integer(result.funnel.quality_counts[3])},
+      {"well_defined_profiles", integer(result.funnel.well_defined_users)},
+      {"total_tweets", integer(result.funnel.total_tweets)},
+      {"gps_tweets", integer(result.funnel.gps_tweets)},
+      {"geocode_failures", integer(result.funnel.geocode_failures)},
+      {"final_users", integer(result.funnel.final_users)},
+  };
+  STIR_RETURN_IF_ERROR(
+      WriteCsvFile(directory + "/funnel.csv", funnel_rows));
+
+  std::vector<std::vector<std::string>> group_rows = {
+      {"group", "users", "user_share", "gps_tweets", "tweet_share",
+       "avg_tweet_locations"}};
+  for (int g = 0; g < kNumTopKGroups; ++g) {
+    const GroupStats& stats = result.groups[g];
+    group_rows.push_back({TopKGroupToString(static_cast<TopKGroup>(g)),
+                          integer(stats.users), number(stats.user_share),
+                          integer(stats.gps_tweets),
+                          number(stats.tweet_share),
+                          number(stats.avg_tweet_locations)});
+  }
+  STIR_RETURN_IF_ERROR(
+      WriteCsvFile(directory + "/groups.csv", group_rows));
+
+  std::vector<std::vector<std::string>> user_rows = {
+      {"user", "group", "match_rank", "gps_tweets", "matched_tweets",
+       "distinct_locations"}};
+  for (const UserGrouping& grouping : result.groupings) {
+    user_rows.push_back(
+        {integer(grouping.user), TopKGroupToString(grouping.group),
+         integer(grouping.match_rank), integer(grouping.gps_tweet_count),
+         integer(grouping.matched_tweet_count),
+         integer(grouping.distinct_tweet_locations())});
+  }
+  return WriteCsvFile(directory + "/users.csv", user_rows);
+}
+
+std::string RenderGpsTweetHistogram(const StudyResult& result, int buckets) {
+  int64_t max_count = 1;
+  for (const UserGrouping& grouping : result.groupings) {
+    max_count = std::max(max_count, grouping.gps_tweet_count);
+  }
+  stats::Histogram histogram(0.0, static_cast<double>(max_count) + 1.0,
+                             buckets);
+  for (const UserGrouping& grouping : result.groupings) {
+    histogram.Add(static_cast<double>(grouping.gps_tweet_count));
+  }
+  return "GPS tweets per final user:\n" + histogram.ToString();
+}
+
+}  // namespace stir::core

@@ -1,0 +1,31 @@
+#ifndef STIR_CORE_REPORT_H_
+#define STIR_CORE_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/study.h"
+
+namespace stir::core {
+
+/// CSV export of a study run for downstream plotting — the artifact a
+/// user of this library actually hands to matplotlib/gnuplot to redraw
+/// the paper's figures.
+///
+/// Writes into `directory` (which must exist):
+///   funnel.csv  — stage,value rows of the §III.B funnel
+///   groups.csv  — group,users,user_share,gps_tweets,tweet_share,
+///                 avg_tweet_locations (Fig. 6 + Fig. 7 + tweet share)
+///   users.csv   — user,group,match_rank,gps_tweets,matched_tweets,
+///                 distinct_locations (per-user detail)
+Status WriteStudyReportCsv(const StudyResult& result,
+                           const std::string& directory);
+
+/// ASCII histogram of GPS tweets per final user — the sample-size
+/// distribution behind every per-user estimate in the study.
+std::string RenderGpsTweetHistogram(const StudyResult& result,
+                                    int buckets = 10);
+
+}  // namespace stir::core
+
+#endif  // STIR_CORE_REPORT_H_

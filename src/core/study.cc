@@ -1,0 +1,98 @@
+#include "core/study.h"
+
+#include "common/string_util.h"
+
+namespace stir::core {
+
+std::string StudyResult::GroupTableString() const {
+  std::string out;
+  out += StrFormat("%-8s %8s %8s %12s %9s %14s\n", "group", "users", "user%",
+                   "gps_tweets", "tweet%", "avg_locations");
+  for (int g = 0; g < kNumTopKGroups; ++g) {
+    const GroupStats& stats = groups[g];
+    out += StrFormat("%-8s %8lld %7.2f%% %12lld %8.2f%% %14.2f\n",
+                     TopKGroupToString(static_cast<TopKGroup>(g)),
+                     static_cast<long long>(stats.users),
+                     stats.user_share * 100.0,
+                     static_cast<long long>(stats.gps_tweets),
+                     stats.tweet_share * 100.0, stats.avg_tweet_locations);
+  }
+  out += StrFormat("overall avg tweet locations per user: %.2f\n",
+                   overall_avg_locations);
+  return out;
+}
+
+std::string StudyResult::FunnelString() const {
+  std::string out;
+  out += StrFormat("crawled users:               %lld\n",
+                   static_cast<long long>(funnel.crawled_users));
+  out += StrFormat("  empty profile location:    %lld\n",
+                   static_cast<long long>(funnel.quality_counts[0]));
+  out += StrFormat("  vague:                     %lld\n",
+                   static_cast<long long>(funnel.quality_counts[1]));
+  out += StrFormat("  insufficient:              %lld\n",
+                   static_cast<long long>(funnel.quality_counts[2]));
+  out += StrFormat("  ambiguous:                 %lld\n",
+                   static_cast<long long>(funnel.quality_counts[3]));
+  out += StrFormat("well-defined profiles:       %lld\n",
+                   static_cast<long long>(funnel.well_defined_users));
+  out += StrFormat("total tweets (corpus):       %lld\n",
+                   static_cast<long long>(funnel.total_tweets));
+  out += StrFormat("GPS-tagged tweets:           %lld\n",
+                   static_cast<long long>(funnel.gps_tweets));
+  out += StrFormat("geocode failures:            %lld\n",
+                   static_cast<long long>(funnel.geocode_failures));
+  out += StrFormat("final users (study sample):  %lld\n",
+                   static_cast<long long>(funnel.final_users));
+  return out;
+}
+
+CorrelationStudy::CorrelationStudy(const geo::AdminDb* db,
+                                   CorrelationStudyOptions options)
+    : db_(db), options_(options), parser_(db) {}
+
+StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
+  StudyResult result;
+
+  geo::ReverseGeocoder geocoder(db_, options_.geocoder);
+  RefinementPipeline pipeline(&parser_, &geocoder, options_.refinement);
+  result.refined = pipeline.Run(dataset, &result.funnel);
+  result.groupings = GroupUsers(result.refined, *db_, options_.tie_break);
+  result.final_users = static_cast<int64_t>(result.groupings.size());
+
+  int64_t total_gps = 0;
+  double location_sum_all = 0.0;
+  double location_sum[kNumTopKGroups] = {};
+  for (const UserGrouping& grouping : result.groupings) {
+    GroupStats& stats = result.groups[static_cast<int>(grouping.group)];
+    ++stats.users;
+    stats.gps_tweets += grouping.gps_tweet_count;
+    total_gps += grouping.gps_tweet_count;
+    location_sum[static_cast<int>(grouping.group)] +=
+        static_cast<double>(grouping.distinct_tweet_locations());
+    location_sum_all +=
+        static_cast<double>(grouping.distinct_tweet_locations());
+  }
+  for (int g = 0; g < kNumTopKGroups; ++g) {
+    GroupStats& stats = result.groups[g];
+    if (result.final_users > 0) {
+      stats.user_share = static_cast<double>(stats.users) /
+                         static_cast<double>(result.final_users);
+    }
+    if (total_gps > 0) {
+      stats.tweet_share = static_cast<double>(stats.gps_tweets) /
+                          static_cast<double>(total_gps);
+    }
+    if (stats.users > 0) {
+      stats.avg_tweet_locations =
+          location_sum[g] / static_cast<double>(stats.users);
+    }
+  }
+  if (result.final_users > 0) {
+    result.overall_avg_locations =
+        location_sum_all / static_cast<double>(result.final_users);
+  }
+  return result;
+}
+
+}  // namespace stir::core

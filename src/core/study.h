@@ -1,0 +1,80 @@
+#ifndef STIR_CORE_STUDY_H_
+#define STIR_CORE_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/grouping.h"
+#include "core/refinement.h"
+#include "geo/admin_db.h"
+#include "geo/reverse_geocoder.h"
+#include "text/location_parser.h"
+#include "twitter/dataset.h"
+
+namespace stir::core {
+
+/// Aggregates for one Top-k group — the quantities behind the paper's
+/// Fig. 6 (avg number of tweet locations), Fig. 7 (user share) and the
+/// slide-deck tweets-per-group figure.
+struct GroupStats {
+  int64_t users = 0;
+  double user_share = 0.0;  ///< Fraction of final users, [0, 1].
+  int64_t gps_tweets = 0;
+  double tweet_share = 0.0;  ///< Fraction of geocoded GPS tweets.
+  double avg_tweet_locations = 0.0;  ///< Mean distinct districts per user.
+};
+
+/// Full output of one study run.
+struct StudyResult {
+  FunnelStats funnel;
+  GroupStats groups[kNumTopKGroups];
+  /// User-weighted mean of distinct tweet districts over all final users
+  /// ("they have ~3 tweet locations in average", §IV).
+  double overall_avg_locations = 0.0;
+  int64_t final_users = 0;
+  /// Per-user detail (Table II rows, ranks, groups).
+  std::vector<UserGrouping> groupings;
+  std::vector<RefinedUser> refined;
+
+  const GroupStats& group(TopKGroup g) const {
+    return groups[static_cast<int>(g)];
+  }
+
+  /// Human-readable group table (one row per Top-k group).
+  std::string GroupTableString() const;
+  /// Human-readable funnel rendering (§III.B stages).
+  std::string FunnelString() const;
+};
+
+/// Study configuration.
+struct CorrelationStudyOptions {
+  RefinementOptions refinement;
+  geo::ReverseGeocoderOptions geocoder;
+  /// Tie rule for equal string multiplicities (ablation knob; the
+  /// paper's results must not depend on it).
+  TieBreak tie_break = TieBreak::kLexicographic;
+};
+
+/// The paper's end-to-end analysis: refinement funnel -> text-based
+/// grouping -> Top-k classification -> group aggregates. Deterministic
+/// for a given dataset and gazetteer.
+class CorrelationStudy {
+ public:
+  /// `db` must outlive the study.
+  explicit CorrelationStudy(const geo::AdminDb* db,
+                            CorrelationStudyOptions options = {});
+
+  StudyResult Run(const twitter::Dataset& dataset) const;
+
+  const geo::AdminDb& db() const { return *db_; }
+  const text::LocationParser& parser() const { return parser_; }
+
+ private:
+  const geo::AdminDb* db_;
+  CorrelationStudyOptions options_;
+  text::LocationParser parser_;
+};
+
+}  // namespace stir::core
+
+#endif  // STIR_CORE_STUDY_H_

@@ -1,0 +1,103 @@
+#include "core/temporal.h"
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+
+namespace stir::core {
+
+int PostingProfile::PeakHour() const {
+  int best = 0;
+  for (int h = 1; h < 24; ++h) {
+    if (hour_share[static_cast<size_t>(h)] >
+        hour_share[static_cast<size_t>(best)]) {
+      best = h;
+    }
+  }
+  return best;
+}
+
+int PostingProfile::TroughHour() const {
+  int best = 0;
+  for (int h = 1; h < 24; ++h) {
+    if (hour_share[static_cast<size_t>(h)] <
+        hour_share[static_cast<size_t>(best)]) {
+      best = h;
+    }
+  }
+  return best;
+}
+
+double PostingProfile::EntropyBits() const {
+  double entropy = 0.0;
+  for (double p : hour_share) {
+    if (p > 0.0) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+std::string PostingProfile::ToString() const {
+  double peak = 1e-12;
+  for (double p : hour_share) peak = std::max(peak, p);
+  std::string out;
+  for (int h = 0; h < 24; ++h) {
+    double p = hour_share[static_cast<size_t>(h)];
+    int bar = static_cast<int>(p / peak * 40.0);
+    out += StrFormat("%02d:00 %6.2f%% |%s\n", h, p * 100.0,
+                     std::string(static_cast<size_t>(bar), '#').c_str());
+  }
+  return out;
+}
+
+namespace {
+
+PostingProfile FromCounts(const std::array<int64_t, 24>& counts,
+                          int64_t total) {
+  PostingProfile profile;
+  profile.tweet_count = total;
+  for (int h = 0; h < 24; ++h) {
+    profile.hour_share[static_cast<size_t>(h)] =
+        static_cast<double>(counts[static_cast<size_t>(h)]) /
+        static_cast<double>(total);
+  }
+  return profile;
+}
+
+}  // namespace
+
+StatusOr<PostingProfile> ComputePostingProfile(
+    const twitter::Dataset& dataset) {
+  if (dataset.tweets().empty()) {
+    return Status::InvalidArgument("no materialized tweets in dataset");
+  }
+  std::array<int64_t, 24> counts{};
+  for (const twitter::Tweet& tweet : dataset.tweets()) {
+    ++counts[static_cast<size_t>(HourOfDay(tweet.time))];
+  }
+  return FromCounts(counts, static_cast<int64_t>(dataset.tweets().size()));
+}
+
+StatusOr<PostingProfile> ComputeUserPostingProfile(
+    const twitter::Dataset& dataset, twitter::UserId user) {
+  const std::vector<size_t>& indices = dataset.TweetIndicesOf(user);
+  if (indices.empty()) {
+    return Status::NotFound("user has no materialized tweets");
+  }
+  std::array<int64_t, 24> counts{};
+  for (size_t index : indices) {
+    ++counts[static_cast<size_t>(HourOfDay(dataset.tweets()[index].time))];
+  }
+  return FromCounts(counts, static_cast<int64_t>(indices.size()));
+}
+
+double ProfileDistance(const PostingProfile& a, const PostingProfile& b) {
+  double distance = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    distance += std::fabs(a.hour_share[static_cast<size_t>(h)] -
+                          b.hour_share[static_cast<size_t>(h)]);
+  }
+  return distance;
+}
+
+}  // namespace stir::core

@@ -1,0 +1,47 @@
+#ifndef STIR_CORE_TEMPORAL_H_
+#define STIR_CORE_TEMPORAL_H_
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+#include "twitter/dataset.h"
+
+namespace stir::core {
+
+/// Hour-of-day posting profile: the fraction of tweets posted in each
+/// local hour. This is the temporal companion to the paper's spatial
+/// study (the same group's follow-up analyzed posting behaviour over
+/// time); the generator bakes in a diurnal cycle, and this module
+/// recovers and reports it.
+struct PostingProfile {
+  std::array<double, 24> hour_share = {};
+  int64_t tweet_count = 0;
+
+  /// Hour with the largest share.
+  int PeakHour() const;
+  /// Hour with the smallest share.
+  int TroughHour() const;
+  /// Shannon entropy of the hourly distribution (bits; log2(24) ~ 4.58
+  /// would be a perfectly flat profile).
+  double EntropyBits() const;
+  /// ASCII sparkline-style rendering, one row per hour.
+  std::string ToString() const;
+};
+
+/// Profile over all materialized tweets of a dataset. Fails on a dataset
+/// without materialized tweets.
+StatusOr<PostingProfile> ComputePostingProfile(
+    const twitter::Dataset& dataset);
+
+/// Profile restricted to one user's materialized tweets; NotFound when
+/// the user has none.
+StatusOr<PostingProfile> ComputeUserPostingProfile(
+    const twitter::Dataset& dataset, twitter::UserId user);
+
+/// L1 distance between two hourly profiles (0 identical .. 2 disjoint).
+double ProfileDistance(const PostingProfile& a, const PostingProfile& b);
+
+}  // namespace stir::core
+
+#endif  // STIR_CORE_TEMPORAL_H_

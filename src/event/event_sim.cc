@@ -1,0 +1,69 @@
+#include "event/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace stir::event {
+
+EventSimulator::EventSimulator(const geo::AdminDb* db,
+                               const twitter::GroundTruth* truth,
+                               double event_geotag_boost)
+    : db_(db), truth_(truth), event_geotag_boost_(event_geotag_boost) {
+  STIR_CHECK(db != nullptr);
+  STIR_CHECK(truth != nullptr);
+  STIR_CHECK_GE(event_geotag_boost, 1.0);
+}
+
+std::vector<WitnessReport> EventSimulator::Simulate(
+    const EventSpec& spec, const std::vector<twitter::User>& users,
+    Rng& rng) const {
+  STIR_CHECK(!spec.keywords.empty());
+  std::vector<WitnessReport> reports;
+  for (const twitter::User& user : users) {
+    auto it = truth_->mobility.find(user.id);
+    if (it == truth_->mobility.end()) continue;
+    const twitter::MobilityProfile& mobility = it->second;
+
+    // Where is this sensor right now? A draw from their activity spots.
+    double u = rng.Uniform();
+    geo::RegionId region = mobility.spots.back().region;
+    for (const twitter::ActivitySpot& spot : mobility.spots) {
+      u -= spot.weight;
+      if (u <= 0.0) {
+        region = spot.region;
+        break;
+      }
+    }
+    geo::LatLng position = db_->SamplePointIn(region, rng);
+
+    double distance = geo::HaversineKm(position, spec.epicenter);
+    if (distance > spec.felt_radius_km) continue;
+    double p = spec.response_rate * std::exp(-distance / spec.decay_km);
+    if (!rng.Bernoulli(p)) continue;
+
+    WitnessReport report;
+    report.user = user.id;
+    report.true_region = region;
+    report.time = spec.start_time +
+                  static_cast<SimTime>(rng.Exponential(
+                      1.0 / std::max(1.0, spec.mean_delay_seconds)));
+    double geotag_p =
+        std::min(1.0, mobility.geotag_rate * event_geotag_boost_);
+    if (rng.Bernoulli(geotag_p)) report.gps = position;
+    const std::string& keyword = spec.keywords[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(spec.keywords.size()) - 1))];
+    report.text = StrFormat("%s!! did you feel that", keyword.c_str());
+    reports.push_back(std::move(report));
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const WitnessReport& a, const WitnessReport& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.user < b.user;
+            });
+  return reports;
+}
+
+}  // namespace stir::event

@@ -1,0 +1,67 @@
+#ifndef STIR_EVENT_EVENT_SIM_H_
+#define STIR_EVENT_EVENT_SIM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "geo/admin_db.h"
+#include "twitter/generator.h"
+
+namespace stir::event {
+
+/// A target event (the Toretter scenario: an earthquake).
+struct EventSpec {
+  geo::LatLng epicenter;
+  SimTime start_time = 0;
+  /// Radius within which people feel and report the event.
+  double felt_radius_km = 150.0;
+  /// Report probability at the epicenter, decaying exp(-d/decay_km).
+  double response_rate = 0.5;
+  double decay_km = 70.0;
+  /// Mean posting delay after onset (seconds); delays are exponential
+  /// (Sakaki et al. model event tweets as an exponential decay process).
+  double mean_delay_seconds = 180.0;
+  std::vector<std::string> keywords = {"earthquake", "shaking"};
+};
+
+/// One citizen-sensor report of the event.
+struct WitnessReport {
+  twitter::UserId user = twitter::kInvalidUser;
+  SimTime time = 0;
+  /// Present when the witness posted with GPS; the credible attribute.
+  std::optional<geo::LatLng> gps;
+  /// District the witness was actually in (ground truth, for evaluation).
+  geo::RegionId true_region = geo::kInvalidRegion;
+  std::string text;
+};
+
+/// Generates witness reports for an event over a generated population:
+/// each user is a sensor at a location drawn from their mobility profile;
+/// nearby users report with distance-decayed probability and exponential
+/// delay; GPS presence follows each user's geotagging behaviour, with an
+/// `event_geotag_boost` because eyewitness posts carry location more
+/// often than everyday chatter.
+class EventSimulator {
+ public:
+  /// `db` and `truth` must outlive the simulator.
+  EventSimulator(const geo::AdminDb* db, const twitter::GroundTruth* truth,
+                 double event_geotag_boost = 3.0);
+
+  /// Simulates `spec` over `users`; deterministic for a given rng seed.
+  /// Reports come back time-ordered.
+  std::vector<WitnessReport> Simulate(const EventSpec& spec,
+                                      const std::vector<twitter::User>& users,
+                                      Rng& rng) const;
+
+ private:
+  const geo::AdminDb* db_;
+  const twitter::GroundTruth* truth_;
+  double event_geotag_boost_;
+};
+
+}  // namespace stir::event
+
+#endif  // STIR_EVENT_EVENT_SIM_H_

@@ -1,0 +1,39 @@
+#include "event/kalman.h"
+
+#include "common/logging.h"
+
+namespace stir::event {
+
+KalmanFilter2D::KalmanFilter2D(double process_noise_deg2)
+    : process_noise_(process_noise_deg2) {
+  STIR_CHECK_GE(process_noise_deg2, 0.0);
+}
+
+void KalmanFilter2D::Initialize(const geo::LatLng& measurement,
+                                double variance_deg2) {
+  STIR_CHECK_GT(variance_deg2, 0.0);
+  state_ = measurement;
+  variance_ = variance_deg2;
+  initialized_ = true;
+}
+
+void KalmanFilter2D::Predict() {
+  STIR_CHECK(initialized_);
+  variance_ += process_noise_;
+}
+
+void KalmanFilter2D::Update(const geo::LatLng& measurement,
+                            double measurement_variance_deg2) {
+  STIR_CHECK_GT(measurement_variance_deg2, 0.0);
+  if (!initialized_) {
+    Initialize(measurement, measurement_variance_deg2);
+    return;
+  }
+  // Scalar gain applied per axis (diagonal P and R).
+  double gain = variance_ / (variance_ + measurement_variance_deg2);
+  state_.lat += gain * (measurement.lat - state_.lat);
+  state_.lng += gain * (measurement.lng - state_.lng);
+  variance_ *= (1.0 - gain);
+}
+
+}  // namespace stir::event

@@ -1,0 +1,46 @@
+#ifndef STIR_EVENT_KALMAN_H_
+#define STIR_EVENT_KALMAN_H_
+
+#include "geo/latlng.h"
+
+namespace stir::event {
+
+/// 2-D constant-position Kalman filter over (lat, lng) degrees — the
+/// location-estimation filter Toretter (Sakaki et al., WWW'10) applied to
+/// earthquake epicenters, where the target is static and each tweet is a
+/// noisy position measurement.
+///
+/// State x = (lat, lng); diagonal covariance (lat/lng treated as
+/// independent, adequate at city-to-province scale).
+class KalmanFilter2D {
+ public:
+  /// `process_noise_deg2` is added to the variance per Predict() step,
+  /// modelling drift (0 for a truly static target).
+  explicit KalmanFilter2D(double process_noise_deg2 = 0.0);
+
+  /// Initializes the state with a first measurement and its variance.
+  void Initialize(const geo::LatLng& measurement, double variance_deg2);
+  bool initialized() const { return initialized_; }
+
+  /// Time update: inflates the covariance by the process noise.
+  void Predict();
+
+  /// Measurement update. `measurement_variance_deg2` is the measurement
+  /// noise R; reliability weighting scales R by 1/weight (an unreliable
+  /// source is a noisier sensor).
+  void Update(const geo::LatLng& measurement, double measurement_variance_deg2);
+
+  geo::LatLng state() const { return state_; }
+  /// Current posterior variance (degrees^2, same for both axes).
+  double variance() const { return variance_; }
+
+ private:
+  double process_noise_;
+  geo::LatLng state_;
+  double variance_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace stir::event
+
+#endif  // STIR_EVENT_KALMAN_H_

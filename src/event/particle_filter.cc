@@ -1,0 +1,99 @@
+#include "event/particle_filter.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace stir::event {
+
+ParticleFilter::ParticleFilter(int num_particles,
+                               const geo::BoundingBox& prior, Rng& rng) {
+  STIR_CHECK_GT(num_particles, 0);
+  STIR_CHECK(!prior.IsEmpty());
+  particles_.reserve(static_cast<size_t>(num_particles));
+  for (int i = 0; i < num_particles; ++i) {
+    particles_.push_back(geo::LatLng{
+        rng.Uniform(prior.min_lat, prior.max_lat),
+        rng.Uniform(prior.min_lng, prior.max_lng),
+    });
+  }
+  weights_.assign(static_cast<size_t>(num_particles),
+                  1.0 / static_cast<double>(num_particles));
+}
+
+void ParticleFilter::Update(const geo::LatLng& measurement, double sigma_km,
+                            double weight, Rng& rng) {
+  STIR_CHECK_GT(sigma_km, 0.0);
+  STIR_CHECK_GT(weight, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < particles_.size(); ++i) {
+    double d = geo::ApproxDistanceKm(particles_[i], measurement);
+    double log_likelihood = -0.5 * (d / sigma_km) * (d / sigma_km);
+    weights_[i] *= std::exp(weight * log_likelihood);
+    total += weights_[i];
+  }
+  if (total <= 0.0 || !std::isfinite(total)) {
+    // Degenerate update (all particles far away): reset to uniform so the
+    // filter stays alive rather than collapsing to NaNs.
+    weights_.assign(weights_.size(), 1.0 / static_cast<double>(weights_.size()));
+    return;
+  }
+  for (double& w : weights_) w /= total;
+  if (EffectiveSampleSize() <
+      static_cast<double>(particles_.size()) / 2.0) {
+    Resample(rng);
+  }
+}
+
+double ParticleFilter::EffectiveSampleSize() const {
+  double sum_sq = 0.0;
+  for (double w : weights_) sum_sq += w * w;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+void ParticleFilter::Resample(Rng& rng) {
+  size_t n = particles_.size();
+  std::vector<geo::LatLng> next;
+  next.reserve(n);
+  // Systematic resampling: a single uniform offset, n evenly spaced
+  // pointers into the cumulative weights.
+  double step = 1.0 / static_cast<double>(n);
+  double u = rng.Uniform() * step;
+  double cumulative = weights_[0];
+  size_t i = 0;
+  for (size_t j = 0; j < n; ++j) {
+    double pointer = u + static_cast<double>(j) * step;
+    while (pointer > cumulative && i + 1 < n) {
+      ++i;
+      cumulative += weights_[i];
+    }
+    // Jitter keeps resampled particles from collapsing to duplicates.
+    next.push_back(geo::LatLng{
+        particles_[i].lat + rng.Normal(0.0, 0.01),
+        particles_[i].lng + rng.Normal(0.0, 0.01),
+    });
+  }
+  particles_ = std::move(next);
+  weights_.assign(n, step);
+}
+
+geo::LatLng ParticleFilter::Estimate() const {
+  double lat = 0.0, lng = 0.0;
+  for (size_t i = 0; i < particles_.size(); ++i) {
+    lat += particles_[i].lat * weights_[i];
+    lng += particles_[i].lng * weights_[i];
+  }
+  return geo::LatLng{lat, lng};
+}
+
+double ParticleFilter::SpreadKm() const {
+  geo::LatLng mean = Estimate();
+  double acc = 0.0;
+  for (size_t i = 0; i < particles_.size(); ++i) {
+    double d = geo::ApproxDistanceKm(particles_[i], mean);
+    acc += weights_[i] * d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace stir::event

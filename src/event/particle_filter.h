@@ -1,0 +1,45 @@
+#ifndef STIR_EVENT_PARTICLE_FILTER_H_
+#define STIR_EVENT_PARTICLE_FILTER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geo/latlng.h"
+
+namespace stir::event {
+
+/// Particle filter for static-target location estimation — Toretter's
+/// second estimator, better than the Kalman filter when the measurement
+/// distribution is multi-modal (e.g. reports clustered in two cities).
+class ParticleFilter {
+ public:
+  /// Scatters `num_particles` uniformly over `prior` (e.g. the gazetteer
+  /// coverage box).
+  ParticleFilter(int num_particles, const geo::BoundingBox& prior, Rng& rng);
+
+  /// Measurement update with an isotropic Gaussian likelihood of scale
+  /// `sigma_km`. `weight` in (0, 1] tempers the likelihood
+  /// (likelihood^weight): reliability-weighted sources update the belief
+  /// more gently. Resamples systematically when the effective sample
+  /// size drops below half the particle count.
+  void Update(const geo::LatLng& measurement, double sigma_km, double weight,
+              Rng& rng);
+
+  /// Posterior mean.
+  geo::LatLng Estimate() const;
+  /// RMS distance of particles from the mean, km (posterior spread).
+  double SpreadKm() const;
+  /// Effective sample size of the current weights.
+  double EffectiveSampleSize() const;
+  int num_particles() const { return static_cast<int>(particles_.size()); }
+
+ private:
+  void Resample(Rng& rng);
+
+  std::vector<geo::LatLng> particles_;
+  std::vector<double> weights_;
+};
+
+}  // namespace stir::event
+
+#endif  // STIR_EVENT_PARTICLE_FILTER_H_

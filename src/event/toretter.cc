@@ -1,0 +1,153 @@
+#include "event/toretter.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "event/kalman.h"
+#include "event/particle_filter.h"
+
+namespace stir::event {
+
+namespace {
+/// Degrees of latitude per kilometer (for sigma conversion).
+constexpr double kDegPerKm = 1.0 / 111.32;
+}  // namespace
+
+const char* LocationEstimatorToString(LocationEstimator estimator) {
+  switch (estimator) {
+    case LocationEstimator::kWeightedCentroid:
+      return "weighted-centroid";
+    case LocationEstimator::kKalman:
+      return "kalman";
+    case LocationEstimator::kParticle:
+      return "particle";
+  }
+  return "unknown";
+}
+
+const char* LocationSourceToString(LocationSource source) {
+  switch (source) {
+    case LocationSource::kGpsOnly:
+      return "gps-only";
+    case LocationSource::kProfileOnly:
+      return "profile-only";
+    case LocationSource::kGpsWithProfileFallback:
+      return "gps+profile-fallback";
+  }
+  return "unknown";
+}
+
+ToretterDetector::ToretterDetector(const geo::AdminDb* db,
+                                   ToretterOptions options)
+    : db_(db), options_(std::move(options)) {
+  STIR_CHECK(db != nullptr);
+  STIR_CHECK_GT(options_.window_seconds, 0);
+  STIR_CHECK_GE(options_.min_reports, 1);
+}
+
+bool ToretterDetector::MatchesKeywords(const std::string& text) const {
+  for (const std::string& keyword : options_.keywords) {
+    if (ContainsIgnoreCase(text, keyword)) return true;
+  }
+  return false;
+}
+
+DetectionResult ToretterDetector::DetectOnset(
+    const std::vector<WitnessReport>& reports) const {
+  DetectionResult result;
+  // Two-pointer sliding window over time-ordered reports.
+  size_t left = 0;
+  for (size_t right = 0; right < reports.size(); ++right) {
+    STIR_CHECK(right == 0 || reports[right].time >= reports[right - 1].time)
+        << "reports must be time-ordered";
+    while (reports[right].time - reports[left].time >=
+           options_.window_seconds) {
+      ++left;
+    }
+    int64_t in_window = static_cast<int64_t>(right - left + 1);
+    if (in_window >= options_.min_reports) {
+      result.detected = true;
+      result.alarm_time = reports[right].time;
+      result.reports_at_alarm = static_cast<int64_t>(right) + 1;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<ToretterDetector::Measurement>
+ToretterDetector::ExtractMeasurements(
+    const std::vector<WitnessReport>& reports) const {
+  std::vector<Measurement> measurements;
+  for (const WitnessReport& report : reports) {
+    if (report.gps.has_value() &&
+        options_.source != LocationSource::kProfileOnly) {
+      measurements.push_back(
+          Measurement{*report.gps, options_.gps_sigma_km, 1.0});
+      continue;
+    }
+    if (options_.source == LocationSource::kGpsOnly) continue;
+    if (profile_regions_ == nullptr) continue;
+    auto it = profile_regions_->find(report.user);
+    if (it == profile_regions_->end()) continue;
+    double weight = 1.0;
+    if (options_.reliability_weighted && reliability_ != nullptr) {
+      weight = std::max(0.02, reliability_->WeightFor(
+                                  report.user,
+                                  options_.reliability_granularity));
+    }
+    measurements.push_back(Measurement{db_->region(it->second).centroid,
+                                       options_.profile_sigma_km, weight});
+  }
+  return measurements;
+}
+
+StatusOr<LocationEstimate> ToretterDetector::EstimateLocation(
+    const std::vector<WitnessReport>& reports, Rng& rng) const {
+  std::vector<Measurement> measurements = ExtractMeasurements(reports);
+  if (measurements.empty()) {
+    return Status::FailedPrecondition(
+        "no usable location measurements in reports");
+  }
+  LocationEstimate estimate;
+  estimate.measurements_used = static_cast<int64_t>(measurements.size());
+
+  switch (options_.estimator) {
+    case LocationEstimator::kWeightedCentroid: {
+      double total = 0.0, lat = 0.0, lng = 0.0;
+      for (const Measurement& m : measurements) {
+        double w = m.weight / (m.sigma_km * m.sigma_km);
+        lat += m.position.lat * w;
+        lng += m.position.lng * w;
+        total += w;
+      }
+      estimate.location = geo::LatLng{lat / total, lng / total};
+      return estimate;
+    }
+    case LocationEstimator::kKalman: {
+      KalmanFilter2D filter;
+      for (const Measurement& m : measurements) {
+        double sigma_deg = m.sigma_km * kDegPerKm;
+        // An unreliable source is a noisier sensor: R scales by 1/weight.
+        filter.Update(m.position, sigma_deg * sigma_deg / m.weight);
+      }
+      estimate.location = filter.state();
+      estimate.spread_km = std::sqrt(filter.variance()) / kDegPerKm;
+      return estimate;
+    }
+    case LocationEstimator::kParticle: {
+      ParticleFilter filter(options_.particles,
+                            db_->Coverage().Expanded(0.5), rng);
+      for (const Measurement& m : measurements) {
+        filter.Update(m.position, m.sigma_km, m.weight, rng);
+      }
+      estimate.location = filter.Estimate();
+      estimate.spread_km = filter.SpreadKm();
+      return estimate;
+    }
+  }
+  return Status::Internal("unhandled estimator");
+}
+
+}  // namespace stir::event

@@ -1,0 +1,189 @@
+#include "event/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace stir::event {
+
+TrajectoryKalman::TrajectoryKalman() : TrajectoryKalman(Options()) {}
+
+TrajectoryKalman::TrajectoryKalman(Options options) : options_(options) {
+  STIR_CHECK_GE(options_.velocity_process_noise, 0.0);
+  STIR_CHECK_GT(options_.initial_position_var, 0.0);
+}
+
+void TrajectoryKalman::PredictAxis(AxisState& axis, double dt) const {
+  // x <- F x ; P <- F P F^T + Q with Q from a white-noise-acceleration
+  // model: Q = q * [[dt^3/3, dt^2/2], [dt^2/2, dt]].
+  axis.position += axis.velocity * dt;
+  double q = options_.velocity_process_noise;
+  double p_pp = axis.p_pp + 2.0 * dt * axis.p_pv + dt * dt * axis.p_vv +
+                q * dt * dt * dt / 3.0;
+  double p_pv = axis.p_pv + dt * axis.p_vv + q * dt * dt / 2.0;
+  double p_vv = axis.p_vv + q * dt;
+  axis.p_pp = p_pp;
+  axis.p_pv = p_pv;
+  axis.p_vv = p_vv;
+}
+
+void TrajectoryKalman::UpdateAxis(AxisState& axis, double measurement,
+                                  double r) const {
+  double innovation = measurement - axis.position;
+  double s = axis.p_pp + r;
+  double k_p = axis.p_pp / s;
+  double k_v = axis.p_pv / s;
+  axis.position += k_p * innovation;
+  axis.velocity += k_v * innovation;
+  double p_pp = (1.0 - k_p) * axis.p_pp;
+  double p_pv = (1.0 - k_p) * axis.p_pv;
+  double p_vv = axis.p_vv - k_v * axis.p_pv;
+  axis.p_pp = p_pp;
+  axis.p_pv = p_pv;
+  axis.p_vv = p_vv;
+}
+
+void TrajectoryKalman::Update(SimTime t, const geo::LatLng& measurement,
+                              double measurement_var_deg2) {
+  STIR_CHECK_GT(measurement_var_deg2, 0.0);
+  if (!initialized_) {
+    axis_[0].position = measurement.lat;
+    axis_[1].position = measurement.lng;
+    for (AxisState& axis : axis_) {
+      axis.velocity = 0.0;
+      axis.p_pp = options_.initial_position_var;
+      axis.p_pv = 0.0;
+      axis.p_vv = options_.initial_velocity_var;
+    }
+    last_time_ = t;
+    initialized_ = true;
+    return;
+  }
+  STIR_CHECK_GE(t, last_time_) << "fixes must be time-ordered";
+  double dt = static_cast<double>(t - last_time_);
+  if (dt > 0.0) {
+    PredictAxis(axis_[0], dt);
+    PredictAxis(axis_[1], dt);
+  }
+  UpdateAxis(axis_[0], measurement.lat, measurement_var_deg2);
+  UpdateAxis(axis_[1], measurement.lng, measurement_var_deg2);
+  last_time_ = t;
+}
+
+geo::LatLng TrajectoryKalman::position() const {
+  return geo::LatLng{axis_[0].position, axis_[1].position};
+}
+
+geo::LatLng TrajectoryKalman::Forecast(SimTime t) const {
+  STIR_CHECK(initialized_);
+  double dt = static_cast<double>(t - last_time_);
+  return geo::LatLng{axis_[0].position + axis_[0].velocity * dt,
+                     axis_[1].position + axis_[1].velocity * dt};
+}
+
+geo::LatLng MovingEventPosition(const MovingEventSpec& spec, SimTime t) {
+  SimTime clamped =
+      std::clamp(t, spec.start_time, spec.start_time + spec.duration_seconds);
+  double hours =
+      static_cast<double>(clamped - spec.start_time) / kSecondsPerHour;
+  return geo::Destination(spec.start, spec.bearing_deg,
+                          spec.speed_kmh * hours);
+}
+
+MovingEventSimulator::MovingEventSimulator(const geo::AdminDb* db,
+                                           const twitter::GroundTruth* truth,
+                                           double event_geotag_boost)
+    : db_(db), truth_(truth), event_geotag_boost_(event_geotag_boost) {
+  STIR_CHECK(db != nullptr);
+  STIR_CHECK(truth != nullptr);
+}
+
+std::vector<WitnessReport> MovingEventSimulator::Simulate(
+    const MovingEventSpec& spec, const std::vector<twitter::User>& users,
+    Rng& rng) const {
+  STIR_CHECK_GT(spec.step_seconds, 0);
+  STIR_CHECK(!spec.keywords.empty());
+  std::vector<WitnessReport> reports;
+  for (SimTime t = spec.start_time;
+       t <= spec.start_time + spec.duration_seconds; t += spec.step_seconds) {
+    geo::LatLng eye = MovingEventPosition(spec, t);
+    for (const twitter::User& user : users) {
+      auto it = truth_->mobility.find(user.id);
+      if (it == truth_->mobility.end()) continue;
+      const twitter::MobilityProfile& mobility = it->second;
+      // Cheap pre-filter: skip users whose home is far outside range.
+      double home_distance = geo::ApproxDistanceKm(
+          db_->region(mobility.home).centroid, eye);
+      if (home_distance > spec.felt_radius_km + 120.0) continue;
+
+      double u = rng.Uniform();
+      geo::RegionId region = mobility.spots.back().region;
+      for (const twitter::ActivitySpot& spot : mobility.spots) {
+        u -= spot.weight;
+        if (u <= 0.0) {
+          region = spot.region;
+          break;
+        }
+      }
+      geo::LatLng position = db_->SamplePointIn(region, rng);
+      double distance = geo::HaversineKm(position, eye);
+      if (distance > spec.felt_radius_km) continue;
+      if (!rng.Bernoulli(spec.response_rate *
+                         std::exp(-distance / spec.decay_km))) {
+        continue;
+      }
+      WitnessReport report;
+      report.user = user.id;
+      report.true_region = region;
+      report.time =
+          t + rng.UniformInt(0, std::max<SimTime>(1, spec.step_seconds) - 1);
+      double geotag_p =
+          std::min(1.0, mobility.geotag_rate * event_geotag_boost_);
+      if (rng.Bernoulli(geotag_p)) report.gps = position;
+      const std::string& keyword = spec.keywords[static_cast<size_t>(
+          rng.UniformInt(0,
+                         static_cast<int64_t>(spec.keywords.size()) - 1))];
+      report.text = StrFormat("%s is here, stay safe", keyword.c_str());
+      reports.push_back(std::move(report));
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const WitnessReport& a, const WitnessReport& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.user < b.user;
+            });
+  return reports;
+}
+
+StatusOr<TrackError> EvaluateTrack(const MovingEventSpec& spec,
+                                   const std::vector<WitnessReport>& reports,
+                                   double measurement_sigma_km,
+                                   TrajectoryKalman::Options options) {
+  constexpr double kDegPerKm = 1.0 / 111.32;
+  double r = measurement_sigma_km * kDegPerKm;
+  r = r * r;
+  TrajectoryKalman filter(options);
+  TrackError error;
+  double total = 0.0;
+  for (const WitnessReport& report : reports) {
+    if (!report.gps.has_value()) continue;
+    filter.Update(report.time, *report.gps, r);
+    // Score after a warm-up of a few fixes.
+    if (error.points + 1 > 3 || filter.initialized()) {
+      geo::LatLng truth = MovingEventPosition(spec, report.time);
+      double d = geo::HaversineKm(filter.position(), truth);
+      total += d;
+      error.max_km = std::max(error.max_km, d);
+      ++error.points;
+    }
+  }
+  if (error.points == 0) {
+    return Status::FailedPrecondition("no GPS fixes in reports");
+  }
+  error.mean_km = total / static_cast<double>(error.points);
+  return error;
+}
+
+}  // namespace stir::event

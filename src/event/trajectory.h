@@ -1,0 +1,127 @@
+#ifndef STIR_EVENT_TRAJECTORY_H_
+#define STIR_EVENT_TRAJECTORY_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "event/event_sim.h"
+#include "geo/latlng.h"
+
+namespace stir::event {
+
+/// Constant-velocity Kalman filter over (lat, lng) — Toretter's typhoon
+/// tracker: the target moves, each tweet is a noisy position fix at a
+/// timestamp, and the filter recovers position *and* velocity so the
+/// track can be smoothed and forecast.
+///
+/// Axes are filtered independently with state [position, velocity],
+/// F = [[1, dt], [0, 1]], H = [1, 0]; adequate away from the poles at
+/// storm scale.
+class TrajectoryKalman {
+ public:
+  struct Options {
+    /// Process noise spectral density (deg^2 / s) injected into velocity;
+    /// larger values let the track turn faster.
+    double velocity_process_noise = 1e-10;
+    /// Initial uncertainty after the first fix.
+    double initial_position_var = 1.0;
+    double initial_velocity_var = 1e-6;
+  };
+
+  TrajectoryKalman();
+  explicit TrajectoryKalman(Options options);
+
+  /// Incorporates a position fix at time `t` with measurement variance
+  /// `measurement_var_deg2`. Fixes must arrive in non-decreasing time
+  /// order (checked).
+  void Update(SimTime t, const geo::LatLng& measurement,
+              double measurement_var_deg2);
+
+  bool initialized() const { return initialized_; }
+  /// Filtered position at the last update time.
+  geo::LatLng position() const;
+  /// Filtered velocity in degrees/second.
+  double velocity_lat() const { return axis_[0].velocity; }
+  double velocity_lng() const { return axis_[1].velocity; }
+  /// Extrapolated position at a (usually future) time.
+  geo::LatLng Forecast(SimTime t) const;
+  SimTime last_time() const { return last_time_; }
+
+ private:
+  struct AxisState {
+    double position = 0.0;
+    double velocity = 0.0;
+    // Covariance entries: var(p), cov(p, v), var(v).
+    double p_pp = 0.0;
+    double p_pv = 0.0;
+    double p_vv = 0.0;
+  };
+  void PredictAxis(AxisState& axis, double dt) const;
+  void UpdateAxis(AxisState& axis, double measurement, double r) const;
+
+  Options options_;
+  AxisState axis_[2];  // 0 = lat, 1 = lng
+  SimTime last_time_ = 0;
+  bool initialized_ = false;
+};
+
+/// A moving target event (typhoon): a straight track at constant speed.
+struct MovingEventSpec {
+  geo::LatLng start;
+  double bearing_deg = 0.0;
+  double speed_kmh = 25.0;
+  SimTime start_time = 0;
+  SimTime duration_seconds = 24 * kSecondsPerHour;
+  /// Witness-sampling step along the track.
+  SimTime step_seconds = kSecondsPerHour;
+  double felt_radius_km = 120.0;
+  /// Per-step report probability at zero distance.
+  double response_rate = 0.05;
+  double decay_km = 60.0;
+  std::vector<std::string> keywords = {"typhoon", "storm"};
+};
+
+/// True position of the moving event at time `t` (clamped to the track).
+geo::LatLng MovingEventPosition(const MovingEventSpec& spec, SimTime t);
+
+/// Generates witness reports along a moving event's track: at each step
+/// the event advances and nearby users (at locations drawn from their
+/// mobility profiles) report with distance-decayed probability. Returns
+/// time-ordered reports.
+class MovingEventSimulator {
+ public:
+  /// `db` and `truth` must outlive the simulator.
+  MovingEventSimulator(const geo::AdminDb* db,
+                       const twitter::GroundTruth* truth,
+                       double event_geotag_boost = 3.0);
+
+  std::vector<WitnessReport> Simulate(
+      const MovingEventSpec& spec,
+      const std::vector<twitter::User>& users, Rng& rng) const;
+
+ private:
+  const geo::AdminDb* db_;
+  const twitter::GroundTruth* truth_;
+  double event_geotag_boost_;
+};
+
+/// Track-estimation summary against a known ground-truth track.
+struct TrackError {
+  double mean_km = 0.0;
+  double max_km = 0.0;
+  int64_t points = 0;
+};
+
+/// Runs a TrajectoryKalman over `reports` (using GPS fixes only) and
+/// scores the filtered track against the true event track, sampling the
+/// comparison at each report time. FailedPrecondition without any GPS
+/// fixes.
+StatusOr<TrackError> EvaluateTrack(
+    const MovingEventSpec& spec, const std::vector<WitnessReport>& reports,
+    double measurement_sigma_km,
+    TrajectoryKalman::Options options = TrajectoryKalman::Options());
+
+}  // namespace stir::event
+
+#endif  // STIR_EVENT_TRAJECTORY_H_

@@ -1,0 +1,76 @@
+#include "event/twitris.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "text/normalize.h"
+
+namespace stir::event {
+
+TwitrisSummarizer::TwitrisSummarizer(const geo::AdminDb* db,
+                                     TwitrisOptions options)
+    : db_(db), options_(options), parser_(db) {}
+
+StatusOr<std::vector<SpatioTemporalSummary>> TwitrisSummarizer::Summarize(
+    const twitter::Dataset& dataset) const {
+  geo::ReverseGeocoder geocoder(db_);
+
+  // Profile regions resolved once per user.
+  std::unordered_map<twitter::UserId, geo::RegionId> profile_regions;
+  if (options_.use_profile_fallback) {
+    for (const twitter::User& user : dataset.users()) {
+      text::ParsedLocation parsed = parser_.Parse(user.profile_location);
+      if (parsed.quality == text::LocationQuality::kWellDefined) {
+        profile_regions.emplace(user.id, parsed.region);
+      }
+    }
+  }
+
+  // Cell assignment + corpus build. std::map keys give (day, state) order.
+  struct Cell {
+    int64_t tweet_count = 0;
+  };
+  std::map<std::pair<int64_t, std::string>, Cell> cells;
+  text::TfIdf index;
+  for (const twitter::Tweet& tweet : dataset.tweets()) {
+    std::string state;
+    if (tweet.gps.has_value()) {
+      auto located = geocoder.Reverse(*tweet.gps);
+      if (located.ok()) state = located->state;
+    }
+    if (state.empty() && options_.use_profile_fallback) {
+      auto it = profile_regions.find(tweet.user);
+      if (it != profile_regions.end()) state = db_->region(it->second).state;
+    }
+    if (state.empty()) continue;
+    int64_t day = DayIndex(tweet.time);
+    auto key = std::make_pair(day, state);
+    ++cells[key].tweet_count;
+    index.AddDocument(StrFormat("d%lld|%s", static_cast<long long>(day),
+                                state.c_str()),
+                      text::TokenizeTweet(tweet.text));
+  }
+  index.Finalize();
+
+  std::vector<SpatioTemporalSummary> summaries;
+  for (const auto& [key, cell] : cells) {
+    if (cell.tweet_count < options_.min_tweets_per_cell) continue;
+    SpatioTemporalSummary summary;
+    summary.day = key.first;
+    summary.state = key.second;
+    summary.tweet_count = cell.tweet_count;
+    STIR_ASSIGN_OR_RETURN(
+        summary.top_terms,
+        index.TopTerms(StrFormat("d%lld|%s",
+                                 static_cast<long long>(key.first),
+                                 key.second.c_str()),
+                       options_.top_k_terms));
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+}  // namespace stir::event

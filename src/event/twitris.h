@@ -1,0 +1,58 @@
+#ifndef STIR_EVENT_TWITRIS_H_
+#define STIR_EVENT_TWITRIS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/admin_db.h"
+#include "geo/reverse_geocoder.h"
+#include "text/location_parser.h"
+#include "text/tfidf.h"
+#include "twitter/dataset.h"
+
+namespace stir::event {
+
+/// Options for the spatio-temporal-thematic summarizer.
+struct TwitrisOptions {
+  /// Terms reported per (day, state) cell.
+  size_t top_k_terms = 8;
+  /// Use the profile location as the approximate tweet location for
+  /// posts without GPS — Twitris's assumption (Nagarajan et al., WISE'09)
+  /// and exactly the practice whose reliability this paper measures.
+  bool use_profile_fallback = true;
+  /// Minimum tweets in a cell before it is summarized.
+  int64_t min_tweets_per_cell = 3;
+};
+
+/// One (when, where, what) cell of the Twitris browsing paradigm.
+struct SpatioTemporalSummary {
+  int64_t day = 0;
+  std::string state;
+  int64_t tweet_count = 0;
+  std::vector<text::TermScore> top_terms;
+};
+
+/// Reimplementation of the Twitris spatio-temporal-thematic pipeline:
+/// assign each tweet to a (day, first-level-division) cell — by GPS when
+/// available, else by profile location — and extract the cell's
+/// characteristic terms with TF-IDF against the whole corpus.
+class TwitrisSummarizer {
+ public:
+  /// `db` must outlive the summarizer.
+  TwitrisSummarizer(const geo::AdminDb* db, TwitrisOptions options = {});
+
+  /// Summarizes all materialized tweets of `dataset`. Cells are returned
+  /// sorted by (day, state).
+  StatusOr<std::vector<SpatioTemporalSummary>> Summarize(
+      const twitter::Dataset& dataset) const;
+
+ private:
+  const geo::AdminDb* db_;
+  TwitrisOptions options_;
+  text::LocationParser parser_;
+};
+
+}  // namespace stir::event
+
+#endif  // STIR_EVENT_TWITRIS_H_

@@ -1,0 +1,148 @@
+#ifndef STIR_GEO_ADMIN_DB_H_
+#define STIR_GEO_ADMIN_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "geo/grid_index.h"
+#include "geo/latlng.h"
+
+namespace stir::geo {
+
+/// Stable handle into an AdminDb (index into its region table).
+using RegionId = int32_t;
+inline constexpr RegionId kInvalidRegion = -1;
+
+/// A second-level administrative district (si/gun/gu in Korea; a city for
+/// the world gazetteer). The paper's unit of analysis: the Yahoo API's
+/// <state> + <county> pair.
+struct Region {
+  RegionId id = kInvalidRegion;
+  std::string country;
+  std::string state;   ///< First-level division (si/do, US state, ...).
+  std::string county;  ///< Second-level division (si/gun/gu, city).
+  LatLng centroid;
+  double radius_km = 5.0;  ///< Approximate footprint radius.
+  /// Largest radius around the centroid guaranteed to be closer to this
+  /// centroid than to any other (half the nearest-neighbour distance).
+  /// Points sampled within it reverse-geocode back to this region.
+  double safe_radius_km = 5.0;
+  std::vector<std::string> aliases;  ///< Alternate county spellings.
+
+  /// "State County", e.g. "Seoul Yangcheon-gu".
+  std::string FullName() const { return state + " " + county; }
+};
+
+/// In-memory gazetteer of administrative districts with reverse-geocoding
+/// support (grid-accelerated nearest-centroid assignment — a Voronoi
+/// approximation of district polygons) and deterministic point sampling
+/// for the synthetic data generators.
+///
+/// Two built-in instances mirror the paper's two datasets:
+///  * KoreanDistricts(): 17 first-level si/do and ~190 si/gun/gu with real
+///    names and approximate centroids — the domain of the Korean dataset.
+///  * WorldCities(): major cities worldwide — the domain of the
+///    "Lady Gaga" search/streaming dataset.
+class AdminDb {
+ public:
+  /// Builds a DB from a region list (ids are reassigned to indices).
+  explicit AdminDb(std::vector<Region> regions, double coverage_slack_km = 25.0);
+
+  static const AdminDb& KoreanDistricts();
+  static const AdminDb& WorldCities();
+
+  size_t size() const { return regions_.size(); }
+  const Region& region(RegionId id) const;
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Distinct first-level names, in table order.
+  const std::vector<std::string>& states() const { return states_; }
+  /// Regions within a state, in table order.
+  std::vector<RegionId> CountiesInState(std::string_view state) const;
+
+  /// Exact lookup by (state, county), ASCII-case-insensitive, consulting
+  /// aliases. NotFound when absent.
+  StatusOr<RegionId> FindCounty(std::string_view state,
+                                std::string_view county) const;
+
+  /// Lookup by county name alone; fails with AlreadyExists when the name
+  /// is ambiguous across states (e.g. "Jung-gu" exists in six Korean
+  /// metros) and NotFound when absent. This mirrors the ambiguity the
+  /// paper flags for free-text profile locations.
+  StatusOr<RegionId> FindCountyAnyState(std::string_view county) const;
+
+  /// Reverse geocoding: the region whose centroid is nearest to `point`,
+  /// when the point lies within the region's footprint plus the coverage
+  /// slack. NotFound for points outside coverage (open sea, abroad).
+  StatusOr<RegionId> Locate(const LatLng& point) const;
+
+  /// Deterministically samples a point inside the region's safe radius
+  /// (guaranteed to Locate() back to the same region).
+  LatLng SamplePointIn(RegionId id, Rng& rng) const;
+
+  /// Bounding box of all centroids.
+  BoundingBox Coverage() const { return coverage_; }
+
+  /// Hangul spelling of a Korean first-level division ("서울" for
+  /// "Seoul"), or nullptr when unknown. Static lookup, valid for any
+  /// gazetteer.
+  static const char* HangulStateName(std::string_view state);
+  /// Hangul spelling of a Korean (state, county) pair, or nullptr.
+  static const char* HangulCountyName(std::string_view state,
+                                      std::string_view county);
+
+ private:
+  static std::string Key(std::string_view state, std::string_view county);
+
+  std::vector<Region> regions_;
+  std::vector<std::string> states_;
+  std::unordered_map<std::string, RegionId> by_state_county_;
+  std::unordered_map<std::string, std::vector<RegionId>> by_county_;
+  GridIndex index_;
+  BoundingBox coverage_;
+  double coverage_slack_km_;
+};
+
+namespace internal_admin_data {
+/// Raw gazetteer rows (defined in admin_data.cc).
+struct RawCounty {
+  const char* country;
+  const char* state;
+  const char* county;
+  double lat;
+  double lng;
+  double radius_km;
+  const char* alias;  ///< nullptr or one alternate spelling.
+};
+extern const RawCounty kKoreanCounties[];
+extern const size_t kKoreanCountyCount;
+extern const RawCounty kWorldCities[];
+extern const size_t kWorldCityCount;
+
+/// Korean-script (hangul) names. The paper's Fig. 3 shows profile
+/// locations written in Korean; these aliases let the parser resolve
+/// them. County entries resolve against (state, county); state entries
+/// map the hangul si/do name to its Romanized form.
+struct HangulCountyAlias {
+  const char* state;   ///< Romanized state the county belongs to.
+  const char* county;  ///< Romanized county name.
+  const char* hangul;  ///< Hangul spelling of the county.
+};
+struct HangulStateAlias {
+  const char* state;   ///< Romanized state name.
+  const char* hangul;  ///< Hangul spelling.
+};
+extern const HangulCountyAlias kHangulCountyAliases[];
+extern const size_t kHangulCountyAliasCount;
+extern const HangulStateAlias kHangulStateAliases[];
+extern const size_t kHangulStateAliasCount;
+}  // namespace internal_admin_data
+
+}  // namespace stir::geo
+
+#endif  // STIR_GEO_ADMIN_DB_H_

@@ -1,0 +1,101 @@
+#include "geo/geohash.h"
+
+namespace stir::geo {
+
+namespace {
+
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int Base32Value(char c) {
+  for (int i = 0; i < 32; ++i) {
+    if (kBase32[i] == c) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string GeohashEncode(const LatLng& point, int precision) {
+  if (precision < 1) precision = 1;
+  if (precision > 18) precision = 18;
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lng_lo = -180.0, lng_hi = 180.0;
+  std::string hash;
+  hash.reserve(static_cast<size_t>(precision));
+  int bit = 0;
+  int value = 0;
+  bool even_bit = true;  // longitude first
+  while (hash.size() < static_cast<size_t>(precision)) {
+    if (even_bit) {
+      double mid = (lng_lo + lng_hi) / 2.0;
+      if (point.lng >= mid) {
+        value = (value << 1) | 1;
+        lng_lo = mid;
+      } else {
+        value <<= 1;
+        lng_hi = mid;
+      }
+    } else {
+      double mid = (lat_lo + lat_hi) / 2.0;
+      if (point.lat >= mid) {
+        value = (value << 1) | 1;
+        lat_lo = mid;
+      } else {
+        value <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      hash.push_back(kBase32[value]);
+      bit = 0;
+      value = 0;
+    }
+  }
+  return hash;
+}
+
+StatusOr<BoundingBox> GeohashDecodeBounds(std::string_view hash) {
+  if (hash.empty()) return Status::InvalidArgument("empty geohash");
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lng_lo = -180.0, lng_hi = 180.0;
+  bool even_bit = true;
+  for (char c : hash) {
+    int value = Base32Value(c);
+    if (value < 0) {
+      return Status::InvalidArgument(std::string("invalid geohash char: ") +
+                                     c);
+    }
+    for (int mask = 16; mask > 0; mask >>= 1) {
+      if (even_bit) {
+        double mid = (lng_lo + lng_hi) / 2.0;
+        if (value & mask) {
+          lng_lo = mid;
+        } else {
+          lng_hi = mid;
+        }
+      } else {
+        double mid = (lat_lo + lat_hi) / 2.0;
+        if (value & mask) {
+          lat_lo = mid;
+        } else {
+          lat_hi = mid;
+        }
+      }
+      even_bit = !even_bit;
+    }
+  }
+  BoundingBox box;
+  box.min_lat = lat_lo;
+  box.max_lat = lat_hi;
+  box.min_lng = lng_lo;
+  box.max_lng = lng_hi;
+  return box;
+}
+
+StatusOr<LatLng> GeohashDecode(std::string_view hash) {
+  STIR_ASSIGN_OR_RETURN(BoundingBox box, GeohashDecodeBounds(hash));
+  return box.Center();
+}
+
+}  // namespace stir::geo

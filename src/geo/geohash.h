@@ -1,0 +1,25 @@
+#ifndef STIR_GEO_GEOHASH_H_
+#define STIR_GEO_GEOHASH_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "geo/latlng.h"
+
+namespace stir::geo {
+
+/// Encodes `point` as a standard base-32 geohash of `precision` characters
+/// (1..18). 6 characters give ~±0.6 km, enough to key tweet locations.
+std::string GeohashEncode(const LatLng& point, int precision = 8);
+
+/// Decodes a geohash to the center of its cell. Fails on invalid
+/// characters or empty input.
+StatusOr<LatLng> GeohashDecode(std::string_view hash);
+
+/// Decodes to the cell's bounding box.
+StatusOr<BoundingBox> GeohashDecodeBounds(std::string_view hash);
+
+}  // namespace stir::geo
+
+#endif  // STIR_GEO_GEOHASH_H_

@@ -1,0 +1,105 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace stir::geo {
+
+GridIndex::GridIndex(double cell_deg) : cell_deg_(cell_deg) {
+  STIR_CHECK_GT(cell_deg, 0.0);
+}
+
+int GridIndex::RowOf(double lat) const {
+  return static_cast<int>(std::floor((lat + 90.0) / cell_deg_));
+}
+
+int GridIndex::ColOf(double lng) const {
+  return static_cast<int>(std::floor((lng + 180.0) / cell_deg_));
+}
+
+int64_t GridIndex::CellKey(int row, int col) const {
+  return (static_cast<int64_t>(row) << 32) ^
+         static_cast<int64_t>(static_cast<uint32_t>(col));
+}
+
+void GridIndex::Add(const LatLng& point, int64_t id) {
+  uint32_t slot = static_cast<uint32_t>(points_.size());
+  points_.push_back(Entry{point, id});
+  cells_[CellKey(RowOf(point.lat), ColOf(point.lng))].push_back(slot);
+}
+
+int64_t GridIndex::Nearest(const LatLng& query, double max_distance_km) const {
+  if (points_.empty()) return -1;
+  int center_row = RowOf(query.lat);
+  int center_col = ColOf(query.lng);
+
+  // Expanding ring search. After finding a candidate at ring r we search
+  // one extra ring (the guard ring) because a closer point can live in
+  // ring r+1 when the query sits near a cell edge.
+  int64_t best_id = -1;
+  double best_km = max_distance_km;
+  double cos_lat = std::max(0.05, std::cos(DegToRad(query.lat)));
+  double cell_km = cell_deg_ * 111.32 * cos_lat;
+  int max_ring = static_cast<int>(
+      std::min(1e6, std::isfinite(max_distance_km)
+                        ? max_distance_km / std::max(1e-9, cell_km) + 2.0
+                        : 1e6));
+  int found_at_ring = -1;
+  for (int ring = 0;; ++ring) {
+    if (found_at_ring >= 0 && ring > found_at_ring + 1) break;
+    if (ring > max_ring && found_at_ring < 0) break;
+    bool any_cell_exists = false;
+    for (int dr = -ring; dr <= ring; ++dr) {
+      for (int dc = -ring; dc <= ring; ++dc) {
+        // Visit only the ring perimeter.
+        if (std::max(std::abs(dr), std::abs(dc)) != ring) continue;
+        auto it = cells_.find(CellKey(center_row + dr, center_col + dc));
+        if (it == cells_.end()) continue;
+        any_cell_exists = true;
+        for (uint32_t slot : it->second) {
+          const Entry& e = points_[slot];
+          double d = ApproxDistanceKm(query, e.point);
+          if (d < best_km || (best_id == -1 && d <= best_km)) {
+            best_km = d;
+            best_id = e.id;
+            if (found_at_ring < 0) found_at_ring = ring;
+          }
+        }
+      }
+    }
+    (void)any_cell_exists;
+    // Safety stop: searched far beyond any stored point.
+    if (ring > 2000) break;
+  }
+  return best_id;
+}
+
+std::vector<int64_t> GridIndex::WithinRadius(const LatLng& query,
+                                             double radius_km) const {
+  std::vector<int64_t> result;
+  if (points_.empty() || radius_km < 0.0) return result;
+  double cos_lat = std::max(0.05, std::cos(DegToRad(query.lat)));
+  double lat_margin = radius_km / 111.32;
+  double lng_margin = radius_km / (111.32 * cos_lat);
+  int row_lo = RowOf(query.lat - lat_margin);
+  int row_hi = RowOf(query.lat + lat_margin);
+  int col_lo = ColOf(query.lng - lng_margin);
+  int col_hi = ColOf(query.lng + lng_margin);
+  for (int row = row_lo; row <= row_hi; ++row) {
+    for (int col = col_lo; col <= col_hi; ++col) {
+      auto it = cells_.find(CellKey(row, col));
+      if (it == cells_.end()) continue;
+      for (uint32_t slot : it->second) {
+        const Entry& e = points_[slot];
+        if (ApproxDistanceKm(query, e.point) <= radius_km) {
+          result.push_back(e.id);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace stir::geo

@@ -1,0 +1,58 @@
+#ifndef STIR_GEO_GRID_INDEX_H_
+#define STIR_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace stir::geo {
+
+/// Uniform lat/lng grid over point payloads. Supports nearest-neighbour
+/// and radius queries; this is the accelerator behind reverse geocoding
+/// (a few hundred district centroids, millions of lookups).
+///
+/// Cells are `cell_deg` degrees on a side. Nearest-neighbour searches ring
+/// by ring outward, with the usual guard ring to make the result exact.
+class GridIndex {
+ public:
+  /// `cell_deg` must be positive; 0.25 deg (~25 km) suits district-scale
+  /// data.
+  explicit GridIndex(double cell_deg = 0.25);
+
+  /// Adds a point with an opaque payload id.
+  void Add(const LatLng& point, int64_t id);
+
+  size_t size() const { return points_.size(); }
+
+  /// Id of the point nearest to `query` (by equirectangular-approximation
+  /// distance), or -1 when the index is empty. `max_distance_km` bounds
+  /// the search; points farther away are not returned.
+  int64_t Nearest(const LatLng& query,
+                  double max_distance_km =
+                      std::numeric_limits<double>::infinity()) const;
+
+  /// Ids of all points within `radius_km` of `query`, unordered.
+  std::vector<int64_t> WithinRadius(const LatLng& query,
+                                    double radius_km) const;
+
+ private:
+  struct Entry {
+    LatLng point;
+    int64_t id;
+  };
+
+  int64_t CellKey(int row, int col) const;
+  int RowOf(double lat) const;
+  int ColOf(double lng) const;
+
+  double cell_deg_;
+  std::vector<Entry> points_;
+  std::unordered_map<int64_t, std::vector<uint32_t>> cells_;
+};
+
+}  // namespace stir::geo
+
+#endif  // STIR_GEO_GRID_INDEX_H_

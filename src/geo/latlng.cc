@@ -1,0 +1,49 @@
+#include "geo/latlng.h"
+
+#include <cstdio>
+
+namespace stir::geo {
+
+std::string LatLng::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f,%.6f", lat, lng);
+  return buf;
+}
+
+double HaversineKm(const LatLng& a, const LatLng& b) {
+  double lat1 = DegToRad(a.lat);
+  double lat2 = DegToRad(b.lat);
+  double dlat = lat2 - lat1;
+  double dlng = DegToRad(b.lng - a.lng);
+  double h = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2.0) *
+                 std::sin(dlng / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double ApproxDistanceKm(const LatLng& a, const LatLng& b) {
+  double mid_lat = DegToRad((a.lat + b.lat) / 2.0);
+  double dx = DegToRad(b.lng - a.lng) * std::cos(mid_lat);
+  double dy = DegToRad(b.lat - a.lat);
+  return kEarthRadiusKm * std::sqrt(dx * dx + dy * dy);
+}
+
+LatLng Destination(const LatLng& origin, double bearing_deg,
+                   double distance_km) {
+  double ang = distance_km / kEarthRadiusKm;
+  double brg = DegToRad(bearing_deg);
+  double lat1 = DegToRad(origin.lat);
+  double lng1 = DegToRad(origin.lng);
+  double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                          std::cos(lat1) * std::sin(ang) * std::cos(brg));
+  double lng2 =
+      lng1 + std::atan2(std::sin(brg) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  // Normalize longitude to [-180, 180].
+  double lng_deg = RadToDeg(lng2);
+  while (lng_deg > 180.0) lng_deg -= 360.0;
+  while (lng_deg < -180.0) lng_deg += 360.0;
+  return LatLng{RadToDeg(lat2), lng_deg};
+}
+
+}  // namespace stir::geo

@@ -1,0 +1,83 @@
+#include "geo/polygon.h"
+
+#include <cmath>
+
+namespace stir::geo {
+
+Polygon::Polygon(std::vector<LatLng> vertices)
+    : vertices_(std::move(vertices)) {
+  for (const LatLng& v : vertices_) bounds_.Extend(v);
+}
+
+bool Polygon::Contains(const LatLng& p) const {
+  if (!IsValid() || !bounds_.Contains(p)) return false;
+  bool inside = false;
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const LatLng& a = vertices_[i];
+    const LatLng& b = vertices_[j];
+    bool crosses = (a.lat > p.lat) != (b.lat > p.lat);
+    if (crosses) {
+      double x_at_lat =
+          a.lng + (p.lat - a.lat) / (b.lat - a.lat) * (b.lng - a.lng);
+      if (p.lng < x_at_lat) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::SignedAreaDeg2() const {
+  if (!IsValid()) return 0.0;
+  double acc = 0.0;
+  size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const LatLng& a = vertices_[i];
+    const LatLng& b = vertices_[(i + 1) % n];
+    acc += a.lng * b.lat - b.lng * a.lat;
+  }
+  return acc / 2.0;
+}
+
+double Polygon::AreaKm2() const {
+  if (!IsValid()) return 0.0;
+  double km_per_deg = 2.0 * M_PI * kEarthRadiusKm / 360.0;
+  double cos_lat = std::cos(DegToRad(Centroid().lat));
+  return std::fabs(SignedAreaDeg2()) * km_per_deg * km_per_deg * cos_lat;
+}
+
+LatLng Polygon::Centroid() const {
+  if (vertices_.empty()) return LatLng{};
+  double area2 = SignedAreaDeg2() * 2.0;
+  if (std::fabs(area2) < 1e-12) {
+    double lat = 0.0, lng = 0.0;
+    for (const LatLng& v : vertices_) {
+      lat += v.lat;
+      lng += v.lng;
+    }
+    double n = static_cast<double>(vertices_.size());
+    return LatLng{lat / n, lng / n};
+  }
+  double cx = 0.0, cy = 0.0;
+  size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const LatLng& a = vertices_[i];
+    const LatLng& b = vertices_[(i + 1) % n];
+    double cross = a.lng * b.lat - b.lng * a.lat;
+    cx += (a.lng + b.lng) * cross;
+    cy += (a.lat + b.lat) * cross;
+  }
+  return LatLng{cy / (3.0 * area2), cx / (3.0 * area2)};
+}
+
+Polygon Polygon::RegularApprox(const LatLng& center, double radius_km,
+                               int sides) {
+  std::vector<LatLng> vertices;
+  vertices.reserve(static_cast<size_t>(sides));
+  for (int i = 0; i < sides; ++i) {
+    double bearing = 360.0 * static_cast<double>(i) / sides;
+    vertices.push_back(Destination(center, bearing, radius_km));
+  }
+  return Polygon(std::move(vertices));
+}
+
+}  // namespace stir::geo

@@ -1,0 +1,52 @@
+#ifndef STIR_GEO_POLYGON_H_
+#define STIR_GEO_POLYGON_H_
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace stir::geo {
+
+/// Simple polygon (single ring, implicitly closed) in lat/lng space.
+/// Operations treat coordinates as planar, which is adequate for
+/// administrative-district-sized shapes away from the poles — exactly the
+/// regime this library works in (Korean si/gun/gu, city footprints).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<LatLng> vertices);
+
+  const std::vector<LatLng>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool IsValid() const { return vertices_.size() >= 3; }
+
+  /// Even-odd (ray casting) containment. Points exactly on an edge may
+  /// land on either side; district boundaries are zero-measure so this
+  /// does not affect the study.
+  bool Contains(const LatLng& p) const;
+
+  /// Planar signed area in squared degrees (positive = counter-clockwise).
+  double SignedAreaDeg2() const;
+
+  /// Approximate surface area in km^2 (scales degrees by the local
+  /// cos(latitude) of the centroid).
+  double AreaKm2() const;
+
+  /// Planar centroid. For degenerate polygons returns the vertex mean.
+  LatLng Centroid() const;
+
+  BoundingBox Bounds() const { return bounds_; }
+
+  /// Regular n-gon approximating a circle of `radius_km` around `center` —
+  /// the shape used for synthetic district footprints.
+  static Polygon RegularApprox(const LatLng& center, double radius_km,
+                               int sides = 12);
+
+ private:
+  std::vector<LatLng> vertices_;
+  BoundingBox bounds_;
+};
+
+}  // namespace stir::geo
+
+#endif  // STIR_GEO_POLYGON_H_

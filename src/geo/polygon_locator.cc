@@ -1,0 +1,70 @@
+#include "geo/polygon_locator.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace stir::geo {
+
+PolygonLocator::PolygonLocator(const AdminDb* db, int sides) : db_(db) {
+  STIR_CHECK(db != nullptr);
+  STIR_CHECK_GE(sides, 3);
+  footprints_.reserve(db_->size());
+  for (const Region& region : db_->regions()) {
+    footprints_.push_back(
+        Polygon::RegularApprox(region.centroid, region.radius_km, sides));
+    centroid_index_.Add(region.centroid, region.id);
+  }
+}
+
+const Polygon& PolygonLocator::footprint(RegionId id) const {
+  STIR_CHECK_GE(id, 0);
+  STIR_CHECK_LT(static_cast<size_t>(id), footprints_.size());
+  return footprints_[static_cast<size_t>(id)];
+}
+
+std::vector<RegionId> PolygonLocator::Candidates(const LatLng& point) const {
+  std::vector<RegionId> candidates;
+  if (!point.IsValid()) return candidates;
+  // Footprint radii are bounded; only regions whose centroid lies within
+  // the largest footprint radius can contain the point. 30 km covers the
+  // largest Korean gun and keeps the candidate set tiny; world-city
+  // footprints are bigger, so take the max radius from the gazetteer.
+  double max_radius = 0.0;
+  for (const Region& region : db_->regions()) {
+    max_radius = std::max(max_radius, region.radius_km);
+  }
+  for (int64_t id : centroid_index_.WithinRadius(point, max_radius + 1.0)) {
+    if (footprints_[static_cast<size_t>(id)].Contains(point)) {
+      candidates.push_back(static_cast<RegionId>(id));
+    }
+  }
+  return candidates;
+}
+
+StatusOr<RegionId> PolygonLocator::Locate(const LatLng& point) const {
+  if (!point.IsValid()) {
+    return Status::InvalidArgument("invalid coordinate: " + point.ToString());
+  }
+  std::vector<RegionId> candidates = Candidates(point);
+  if (candidates.size() == 1) return candidates.front();
+  if (candidates.size() > 1) {
+    // Overlapping footprints: break the tie by centroid distance, the
+    // same rule the Voronoi assignment uses.
+    RegionId best = candidates.front();
+    double best_km = std::numeric_limits<double>::infinity();
+    for (RegionId id : candidates) {
+      double d = ApproxDistanceKm(point, db_->region(id).centroid);
+      if (d < best_km) {
+        best_km = d;
+        best = id;
+      }
+    }
+    return best;
+  }
+  // Gap between footprints: defer to the AdminDb's coverage rule so the
+  // two locators agree on what is "outside Korea".
+  return db_->Locate(point);
+}
+
+}  // namespace stir::geo

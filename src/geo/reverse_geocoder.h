@@ -1,0 +1,80 @@
+#ifndef STIR_GEO_REVERSE_GEOCODER_H_
+#define STIR_GEO_REVERSE_GEOCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "geo/admin_db.h"
+#include "geo/latlng.h"
+
+namespace stir::geo {
+
+/// Structured reverse-geocoding result: the four elements the Yahoo Open
+/// API returned under <location> (see paper Fig. 5). The study consumes
+/// <state> and <county>.
+struct GeocodeResult {
+  std::string country;
+  std::string state;
+  std::string county;
+  std::string town;
+  RegionId region = kInvalidRegion;
+};
+
+/// Behavioural knobs for the geocoding service simulation.
+struct ReverseGeocoderOptions {
+  /// Memoize results by geohash cell (the paper's crawl hit the API once
+  /// per distinct coordinate; caching reproduces that cost profile).
+  bool enable_cache = true;
+  /// Geohash precision for cache keys; 7 chars is ~±76 m, far below
+  /// district size.
+  int cache_precision = 7;
+  /// Maximum lookups before the service returns ResourceExhausted
+  /// (simulating an API quota); <0 disables.
+  int64_t quota = -1;
+};
+
+/// Reverse geocoder over an AdminDb, shaped like the web API the paper
+/// used: coordinates in, an XML <ResultSet> out. `Reverse` is the
+/// structured fast path; `ReverseToXml` + `ParseResponse` reproduce the
+/// exact serialize/parse pipeline of the original study (and are what the
+/// faithful-mode pipeline exercises).
+class ReverseGeocoder {
+ public:
+  /// `db` must outlive the geocoder.
+  explicit ReverseGeocoder(const AdminDb* db,
+                           ReverseGeocoderOptions options = {});
+
+  /// Structured lookup. NotFound outside coverage; ResourceExhausted once
+  /// the simulated quota is spent; InvalidArgument for bad coordinates.
+  StatusOr<GeocodeResult> Reverse(const LatLng& point);
+
+  /// Same lookup rendered as the Yahoo-shaped XML document.
+  StatusOr<std::string> ReverseToXml(const LatLng& point);
+
+  /// Parses a ReverseToXml document back into a GeocodeResult (region id
+  /// is not recovered; resolve it against an AdminDb if needed).
+  static StatusOr<GeocodeResult> ParseResponse(std::string_view xml);
+
+  /// Query accounting.
+  int64_t num_queries() const { return num_queries_; }
+  int64_t num_cache_hits() const { return num_cache_hits_; }
+  int64_t quota_remaining() const;
+  void ResetQuota();
+
+  const AdminDb& db() const { return *db_; }
+
+ private:
+  const AdminDb* db_;
+  ReverseGeocoderOptions options_;
+  std::unordered_map<std::string, GeocodeResult> cache_;
+  int64_t num_queries_ = 0;
+  int64_t num_cache_hits_ = 0;
+  int64_t quota_used_ = 0;
+};
+
+}  // namespace stir::geo
+
+#endif  // STIR_GEO_REVERSE_GEOCODER_H_

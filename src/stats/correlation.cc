@@ -1,0 +1,110 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.h"
+
+namespace stir::stats {
+
+StatusOr<double> PearsonCorrelation(const std::vector<double>& x,
+                                    const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("size mismatch in correlation inputs");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  double mx = Mean(x);
+  double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/// Midranks (average rank for ties), 1-based.
+std::vector<double> Midranks(const std::vector<double>& values) {
+  size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+StatusOr<double> SpearmanCorrelation(const std::vector<double>& x,
+                                     const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("size mismatch in correlation inputs");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  return PearsonCorrelation(Midranks(x), Midranks(y));
+}
+
+StatusOr<double> ChiSquareStatistic(const std::vector<double>& observed,
+                                    const std::vector<double>& expected) {
+  if (observed.size() != expected.size()) {
+    return Status::InvalidArgument("size mismatch in chi-square inputs");
+  }
+  if (observed.empty()) {
+    return Status::InvalidArgument("empty chi-square inputs");
+  }
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) {
+      return Status::InvalidArgument("non-positive expected count");
+    }
+    double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+BootstrapInterval BootstrapMeanCI(const std::vector<double>& values,
+                                  double confidence, int resamples, Rng& rng) {
+  BootstrapInterval interval;
+  interval.point = Mean(values);
+  if (values.size() < 2 || resamples < 2) {
+    interval.lo = interval.hi = interval.point;
+    return interval;
+  }
+  std::vector<double> means;
+  means.reserve(static_cast<size_t>(resamples));
+  int64_t n = static_cast<int64_t>(values.size());
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      sum += values[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  double alpha = (1.0 - confidence) / 2.0;
+  interval.lo = Percentile(means, alpha * 100.0);
+  interval.hi = Percentile(means, (1.0 - alpha) * 100.0);
+  return interval;
+}
+
+}  // namespace stir::stats

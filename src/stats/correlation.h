@@ -1,0 +1,36 @@
+#ifndef STIR_STATS_CORRELATION_H_
+#define STIR_STATS_CORRELATION_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace stir::stats {
+
+/// Pearson correlation coefficient. Fails on mismatched or short (< 2)
+/// inputs; returns 0 when either side has zero variance.
+StatusOr<double> PearsonCorrelation(const std::vector<double>& x,
+                                    const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on midranks, robust to ties).
+StatusOr<double> SpearmanCorrelation(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+/// Chi-square statistic for an observed-vs-expected count table.
+/// Expected cells must be positive.
+StatusOr<double> ChiSquareStatistic(const std::vector<double>& observed,
+                                    const std::vector<double>& expected);
+
+/// Percentile-bootstrap confidence interval for the mean.
+struct BootstrapInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+BootstrapInterval BootstrapMeanCI(const std::vector<double>& values,
+                                  double confidence, int resamples, Rng& rng);
+
+}  // namespace stir::stats
+
+#endif  // STIR_STATS_CORRELATION_H_

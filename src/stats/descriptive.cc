@@ -1,0 +1,111 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace stir::stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double Stddev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
+  STIR_CHECK_LT(lo, hi);
+  STIR_CHECK_GT(buckets, 0);
+  counts_.assign(static_cast<size_t>(buckets), 0);
+}
+
+void Histogram::Add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  int i = static_cast<int>(t * static_cast<double>(counts_.size()));
+  i = std::clamp(i, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(i)];
+  ++total_;
+}
+
+int64_t Histogram::bucket_count(int i) const {
+  STIR_CHECK_GE(i, 0);
+  STIR_CHECK_LT(i, num_buckets());
+  return counts_[static_cast<size_t>(i)];
+}
+
+double Histogram::bucket_lo(int i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(int i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::ToString(int bar_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (int i = 0; i < num_buckets(); ++i) {
+    int64_t c = counts_[static_cast<size_t>(i)];
+    int bar = static_cast<int>(static_cast<double>(c) /
+                               static_cast<double>(peak) * bar_width);
+    out += StrFormat("[%8.2f, %8.2f) %8lld |%s\n", bucket_lo(i), bucket_hi(i),
+                     static_cast<long long>(c),
+                     std::string(static_cast<size_t>(bar), '#').c_str());
+  }
+  return out;
+}
+
+}  // namespace stir::stats

@@ -1,0 +1,68 @@
+#ifndef STIR_STATS_DESCRIPTIVE_H_
+#define STIR_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stir::stats {
+
+/// Mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 values.
+double Variance(const std::vector<double>& values);
+double Stddev(const std::vector<double>& values);
+
+/// Median (average of middle two for even n); 0 for empty input.
+double Median(std::vector<double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double Percentile(std::vector<double> values, double p);
+
+/// Accumulates moments incrementally (Welford); avoids storing samples.
+class RunningStats {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping into the
+/// edge buckets; used for report rendering.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t bucket_count(int i) const;
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+
+  /// ASCII rendering, one row per bucket with a proportional bar.
+  std::string ToString(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace stir::stats
+
+#endif  // STIR_STATS_DESCRIPTIVE_H_

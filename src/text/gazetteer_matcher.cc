@@ -1,0 +1,181 @@
+#include "text/gazetteer_matcher.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/normalize.h"
+
+namespace stir::text {
+
+namespace {
+
+/// Hand-maintained country aliases for the two built-in gazetteers.
+struct CountryAlias {
+  const char* alias;
+  const char* canonical;
+};
+constexpr CountryAlias kCountryAliases[] = {
+    {"korea", "South Korea"},
+    {"south korea", "South Korea"},
+    {"republic of korea", "South Korea"},
+    {"rok", "South Korea"},
+    {"usa", "United States"},
+    {"us", "United States"},
+    {"united states", "United States"},
+    {"america", "United States"},
+    {"uk", "United Kingdom"},
+    {"united kingdom", "United Kingdom"},
+    {"england", "United Kingdom"},
+    {"japan", "Japan"},
+    {"china", "China"},
+    {"france", "France"},
+    {"germany", "Germany"},
+    {"australia", "Australia"},
+    {"canada", "Canada"},
+    {"brazil", "Brazil"},
+};
+
+size_t CountTokens(const std::string& phrase) {
+  return static_cast<size_t>(
+             std::count(phrase.begin(), phrase.end(), ' ')) + 1;
+}
+
+}  // namespace
+
+GazetteerMatcher::GazetteerMatcher(const geo::AdminDb* db) : db_(db) {
+  for (const geo::Region& region : db_->regions()) {
+    std::string county = NormalizeFreeText(region.county);
+    AddPhrase(county, PhraseKind::kCounty, region.id, region.county);
+    for (const std::string& alias : region.aliases) {
+      AddPhrase(NormalizeFreeText(alias), PhraseKind::kCounty, region.id,
+                region.county);
+    }
+    std::string state = NormalizeFreeText(region.state);
+    AddPhrase(state, PhraseKind::kState, geo::kInvalidRegion, region.state);
+    std::string country = NormalizeFreeText(region.country);
+    AddPhrase(country, PhraseKind::kCountry, geo::kInvalidRegion,
+              region.country);
+  }
+  for (const CountryAlias& alias : kCountryAliases) {
+    AddPhrase(alias.alias, PhraseKind::kCountry, geo::kInvalidRegion,
+              alias.canonical);
+  }
+  // Hangul spellings of Korean first-level divisions, for gazetteers
+  // that contain them ("서울 마포구" must parse like "Seoul Mapo-gu").
+  for (size_t i = 0; i < geo::internal_admin_data::kHangulStateAliasCount;
+       ++i) {
+    const auto& alias = geo::internal_admin_data::kHangulStateAliases[i];
+    if (!db_->CountiesInState(alias.state).empty()) {
+      AddPhrase(NormalizeFreeText(alias.hangul), PhraseKind::kState,
+                geo::kInvalidRegion, alias.state);
+    }
+  }
+  // Fuzzy pool: unambiguous single-token county names long enough that an
+  // edit-distance-1 hit is very unlikely to be a false positive.
+  for (const auto& [phrase, entry] : table_) {
+    if (entry.kind == PhraseKind::kCounty && phrase.size() >= 6 &&
+        phrase.find(' ') == std::string::npos) {
+      fuzzy_pool_.push_back(phrase);
+    }
+  }
+  std::sort(fuzzy_pool_.begin(), fuzzy_pool_.end());
+}
+
+void GazetteerMatcher::AddPhrase(const std::string& phrase, PhraseKind kind,
+                                 geo::RegionId region,
+                                 const std::string& canonical) {
+  if (phrase.empty()) return;
+  max_phrase_tokens_ = std::max(max_phrase_tokens_, CountTokens(phrase));
+  auto it = table_.find(phrase);
+  if (it == table_.end()) {
+    TableEntry entry;
+    entry.kind = kind;
+    entry.canonical = canonical;
+    if (region != geo::kInvalidRegion) entry.regions.push_back(region);
+    table_.emplace(phrase, std::move(entry));
+    return;
+  }
+  TableEntry& entry = it->second;
+  // County entries win over state/country homonyms (a district lookup is
+  // more specific); within counties, accumulate ambiguous candidates.
+  if (kind == PhraseKind::kCounty) {
+    if (entry.kind != PhraseKind::kCounty) {
+      entry.kind = PhraseKind::kCounty;
+      entry.regions.clear();
+      entry.canonical = canonical;
+    }
+    if (region != geo::kInvalidRegion &&
+        std::find(entry.regions.begin(), entry.regions.end(), region) ==
+            entry.regions.end()) {
+      entry.regions.push_back(region);
+    }
+  }
+}
+
+std::vector<PhraseMatch> GazetteerMatcher::Match(
+    const std::vector<std::string>& tokens) const {
+  std::vector<PhraseMatch> matches;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    bool matched = false;
+    size_t longest = std::min(max_phrase_tokens_, tokens.size() - i);
+    for (size_t len = longest; len >= 1 && !matched; --len) {
+      std::string phrase = tokens[i];
+      for (size_t k = 1; k < len; ++k) {
+        phrase += ' ';
+        phrase += tokens[i + k];
+      }
+      auto it = table_.find(phrase);
+      if (it == table_.end()) continue;
+      PhraseMatch match;
+      match.kind = it->second.kind;
+      match.token_begin = i;
+      match.token_count = len;
+      match.regions = it->second.regions;
+      match.name = it->second.canonical;
+      matches.push_back(std::move(match));
+      i += len;
+      matched = true;
+    }
+    if (matched) continue;
+
+    // Fuzzy pass: single token, length >= 6, edit distance exactly 1 to a
+    // unique pool entry.
+    const std::string& token = tokens[i];
+    if (token.size() >= 6) {
+      const std::string* hit = nullptr;
+      bool unique = true;
+      for (const std::string& candidate : fuzzy_pool_) {
+        // Cheap length filter before the DP.
+        if (candidate.size() + 1 < token.size() ||
+            token.size() + 1 < candidate.size()) {
+          continue;
+        }
+        if (BoundedEditDistance(token, candidate, 1) == 1) {
+          if (hit != nullptr) {
+            unique = false;
+            break;
+          }
+          hit = &candidate;
+        }
+      }
+      if (hit != nullptr && unique) {
+        auto it = table_.find(*hit);
+        PhraseMatch match;
+        match.kind = it->second.kind;
+        match.token_begin = i;
+        match.token_count = 1;
+        match.regions = it->second.regions;
+        match.name = it->second.canonical;
+        match.fuzzy = true;
+        matches.push_back(std::move(match));
+        ++i;
+        continue;
+      }
+    }
+    ++i;
+  }
+  return matches;
+}
+
+}  // namespace stir::text

@@ -1,0 +1,69 @@
+#ifndef STIR_TEXT_GAZETTEER_MATCHER_H_
+#define STIR_TEXT_GAZETTEER_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/admin_db.h"
+
+namespace stir::text {
+
+/// What a matched phrase denotes.
+enum class PhraseKind {
+  kCounty,   ///< A second-level district (possibly in several states).
+  kState,    ///< A first-level division name.
+  kCountry,  ///< A country name or common alias ("korea", "usa").
+};
+
+/// One phrase match inside a token sequence.
+struct PhraseMatch {
+  PhraseKind kind = PhraseKind::kCounty;
+  size_t token_begin = 0;  ///< First token index of the phrase.
+  size_t token_count = 0;  ///< Number of tokens covered.
+  /// Candidate regions for kCounty (size > 1 when the name is ambiguous
+  /// across states). Empty for kState/kCountry.
+  std::vector<geo::RegionId> regions;
+  std::string name;  ///< Canonical matched name (state/country) or phrase.
+  bool fuzzy = false;  ///< Matched via edit distance 1, not exactly.
+};
+
+/// Phrase-table matcher from free text to gazetteer entries. Built once
+/// per AdminDb; lookups are O(tokens * max_phrase_len).
+///
+/// Handles multi-word names ("gold coast", "new york"), aliases recorded
+/// in the gazetteer ("Yangchun-gu" for Yangcheon-gu), country aliases,
+/// and a conservative fuzzy fallback (edit distance 1 for single-token
+/// county names of >= 6 characters: "gangnam" vs "gangnm").
+class GazetteerMatcher {
+ public:
+  /// `db` must outlive the matcher.
+  explicit GazetteerMatcher(const geo::AdminDb* db);
+
+  /// All non-overlapping matches in `tokens`, longest-phrase-first greedy
+  /// scan from the left.
+  std::vector<PhraseMatch> Match(const std::vector<std::string>& tokens) const;
+
+  const geo::AdminDb& db() const { return *db_; }
+
+ private:
+  struct TableEntry {
+    PhraseKind kind;
+    std::vector<geo::RegionId> regions;  // counties only
+    std::string canonical;
+  };
+
+  void AddPhrase(const std::string& phrase, PhraseKind kind,
+                 geo::RegionId region, const std::string& canonical);
+
+  const geo::AdminDb* db_;
+  std::unordered_map<std::string, TableEntry> table_;
+  /// Single-token county phrases for the fuzzy pass.
+  std::vector<std::string> fuzzy_pool_;
+  size_t max_phrase_tokens_ = 1;
+};
+
+}  // namespace stir::text
+
+#endif  // STIR_TEXT_GAZETTEER_MATCHER_H_

@@ -1,0 +1,65 @@
+#ifndef STIR_TEXT_LOCATION_PARSER_H_
+#define STIR_TEXT_LOCATION_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/admin_db.h"
+#include "text/gazetteer_matcher.h"
+
+namespace stir::text {
+
+/// Quality classes for free-text profile locations, mirroring the paper's
+/// refinement taxonomy (§III.B): users with vague ("my home", "Earth"),
+/// insufficient ("Seoul", "Korea" — first-level only) or ambiguous ("Gold
+/// Coast Australia / <Seoul district>") locations are removed; only
+/// well-defined locations (a unique second-level district, or literal GPS
+/// coordinates) survive.
+enum class LocationQuality {
+  kEmpty = 0,        ///< Blank profile field.
+  kVague = 1,        ///< No gazetteer signal at all.
+  kInsufficient = 2, ///< Only a country or first-level division matched.
+  kAmbiguous = 3,    ///< Several distinct districts are plausible.
+  kWellDefined = 4,  ///< Exactly one district.
+};
+
+const char* LocationQualityToString(LocationQuality quality);
+
+/// Parser output. `region` is valid iff quality == kWellDefined;
+/// `candidates` carries the conflicting districts for kAmbiguous.
+struct ParsedLocation {
+  LocationQuality quality = LocationQuality::kEmpty;
+  geo::RegionId region = geo::kInvalidRegion;
+  std::vector<geo::RegionId> candidates;
+  std::string normalized;  ///< Normalized input (diagnostics).
+  bool from_gps = false;   ///< Resolved from literal coordinates.
+  bool fuzzy = false;      ///< Needed an edit-distance-1 gazetteer match.
+};
+
+/// Parses the free-text location users type into their profiles (paper
+/// Fig. 3): handles "State District" forms, district-only forms with
+/// cross-state disambiguation ("Jung-gu" alone is ambiguous, "Busan
+/// Jung-gu" is not), literal GPS coordinates, multi-location strings
+/// split on '/', '|', ';', and noise.
+class LocationParser {
+ public:
+  /// `db` must outlive the parser.
+  explicit LocationParser(const geo::AdminDb* db);
+
+  ParsedLocation Parse(std::string_view raw) const;
+
+  const geo::AdminDb& db() const { return *db_; }
+
+ private:
+  ParsedLocation ParseSingle(std::string_view piece) const;
+  /// Attempts to read "lat,lng" (or space-separated) literal coordinates.
+  bool TryParseGps(std::string_view piece, geo::LatLng* out) const;
+
+  const geo::AdminDb* db_;
+  GazetteerMatcher matcher_;
+};
+
+}  // namespace stir::text
+
+#endif  // STIR_TEXT_LOCATION_PARSER_H_

@@ -1,0 +1,122 @@
+#include "text/normalize.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace stir::text {
+
+namespace {
+
+bool IsWordChar(unsigned char c) {
+  return std::isalnum(c) || c >= 0x80;  // UTF-8 continuation/lead bytes
+}
+
+}  // namespace
+
+std::string NormalizeFreeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    char mapped;
+    if (IsWordChar(c)) {
+      mapped = c < 0x80 ? static_cast<char>(std::tolower(c))
+                        : static_cast<char>(c);
+    } else if (c == '-' && i > 0 && i + 1 < text.size() &&
+               IsWordChar(static_cast<unsigned char>(text[i - 1])) &&
+               IsWordChar(static_cast<unsigned char>(text[i + 1]))) {
+      mapped = '-';  // intra-word hyphen survives ("seocho-gu")
+    } else {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(mapped);
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::string normalized = NormalizeFreeText(text);
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  while (start < normalized.size()) {
+    size_t end = normalized.find(' ', start);
+    if (end == std::string::npos) end = normalized.size();
+    if (end > start) tokens.emplace_back(normalized.substr(start, end - start));
+    start = end + 1;
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeTweet(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    // Drop URLs wholesale.
+    if (text.substr(i, 7) == "http://" || text.substr(i, 8) == "https://") {
+      while (i < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '@' || c == '#') {
+      ++i;
+      continue;  // the word itself is collected below
+    }
+    if (!IsWordChar(c)) {
+      ++i;
+      continue;
+    }
+    std::string token;
+    while (i < text.size()) {
+      unsigned char w = static_cast<unsigned char>(text[i]);
+      // Keep apostrophes ("don't") and intra-word hyphens ("yangcheon-gu",
+      // so place names tokenize the same way the gazetteer stores them).
+      bool keep_joiner =
+          (w == '\'' || w == '-') && !token.empty() && i + 1 < text.size() &&
+          IsWordChar(static_cast<unsigned char>(text[i + 1]));
+      if (!IsWordChar(w) && !keep_joiner) break;
+      token.push_back(w < 0x80 ? static_cast<char>(std::tolower(w))
+                               : static_cast<char>(w));
+      ++i;
+    }
+    if (!token.empty()) tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+int BoundedEditDistance(std::string_view a, std::string_view b,
+                        int max_distance) {
+  if (a.size() > b.size()) std::swap(a, b);
+  int n = static_cast<int>(a.size());
+  int m = static_cast<int>(b.size());
+  if (m - n > max_distance) return max_distance + 1;
+
+  std::vector<int> prev(static_cast<size_t>(n) + 1);
+  std::vector<int> cur(static_cast<size_t>(n) + 1);
+  for (int j = 0; j <= n; ++j) prev[static_cast<size_t>(j)] = j;
+  for (int i = 1; i <= m; ++i) {
+    cur[0] = i;
+    int row_min = cur[0];
+    for (int j = 1; j <= n; ++j) {
+      int cost = a[static_cast<size_t>(j - 1)] == b[static_cast<size_t>(i - 1)]
+                     ? 0
+                     : 1;
+      cur[static_cast<size_t>(j)] =
+          std::min({prev[static_cast<size_t>(j)] + 1,
+                    cur[static_cast<size_t>(j - 1)] + 1,
+                    prev[static_cast<size_t>(j - 1)] + cost});
+      row_min = std::min(row_min, cur[static_cast<size_t>(j)]);
+    }
+    if (row_min > max_distance) return max_distance + 1;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[static_cast<size_t>(n)], max_distance + 1);
+}
+
+}  // namespace stir::text

@@ -1,0 +1,32 @@
+#ifndef STIR_TEXT_NORMALIZE_H_
+#define STIR_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stir::text {
+
+/// Canonical form used for gazetteer matching: ASCII-lowercased,
+/// punctuation (except intra-word hyphens) replaced by spaces, whitespace
+/// collapsed. Non-ASCII bytes pass through so UTF-8 names keep working.
+std::string NormalizeFreeText(std::string_view text);
+
+/// Splits normalized text into word tokens (keeps intra-word hyphens:
+/// "yangcheon-gu" is one token).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenizer for tweet bodies used by TF-IDF and place-mention matching:
+/// lowercases, strips URLs, @mentions pass through without the '@',
+/// '#' hashtags keep their word, intra-word hyphens and apostrophes
+/// survive ("yangcheon-gu", "don't").
+std::vector<std::string> TokenizeTweet(std::string_view text);
+
+/// Levenshtein distance with early exit once the distance exceeds
+/// `max_distance` (returns max_distance + 1 in that case).
+int BoundedEditDistance(std::string_view a, std::string_view b,
+                        int max_distance);
+
+}  // namespace stir::text
+
+#endif  // STIR_TEXT_NORMALIZE_H_

@@ -1,0 +1,78 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace stir::text {
+
+void TfIdf::AddDocument(const std::string& doc_key,
+                        const std::vector<std::string>& tokens) {
+  STIR_CHECK(!finalized_) << "AddDocument after Finalize";
+  auto& counts = docs_[doc_key];
+  for (const std::string& token : tokens) ++counts[token];
+}
+
+void TfIdf::Finalize() {
+  STIR_CHECK(!finalized_);
+  for (const auto& [doc_key, counts] : docs_) {
+    for (const auto& [term, count] : counts) ++document_frequency_[term];
+  }
+  finalized_ = true;
+}
+
+double TfIdf::Idf(const std::string& term) const {
+  if (!finalized_) return 0.0;
+  auto it = document_frequency_.find(term);
+  int64_t df = it == document_frequency_.end() ? 0 : it->second;
+  double n = static_cast<double>(docs_.size());
+  return std::log((1.0 + n) / (1.0 + static_cast<double>(df))) + 1.0;
+}
+
+namespace {
+
+std::vector<TermScore> RankTerms(
+    const std::unordered_map<std::string, int64_t>& counts,
+    const TfIdf& index, size_t k) {
+  std::vector<TermScore> scored;
+  scored.reserve(counts.size());
+  for (const auto& [term, count] : counts) {
+    TermScore ts;
+    ts.term = term;
+    ts.count = count;
+    double tf = 1.0 + std::log(static_cast<double>(count));
+    ts.score = tf * index.Idf(term);
+    scored.push_back(std::move(ts));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const TermScore& a, const TermScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.term < b.term;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace
+
+StatusOr<std::vector<TermScore>> TfIdf::TopTerms(const std::string& doc_key,
+                                                 size_t k) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("TfIdf not finalized");
+  }
+  auto it = docs_.find(doc_key);
+  if (it == docs_.end()) {
+    return Status::NotFound("no such document: " + doc_key);
+  }
+  return RankTerms(it->second, *this, k);
+}
+
+std::vector<TermScore> TfIdf::ScoreTokens(
+    const std::vector<std::string>& tokens, size_t k) const {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const std::string& token : tokens) ++counts[token];
+  return RankTerms(counts, *this, k);
+}
+
+}  // namespace stir::text

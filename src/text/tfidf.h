@@ -1,0 +1,67 @@
+#ifndef STIR_TEXT_TFIDF_H_
+#define STIR_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stir::text {
+
+/// A scored term from a TF-IDF query.
+struct TermScore {
+  std::string term;
+  double score = 0.0;
+  int64_t count = 0;  ///< Raw term frequency in the document.
+};
+
+/// Document-keyed TF-IDF index, the scoring core of the Twitris-style
+/// summarizer (related work the paper builds towards): documents are
+/// (time-slice, region) tweet bags, and TopTerms yields the "theme" slice
+/// of the when/where/what browsing paradigm.
+///
+/// Usage: AddDocument(...) repeatedly (repeat keys merge), Finalize(),
+/// then query. Scores use log-scaled TF and smoothed IDF:
+///   tf = 1 + log(count), idf = log((1 + N) / (1 + df)) + 1.
+class TfIdf {
+ public:
+  TfIdf() = default;
+
+  /// Adds (or extends) the document `doc_key` with `tokens`.
+  void AddDocument(const std::string& doc_key,
+                   const std::vector<std::string>& tokens);
+
+  /// Freezes the corpus and computes document frequencies. Adding more
+  /// documents afterwards is an error (checked).
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t num_documents() const { return docs_.size(); }
+  size_t vocabulary_size() const { return document_frequency_.size(); }
+
+  /// Smoothed inverse document frequency of `term` (0 for unseen terms
+  /// before finalization).
+  double Idf(const std::string& term) const;
+
+  /// Top-k terms of a stored document by tf-idf, ties broken
+  /// lexicographically for determinism. NotFound for unknown keys;
+  /// FailedPrecondition before Finalize().
+  StatusOr<std::vector<TermScore>> TopTerms(const std::string& doc_key,
+                                            size_t k) const;
+
+  /// Scores an ad-hoc token bag against the frozen corpus statistics.
+  std::vector<TermScore> ScoreTokens(const std::vector<std::string>& tokens,
+                                     size_t k) const;
+
+ private:
+  std::unordered_map<std::string, std::unordered_map<std::string, int64_t>>
+      docs_;
+  std::unordered_map<std::string, int64_t> document_frequency_;
+  bool finalized_ = false;
+};
+
+}  // namespace stir::text
+
+#endif  // STIR_TEXT_TFIDF_H_

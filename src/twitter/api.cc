@@ -1,0 +1,86 @@
+#include "twitter/api.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace stir::twitter {
+
+SearchApi::SearchApi(const Dataset* dataset, int64_t quota)
+    : dataset_(dataset), quota_(quota) {
+  STIR_CHECK(dataset != nullptr);
+  by_time_desc_.resize(dataset_->tweets().size());
+  std::iota(by_time_desc_.begin(), by_time_desc_.end(), size_t{0});
+  std::sort(by_time_desc_.begin(), by_time_desc_.end(),
+            [&](size_t a, size_t b) {
+              const Tweet& ta = dataset_->tweets()[a];
+              const Tweet& tb = dataset_->tweets()[b];
+              if (ta.time != tb.time) return ta.time > tb.time;
+              return ta.id > tb.id;
+            });
+}
+
+StatusOr<std::vector<const Tweet*>> SearchApi::Search(
+    const SearchQuery& query) {
+  if (quota_ >= 0 && requests_ >= quota_) {
+    return Status::ResourceExhausted("search API quota exhausted");
+  }
+  ++requests_;
+  if (query.max_results <= 0) {
+    return Status::InvalidArgument("max_results must be positive");
+  }
+  std::vector<const Tweet*> results;
+  for (size_t index : by_time_desc_) {
+    const Tweet& tweet = dataset_->tweets()[index];
+    if (tweet.time < query.since) continue;
+    if (query.until > 0 && tweet.time >= query.until) continue;
+    if (!query.keyword.empty() &&
+        !ContainsIgnoreCase(tweet.text, query.keyword)) {
+      continue;
+    }
+    results.push_back(&tweet);
+    if (static_cast<int64_t>(results.size()) >= query.max_results) break;
+  }
+  return results;
+}
+
+StreamingApi::StreamingApi(const Dataset* dataset) : dataset_(dataset) {
+  STIR_CHECK(dataset != nullptr);
+  by_time_asc_.resize(dataset_->tweets().size());
+  std::iota(by_time_asc_.begin(), by_time_asc_.end(), size_t{0});
+  std::sort(by_time_asc_.begin(), by_time_asc_.end(), [&](size_t a, size_t b) {
+    const Tweet& ta = dataset_->tweets()[a];
+    const Tweet& tb = dataset_->tweets()[b];
+    if (ta.time != tb.time) return ta.time < tb.time;
+    return ta.id < tb.id;
+  });
+}
+
+int64_t StreamingApi::Filter(const std::string& keyword,
+                             const Callback& callback) const {
+  int64_t delivered = 0;
+  for (size_t index : by_time_asc_) {
+    const Tweet& tweet = dataset_->tweets()[index];
+    if (!keyword.empty() && !ContainsIgnoreCase(tweet.text, keyword)) {
+      continue;
+    }
+    callback(tweet);
+    ++delivered;
+  }
+  return delivered;
+}
+
+int64_t StreamingApi::Sample(double rate, Rng& rng,
+                             const Callback& callback) const {
+  int64_t delivered = 0;
+  for (size_t index : by_time_asc_) {
+    if (!rng.Bernoulli(rate)) continue;
+    callback(dataset_->tweets()[index]);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace stir::twitter

@@ -1,0 +1,72 @@
+#ifndef STIR_TWITTER_API_H_
+#define STIR_TWITTER_API_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "twitter/dataset.h"
+
+namespace stir::twitter {
+
+/// Query for the Search-API simulation (how the "Lady Gaga" corpus was
+/// assembled).
+struct SearchQuery {
+  /// Case-insensitive substring required in the tweet text; empty matches
+  /// everything.
+  std::string keyword;
+  /// Result cap per call (the 2011 API paged at 100).
+  int64_t max_results = 100;
+  /// Half-open time window [since, until); until <= 0 means unbounded.
+  SimTime since = 0;
+  SimTime until = 0;
+};
+
+/// Search endpoint over a Dataset's materialized tweets: recency-ordered,
+/// capped, quota-accounted.
+class SearchApi {
+ public:
+  /// `dataset` must outlive the API. `quota` < 0 disables accounting.
+  explicit SearchApi(const Dataset* dataset, int64_t quota = -1);
+
+  /// Returns pointers into the dataset, newest first. ResourceExhausted
+  /// once the quota is spent.
+  StatusOr<std::vector<const Tweet*>> Search(const SearchQuery& query);
+
+  int64_t requests_made() const { return requests_; }
+
+ private:
+  const Dataset* dataset_;
+  int64_t quota_;
+  int64_t requests_ = 0;
+  /// Tweet indices sorted by time descending, built once.
+  std::vector<size_t> by_time_desc_;
+};
+
+/// Streaming endpoint: replays materialized tweets in time order through
+/// a callback, with keyword filtering ("filter" track) and random
+/// sampling ("sample"/spritzer, the public ~1% stream).
+class StreamingApi {
+ public:
+  using Callback = std::function<void(const Tweet&)>;
+
+  explicit StreamingApi(const Dataset* dataset);
+
+  /// Delivers every tweet containing `keyword` (case-insensitive);
+  /// returns the number delivered.
+  int64_t Filter(const std::string& keyword, const Callback& callback) const;
+
+  /// Delivers each tweet with probability `rate`; returns count.
+  int64_t Sample(double rate, Rng& rng, const Callback& callback) const;
+
+ private:
+  const Dataset* dataset_;
+  /// Tweet indices sorted by time ascending.
+  std::vector<size_t> by_time_asc_;
+};
+
+}  // namespace stir::twitter
+
+#endif  // STIR_TWITTER_API_H_

@@ -1,0 +1,207 @@
+#include "twitter/column_store.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace stir::twitter {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'I', 'R', 'C', 'O', 'L', '1'};
+
+/// Appends a POD vector's bytes to the serialization buffer.
+template <typename T>
+void PutColumn(std::string& out, const std::vector<T>& column) {
+  uint64_t count = column.size();
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  if (!column.empty()) {  // data() may be null for empty vectors
+    out.append(reinterpret_cast<const char*>(column.data()),
+               column.size() * sizeof(T));
+  }
+}
+
+template <typename T>
+bool GetColumn(const std::string& in, size_t& pos, std::vector<T>* column) {
+  if (pos + sizeof(uint64_t) > in.size()) return false;
+  uint64_t count;
+  std::memcpy(&count, in.data() + pos, sizeof(count));
+  pos += sizeof(count);
+  size_t bytes = static_cast<size_t>(count) * sizeof(T);
+  if (pos + bytes > in.size()) return false;
+  column->resize(static_cast<size_t>(count));
+  if (bytes > 0) std::memcpy(column->data(), in.data() + pos, bytes);
+  pos += bytes;
+  return true;
+}
+
+}  // namespace
+
+TweetColumnStore TweetColumnStore::FromDataset(const Dataset& dataset) {
+  TweetColumnStore store;
+  size_t text_bytes = 0;
+  for (const Tweet& tweet : dataset.tweets()) text_bytes += tweet.text.size();
+  store.Reserve(dataset.tweets().size(), text_bytes);
+  for (const Tweet& tweet : dataset.tweets()) store.Append(tweet);
+  return store;
+}
+
+void TweetColumnStore::Reserve(size_t tweets, size_t text_bytes) {
+  ids_.reserve(tweets);
+  users_.reserve(tweets);
+  times_.reserve(tweets);
+  lats_.reserve(tweets);
+  lngs_.reserve(tweets);
+  gps_bitmap_.reserve((tweets + 63) / 64);
+  text_offsets_.reserve(tweets + 1);
+  text_arena_.reserve(text_bytes);
+}
+
+void TweetColumnStore::Append(const Tweet& tweet) {
+  size_t row = ids_.size();
+  ids_.push_back(tweet.id);
+  users_.push_back(tweet.user);
+  times_.push_back(tweet.time);
+  if (tweet.gps.has_value()) {
+    lats_.push_back(tweet.gps->lat);
+    lngs_.push_back(tweet.gps->lng);
+    ++gps_count_;
+  } else {
+    lats_.push_back(0.0);
+    lngs_.push_back(0.0);
+  }
+  if (row / 64 >= gps_bitmap_.size()) gps_bitmap_.push_back(0);
+  if (tweet.gps.has_value()) {
+    gps_bitmap_[row / 64] |= (uint64_t{1} << (row % 64));
+  }
+  STIR_CHECK_LT(text_arena_.size() + tweet.text.size(),
+                static_cast<size_t>(UINT32_MAX))
+      << "text arena offset overflow";
+  text_arena_.append(tweet.text);
+  text_offsets_.push_back(static_cast<uint32_t>(text_arena_.size()));
+}
+
+bool TweetColumnStore::HasGps(size_t i) const {
+  STIR_CHECK_LT(i, ids_.size());
+  return (gps_bitmap_[i / 64] >> (i % 64)) & 1;
+}
+
+geo::LatLng TweetColumnStore::GpsAt(size_t i) const {
+  STIR_CHECK(HasGps(i));
+  return geo::LatLng{lats_[i], lngs_[i]};
+}
+
+std::string_view TweetColumnStore::TextAt(size_t i) const {
+  STIR_CHECK_LT(i, ids_.size());
+  uint32_t begin = text_offsets_[i];
+  uint32_t end = text_offsets_[i + 1];
+  return std::string_view(text_arena_).substr(begin, end - begin);
+}
+
+TweetView TweetColumnStore::Get(size_t i) const {
+  STIR_CHECK_LT(i, ids_.size());
+  TweetView view;
+  view.id = ids_[i];
+  view.user = users_[i];
+  view.time = times_[i];
+  if (HasGps(i)) view.gps = geo::LatLng{lats_[i], lngs_[i]};
+  view.text = TextAt(i);
+  return view;
+}
+
+Status TweetColumnStore::Save(const std::string& path) const {
+  std::string buffer;
+  buffer.append(kMagic, sizeof(kMagic));
+  PutColumn(buffer, ids_);
+  PutColumn(buffer, users_);
+  PutColumn(buffer, times_);
+  PutColumn(buffer, lats_);
+  PutColumn(buffer, lngs_);
+  PutColumn(buffer, gps_bitmap_);
+  PutColumn(buffer, text_offsets_);
+  uint64_t text_size = text_arena_.size();
+  buffer.append(reinterpret_cast<const char*>(&text_size),
+                sizeof(text_size));
+  buffer.append(text_arena_);
+  uint64_t checksum = Fnv1a64(buffer);
+  buffer.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<TweetColumnStore> TweetColumnStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  if (buffer.size() < sizeof(kMagic) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("file too short: " + path);
+  }
+  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic (not a STIRCOL1 file): " +
+                                   path);
+  }
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum,
+              buffer.data() + buffer.size() - sizeof(stored_checksum),
+              sizeof(stored_checksum));
+  std::string_view body(buffer.data(), buffer.size() - sizeof(uint64_t));
+  if (Fnv1a64(body) != stored_checksum) {
+    return Status::InvalidArgument("checksum mismatch (corrupt file): " +
+                                   path);
+  }
+  buffer.resize(buffer.size() - sizeof(uint64_t));
+
+  TweetColumnStore store;
+  size_t pos = sizeof(kMagic);
+  if (!GetColumn(buffer, pos, &store.ids_) ||
+      !GetColumn(buffer, pos, &store.users_) ||
+      !GetColumn(buffer, pos, &store.times_) ||
+      !GetColumn(buffer, pos, &store.lats_) ||
+      !GetColumn(buffer, pos, &store.lngs_) ||
+      !GetColumn(buffer, pos, &store.gps_bitmap_) ||
+      !GetColumn(buffer, pos, &store.text_offsets_)) {
+    return Status::InvalidArgument("truncated column data: " + path);
+  }
+  if (pos + sizeof(uint64_t) > buffer.size()) {
+    return Status::InvalidArgument("missing text arena: " + path);
+  }
+  uint64_t text_size;
+  std::memcpy(&text_size, buffer.data() + pos, sizeof(text_size));
+  pos += sizeof(text_size);
+  if (pos + text_size != buffer.size()) {
+    return Status::InvalidArgument("text arena size mismatch: " + path);
+  }
+  store.text_arena_.assign(buffer, pos, static_cast<size_t>(text_size));
+
+  // Structural invariants.
+  size_t n = store.ids_.size();
+  if (store.users_.size() != n || store.times_.size() != n ||
+      store.lats_.size() != n || store.lngs_.size() != n ||
+      store.text_offsets_.size() != n + 1 ||
+      store.gps_bitmap_.size() < (n + 63) / 64 ||
+      (n > 0 && store.text_offsets_.back() != store.text_arena_.size())) {
+    return Status::InvalidArgument("inconsistent column lengths: " + path);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (store.HasGps(i)) ++store.gps_count_;
+  }
+  return store;
+}
+
+int64_t TweetColumnStore::MemoryBytes() const {
+  return static_cast<int64_t>(
+      ids_.capacity() * sizeof(TweetId) + users_.capacity() * sizeof(UserId) +
+      times_.capacity() * sizeof(SimTime) +
+      lats_.capacity() * sizeof(double) + lngs_.capacity() * sizeof(double) +
+      gps_bitmap_.capacity() * sizeof(uint64_t) +
+      text_offsets_.capacity() * sizeof(uint32_t) + text_arena_.capacity());
+}
+
+}  // namespace stir::twitter

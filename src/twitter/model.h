@@ -1,0 +1,48 @@
+#ifndef STIR_TWITTER_MODEL_H_
+#define STIR_TWITTER_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "geo/latlng.h"
+
+namespace stir::twitter {
+
+using UserId = int64_t;
+using TweetId = int64_t;
+inline constexpr UserId kInvalidUser = -1;
+
+/// A microblog account as the crawler sees it: public profile fields only.
+/// Ground truth about the user's real movements lives in GroundTruth
+/// (twitter/mobility.h) and is never consumed by the analysis pipeline.
+struct User {
+  UserId id = kInvalidUser;
+  std::string handle;
+  /// Free-text location from the profile (max 30 characters on the real
+  /// service; generators respect that bound).
+  std::string profile_location;
+  /// Total tweets the account has posted (the 11.1M-tweet corpus is
+  /// counted here; only GPS-tagged tweets need full records).
+  int64_t total_tweets = 0;
+};
+
+/// A single post. `gps` is present only for posts from location-enabled
+/// mobile clients — the paper's second spatial attribute.
+struct Tweet {
+  TweetId id = 0;
+  UserId user = kInvalidUser;
+  SimTime time = 0;
+  std::optional<geo::LatLng> gps;
+  std::string text;
+};
+
+/// The profile-location character limit ("the only limitation is the
+/// maximum length", §III.A; 30 chars at the time of the study).
+inline constexpr size_t kMaxProfileLocationLength = 30;
+
+}  // namespace stir::twitter
+
+#endif  // STIR_TWITTER_MODEL_H_

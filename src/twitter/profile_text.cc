@@ -1,0 +1,167 @@
+#include "twitter/profile_text.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "twitter/model.h"
+
+namespace stir::twitter {
+
+namespace {
+
+constexpr const char* kVaguePool[] = {
+    "Earth",
+    "my home",
+    "everywhere",
+    "somewhere",
+    "in your heart",
+    "darangland :)",
+    "wonderland",
+    "the internet",
+    "404 not found",
+    "Mars",
+    "under the night sky",
+    "behind you",
+    "nowhere land",
+    "cloud nine",
+};
+
+constexpr const char* kForeignPool[] = {
+    "Gold Coast Australia",
+    "Tokyo Japan",
+    "New York USA",
+    "Paris France",
+    "London UK",
+};
+
+/// Truncates at the service's field limit, backing up to the last word
+/// boundary so the result looks like something a UI would store.
+std::string ClampToFieldLimit(std::string text) {
+  if (text.size() <= kMaxProfileLocationLength) return text;
+  text.resize(kMaxProfileLocationLength);
+  size_t space = text.rfind(' ');
+  if (space != std::string::npos && space > 0) text.resize(space);
+  return text;
+}
+
+}  // namespace
+
+const char* ProfileStyleToString(ProfileStyle style) {
+  switch (style) {
+    case ProfileStyle::kStateCounty:
+      return "state-county";
+    case ProfileStyle::kCountyState:
+      return "county-state";
+    case ProfileStyle::kCountyOnly:
+      return "county-only";
+    case ProfileStyle::kWithCountry:
+      return "with-country";
+    case ProfileStyle::kGpsInProfile:
+      return "gps-in-profile";
+    case ProfileStyle::kTypo:
+      return "typo";
+    case ProfileStyle::kStateOnly:
+      return "state-only";
+    case ProfileStyle::kCountryOnly:
+      return "country-only";
+    case ProfileStyle::kVague:
+      return "vague";
+    case ProfileStyle::kEmpty:
+      return "empty";
+    case ProfileStyle::kMultiLocation:
+      return "multi-location";
+  }
+  return "unknown";
+}
+
+ProfileTextGenerator::ProfileTextGenerator(const geo::AdminDb* db,
+                                           ProfileTextOptions options)
+    : db_(db), options_(options) {
+  STIR_CHECK(db != nullptr);
+}
+
+std::string ProfileTextGenerator::Render(ProfileStyle style,
+                                         geo::RegionId claimed,
+                                         Rng& rng) const {
+  const geo::Region& region = db_->region(claimed);
+  // Korean-script rendering when available and drawn.
+  const char* hangul_state = geo::AdminDb::HangulStateName(region.state);
+  const char* hangul_county =
+      geo::AdminDb::HangulCountyName(region.state, region.county);
+  bool use_hangul = hangul_state != nullptr && hangul_county != nullptr &&
+                    rng.Bernoulli(options_.hangul_fraction);
+  switch (style) {
+    case ProfileStyle::kStateCounty:
+      if (use_hangul) {
+        return std::string(hangul_state) + " " + hangul_county;
+      }
+      return region.state + " " + region.county;
+    case ProfileStyle::kCountyState:
+      return region.county + ", " + region.state;
+    case ProfileStyle::kCountyOnly:
+      if (use_hangul) return hangul_county;
+      return region.county;
+    case ProfileStyle::kWithCountry: {
+      // Korean users of the era wrote ", Korea"; others the full country.
+      std::string country =
+          region.country == "South Korea" ? "Korea" : region.country;
+      return region.state + " " + region.county + ", " + country;
+    }
+    case ProfileStyle::kGpsInProfile: {
+      geo::LatLng point = db_->SamplePointIn(claimed, rng);
+      return StrFormat("%.6f,%.6f", point.lat, point.lng);
+    }
+    case ProfileStyle::kTypo: {
+      // Drop one interior character of the county name.
+      std::string county = region.county;
+      if (county.size() > 3) {
+        size_t pos = static_cast<size_t>(
+            rng.UniformInt(1, static_cast<int64_t>(county.size()) - 2));
+        county.erase(pos, 1);
+      }
+      return region.state + " " + county;
+    }
+    case ProfileStyle::kStateOnly:
+      return region.state;
+    case ProfileStyle::kCountryOnly:
+      if (region.country == "South Korea" && rng.Bernoulli(0.5)) {
+        return "Korea";
+      }
+      return region.country;
+    case ProfileStyle::kVague: {
+      size_t n = sizeof(kVaguePool) / sizeof(kVaguePool[0]);
+      return kVaguePool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1))];
+    }
+    case ProfileStyle::kEmpty:
+      return "";
+    case ProfileStyle::kMultiLocation: {
+      // The paper's user #6: "Gold Coast Australia" plus a Korean district.
+      size_t n = sizeof(kForeignPool) / sizeof(kForeignPool[0]);
+      const char* foreign = kForeignPool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1))];
+      return std::string(foreign) + " / " + region.county;
+    }
+  }
+  return "";
+}
+
+GeneratedProfileText ProfileTextGenerator::Generate(geo::RegionId claimed,
+                                                    Rng& rng) const {
+  double total = 0.0;
+  for (double w : options_.weights) total += w;
+  double u = rng.Uniform() * total;
+  int style_index = kNumProfileStyles - 1;
+  for (int i = 0; i < kNumProfileStyles; ++i) {
+    u -= options_.weights[i];
+    if (u <= 0.0) {
+      style_index = i;
+      break;
+    }
+  }
+  GeneratedProfileText out;
+  out.style = static_cast<ProfileStyle>(style_index);
+  out.text = ClampToFieldLimit(Render(out.style, claimed, rng));
+  return out;
+}
+
+}  // namespace stir::twitter

@@ -1,0 +1,83 @@
+#ifndef STIR_TWITTER_PROFILE_TEXT_H_
+#define STIR_TWITTER_PROFILE_TEXT_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "geo/admin_db.h"
+
+namespace stir::twitter {
+
+/// Surface forms of the free-text profile location (paper Fig. 3). The
+/// first group is parseable to a unique district; the rest reproduce the
+/// noise the paper's refinement step removes.
+enum class ProfileStyle : int {
+  kStateCounty = 0,   ///< "Seoul Yangcheon-gu"
+  kCountyState = 1,   ///< "Yangcheon-gu, Seoul"
+  kCountyOnly = 2,    ///< "Uiwang-si" (ambiguous for metro gu names!)
+  kWithCountry = 3,   ///< "Seoul Mapo-gu, Korea"
+  kGpsInProfile = 4,  ///< "37.517000,126.866600"
+  kTypo = 5,          ///< One character dropped from the county name.
+  kStateOnly = 6,     ///< "Seoul" — insufficient.
+  kCountryOnly = 7,   ///< "Korea" — insufficient.
+  kVague = 8,         ///< "Earth", "my home", "darangland :)".
+  kEmpty = 9,         ///< Blank field.
+  kMultiLocation = 10 ///< "Gold Coast Australia / <district>".
+};
+
+const char* ProfileStyleToString(ProfileStyle style);
+inline constexpr int kNumProfileStyles = 11;
+
+/// Probabilities of each style. Defaults are calibrated to the paper's
+/// refinement funnel: ~57% of crawled users end up with a well-defined
+/// profile location (52.2k -> ~30k in §III.B).
+struct ProfileTextOptions {
+  /// Fraction of kStateCounty / kCountyOnly renderings written in
+  /// Korean script when a hangul spelling is known (paper Fig. 3 shows
+  /// profiles "provided freely by users in different languages").
+  double hangul_fraction = 0.15;
+
+  double weights[kNumProfileStyles] = {
+      /*kStateCounty=*/0.325,
+      /*kCountyState=*/0.065,
+      /*kCountyOnly=*/0.145,
+      /*kWithCountry=*/0.035,
+      /*kGpsInProfile=*/0.012,
+      /*kTypo=*/0.028,
+      /*kStateOnly=*/0.13,
+      /*kCountryOnly=*/0.06,
+      /*kVague=*/0.125,
+      /*kEmpty=*/0.045,
+      /*kMultiLocation=*/0.03,
+  };
+};
+
+/// Output of one generation: the text plus the style actually used
+/// (ground truth for parser evaluation).
+struct GeneratedProfileText {
+  std::string text;
+  ProfileStyle style = ProfileStyle::kEmpty;
+};
+
+/// Renders a claimed district into a noisy free-text profile location.
+/// Honors the service's field length limit (kMaxProfileLocationLength):
+/// overlong renderings are truncated at a word boundary, which — as on
+/// the real service — occasionally destroys an otherwise good location.
+class ProfileTextGenerator {
+ public:
+  /// `db` must outlive the generator.
+  ProfileTextGenerator(const geo::AdminDb* db, ProfileTextOptions options);
+
+  GeneratedProfileText Generate(geo::RegionId claimed, Rng& rng) const;
+
+ private:
+  std::string Render(ProfileStyle style, geo::RegionId claimed,
+                     Rng& rng) const;
+
+  const geo::AdminDb* db_;
+  ProfileTextOptions options_;
+};
+
+}  // namespace stir::twitter
+
+#endif  // STIR_TWITTER_PROFILE_TEXT_H_

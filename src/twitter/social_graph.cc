@@ -1,0 +1,113 @@
+#include "twitter/social_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace stir::twitter {
+
+SocialGraph SocialGraph::Generate(const SocialGraphOptions& options,
+                                  Rng& rng) {
+  STIR_CHECK_GE(options.num_users, 2);
+  SocialGraph graph;
+  int64_t n = options.num_users;
+  graph.following_.resize(static_cast<size_t>(n));
+  graph.followers_.resize(static_cast<size_t>(n));
+
+  // Repeated-target list for preferential attachment: drawing uniformly
+  // from it selects proportionally to (in-degree + 1). Nodes enter the
+  // pool when they join the graph (growth process), so early nodes
+  // accumulate the heavy tail.
+  std::vector<UserId> pa_pool;
+  pa_pool.reserve(static_cast<size_t>(
+      n + static_cast<int64_t>(options.mean_following * static_cast<double>(n))));
+  pa_pool.push_back(0);
+
+  auto has_edge = [&](UserId from, UserId to) {
+    const auto& adj = graph.following_[static_cast<size_t>(from)];
+    return std::find(adj.begin(), adj.end(), to) != adj.end();
+  };
+  auto add_edge = [&](UserId from, UserId to) {
+    if (from == to || has_edge(from, to)) return false;
+    graph.following_[static_cast<size_t>(from)].push_back(to);
+    graph.followers_[static_cast<size_t>(to)].push_back(from);
+    pa_pool.push_back(to);
+    ++graph.num_edges_;
+    return true;
+  };
+
+  for (UserId u = 1; u < n; ++u) {
+    int64_t degree =
+        1 + rng.Poisson(std::max(0.0, options.mean_following - 1.0));
+    for (int64_t k = 0; k < degree; ++k) {
+      UserId target;
+      int attempts = 0;
+      do {
+        if (rng.Bernoulli(options.pa_mix)) {
+          // Preferential draw over nodes that joined before u.
+          target = pa_pool[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(pa_pool.size()) - 1))];
+        } else {
+          target = rng.UniformInt(0, u - 1);
+        }
+      } while ((target == u || has_edge(u, target)) && ++attempts < 16);
+      if (!add_edge(u, target)) continue;
+      if (rng.Bernoulli(options.reciprocity)) add_edge(target, u);
+    }
+    pa_pool.push_back(u);
+  }
+
+  for (auto& adj : graph.following_) std::sort(adj.begin(), adj.end());
+  for (auto& adj : graph.followers_) std::sort(adj.begin(), adj.end());
+  return graph;
+}
+
+SocialGraph SocialGraph::FromEdges(
+    int64_t num_users, const std::vector<std::pair<UserId, UserId>>& edges) {
+  STIR_CHECK_GE(num_users, 1);
+  SocialGraph graph;
+  graph.following_.resize(static_cast<size_t>(num_users));
+  graph.followers_.resize(static_cast<size_t>(num_users));
+  for (const auto& [from, to] : edges) {
+    STIR_CHECK_GE(from, 0);
+    STIR_CHECK_LT(from, num_users);
+    STIR_CHECK_GE(to, 0);
+    STIR_CHECK_LT(to, num_users);
+    if (from == to) continue;
+    auto& adj = graph.following_[static_cast<size_t>(from)];
+    if (std::find(adj.begin(), adj.end(), to) != adj.end()) continue;
+    adj.push_back(to);
+    graph.followers_[static_cast<size_t>(to)].push_back(from);
+    ++graph.num_edges_;
+  }
+  for (auto& adj : graph.following_) std::sort(adj.begin(), adj.end());
+  for (auto& adj : graph.followers_) std::sort(adj.begin(), adj.end());
+  return graph;
+}
+
+const std::vector<UserId>& SocialGraph::Following(UserId user) const {
+  STIR_CHECK_GE(user, 0);
+  STIR_CHECK_LT(user, num_users());
+  return following_[static_cast<size_t>(user)];
+}
+
+const std::vector<UserId>& SocialGraph::Followers(UserId user) const {
+  STIR_CHECK_GE(user, 0);
+  STIR_CHECK_LT(user, num_users());
+  return followers_[static_cast<size_t>(user)];
+}
+
+UserId SocialGraph::MostFollowedUser() const {
+  UserId best = 0;
+  size_t best_count = followers_.empty() ? 0 : followers_[0].size();
+  for (UserId u = 1; u < num_users(); ++u) {
+    size_t count = followers_[static_cast<size_t>(u)].size();
+    if (count > best_count) {
+      best_count = count;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace stir::twitter

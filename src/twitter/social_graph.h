@@ -1,0 +1,63 @@
+#ifndef STIR_TWITTER_SOCIAL_GRAPH_H_
+#define STIR_TWITTER_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "twitter/model.h"
+
+namespace stir::twitter {
+
+/// Parameters for synthetic follower-graph generation.
+struct SocialGraphOptions {
+  int64_t num_users = 10000;
+  /// Mean out-degree (accounts a user follows); per-user degree is
+  /// 1 + Poisson(mean_following - 1).
+  double mean_following = 12.0;
+  /// Probability that a follow edge is reciprocated.
+  double reciprocity = 0.35;
+  /// Preferential-attachment strength: with probability `pa_mix` a target
+  /// is chosen proportionally to in-degree + 1, else uniformly. Produces
+  /// the heavy-tailed follower distribution real Twitter shows.
+  double pa_mix = 0.8;
+};
+
+/// Directed follower graph: edge u -> v means "u follows v" (v has
+/// follower u). Generated once; immutable afterwards.
+class SocialGraph {
+ public:
+  /// Generates via a growing preferential-attachment process.
+  static SocialGraph Generate(const SocialGraphOptions& options, Rng& rng);
+
+  /// Builds a graph from explicit follow edges (u follows v). Self-loops
+  /// and duplicates are dropped. Useful for tests and for loading real
+  /// edge lists.
+  static SocialGraph FromEdges(
+      int64_t num_users,
+      const std::vector<std::pair<UserId, UserId>>& edges);
+
+  int64_t num_users() const { return static_cast<int64_t>(following_.size()); }
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Accounts `user` follows, ascending ids.
+  const std::vector<UserId>& Following(UserId user) const;
+  /// Accounts following `user`, ascending ids.
+  const std::vector<UserId>& Followers(UserId user) const;
+
+  /// The user with the most followers (the natural crawl seed: the paper
+  /// seeded its crawler at a well-connected account).
+  UserId MostFollowedUser() const;
+
+ private:
+  SocialGraph() = default;
+
+  std::vector<std::vector<UserId>> following_;
+  std::vector<std::vector<UserId>> followers_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace stir::twitter
+
+#endif  // STIR_TWITTER_SOCIAL_GRAPH_H_

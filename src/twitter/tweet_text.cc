@@ -1,0 +1,58 @@
+#include "twitter/tweet_text.h"
+
+#include "common/logging.h"
+
+namespace stir::twitter {
+
+namespace {
+
+/// Everyday vocabulary, rough frequency order (Zipf-sampled).
+constexpr const char* kVocabulary[] = {
+    "today",   "good",    "time",     "lunch",   "work",    "home",
+    "coffee",  "morning", "night",    "friend",  "weather", "rain",
+    "weekend", "movie",   "dinner",   "bus",     "subway",  "meeting",
+    "happy",   "tired",   "study",    "game",    "music",   "photo",
+    "walk",    "river",   "park",     "traffic", "news",    "phone",
+    "book",    "sleep",   "early",    "late",    "busy",    "fun",
+    "food",    "spicy",   "sweet",    "cold",    "hot",     "snow",
+    "exam",    "class",   "office",   "project", "deadline", "vacation",
+    "beach",   "mountain", "shopping", "market",  "street",  "cafe",
+};
+constexpr size_t kVocabularySize =
+    sizeof(kVocabulary) / sizeof(kVocabulary[0]);
+
+}  // namespace
+
+TweetTextGenerator::TweetTextGenerator(const geo::AdminDb* db,
+                                       TweetTextOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      vocab_dist_(static_cast<int64_t>(kVocabularySize), 1.05) {
+  STIR_CHECK(db != nullptr);
+}
+
+std::string TweetTextGenerator::Generate(
+    geo::RegionId region, Rng& rng,
+    const std::vector<std::string>& forced_terms) const {
+  std::string text;
+  int words = static_cast<int>(rng.UniformInt(4, 12));
+  for (int i = 0; i < words; ++i) {
+    if (!text.empty()) text.push_back(' ');
+    text += kVocabulary[static_cast<size_t>(vocab_dist_.Sample(rng)) - 1];
+  }
+  if (!options_.topic_keyword.empty()) {
+    text += " " + options_.topic_keyword;
+  }
+  for (const auto& [tag, weight] : options_.hashtags) {
+    if (rng.Bernoulli(weight)) text += " #" + tag;
+  }
+  if (rng.Bernoulli(options_.mention_place_rate)) {
+    text += " at " + db_->region(region).county;
+  }
+  for (const std::string& term : forced_terms) {
+    text += " " + term;
+  }
+  return text;
+}
+
+}  // namespace stir::twitter

@@ -1,0 +1,47 @@
+#ifndef STIR_TWITTER_TWEET_TEXT_H_
+#define STIR_TWITTER_TWEET_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/admin_db.h"
+
+namespace stir::twitter {
+
+/// Knobs for synthetic tweet bodies.
+struct TweetTextOptions {
+  /// Probability that the tweet mentions the district it was posted from
+  /// (the paper observed tweets whose text names the GPS place, Fig. 4).
+  double mention_place_rate = 0.12;
+  /// Keyword injected into every tweet (topical corpora like the
+  /// "Lady Gaga" Search-API dataset); empty for none.
+  std::string topic_keyword;
+  /// Extra probability-weighted hashtag pool (term, weight).
+  std::vector<std::pair<std::string, double>> hashtags;
+};
+
+/// Template-based tweet body generator. Produces short, tokenizable text
+/// with a Zipf-weighted vocabulary, optional place mentions, and optional
+/// topical keywords — enough signal for the TF-IDF (Twitris) and keyword
+/// (Toretter) substrates to operate on.
+class TweetTextGenerator {
+ public:
+  /// `db` must outlive the generator (used for place mentions).
+  TweetTextGenerator(const geo::AdminDb* db, TweetTextOptions options);
+
+  /// Generates a body for a tweet posted from `region`. Extra keywords
+  /// (e.g. "earthquake") are appended by event simulators via
+  /// `forced_terms`.
+  std::string Generate(geo::RegionId region, Rng& rng,
+                       const std::vector<std::string>& forced_terms = {}) const;
+
+ private:
+  const geo::AdminDb* db_;
+  TweetTextOptions options_;
+  ZipfDistribution vocab_dist_;
+};
+
+}  // namespace stir::twitter
+
+#endif  // STIR_TWITTER_TWEET_TEXT_H_

@@ -1,0 +1,152 @@
+#include "geo/admin_db.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace stir::geo {
+namespace {
+
+TEST(AdminDbTest, KoreanGazetteerShape) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  EXPECT_EQ(db.states().size(), 17u);  // 17 first-level si/do
+  EXPECT_GE(db.size(), 150u);
+  EXPECT_EQ(db.CountiesInState("Seoul").size(), 25u);   // 25 gu
+  EXPECT_EQ(db.CountiesInState("Busan").size(), 16u);
+  EXPECT_EQ(db.CountiesInState("Gyeonggi-do").size(), 31u);
+}
+
+TEST(AdminDbTest, FindCountyExactAndCaseInsensitive) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  auto id = db.FindCounty("Seoul", "Yangcheon-gu");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(db.region(*id).FullName(), "Seoul Yangcheon-gu");
+  EXPECT_TRUE(db.FindCounty("sEOUL", "yangcheon-GU").ok());
+  EXPECT_TRUE(db.FindCounty("Seoul", "Nosuchplace-gu").status().IsNotFound());
+  EXPECT_TRUE(db.FindCounty("Atlantis", "Jung-gu").status().IsNotFound());
+}
+
+TEST(AdminDbTest, AliasResolvesToCanonicalRegion) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  // The paper's own spelling of the district.
+  auto via_alias = db.FindCounty("Seoul", "Yangchun-gu");
+  auto canonical = db.FindCounty("Seoul", "Yangcheon-gu");
+  ASSERT_TRUE(via_alias.ok());
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_EQ(*via_alias, *canonical);
+}
+
+TEST(AdminDbTest, FindCountyAnyStateAmbiguity) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  // "Jung-gu" exists in Seoul, Busan, Daegu, Incheon, Daejeon, Ulsan.
+  EXPECT_TRUE(db.FindCountyAnyState("Jung-gu").status().IsAlreadyExists());
+  // "Uiwang-si" is unique.
+  auto unique = db.FindCountyAnyState("Uiwang-si");
+  ASSERT_TRUE(unique.ok());
+  EXPECT_EQ(db.region(*unique).state, "Gyeonggi-do");
+  EXPECT_TRUE(db.FindCountyAnyState("Gotham").status().IsNotFound());
+}
+
+TEST(AdminDbTest, RegionIdsAreDenseAndSelfConsistent) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  for (size_t i = 0; i < db.size(); ++i) {
+    const Region& region = db.region(static_cast<RegionId>(i));
+    EXPECT_EQ(region.id, static_cast<RegionId>(i));
+    EXPECT_TRUE(region.centroid.IsValid());
+    EXPECT_GT(region.radius_km, 0.0);
+    EXPECT_GT(region.safe_radius_km, 0.0);
+    EXPECT_LE(region.safe_radius_km, region.radius_km + 1e-9);
+    EXPECT_FALSE(region.state.empty());
+    EXPECT_FALSE(region.county.empty());
+  }
+}
+
+TEST(AdminDbTest, LocateCentroidReturnsOwnRegion) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  for (size_t i = 0; i < db.size(); ++i) {
+    auto id = static_cast<RegionId>(i);
+    auto located = db.Locate(db.region(id).centroid);
+    ASSERT_TRUE(located.ok()) << db.region(id).FullName();
+    EXPECT_EQ(*located, id) << db.region(id).FullName();
+  }
+}
+
+TEST(AdminDbTest, LocateRejectsOceanAndInvalid) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  // Middle of the Pacific.
+  EXPECT_TRUE(db.Locate({20.0, -150.0}).status().IsNotFound());
+  EXPECT_TRUE(db.Locate({91.0, 0.0}).status().IsInvalidArgument());
+}
+
+TEST(AdminDbTest, SamplePointInLocatesBack) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  Rng rng(99);
+  // Property over every region: sampled activity points always reverse-
+  // geocode to the region they were sampled from (the Voronoi-safe
+  // radius guarantee the generator/analysis consistency rests on).
+  for (size_t i = 0; i < db.size(); ++i) {
+    auto id = static_cast<RegionId>(i);
+    for (int draw = 0; draw < 10; ++draw) {
+      LatLng p = db.SamplePointIn(id, rng);
+      ASSERT_TRUE(p.IsValid());
+      auto located = db.Locate(p);
+      ASSERT_TRUE(located.ok());
+      EXPECT_EQ(*located, id) << db.region(id).FullName();
+    }
+  }
+}
+
+TEST(AdminDbTest, HangulLookups) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  // Static name tables.
+  EXPECT_STREQ(AdminDb::HangulStateName("Seoul"), "서울");
+  EXPECT_STREQ(AdminDb::HangulCountyName("Seoul", "Mapo-gu"), "마포구");
+  EXPECT_EQ(AdminDb::HangulStateName("Atlantis"), nullptr);
+  EXPECT_EQ(AdminDb::HangulCountyName("Busan", "Jung-gu"), nullptr);
+  // Hangul county aliases resolve through FindCounty.
+  auto via_hangul = db.FindCounty("Seoul", "마포구");
+  auto canonical = db.FindCounty("Seoul", "Mapo-gu");
+  ASSERT_TRUE(via_hangul.ok());
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_EQ(*via_hangul, *canonical);
+}
+
+TEST(AdminDbTest, WorldCitiesBasics) {
+  const AdminDb& db = AdminDb::WorldCities();
+  EXPECT_GE(db.size(), 60u);
+  auto nyc = db.FindCounty("New York", "New York");
+  ASSERT_TRUE(nyc.ok());
+  auto via_alias = db.FindCounty("New York", "NYC");
+  ASSERT_TRUE(via_alias.ok());
+  EXPECT_EQ(*nyc, *via_alias);
+  auto gold_coast = db.FindCountyAnyState("Gold Coast");
+  ASSERT_TRUE(gold_coast.ok());
+  EXPECT_EQ(db.region(*gold_coast).country, "Australia");
+}
+
+TEST(AdminDbTest, StateCountyPairsUnique) {
+  for (const AdminDb* db :
+       {&AdminDb::KoreanDistricts(), &AdminDb::WorldCities()}) {
+    std::set<std::string> seen;
+    for (const Region& region : db->regions()) {
+      EXPECT_TRUE(seen.insert(region.state + "|" + region.county).second)
+          << "duplicate " << region.FullName();
+    }
+  }
+}
+
+TEST(AdminDbTest, CoverageContainsAllCentroids) {
+  const AdminDb& db = AdminDb::KoreanDistricts();
+  BoundingBox coverage = db.Coverage();
+  for (const Region& region : db.regions()) {
+    EXPECT_TRUE(coverage.Contains(region.centroid));
+  }
+  // Korea is roughly lat 33..38.6, lng 124.5..131.
+  EXPECT_GT(coverage.min_lat, 32.0);
+  EXPECT_LT(coverage.max_lat, 39.5);
+}
+
+}  // namespace
+}  // namespace stir::geo

@@ -1,0 +1,122 @@
+#include "twitter/api.h"
+
+#include <gtest/gtest.h>
+
+namespace stir::twitter {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset dataset;
+  for (UserId u = 1; u <= 3; ++u) {
+    User user;
+    user.id = u;
+    user.handle = "u" + std::to_string(u);
+    user.total_tweets = 10;
+    dataset.AddUser(user);
+  }
+  auto add = [&](TweetId id, UserId user, SimTime time, std::string text) {
+    Tweet tweet;
+    tweet.id = id;
+    tweet.user = user;
+    tweet.time = time;
+    tweet.text = std::move(text);
+    dataset.AddTweet(tweet);
+  };
+  add(1, 1, 100, "I love Lady Gaga");
+  add(2, 2, 200, "lunch time");
+  add(3, 3, 300, "LADY GAGA concert tonight");
+  add(4, 1, 400, "earthquake!! shaking here");
+  add(5, 2, 500, "lady gaga again");
+  return dataset;
+}
+
+TEST(SearchApiTest, KeywordFilterNewestFirst) {
+  Dataset dataset = SmallDataset();
+  SearchApi api(&dataset);
+  SearchQuery query;
+  query.keyword = "lady gaga";
+  auto results = api.Search(query);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ((*results)[0]->id, 5);  // newest first
+  EXPECT_EQ((*results)[1]->id, 3);
+  EXPECT_EQ((*results)[2]->id, 1);
+}
+
+TEST(SearchApiTest, MaxResultsCap) {
+  Dataset dataset = SmallDataset();
+  SearchApi api(&dataset);
+  SearchQuery query;
+  query.max_results = 2;
+  auto results = api.Search(query);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+  query.max_results = 0;
+  EXPECT_TRUE(api.Search(query).status().IsInvalidArgument());
+}
+
+TEST(SearchApiTest, TimeWindow) {
+  Dataset dataset = SmallDataset();
+  SearchApi api(&dataset);
+  SearchQuery query;
+  query.since = 200;
+  query.until = 401;
+  auto results = api.Search(query);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);  // ids 2, 3, 4
+  for (const Tweet* tweet : *results) {
+    EXPECT_GE(tweet->time, 200);
+    EXPECT_LT(tweet->time, 401);
+  }
+}
+
+TEST(SearchApiTest, QuotaExhaustion) {
+  Dataset dataset = SmallDataset();
+  SearchApi api(&dataset, /*quota=*/2);
+  SearchQuery query;
+  EXPECT_TRUE(api.Search(query).ok());
+  EXPECT_TRUE(api.Search(query).ok());
+  EXPECT_TRUE(api.Search(query).status().IsResourceExhausted());
+  EXPECT_EQ(api.requests_made(), 2);
+}
+
+TEST(StreamingApiTest, FilterDeliversInTimeOrder) {
+  Dataset dataset = SmallDataset();
+  StreamingApi api(&dataset);
+  std::vector<TweetId> seen;
+  int64_t count = api.Filter("lady gaga", [&](const Tweet& tweet) {
+    seen.push_back(tweet.id);
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(seen, (std::vector<TweetId>{1, 3, 5}));
+}
+
+TEST(StreamingApiTest, EmptyKeywordDeliversEverything) {
+  Dataset dataset = SmallDataset();
+  StreamingApi api(&dataset);
+  int64_t count = api.Filter("", [](const Tweet&) {});
+  EXPECT_EQ(count, 5);
+}
+
+TEST(StreamingApiTest, SampleRateApproximatelyHonored) {
+  Dataset dataset;
+  User user;
+  user.id = 1;
+  user.total_tweets = 1;
+  dataset.AddUser(user);
+  for (TweetId i = 0; i < 5000; ++i) {
+    Tweet tweet;
+    tweet.id = i;
+    tweet.user = 1;
+    tweet.time = i;
+    tweet.text = "x";
+    dataset.AddTweet(tweet);
+  }
+  StreamingApi api(&dataset);
+  Rng rng(1);
+  int64_t count = api.Sample(0.1, rng, [](const Tweet&) {});
+  EXPECT_NEAR(static_cast<double>(count), 500.0, 75.0);
+}
+
+}  // namespace
+}  // namespace stir::twitter

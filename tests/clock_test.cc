@@ -1,0 +1,44 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace stir {
+namespace {
+
+TEST(SimClockTest, AdvanceAndSet) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  clock.Advance(90);
+  EXPECT_EQ(clock.Now(), 90);
+  clock.Set(10);
+  EXPECT_EQ(clock.Now(), 10);
+  SimClock offset(100);
+  EXPECT_EQ(offset.Now(), 100);
+}
+
+TEST(ClockTest, HourOfDay) {
+  EXPECT_EQ(HourOfDay(0), 0);
+  EXPECT_EQ(HourOfDay(3 * kSecondsPerHour + 59), 3);
+  EXPECT_EQ(HourOfDay(kSecondsPerDay), 0);
+  EXPECT_EQ(HourOfDay(kSecondsPerDay + 13 * kSecondsPerHour), 13);
+  // Negative timestamps wrap correctly.
+  EXPECT_EQ(HourOfDay(-1), 23);
+}
+
+TEST(ClockTest, DayIndex) {
+  EXPECT_EQ(DayIndex(0), 0);
+  EXPECT_EQ(DayIndex(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(DayIndex(kSecondsPerDay), 1);
+  EXPECT_EQ(DayIndex(10 * kSecondsPerDay + 5), 10);
+  EXPECT_EQ(DayIndex(-1), -1);
+  EXPECT_EQ(DayIndex(-kSecondsPerDay), -1);
+}
+
+TEST(ClockTest, FormatSimTime) {
+  EXPECT_EQ(FormatSimTime(0), "d0 00:00:00");
+  EXPECT_EQ(FormatSimTime(kSecondsPerDay + kSecondsPerHour + 61),
+            "d1 01:01:01");
+}
+
+}  // namespace
+}  // namespace stir

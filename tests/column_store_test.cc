@@ -1,0 +1,201 @@
+#include "twitter/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "twitter/generator.h"
+
+namespace stir::twitter {
+namespace {
+
+Tweet MakeTweet(TweetId id, UserId user, SimTime time,
+                std::optional<geo::LatLng> gps, std::string text) {
+  Tweet tweet;
+  tweet.id = id;
+  tweet.user = user;
+  tweet.time = time;
+  tweet.gps = gps;
+  tweet.text = std::move(text);
+  return tweet;
+}
+
+TEST(ColumnStoreTest, AppendAndGetRoundTrip) {
+  TweetColumnStore store;
+  EXPECT_TRUE(store.empty());
+  store.Append(MakeTweet(1, 10, 100, geo::LatLng{37.5, 127.0}, "hello"));
+  store.Append(MakeTweet(2, 11, 200, std::nullopt, ""));
+  store.Append(MakeTweet(3, 10, 300, geo::LatLng{35.1, 129.0}, "부산 hot"));
+
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.gps_count(), 2);
+
+  TweetView first = store.Get(0);
+  EXPECT_EQ(first.id, 1);
+  EXPECT_EQ(first.user, 10);
+  EXPECT_EQ(first.time, 100);
+  ASSERT_TRUE(first.gps.has_value());
+  EXPECT_DOUBLE_EQ(first.gps->lat, 37.5);
+  EXPECT_EQ(first.text, "hello");
+
+  TweetView second = store.Get(1);
+  EXPECT_FALSE(second.gps.has_value());
+  EXPECT_TRUE(second.text.empty());
+
+  EXPECT_EQ(store.Get(2).text, "부산 hot");
+  EXPECT_TRUE(store.HasGps(2));
+  EXPECT_FALSE(store.HasGps(1));
+}
+
+TEST(ColumnStoreTest, BitmapCorrectAcrossWordBoundaries) {
+  TweetColumnStore store;
+  for (TweetId i = 0; i < 200; ++i) {
+    std::optional<geo::LatLng> gps;
+    if (i % 3 == 0) gps = geo::LatLng{1.0 * static_cast<double>(i % 90), 0};
+    store.Append(MakeTweet(i, 1, i, gps, "t" + std::to_string(i)));
+  }
+  int64_t gps_seen = 0;
+  for (size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(store.HasGps(i), i % 3 == 0) << i;
+    gps_seen += store.HasGps(i);
+    EXPECT_EQ(store.TextAt(i), "t" + std::to_string(i));
+  }
+  EXPECT_EQ(gps_seen, store.gps_count());
+}
+
+TEST(ColumnStoreTest, FromDatasetMatchesRowStore) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  DatasetGenerator generator(&db, DatasetGenerator::KoreanConfig(0.02));
+  GeneratedData data = generator.Generate();
+  TweetColumnStore store = TweetColumnStore::FromDataset(data.dataset);
+  ASSERT_EQ(store.size(), data.dataset.tweets().size());
+  EXPECT_EQ(store.gps_count(), data.dataset.gps_tweet_count());
+  for (size_t i = 0; i < store.size(); ++i) {
+    const Tweet& row = data.dataset.tweets()[i];
+    TweetView view = store.Get(i);
+    EXPECT_EQ(view.id, row.id);
+    EXPECT_EQ(view.user, row.user);
+    EXPECT_EQ(view.time, row.time);
+    EXPECT_EQ(view.gps.has_value(), row.gps.has_value());
+    if (row.gps.has_value()) {
+      EXPECT_DOUBLE_EQ(view.gps->lat, row.gps->lat);
+      EXPECT_DOUBLE_EQ(view.gps->lng, row.gps->lng);
+    }
+    EXPECT_EQ(view.text, row.text);
+  }
+}
+
+TEST(ColumnStoreTest, ForEachGpsVisitsExactlyGpsRows) {
+  TweetColumnStore store;
+  for (TweetId i = 0; i < 100; ++i) {
+    std::optional<geo::LatLng> gps;
+    if (i % 7 == 0) gps = geo::LatLng{10, 20};
+    store.Append(MakeTweet(i, 1, i, gps, "x"));
+  }
+  int64_t visited = 0;
+  store.ForEachGps([&](size_t i, const geo::LatLng& p) {
+    EXPECT_EQ(i % 7, 0u);
+    EXPECT_DOUBLE_EQ(p.lat, 10);
+    ++visited;
+  });
+  EXPECT_EQ(visited, store.gps_count());
+}
+
+TEST(ColumnStoreTest, SaveLoadRoundTrip) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  DatasetGenerator generator(&db, DatasetGenerator::KoreanConfig(0.02));
+  GeneratedData data = generator.Generate();
+  TweetColumnStore store = TweetColumnStore::FromDataset(data.dataset);
+
+  std::string path = ::testing::TempDir() + "/stir_store.col";
+  ASSERT_TRUE(store.Save(path).ok());
+  auto loaded = TweetColumnStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), store.size());
+  EXPECT_EQ(loaded->gps_count(), store.gps_count());
+  for (size_t i = 0; i < store.size(); i += 7) {
+    TweetView a = store.Get(i);
+    TweetView b = loaded->Get(i);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.gps.has_value(), b.gps.has_value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, SaveLoadEmptyStore) {
+  TweetColumnStore store;
+  std::string path = ::testing::TempDir() + "/stir_empty.col";
+  ASSERT_TRUE(store.Save(path).ok());
+  auto loaded = TweetColumnStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, LoadRejectsCorruption) {
+  TweetColumnStore store;
+  store.Append(MakeTweet(1, 1, 1, geo::LatLng{1, 2}, "payload text"));
+  std::string path = ::testing::TempDir() + "/stir_corrupt.col";
+  ASSERT_TRUE(store.Save(path).ok());
+
+  // Flip a byte in the middle: checksum mismatch.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    f.put('\xFF');
+  }
+  auto corrupt = TweetColumnStore::Load(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_TRUE(corrupt.status().IsInvalidArgument());
+
+  // Bad magic.
+  ASSERT_TRUE(store.Save(path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.put('X');
+  }
+  EXPECT_FALSE(TweetColumnStore::Load(path).ok());
+
+  // Truncation.
+  ASSERT_TRUE(store.Save(path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(TweetColumnStore::Load(path).ok());
+
+  EXPECT_TRUE(
+      TweetColumnStore::Load("/nonexistent/x.col").status().IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, MemorySmallerThanRowStorageEstimate) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = DatasetGenerator::KoreanConfig(0.05);
+  config.plain_tweet_sample = 0.01;  // a text-heavy corpus
+  DatasetGenerator generator(&db, config);
+  GeneratedData data = generator.Generate();
+  TweetColumnStore store = TweetColumnStore::FromDataset(data.dataset);
+
+  // Row-storage lower bound: sizeof(Tweet) + per-string heap block.
+  int64_t row_estimate = 0;
+  for (const Tweet& tweet : data.dataset.tweets()) {
+    row_estimate += static_cast<int64_t>(sizeof(Tweet));
+    if (tweet.text.size() > sizeof(std::string) - 1) {  // heap-allocated
+      row_estimate += static_cast<int64_t>(tweet.text.capacity());
+    }
+  }
+  EXPECT_LT(store.MemoryBytes(), row_estimate);
+  EXPECT_GT(store.MemoryBytes(), 0);
+}
+
+}  // namespace
+}  // namespace stir::twitter

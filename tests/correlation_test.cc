@@ -1,0 +1,78 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace stir::stats {
+namespace {
+
+TEST(PearsonTest, PerfectCorrelations) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y_pos = {2, 4, 6, 8, 10};
+  std::vector<double> y_neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y_pos).value(), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, y_neg).value(), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceYieldsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).value(), 0.0);
+}
+
+TEST(PearsonTest, InvalidInputs) {
+  EXPECT_TRUE(PearsonCorrelation({1}, {1}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PearsonCorrelation({1, 2}, {1, 2, 3}).status().IsInvalidArgument());
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 8, 27, 64, 125};  // x^3: nonlinear, monotone
+  EXPECT_LT(PearsonCorrelation(x, y).value(), 1.0);
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTiesWithMidranks) {
+  std::vector<double> x = {1, 2, 2, 3};
+  std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(), 1.0, 1e-12);
+}
+
+TEST(ChiSquareTest, ZeroWhenObservedEqualsExpected) {
+  EXPECT_DOUBLE_EQ(
+      ChiSquareStatistic({10, 20, 30}, {10, 20, 30}).value(), 0.0);
+}
+
+TEST(ChiSquareTest, KnownValue) {
+  // ((12-10)^2)/10 + ((8-10)^2)/10 = 0.8
+  EXPECT_NEAR(ChiSquareStatistic({12, 8}, {10, 10}).value(), 0.8, 1e-12);
+}
+
+TEST(ChiSquareTest, RejectsNonPositiveExpected) {
+  EXPECT_TRUE(
+      ChiSquareStatistic({1}, {0}).status().IsInvalidArgument());
+  EXPECT_TRUE(ChiSquareStatistic({}, {}).status().IsInvalidArgument());
+}
+
+TEST(BootstrapTest, IntervalContainsPointAndShrinksWithData) {
+  Rng rng(17);
+  std::vector<double> small_sample, large_sample;
+  for (int i = 0; i < 20; ++i) small_sample.push_back(rng.Normal(50, 10));
+  for (int i = 0; i < 2000; ++i) large_sample.push_back(rng.Normal(50, 10));
+
+  BootstrapInterval small_ci = BootstrapMeanCI(small_sample, 0.95, 500, rng);
+  BootstrapInterval large_ci = BootstrapMeanCI(large_sample, 0.95, 500, rng);
+  EXPECT_LE(small_ci.lo, small_ci.point);
+  EXPECT_GE(small_ci.hi, small_ci.point);
+  EXPECT_LT(large_ci.hi - large_ci.lo, small_ci.hi - small_ci.lo);
+  EXPECT_NEAR(large_ci.point, 50.0, 1.5);
+}
+
+TEST(BootstrapTest, DegenerateInputs) {
+  Rng rng(18);
+  BootstrapInterval ci = BootstrapMeanCI({7.0}, 0.95, 100, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 7.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+}  // namespace
+}  // namespace stir::stats

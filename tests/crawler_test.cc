@@ -1,0 +1,117 @@
+#include "twitter/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace stir::twitter {
+namespace {
+
+SocialGraph TestGraph(int64_t n = 800, uint64_t seed = 9) {
+  SocialGraphOptions options;
+  options.num_users = n;
+  options.mean_following = 10.0;
+  Rng rng(seed);
+  return SocialGraph::Generate(options, rng);
+}
+
+TEST(CrawlerTest, SeedOutOfRangeFails) {
+  SocialGraph graph = TestGraph(100);
+  Crawler crawler(&graph, CrawlerOptions{});
+  EXPECT_TRUE(crawler.Crawl(-1).status().IsInvalidArgument());
+  EXPECT_TRUE(crawler.Crawl(100).status().IsInvalidArgument());
+}
+
+TEST(CrawlerTest, DiscoversDistinctUsersSeedFirst) {
+  SocialGraph graph = TestGraph();
+  Crawler crawler(&graph, CrawlerOptions{});
+  auto result = crawler.Crawl(graph.MostFollowedUser());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->users.empty());
+  EXPECT_EQ(result->users.front(), graph.MostFollowedUser());
+  std::set<UserId> unique(result->users.begin(), result->users.end());
+  EXPECT_EQ(unique.size(), result->users.size());
+  EXPECT_GT(result->requests_issued, 0);
+}
+
+TEST(CrawlerTest, TargetCapsDiscovery) {
+  SocialGraph graph = TestGraph();
+  CrawlerOptions options;
+  options.target_users = 50;
+  Crawler crawler(&graph, options);
+  auto result = crawler.Crawl(graph.MostFollowedUser());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->users.size(), 50u);
+}
+
+TEST(CrawlerTest, RateLimitAddsWallTime) {
+  SocialGraph graph = TestGraph(2000, 10);
+  CrawlerOptions slow;
+  slow.requests_per_window = 10;
+  slow.window_seconds = 900;
+  Crawler slow_crawler(&graph, slow);
+  auto slow_result = slow_crawler.Crawl(graph.MostFollowedUser());
+  ASSERT_TRUE(slow_result.ok());
+
+  CrawlerOptions fast;
+  fast.requests_per_window = 1000000;
+  Crawler fast_crawler(&graph, fast);
+  auto fast_result = fast_crawler.Crawl(graph.MostFollowedUser());
+  ASSERT_TRUE(fast_result.ok());
+
+  // Same BFS -> same discovery, but the throttled crawl takes far longer.
+  EXPECT_EQ(slow_result->users, fast_result->users);
+  EXPECT_GT(slow_result->elapsed_seconds,
+            fast_result->elapsed_seconds + 10 * 900 - 1);
+}
+
+TEST(CrawlerTest, PagingCostsOneRequestPerPage) {
+  SocialGraph graph = TestGraph(600, 11);
+  CrawlerOptions small_pages;
+  small_pages.page_size = 5;
+  CrawlerOptions big_pages;
+  big_pages.page_size = 5000;
+  auto small = Crawler(&graph, small_pages).Crawl(graph.MostFollowedUser());
+  auto big = Crawler(&graph, big_pages).Crawl(graph.MostFollowedUser());
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(small->requests_issued, big->requests_issued);
+}
+
+TEST(CrawlerTest, DisconnectedComponentStaysUnreached) {
+  // Two components: {0,1,2} wired together, {3,4} separate. A crawl
+  // seeded in the first can never discover the second — the sampling
+  // bias the paper's §III.B crawl methodology carries.
+  SocialGraph graph = SocialGraph::FromEdges(
+      5, {{1, 0}, {2, 0}, {0, 1}, {4, 3}});
+  Crawler crawler(&graph, CrawlerOptions{});
+  auto result = crawler.Crawl(0);
+  ASSERT_TRUE(result.ok());
+  std::set<UserId> seen(result->users.begin(), result->users.end());
+  EXPECT_EQ(seen, (std::set<UserId>{0, 1, 2}));
+  EXPECT_EQ(seen.count(3), 0u);
+  EXPECT_EQ(seen.count(4), 0u);
+}
+
+TEST(CrawlerTest, EmptyFollowerListStillCostsARequest) {
+  SocialGraph graph = SocialGraph::FromEdges(2, {{0, 1}});
+  // Seed user 1: one follower (0) who has none.
+  Crawler crawler(&graph, CrawlerOptions{});
+  auto result = crawler.Crawl(1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->users.size(), 2u);
+  EXPECT_EQ(result->requests_issued, 2);  // one listing per user
+}
+
+TEST(CrawlerTest, ReachesWholeComponentWithoutTarget) {
+  SocialGraph graph = TestGraph(400, 12);
+  Crawler crawler(&graph, CrawlerOptions{});
+  auto result = crawler.Crawl(graph.MostFollowedUser());
+  ASSERT_TRUE(result.ok());
+  // Preferential attachment graphs are nearly fully connected via
+  // followers-of-followers; expect a large majority discovered.
+  EXPECT_GT(result->users.size(), 300u);
+}
+
+}  // namespace
+}  // namespace stir::twitter

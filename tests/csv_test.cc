@@ -1,0 +1,80 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace stir {
+namespace {
+
+TEST(CsvTest, FormatPlainRow) {
+  EXPECT_EQ(FormatCsvRow({"a", "b", "c"}), "a,b,c");
+  EXPECT_EQ(FormatCsvRow({}), "");
+  EXPECT_EQ(FormatCsvRow({""}), "");
+}
+
+TEST(CsvTest, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(FormatCsvRow({"a,b", "c"}), "\"a,b\",c");
+  EXPECT_EQ(FormatCsvRow({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(FormatCsvRow({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, ParsePlainRow) {
+  auto row = ParseCsvRow("a,b,,d");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (std::vector<std::string>{"a", "b", "", "d"}));
+}
+
+TEST(CsvTest, ParseQuotedRow) {
+  auto row = ParseCsvRow("\"a,b\",\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (std::vector<std::string>{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_TRUE(ParseCsvRow("\"abc").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RoundTripArbitraryFields) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with\"quote",
+                                     "", "tab\tinside"};
+  auto parsed = ParseCsvRow(FormatCsvRow(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(CsvTest, TsvDelimiterRoundTrip) {
+  CsvOptions tsv;
+  tsv.delimiter = '\t';
+  std::vector<std::string> fields = {"a", "b\tc", "d,e"};
+  auto parsed = ParseCsvRow(FormatCsvRow(fields, tsv), tsv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(CsvTest, ParseDocumentSkipsBlankLinesAndCr) {
+  auto rows = ParseCsv("a,b\r\n\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/stir_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {{"h1", "h2"},
+                                                {"v,1", "v\"2\""}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_TRUE(
+      ReadCsvFile("/nonexistent/dir/file.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace stir

@@ -1,0 +1,129 @@
+#include "twitter/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace stir::twitter {
+namespace {
+
+User MakeUser(UserId id, const std::string& location, int64_t total) {
+  User user;
+  user.id = id;
+  user.handle = "user" + std::to_string(id);
+  user.profile_location = location;
+  user.total_tweets = total;
+  return user;
+}
+
+Tweet MakeTweet(TweetId id, UserId user, SimTime time,
+                std::optional<geo::LatLng> gps = std::nullopt,
+                std::string text = "hello") {
+  Tweet tweet;
+  tweet.id = id;
+  tweet.user = user;
+  tweet.time = time;
+  tweet.gps = gps;
+  tweet.text = std::move(text);
+  return tweet;
+}
+
+TEST(DatasetTest, AddAndLookup) {
+  Dataset dataset;
+  dataset.AddUser(MakeUser(1, "Seoul Mapo-gu", 100));
+  dataset.AddUser(MakeUser(2, "", 50));
+  dataset.AddTweet(MakeTweet(10, 1, 1000, geo::LatLng{37.55, 126.9}));
+  dataset.AddTweet(MakeTweet(11, 1, 2000));
+  dataset.AddTweet(MakeTweet(12, 2, 1500));
+
+  EXPECT_EQ(dataset.users().size(), 2u);
+  EXPECT_EQ(dataset.tweets().size(), 3u);
+  EXPECT_EQ(dataset.gps_tweet_count(), 1);
+  EXPECT_EQ(dataset.total_tweet_count(), 150);
+  ASSERT_NE(dataset.FindUser(1), nullptr);
+  EXPECT_EQ(dataset.FindUser(1)->profile_location, "Seoul Mapo-gu");
+  EXPECT_EQ(dataset.FindUser(99), nullptr);
+  EXPECT_EQ(dataset.TweetIndicesOf(1).size(), 2u);
+  EXPECT_EQ(dataset.TweetIndicesOf(2).size(), 1u);
+  EXPECT_TRUE(dataset.TweetIndicesOf(99).empty());
+}
+
+TEST(DatasetTest, TsvRoundTrip) {
+  Dataset dataset;
+  dataset.AddUser(MakeUser(1, "Seoul Gangnam-gu", 7));
+  dataset.AddUser(MakeUser(2, "my\thome", 3));  // delimiter in field
+  dataset.AddTweet(
+      MakeTweet(5, 1, 42, geo::LatLng{37.517, 127.047}, "at Gangnam"));
+  dataset.AddTweet(MakeTweet(6, 2, 43, std::nullopt, "plain tweet"));
+
+  std::string users_path = ::testing::TempDir() + "/stir_users.tsv";
+  std::string tweets_path = ::testing::TempDir() + "/stir_tweets.tsv";
+  ASSERT_TRUE(dataset.SaveTsv(users_path, tweets_path).ok());
+
+  auto loaded = Dataset::LoadTsv(users_path, tweets_path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->users().size(), 2u);
+  EXPECT_EQ(loaded->tweets().size(), 2u);
+  EXPECT_EQ(loaded->FindUser(2)->profile_location, "my\thome");
+  EXPECT_EQ(loaded->gps_tweet_count(), 1);
+  const Tweet& gps_tweet = loaded->tweets()[0];
+  ASSERT_TRUE(gps_tweet.gps.has_value());
+  EXPECT_NEAR(gps_tweet.gps->lat, 37.517, 1e-6);
+  EXPECT_NEAR(gps_tweet.gps->lng, 127.047, 1e-6);
+  EXPECT_EQ(gps_tweet.text, "at Gangnam");
+
+  std::remove(users_path.c_str());
+  std::remove(tweets_path.c_str());
+}
+
+TEST(DatasetTest, LoadRejectsTweetFromUnknownUser) {
+  std::string users_path = ::testing::TempDir() + "/stir_users_bad.tsv";
+  std::string tweets_path = ::testing::TempDir() + "/stir_tweets_bad.tsv";
+  {
+    Dataset dataset;
+    dataset.AddUser(MakeUser(1, "x", 1));
+    ASSERT_TRUE(dataset.SaveTsv(users_path, tweets_path).ok());
+  }
+  // Append a tweet from user 999.
+  FILE* f = fopen(tweets_path.c_str(), "a");
+  ASSERT_NE(f, nullptr);
+  fputs("7\t999\t0\t\t\toops\n", f);
+  fclose(f);
+  auto loaded = Dataset::LoadTsv(users_path, tweets_path);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  std::remove(users_path.c_str());
+  std::remove(tweets_path.c_str());
+}
+
+TEST(DatasetTest, LoadRejectsBadCoordinates) {
+  std::string users_path = ::testing::TempDir() + "/stir_users_bad2.tsv";
+  std::string tweets_path = ::testing::TempDir() + "/stir_tweets_bad2.tsv";
+  {
+    Dataset dataset;
+    dataset.AddUser(MakeUser(1, "x", 1));
+    ASSERT_TRUE(dataset.SaveTsv(users_path, tweets_path).ok());
+  }
+  FILE* f = fopen(tweets_path.c_str(), "a");
+  ASSERT_NE(f, nullptr);
+  fputs("7\t1\t0\tnotanumber\t12\toops\n", f);
+  fclose(f);
+  EXPECT_TRUE(Dataset::LoadTsv(users_path, tweets_path)
+                  .status()
+                  .IsInvalidArgument());
+  std::remove(users_path.c_str());
+  std::remove(tweets_path.c_str());
+}
+
+TEST(DatasetDeathTest, DuplicateUserAborts) {
+  Dataset dataset;
+  dataset.AddUser(MakeUser(1, "x", 1));
+  EXPECT_DEATH(dataset.AddUser(MakeUser(1, "y", 2)), "duplicate user");
+}
+
+TEST(DatasetDeathTest, TweetFromUnknownUserAborts) {
+  Dataset dataset;
+  EXPECT_DEATH(dataset.AddTweet(MakeTweet(1, 42, 0)), "unknown user");
+}
+
+}  // namespace
+}  // namespace stir::twitter

@@ -1,0 +1,81 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stir::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanVarianceStddev) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(Stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+TEST(DescriptiveTest, PercentileInterpolates) {
+  std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 12.5), 15.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 150), 50.0);  // clamped
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  std::vector<double> v = {1.5, -2.0, 3.25, 0.0, 10.0, 7.5};
+  RunningStats rs;
+  for (double x : v) rs.Add(x);
+  EXPECT_EQ(rs.count(), static_cast<int64_t>(v.size()));
+  EXPECT_NEAR(rs.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(rs.variance(), Variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.Add(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);    // bucket 0
+  h.Add(1.99);   // bucket 0
+  h.Add(5.0);    // bucket 2
+  h.Add(9.99);   // bucket 4
+  h.Add(-3.0);   // clamped to 0
+  h.Add(42.0);   // clamped to 4
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_EQ(h.bucket_count(0), 3);
+  EXPECT_EQ(h.bucket_count(1), 0);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(4), 2);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(2), 6.0);
+}
+
+TEST(HistogramTest, ToStringRendersAllBuckets) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  h.Add(1.5);
+  std::string s = h.ToString(10);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stir::stats

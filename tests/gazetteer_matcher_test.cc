@@ -1,0 +1,100 @@
+#include "text/gazetteer_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "text/normalize.h"
+
+namespace stir::text {
+namespace {
+
+class GazetteerMatcherTest : public ::testing::Test {
+ protected:
+  GazetteerMatcherTest()
+      : korean_(&geo::AdminDb::KoreanDistricts()),
+        world_(&geo::AdminDb::WorldCities()) {}
+
+  std::vector<PhraseMatch> MatchKorean(const std::string& s) {
+    return korean_.Match(Tokenize(s));
+  }
+  std::vector<PhraseMatch> MatchWorld(const std::string& s) {
+    return world_.Match(Tokenize(s));
+  }
+
+  GazetteerMatcher korean_;
+  GazetteerMatcher world_;
+};
+
+TEST_F(GazetteerMatcherTest, CountyAndStateInOneString) {
+  auto matches = MatchKorean("Seoul Yangcheon-gu");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].kind, PhraseKind::kState);
+  EXPECT_EQ(matches[0].name, "Seoul");
+  EXPECT_EQ(matches[1].kind, PhraseKind::kCounty);
+  ASSERT_EQ(matches[1].regions.size(), 1u);
+}
+
+TEST_F(GazetteerMatcherTest, AmbiguousCountyListsAllRegions) {
+  auto matches = MatchKorean("Jung-gu");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].kind, PhraseKind::kCounty);
+  EXPECT_EQ(matches[0].regions.size(), 6u);  // six metros have a Jung-gu
+}
+
+TEST_F(GazetteerMatcherTest, CountryAlias) {
+  auto matches = MatchKorean("Korea");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].kind, PhraseKind::kCountry);
+  EXPECT_EQ(matches[0].name, "South Korea");
+}
+
+TEST_F(GazetteerMatcherTest, MultiWordPhraseGreedyLongest) {
+  auto matches = MatchWorld("Gold Coast Australia");
+  ASSERT_GE(matches.size(), 2u);
+  EXPECT_EQ(matches[0].kind, PhraseKind::kCounty);
+  EXPECT_EQ(matches[0].name, "Gold Coast");
+  EXPECT_EQ(matches[0].token_count, 2u);
+  EXPECT_EQ(matches[1].kind, PhraseKind::kCountry);
+}
+
+TEST_F(GazetteerMatcherTest, NewYorkCityVsState) {
+  // "new york" is both a state and a city; the county entry must win.
+  auto matches = MatchWorld("New York");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].kind, PhraseKind::kCounty);
+}
+
+TEST_F(GazetteerMatcherTest, FuzzyHitOnLongCountyName) {
+  auto matches = MatchKorean("Gangnm-gu");  // dropped 'a'
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_TRUE(matches[0].fuzzy);
+  EXPECT_EQ(matches[0].name, "Gangnam-gu");
+}
+
+TEST_F(GazetteerMatcherTest, NoFuzzyOnShortTokens) {
+  // Too short for the fuzzy pool (could hit many things).
+  auto matches = MatchKorean("seul");
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_F(GazetteerMatcherTest, NoMatchesForNoise) {
+  EXPECT_TRUE(MatchKorean("darangland :)").empty());
+  EXPECT_TRUE(MatchKorean("my home").empty());
+  EXPECT_TRUE(MatchKorean("").empty());
+}
+
+TEST_F(GazetteerMatcherTest, EveryCountyNameMatchesItself) {
+  // Property over the whole gazetteer: the matcher must recognize each
+  // county's own normalized name, and one candidate must be that county.
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  for (const geo::Region& region : db.regions()) {
+    auto matches = korean_.Match(Tokenize(region.county));
+    ASSERT_FALSE(matches.empty()) << region.FullName();
+    EXPECT_EQ(matches[0].kind, PhraseKind::kCounty) << region.FullName();
+    bool found = false;
+    for (geo::RegionId id : matches[0].regions) found |= (id == region.id);
+    EXPECT_TRUE(found) << region.FullName();
+  }
+}
+
+}  // namespace
+}  // namespace stir::text

@@ -1,0 +1,132 @@
+#include "twitter/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace stir::twitter {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = DatasetGenerator::KoreanConfig(0.01);
+  GeneratedData a = DatasetGenerator(&db, config).Generate();
+  GeneratedData b = DatasetGenerator(&db, config).Generate();
+  ASSERT_EQ(a.dataset.users().size(), b.dataset.users().size());
+  ASSERT_EQ(a.dataset.tweets().size(), b.dataset.tweets().size());
+  for (size_t i = 0; i < a.dataset.users().size(); ++i) {
+    EXPECT_EQ(a.dataset.users()[i].profile_location,
+              b.dataset.users()[i].profile_location);
+    EXPECT_EQ(a.dataset.users()[i].total_tweets,
+              b.dataset.users()[i].total_tweets);
+  }
+  for (size_t i = 0; i < a.dataset.tweets().size(); ++i) {
+    EXPECT_EQ(a.dataset.tweets()[i].time, b.dataset.tweets()[i].time);
+    EXPECT_EQ(a.dataset.tweets()[i].gps.has_value(),
+              b.dataset.tweets()[i].gps.has_value());
+  }
+}
+
+TEST(GeneratorTest, UserCountMatchesConfig) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = DatasetGenerator::KoreanConfig(0.02);
+  GeneratedData data = DatasetGenerator(&db, config).Generate();
+  EXPECT_EQ(static_cast<int64_t>(data.dataset.users().size()),
+            config.num_users);
+  EXPECT_EQ(data.truth.mobility.size(), data.dataset.users().size());
+  EXPECT_EQ(data.truth.profile_style.size(), data.dataset.users().size());
+  EXPECT_GT(data.crawl_requests, 0);
+}
+
+TEST(GeneratorTest, EveryTweetBelongsToAKnownUserAndWindow) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = DatasetGenerator::KoreanConfig(0.01);
+  GeneratedData data = DatasetGenerator(&db, config).Generate();
+  SimTime horizon = config.start_time +
+                    config.duration_days * kSecondsPerDay;
+  for (const Tweet& tweet : data.dataset.tweets()) {
+    EXPECT_NE(data.dataset.FindUser(tweet.user), nullptr);
+    EXPECT_GE(tweet.time, config.start_time);
+    EXPECT_LT(tweet.time, horizon);
+    if (tweet.gps.has_value()) {
+      EXPECT_TRUE(tweet.gps->IsValid());
+      EXPECT_TRUE(db.Locate(*tweet.gps).ok());
+    }
+  }
+}
+
+TEST(GeneratorTest, GpsTweetsComeOnlyFromGeotaggers) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = DatasetGenerator::KoreanConfig(0.02);
+  GeneratedData data = DatasetGenerator(&db, config).Generate();
+  for (const Tweet& tweet : data.dataset.tweets()) {
+    if (!tweet.gps.has_value()) continue;
+    const MobilityProfile& truth = data.truth.mobility.at(tweet.user);
+    EXPECT_GT(truth.geotag_rate, 0.0);
+  }
+}
+
+TEST(GeneratorTest, GpsTweetRegionsAreActivitySpots) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = DatasetGenerator::KoreanConfig(0.01);
+  GeneratedData data = DatasetGenerator(&db, config).Generate();
+  for (const Tweet& tweet : data.dataset.tweets()) {
+    if (!tweet.gps.has_value()) continue;
+    auto located = db.Locate(*tweet.gps);
+    ASSERT_TRUE(located.ok());
+    const MobilityProfile& truth = data.truth.mobility.at(tweet.user);
+    bool is_spot = false;
+    for (const ActivitySpot& spot : truth.spots) {
+      is_spot |= (spot.region == *located);
+    }
+    EXPECT_TRUE(is_spot) << "tweet region not an activity spot";
+  }
+}
+
+TEST(GeneratorTest, TweetCountsPlausible) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = DatasetGenerator::KoreanConfig(0.05);
+  GeneratedData data = DatasetGenerator(&db, config).Generate();
+  int64_t total = data.dataset.total_tweet_count();
+  // ~213 tweets/user at the paper's ratio (11.14M / 52.2k); wide band.
+  double per_user =
+      static_cast<double>(total) /
+      static_cast<double>(data.dataset.users().size());
+  EXPECT_GT(per_user, 120.0);
+  EXPECT_LT(per_user, 350.0);
+  for (const User& user : data.dataset.users()) {
+    EXPECT_GE(user.total_tweets, 1);
+    EXPECT_LE(user.total_tweets, config.max_tweets_per_user);
+  }
+  // GPS share ~0.2-0.4% of the corpus.
+  double gps_share = static_cast<double>(data.dataset.gps_tweet_count()) /
+                     static_cast<double>(total);
+  EXPECT_GT(gps_share, 0.0005);
+  EXPECT_LT(gps_share, 0.01);
+}
+
+TEST(GeneratorTest, LadyGagaConfigIsTopical) {
+  const geo::AdminDb& world = geo::AdminDb::WorldCities();
+  auto config = DatasetGenerator::LadyGagaConfig(0.05);
+  GeneratedData data = DatasetGenerator(&world, config).Generate();
+  EXPECT_EQ(data.crawl_requests, 0);  // Search API, not a crawl
+  ASSERT_GT(data.dataset.tweets().size(), 0u);
+  for (const Tweet& tweet : data.dataset.tweets()) {
+    EXPECT_NE(tweet.text.find("lady gaga"), std::string::npos);
+  }
+}
+
+TEST(GeneratorTest, DiurnalCycleHasEveningPeakAndNightTrough) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = DatasetGenerator::KoreanConfig(0.02);
+  config.plain_tweet_sample = 0.01;  // denser sample for the histogram
+  GeneratedData data = DatasetGenerator(&db, config).Generate();
+  int64_t evening = 0, night = 0;
+  for (const Tweet& tweet : data.dataset.tweets()) {
+    int hour = HourOfDay(tweet.time);
+    if (hour >= 18 && hour <= 22) ++evening;
+    if (hour >= 2 && hour <= 5) ++night;
+  }
+  EXPECT_GT(evening, night * 3);
+}
+
+}  // namespace
+}  // namespace stir::twitter

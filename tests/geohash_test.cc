@@ -1,0 +1,68 @@
+#include "geo/geohash.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace stir::geo {
+namespace {
+
+TEST(GeohashTest, KnownVectors) {
+  // Reference vectors from the original geohash definition.
+  EXPECT_EQ(GeohashEncode({57.64911, 10.40744}, 11), "u4pruydqqvj");
+  EXPECT_EQ(GeohashEncode({37.5665, 126.9780}, 5), "wydm9");
+}
+
+TEST(GeohashTest, DecodeRecoversCellCenter) {
+  LatLng p{37.5665, 126.9780};
+  for (int precision : {4, 6, 8, 10}) {
+    std::string hash = GeohashEncode(p, precision);
+    auto decoded = GeohashDecode(hash);
+    ASSERT_TRUE(decoded.ok());
+    auto bounds = GeohashDecodeBounds(hash);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_TRUE(bounds->Contains(p));
+    EXPECT_TRUE(bounds->Contains(*decoded));
+  }
+}
+
+TEST(GeohashTest, PrecisionShrinksCells) {
+  LatLng p{35.1796, 129.0756};
+  double previous_span = 1e9;
+  for (int precision = 1; precision <= 10; ++precision) {
+    auto bounds = GeohashDecodeBounds(GeohashEncode(p, precision));
+    ASSERT_TRUE(bounds.ok());
+    double span = (bounds->max_lat - bounds->min_lat) +
+                  (bounds->max_lng - bounds->min_lng);
+    EXPECT_LT(span, previous_span);
+    previous_span = span;
+  }
+}
+
+TEST(GeohashTest, InvalidInputs) {
+  EXPECT_TRUE(GeohashDecode("").status().IsInvalidArgument());
+  EXPECT_TRUE(GeohashDecode("abia").status().IsInvalidArgument());  // 'a','i'
+  EXPECT_TRUE(GeohashDecode("xyz!").status().IsInvalidArgument());
+}
+
+TEST(GeohashTest, PrecisionClamped) {
+  EXPECT_EQ(GeohashEncode({0, 0}, 0).size(), 1u);
+  EXPECT_EQ(GeohashEncode({0, 0}, 99).size(), 18u);
+}
+
+TEST(GeohashTest, PropertyRoundTripRandomPoints) {
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    LatLng p{rng.Uniform(-89.9, 89.9), rng.Uniform(-179.9, 179.9)};
+    std::string hash = GeohashEncode(p, 9);
+    auto decoded = GeohashDecode(hash);
+    ASSERT_TRUE(decoded.ok());
+    // 9 chars: cell smaller than ~5 m.
+    EXPECT_LT(HaversineKm(p, *decoded), 0.01);
+    // Prefix property: shorter hash is a prefix of the longer.
+    EXPECT_EQ(GeohashEncode(p, 5), hash.substr(0, 5));
+  }
+}
+
+}  // namespace
+}  // namespace stir::geo

@@ -1,0 +1,77 @@
+#include "event/kalman.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace stir::event {
+namespace {
+
+TEST(KalmanTest, InitializeSetsState) {
+  KalmanFilter2D filter;
+  EXPECT_FALSE(filter.initialized());
+  filter.Initialize({37.5, 127.0}, 1.0);
+  EXPECT_TRUE(filter.initialized());
+  EXPECT_EQ(filter.state(), (geo::LatLng{37.5, 127.0}));
+  EXPECT_DOUBLE_EQ(filter.variance(), 1.0);
+}
+
+TEST(KalmanTest, FirstUpdateActsAsInitialize) {
+  KalmanFilter2D filter;
+  filter.Update({36.0, 128.0}, 0.5);
+  EXPECT_TRUE(filter.initialized());
+  EXPECT_EQ(filter.state(), (geo::LatLng{36.0, 128.0}));
+}
+
+TEST(KalmanTest, UpdateMovesTowardMeasurement) {
+  KalmanFilter2D filter;
+  filter.Initialize({37.0, 127.0}, 1.0);
+  filter.Update({38.0, 128.0}, 1.0);
+  // Equal variances: posterior is the midpoint.
+  EXPECT_NEAR(filter.state().lat, 37.5, 1e-9);
+  EXPECT_NEAR(filter.state().lng, 127.5, 1e-9);
+  EXPECT_NEAR(filter.variance(), 0.5, 1e-9);
+}
+
+TEST(KalmanTest, NoisyMeasurementMovesLess) {
+  KalmanFilter2D a, b;
+  a.Initialize({37.0, 127.0}, 1.0);
+  b.Initialize({37.0, 127.0}, 1.0);
+  a.Update({38.0, 127.0}, 0.1);   // precise measurement
+  b.Update({38.0, 127.0}, 10.0);  // noisy measurement
+  EXPECT_GT(a.state().lat, b.state().lat);
+}
+
+TEST(KalmanTest, VarianceMonotonicallyShrinksWithUpdates) {
+  KalmanFilter2D filter;
+  filter.Initialize({37.0, 127.0}, 5.0);
+  double previous = filter.variance();
+  for (int i = 0; i < 10; ++i) {
+    filter.Update({37.0, 127.0}, 1.0);
+    EXPECT_LT(filter.variance(), previous);
+    previous = filter.variance();
+  }
+}
+
+TEST(KalmanTest, PredictInflatesVariance) {
+  KalmanFilter2D filter(0.25);
+  filter.Initialize({37.0, 127.0}, 1.0);
+  filter.Predict();
+  EXPECT_DOUBLE_EQ(filter.variance(), 1.25);
+}
+
+TEST(KalmanTest, ConvergesToTrueLocationUnderNoise) {
+  Rng rng(3);
+  geo::LatLng truth{36.35, 127.38};
+  KalmanFilter2D filter;
+  for (int i = 0; i < 400; ++i) {
+    geo::LatLng measurement{truth.lat + rng.Normal(0.0, 0.2),
+                            truth.lng + rng.Normal(0.0, 0.2)};
+    filter.Update(measurement, 0.04);  // R = sigma^2
+  }
+  EXPECT_LT(geo::HaversineKm(filter.state(), truth), 3.0);
+  EXPECT_LT(filter.variance(), 0.001);
+}
+
+}  // namespace
+}  // namespace stir::event

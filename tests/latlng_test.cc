@@ -1,0 +1,95 @@
+#include "geo/latlng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stir::geo {
+namespace {
+
+TEST(LatLngTest, Validity) {
+  EXPECT_TRUE((LatLng{0, 0}).IsValid());
+  EXPECT_TRUE((LatLng{-90, 180}).IsValid());
+  EXPECT_FALSE((LatLng{90.01, 0}).IsValid());
+  EXPECT_FALSE((LatLng{0, -180.01}).IsValid());
+  EXPECT_FALSE((LatLng{NAN, 0}).IsValid());
+  EXPECT_FALSE((LatLng{0, INFINITY}).IsValid());
+}
+
+TEST(LatLngTest, ToStringSixDecimals) {
+  EXPECT_EQ((LatLng{37.5665, 126.978}).ToString(), "37.566500,126.978000");
+}
+
+TEST(HaversineTest, KnownDistances) {
+  // Seoul City Hall to Busan City Hall: ~325 km.
+  LatLng seoul{37.5665, 126.9780};
+  LatLng busan{35.1796, 129.0756};
+  EXPECT_NEAR(HaversineKm(seoul, busan), 325.0, 8.0);
+  // Zero distance.
+  EXPECT_DOUBLE_EQ(HaversineKm(seoul, seoul), 0.0);
+  // One degree of latitude is ~111.2 km anywhere.
+  EXPECT_NEAR(HaversineKm({0, 0}, {1, 0}), 111.2, 0.5);
+  EXPECT_NEAR(HaversineKm({50, 10}, {51, 10}), 111.2, 0.5);
+}
+
+TEST(HaversineTest, SymmetricAndTriangleLike) {
+  LatLng a{37.5, 127.0}, b{35.2, 129.1}, c{36.3, 127.4};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+  EXPECT_LE(HaversineKm(a, b), HaversineKm(a, c) + HaversineKm(c, b) + 1e-9);
+}
+
+TEST(ApproxDistanceTest, CloseToHaversineAtCityScale) {
+  LatLng center{37.5665, 126.9780};
+  LatLng targets[] = {{37.60, 127.02}, {37.49, 126.90}, {37.57, 126.99}};
+  for (const LatLng& t : targets) {
+    double exact = HaversineKm(center, t);
+    double approx = ApproxDistanceKm(center, t);
+    EXPECT_NEAR(approx, exact, exact * 0.005 + 0.01);
+  }
+}
+
+TEST(DestinationTest, InvertsHaversine) {
+  LatLng origin{37.5665, 126.9780};
+  for (double bearing : {0.0, 45.0, 90.0, 180.0, 270.0, 359.0}) {
+    for (double distance : {0.5, 5.0, 50.0, 300.0}) {
+      LatLng dest = Destination(origin, bearing, distance);
+      EXPECT_TRUE(dest.IsValid());
+      EXPECT_NEAR(HaversineKm(origin, dest), distance, distance * 0.001 + 1e-6)
+          << "bearing=" << bearing << " distance=" << distance;
+    }
+  }
+}
+
+TEST(DestinationTest, NorthIncreasesLatitude) {
+  LatLng origin{10, 20};
+  LatLng north = Destination(origin, 0.0, 100.0);
+  EXPECT_GT(north.lat, origin.lat);
+  EXPECT_NEAR(north.lng, origin.lng, 1e-9);
+  LatLng east = Destination(origin, 90.0, 100.0);
+  EXPECT_GT(east.lng, origin.lng);
+}
+
+TEST(BoundingBoxTest, EmptyAndExtend) {
+  BoundingBox box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_FALSE(box.Contains({0, 0}));
+  box.Extend({10, 20});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.Contains({10, 20}));
+  box.Extend({-5, 30});
+  EXPECT_TRUE(box.Contains({0, 25}));
+  EXPECT_FALSE(box.Contains({0, 31}));
+  EXPECT_EQ(box.Center().lat, 2.5);
+  EXPECT_EQ(box.Center().lng, 25.0);
+}
+
+TEST(BoundingBoxTest, Expanded) {
+  BoundingBox box;
+  box.Extend({10, 10});
+  BoundingBox bigger = box.Expanded(1.0);
+  EXPECT_TRUE(bigger.Contains({10.9, 9.1}));
+  EXPECT_FALSE(bigger.Contains({11.1, 10}));
+}
+
+}  // namespace
+}  // namespace stir::geo

@@ -1,0 +1,163 @@
+#include "text/location_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace stir::text {
+namespace {
+
+class LocationParserTest : public ::testing::Test {
+ protected:
+  LocationParserTest() : parser_(&geo::AdminDb::KoreanDistricts()) {}
+  ParsedLocation Parse(const std::string& s) { return parser_.Parse(s); }
+  const geo::AdminDb& db() { return parser_.db(); }
+  LocationParser parser_;
+};
+
+TEST_F(LocationParserTest, WellDefinedStateCounty) {
+  ParsedLocation p = Parse("Seoul Yangcheon-gu");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).FullName(), "Seoul Yangcheon-gu");
+}
+
+TEST_F(LocationParserTest, CountyCommaStateForm) {
+  ParsedLocation p = Parse("Yangcheon-gu, Seoul");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).county, "Yangcheon-gu");
+}
+
+TEST_F(LocationParserTest, UniqueCountyAloneIsWellDefined) {
+  ParsedLocation p = Parse("Uiwang-si");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).state, "Gyeonggi-do");
+}
+
+TEST_F(LocationParserTest, AmbiguousCountyAlone) {
+  ParsedLocation p = Parse("Jung-gu");
+  EXPECT_EQ(p.quality, LocationQuality::kAmbiguous);
+  EXPECT_EQ(p.candidates.size(), 6u);
+}
+
+TEST_F(LocationParserTest, StateDisambiguatesCounty) {
+  ParsedLocation p = Parse("Busan Jung-gu");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).FullName(), "Busan Jung-gu");
+}
+
+TEST_F(LocationParserTest, GpsCoordinatesResolve) {
+  ParsedLocation p = Parse("37.517000, 126.866600");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_TRUE(p.from_gps);
+  EXPECT_EQ(db().region(p.region).county, "Yangcheon-gu");
+  // Space-separated form too.
+  EXPECT_EQ(Parse("35.1796 129.0756").quality,
+            LocationQuality::kWellDefined);
+}
+
+TEST_F(LocationParserTest, GpsOutsideCoverageIsVague) {
+  EXPECT_EQ(Parse("20.0, -150.0").quality, LocationQuality::kVague);
+}
+
+TEST_F(LocationParserTest, StateOnlyInsufficient) {
+  EXPECT_EQ(Parse("Seoul").quality, LocationQuality::kInsufficient);
+  EXPECT_EQ(Parse("Gyeonggi-do").quality, LocationQuality::kInsufficient);
+}
+
+TEST_F(LocationParserTest, CountryOnlyInsufficient) {
+  EXPECT_EQ(Parse("Korea").quality, LocationQuality::kInsufficient);
+  EXPECT_EQ(Parse("South Korea").quality, LocationQuality::kInsufficient);
+  EXPECT_EQ(Parse("Seoul, Korea").quality, LocationQuality::kInsufficient);
+}
+
+TEST_F(LocationParserTest, VagueAndEmpty) {
+  EXPECT_EQ(Parse("").quality, LocationQuality::kEmpty);
+  EXPECT_EQ(Parse("   ").quality, LocationQuality::kEmpty);
+  EXPECT_EQ(Parse("Earth").quality, LocationQuality::kVague);
+  EXPECT_EQ(Parse("my home").quality, LocationQuality::kVague);
+  EXPECT_EQ(Parse("darangland :)").quality, LocationQuality::kVague);
+  EXPECT_EQ(Parse("404 not found").quality, LocationQuality::kVague);
+}
+
+TEST_F(LocationParserTest, TwoDistinctPlacesAreAmbiguous) {
+  ParsedLocation p = Parse("Seoul Mapo-gu / Busan Haeundae-gu");
+  ASSERT_EQ(p.quality, LocationQuality::kAmbiguous);
+  EXPECT_EQ(p.candidates.size(), 2u);
+}
+
+TEST_F(LocationParserTest, ForeignPlusResolvablePieceResolves) {
+  // "Gold Coast Australia" is invisible to the Korean gazetteer; the
+  // other piece resolves uniquely, so the parser keeps it.
+  ParsedLocation p = Parse("Gold Coast Australia / Seoul Mapo-gu");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).county, "Mapo-gu");
+}
+
+TEST_F(LocationParserTest, MultiPieceAmbiguousCountyStaysAmbiguous) {
+  ParsedLocation p = Parse("Gold Coast Australia / Jung-gu");
+  EXPECT_EQ(p.quality, LocationQuality::kAmbiguous);
+}
+
+TEST_F(LocationParserTest, FuzzyTypoRecovery) {
+  ParsedLocation p = Parse("Seoul Gangnm-gu");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_TRUE(p.fuzzy);
+  EXPECT_EQ(db().region(p.region).county, "Gangnam-gu");
+}
+
+TEST_F(LocationParserTest, CaseAndPunctuationInsensitive) {
+  ParsedLocation p = Parse("  seoul,, MAPO-GU!  ");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).county, "Mapo-gu");
+}
+
+TEST_F(LocationParserTest, HangulStateCountyParses) {
+  // The paper's Fig. 3 shows Korean-script profile locations.
+  ParsedLocation p = Parse("서울 마포구");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).FullName(), "Seoul Mapo-gu");
+}
+
+TEST_F(LocationParserTest, HangulCountyAloneParses) {
+  ParsedLocation p = Parse("양천구");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).county, "Yangcheon-gu");
+}
+
+TEST_F(LocationParserTest, HangulStateAloneInsufficient) {
+  EXPECT_EQ(Parse("서울").quality, LocationQuality::kInsufficient);
+  EXPECT_EQ(Parse("경기도").quality, LocationQuality::kInsufficient);
+}
+
+TEST_F(LocationParserTest, MixedScriptParses) {
+  ParsedLocation p = Parse("서울 Gangnam-gu");
+  ASSERT_EQ(p.quality, LocationQuality::kWellDefined);
+  EXPECT_EQ(db().region(p.region).county, "Gangnam-gu");
+}
+
+TEST_F(LocationParserTest, QualityToString) {
+  EXPECT_STREQ(LocationQualityToString(LocationQuality::kWellDefined),
+               "well-defined");
+  EXPECT_STREQ(LocationQualityToString(LocationQuality::kVague), "vague");
+}
+
+// Property: every county in the gazetteer parses to itself when written
+// as "State County" — the generator's kStateCounty style must always
+// survive refinement.
+class ParseAllCountiesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParseAllCountiesTest, StateCountyFormAlwaysWellDefined) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  LocationParser parser(&db);
+  int stride = GetParam();
+  for (size_t i = 0; i < db.size(); i += static_cast<size_t>(stride)) {
+    const geo::Region& region = db.region(static_cast<geo::RegionId>(i));
+    ParsedLocation p = parser.Parse(region.state + " " + region.county);
+    ASSERT_EQ(p.quality, LocationQuality::kWellDefined)
+        << region.FullName();
+    EXPECT_EQ(p.region, region.id) << region.FullName();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, ParseAllCountiesTest, ::testing::Values(1));
+
+}  // namespace
+}  // namespace stir::text

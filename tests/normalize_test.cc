@@ -1,0 +1,73 @@
+#include "text/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace stir::text {
+namespace {
+
+TEST(NormalizeTest, LowercasesAndCollapses) {
+  EXPECT_EQ(NormalizeFreeText("  Seoul,   KOREA!! "), "seoul korea");
+  EXPECT_EQ(NormalizeFreeText(""), "");
+  EXPECT_EQ(NormalizeFreeText("..."), "");
+}
+
+TEST(NormalizeTest, KeepsIntraWordHyphen) {
+  EXPECT_EQ(NormalizeFreeText("Yangcheon-gu"), "yangcheon-gu");
+  EXPECT_EQ(NormalizeFreeText("- dash - art -"), "dash art");
+  EXPECT_EQ(NormalizeFreeText("a-b-c"), "a-b-c");
+}
+
+TEST(NormalizeTest, PassesThroughUtf8) {
+  std::string korean = "\xEC\x84\x9C\xEC\x9A\xB8 Jung-gu";  // "서울 Jung-gu"
+  EXPECT_EQ(NormalizeFreeText(korean),
+            "\xEC\x84\x9C\xEC\x9A\xB8 jung-gu");
+}
+
+TEST(TokenizeTest, SplitsOnNormalizedSpaces) {
+  EXPECT_EQ(Tokenize("Seoul, Yangcheon-gu (Korea)"),
+            (std::vector<std::string>{"seoul", "yangcheon-gu", "korea"}));
+  EXPECT_TRUE(Tokenize("  !!! ").empty());
+}
+
+TEST(TokenizeTweetTest, StripsUrlsAndMentionSigils) {
+  auto tokens =
+      TokenizeTweet("big quake!! @user1 see https://t.co/abc #earthquake");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"big", "quake", "user1", "see",
+                                              "earthquake"}));
+}
+
+TEST(TokenizeTweetTest, KeepsApostrophes) {
+  EXPECT_EQ(TokenizeTweet("don't stop"),
+            (std::vector<std::string>{"don't", "stop"}));
+}
+
+TEST(TokenizeTweetTest, KeepsIntraWordHyphens) {
+  EXPECT_EQ(TokenizeTweet("lunch at Yangcheon-gu today"),
+            (std::vector<std::string>{"lunch", "at", "yangcheon-gu",
+                                      "today"}));
+  // Trailing or leading joiners do not stick.
+  EXPECT_EQ(TokenizeTweet("well- said -yes"),
+            (std::vector<std::string>{"well", "said", "yes"}));
+}
+
+TEST(EditDistanceTest, BasicDistances) {
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 3), 0);
+  EXPECT_EQ(BoundedEditDistance("abc", "abd", 3), 1);
+  EXPECT_EQ(BoundedEditDistance("abc", "ab", 3), 1);
+  EXPECT_EQ(BoundedEditDistance("abc", "xbcy", 3), 2);
+  EXPECT_EQ(BoundedEditDistance("", "abc", 5), 3);
+  EXPECT_EQ(BoundedEditDistance("gangnam", "gangnm", 1), 1);
+}
+
+TEST(EditDistanceTest, EarlyExitAboveBound) {
+  EXPECT_EQ(BoundedEditDistance("aaaa", "bbbb", 2), 3);  // bound + 1
+  EXPECT_EQ(BoundedEditDistance("short", "muchlongerstring", 2), 3);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(BoundedEditDistance("seoul", "busan", 5),
+            BoundedEditDistance("busan", "seoul", 5));
+}
+
+}  // namespace
+}  // namespace stir::text

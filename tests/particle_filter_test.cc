@@ -1,0 +1,100 @@
+#include "event/particle_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace stir::event {
+namespace {
+
+geo::BoundingBox KoreaBox() {
+  geo::BoundingBox box;
+  box.Extend({33.0, 124.5});
+  box.Extend({38.6, 131.0});
+  return box;
+}
+
+TEST(ParticleFilterTest, InitialEstimateNearPriorCenter) {
+  Rng rng(1);
+  ParticleFilter filter(5000, KoreaBox(), rng);
+  EXPECT_EQ(filter.num_particles(), 5000);
+  geo::LatLng estimate = filter.Estimate();
+  EXPECT_NEAR(estimate.lat, 35.8, 0.2);
+  EXPECT_NEAR(estimate.lng, 127.75, 0.2);
+  EXPECT_NEAR(filter.EffectiveSampleSize(), 5000.0, 1.0);
+}
+
+TEST(ParticleFilterTest, ConvergesToMeasurementCluster) {
+  Rng rng(2);
+  ParticleFilter filter(3000, KoreaBox(), rng);
+  geo::LatLng truth{36.10, 129.40};
+  for (int i = 0; i < 30; ++i) {
+    geo::LatLng measurement{truth.lat + rng.Normal(0.0, 0.1),
+                            truth.lng + rng.Normal(0.0, 0.1)};
+    filter.Update(measurement, 15.0, 1.0, rng);
+  }
+  EXPECT_LT(geo::HaversineKm(filter.Estimate(), truth), 15.0);
+  EXPECT_LT(filter.SpreadKm(), 25.0);
+}
+
+TEST(ParticleFilterTest, SpreadShrinksWithEvidence) {
+  Rng rng(3);
+  ParticleFilter filter(3000, KoreaBox(), rng);
+  double initial_spread = filter.SpreadKm();
+  for (int i = 0; i < 10; ++i) {
+    filter.Update({36.0, 128.0}, 25.0, 1.0, rng);
+  }
+  EXPECT_LT(filter.SpreadKm(), initial_spread / 3.0);
+}
+
+TEST(ParticleFilterTest, TemperedUpdatesMoveBeliefLess) {
+  Rng rng_a(4), rng_b(4);
+  ParticleFilter strong(2000, KoreaBox(), rng_a);
+  ParticleFilter weak(2000, KoreaBox(), rng_b);
+  geo::LatLng measurement{37.57, 126.98};
+  strong.Update(measurement, 30.0, 1.0, rng_a);
+  weak.Update(measurement, 30.0, 0.05, rng_b);
+  double strong_distance =
+      geo::HaversineKm(strong.Estimate(), measurement);
+  double weak_distance = geo::HaversineKm(weak.Estimate(), measurement);
+  EXPECT_LT(strong_distance, weak_distance);
+}
+
+TEST(ParticleFilterTest, SurvivesDegenerateFarMeasurement) {
+  Rng rng(5);
+  ParticleFilter filter(500, KoreaBox(), rng);
+  // Concentrate the belief first.
+  for (int i = 0; i < 5; ++i) filter.Update({36.0, 128.0}, 5.0, 1.0, rng);
+  // A measurement absurdly far away would zero all weights without the
+  // degeneracy guard.
+  filter.Update({-80.0, 10.0}, 0.5, 1.0, rng);
+  geo::LatLng estimate = filter.Estimate();
+  EXPECT_TRUE(estimate.IsValid());
+  EXPECT_GT(filter.EffectiveSampleSize(), 1.0);
+}
+
+TEST(ParticleFilterTest, ResamplingKeepsEssHealthy) {
+  Rng rng(6);
+  ParticleFilter filter(1000, KoreaBox(), rng);
+  for (int i = 0; i < 40; ++i) {
+    filter.Update({35.18, 129.08}, 10.0, 1.0, rng);
+    EXPECT_GE(filter.EffectiveSampleSize(), 1.0);
+  }
+  // After many updates the filter is concentrated but not collapsed.
+  EXPECT_GT(filter.EffectiveSampleSize(), 100.0);
+}
+
+TEST(ParticleFilterTest, MultimodalEvidenceLandsAtHeavierMode) {
+  Rng rng(7);
+  ParticleFilter filter(4000, KoreaBox(), rng);
+  geo::LatLng seoul{37.57, 126.98};
+  geo::LatLng busan{35.18, 129.08};
+  // 3:1 evidence for Busan.
+  for (int i = 0; i < 12; ++i) {
+    filter.Update(busan, 40.0, 1.0, rng);
+    if (i % 3 == 0) filter.Update(seoul, 40.0, 1.0, rng);
+  }
+  EXPECT_LT(geo::HaversineKm(filter.Estimate(), busan),
+            geo::HaversineKm(filter.Estimate(), seoul));
+}
+
+}  // namespace
+}  // namespace stir::event

@@ -1,0 +1,94 @@
+#include "geo/polygon_locator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace stir::geo {
+namespace {
+
+class PolygonLocatorTest : public ::testing::Test {
+ protected:
+  PolygonLocatorTest()
+      : db_(AdminDb::KoreanDistricts()), locator_(&db_) {}
+  const AdminDb& db_;
+  PolygonLocator locator_;
+};
+
+TEST_F(PolygonLocatorTest, CentroidIsInsideOwnFootprint) {
+  for (size_t i = 0; i < db_.size(); ++i) {
+    auto id = static_cast<RegionId>(i);
+    EXPECT_TRUE(locator_.footprint(id).Contains(db_.region(id).centroid))
+        << db_.region(id).FullName();
+    auto located = locator_.Locate(db_.region(id).centroid);
+    ASSERT_TRUE(located.ok());
+    EXPECT_EQ(*located, id) << db_.region(id).FullName();
+  }
+}
+
+TEST_F(PolygonLocatorTest, RejectsInvalidAndOceanPoints) {
+  EXPECT_TRUE(locator_.Locate({99.0, 0.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(locator_.Locate({20.0, -150.0}).status().IsNotFound());
+  EXPECT_TRUE(locator_.Candidates({20.0, -150.0}).empty());
+}
+
+TEST_F(PolygonLocatorTest, AgreesWithVoronoiOnSafeRadiusPoints) {
+  // SamplePointIn draws within the Voronoi-safe radius; both assignment
+  // models must agree there (the safe radius is inside the footprint
+  // whenever footprints don't overlap, and ties break by the same
+  // nearest-centroid rule).
+  Rng rng(1);
+  int64_t agree = 0, total = 0;
+  for (size_t i = 0; i < db_.size(); ++i) {
+    auto id = static_cast<RegionId>(i);
+    for (int draw = 0; draw < 5; ++draw) {
+      LatLng p = db_.SamplePointIn(id, rng);
+      auto voronoi = db_.Locate(p);
+      auto polygon = locator_.Locate(p);
+      ASSERT_TRUE(voronoi.ok());
+      ASSERT_TRUE(polygon.ok());
+      ++total;
+      agree += (*voronoi == *polygon);
+    }
+  }
+  // Dense metro districts have overlapping footprints; near-total but
+  // not perfect agreement is the expected regime.
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.95);
+}
+
+TEST_F(PolygonLocatorTest, OverlapResolvedByNearestCentroid) {
+  // A point midway between two adjacent Seoul gu lies in both
+  // footprints; the locator must pick the closer centroid.
+  auto mapo = db_.FindCounty("Seoul", "Mapo-gu");
+  auto seodaemun = db_.FindCounty("Seoul", "Seodaemun-gu");
+  ASSERT_TRUE(mapo.ok());
+  ASSERT_TRUE(seodaemun.ok());
+  LatLng near_mapo{37.5670, 126.9100};  // closer to Mapo's centroid
+  auto located = locator_.Locate(near_mapo);
+  ASSERT_TRUE(located.ok());
+  std::vector<RegionId> candidates = locator_.Candidates(near_mapo);
+  EXPECT_GE(candidates.size(), 2u);  // dense area: overlapping footprints
+  double best = 1e18;
+  RegionId want = kInvalidRegion;
+  for (RegionId id : candidates) {
+    double d = ApproxDistanceKm(near_mapo, db_.region(id).centroid);
+    if (d < best) {
+      best = d;
+      want = id;
+    }
+  }
+  EXPECT_EQ(*located, want);
+}
+
+TEST_F(PolygonLocatorTest, WorksOnWorldGazetteer) {
+  const AdminDb& world = AdminDb::WorldCities();
+  PolygonLocator locator(&world);
+  auto tokyo = world.FindCounty("Tokyo", "Tokyo");
+  ASSERT_TRUE(tokyo.ok());
+  auto located = locator.Locate(world.region(*tokyo).centroid);
+  ASSERT_TRUE(located.ok());
+  EXPECT_EQ(*located, *tokyo);
+}
+
+}  // namespace
+}  // namespace stir::geo

@@ -1,0 +1,98 @@
+#include "geo/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace stir::geo {
+namespace {
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+}
+
+TEST(PolygonTest, ValidityRequiresThreeVertices) {
+  EXPECT_FALSE(Polygon().IsValid());
+  EXPECT_FALSE(Polygon({{0, 0}, {1, 1}}).IsValid());
+  EXPECT_TRUE(UnitSquare().IsValid());
+}
+
+TEST(PolygonTest, ContainsInteriorNotExterior) {
+  Polygon square = UnitSquare();
+  EXPECT_TRUE(square.Contains({0.5, 0.5}));
+  EXPECT_TRUE(square.Contains({0.01, 0.99}));
+  EXPECT_FALSE(square.Contains({1.5, 0.5}));
+  EXPECT_FALSE(square.Contains({-0.001, 0.5}));
+  EXPECT_FALSE(square.Contains({0.5, 2.0}));
+}
+
+TEST(PolygonTest, ConcaveShape) {
+  // L-shape: the notch must be outside.
+  Polygon l_shape(
+      {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l_shape.Contains({0.5, 0.5}));
+  EXPECT_TRUE(l_shape.Contains({1.5, 0.5}));
+  EXPECT_TRUE(l_shape.Contains({0.5, 1.5}));
+  EXPECT_FALSE(l_shape.Contains({1.5, 1.5}));  // the notch
+}
+
+TEST(PolygonTest, SignedAreaOrientation) {
+  EXPECT_GT(Polygon({{0, 0}, {0, 1}, {1, 1}, {1, 0}}).SignedAreaDeg2(), 0.0);
+  EXPECT_LT(Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}).SignedAreaDeg2(), 0.0);
+  EXPECT_DOUBLE_EQ(std::fabs(UnitSquare().SignedAreaDeg2()), 1.0);
+}
+
+TEST(PolygonTest, CentroidOfSquare) {
+  LatLng c = UnitSquare().Centroid();
+  EXPECT_NEAR(c.lat, 0.5, 1e-12);
+  EXPECT_NEAR(c.lng, 0.5, 1e-12);
+}
+
+TEST(PolygonTest, RegularApproxCircleProperties) {
+  LatLng center{37.5, 127.0};
+  Polygon circle = Polygon::RegularApprox(center, 10.0, 24);
+  EXPECT_EQ(circle.size(), 24u);
+  EXPECT_TRUE(circle.Contains(center));
+  LatLng c = circle.Centroid();
+  EXPECT_NEAR(c.lat, center.lat, 0.01);
+  EXPECT_NEAR(c.lng, center.lng, 0.01);
+  // Area ~ pi r^2 (n-gon slightly smaller).
+  EXPECT_NEAR(circle.AreaKm2(), M_PI * 100.0, M_PI * 100.0 * 0.05);
+  // Interior points within ~r, exterior beyond.
+  EXPECT_TRUE(circle.Contains(Destination(center, 45.0, 5.0)));
+  EXPECT_FALSE(circle.Contains(Destination(center, 45.0, 12.0)));
+}
+
+TEST(PolygonTest, BoundsContainAllVertices) {
+  Polygon circle = Polygon::RegularApprox({35.2, 129.0}, 7.0);
+  BoundingBox bounds = circle.Bounds();
+  for (const LatLng& v : circle.vertices()) {
+    EXPECT_TRUE(bounds.Contains(v));
+  }
+}
+
+// Property: random points classified by Contains() must agree with the
+// radial definition of the approximating circle (away from the boundary).
+class PolygonCircleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolygonCircleProperty, ContainsAgreesWithRadius) {
+  double radius = GetParam();
+  LatLng center{36.0, 128.0};
+  Polygon circle = Polygon::RegularApprox(center, radius, 36);
+  Rng rng(static_cast<uint64_t>(radius * 1000));
+  for (int i = 0; i < 300; ++i) {
+    double d = rng.Uniform(0.0, radius * 2.0);
+    double bearing = rng.Uniform(0.0, 360.0);
+    LatLng p = Destination(center, bearing, d);
+    // Skip the ambiguous band near the polygon edge (n-gon vs circle).
+    if (std::fabs(d - radius) < radius * 0.05) continue;
+    EXPECT_EQ(circle.Contains(p), d < radius)
+        << "radius=" << radius << " d=" << d << " bearing=" << bearing;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, PolygonCircleProperty,
+                         ::testing::Values(1.0, 5.0, 15.0, 40.0));
+
+}  // namespace
+}  // namespace stir::geo

@@ -1,0 +1,129 @@
+#include "twitter/profile_text.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "text/location_parser.h"
+#include "twitter/model.h"
+
+namespace stir::twitter {
+namespace {
+
+class ProfileTextTest : public ::testing::Test {
+ protected:
+  ProfileTextTest()
+      : db_(geo::AdminDb::KoreanDistricts()),
+        generator_(&db_, ProfileTextOptions{}),
+        parser_(&db_) {}
+  const geo::AdminDb& db_;
+  ProfileTextGenerator generator_;
+  text::LocationParser parser_;
+};
+
+TEST_F(ProfileTextTest, RespectsFieldLengthLimit) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    auto id = static_cast<geo::RegionId>(
+        rng.UniformInt(0, static_cast<int64_t>(db_.size()) - 1));
+    GeneratedProfileText out = generator_.Generate(id, rng);
+    EXPECT_LE(out.text.size(), kMaxProfileLocationLength)
+        << "'" << out.text << "'";
+  }
+}
+
+TEST_F(ProfileTextTest, StyleMixCoversAllStyles) {
+  Rng rng(2);
+  std::map<ProfileStyle, int> counts;
+  for (int i = 0; i < 8000; ++i) {
+    auto id = static_cast<geo::RegionId>(
+        rng.UniformInt(0, static_cast<int64_t>(db_.size()) - 1));
+    ++counts[generator_.Generate(id, rng).style];
+  }
+  for (int s = 0; s < kNumProfileStyles; ++s) {
+    EXPECT_GT(counts[static_cast<ProfileStyle>(s)], 0)
+        << ProfileStyleToString(static_cast<ProfileStyle>(s));
+  }
+}
+
+TEST_F(ProfileTextTest, StateCountyStyleParsesBackToClaimedRegion) {
+  // Force the well-formed style only; every rendering must round-trip
+  // through the parser to the claimed district.
+  ProfileTextOptions options;
+  for (int s = 0; s < kNumProfileStyles; ++s) options.weights[s] = 0.0;
+  options.weights[static_cast<int>(ProfileStyle::kStateCounty)] = 1.0;
+  ProfileTextGenerator generator(&db_, options);
+  Rng rng(3);
+  for (size_t i = 0; i < db_.size(); ++i) {
+    auto id = static_cast<geo::RegionId>(i);
+    GeneratedProfileText out = generator.Generate(id, rng);
+    ASSERT_EQ(out.style, ProfileStyle::kStateCounty);
+    text::ParsedLocation parsed = parser_.Parse(out.text);
+    // Long names can be truncated by the field limit; those degrade.
+    std::string full = db_.region(id).state + " " + db_.region(id).county;
+    if (full.size() <= kMaxProfileLocationLength) {
+      ASSERT_EQ(parsed.quality, text::LocationQuality::kWellDefined)
+          << out.text;
+      EXPECT_EQ(parsed.region, id) << out.text;
+    }
+  }
+}
+
+TEST_F(ProfileTextTest, GpsStyleParsesToClaimedRegion) {
+  ProfileTextOptions options;
+  for (int s = 0; s < kNumProfileStyles; ++s) options.weights[s] = 0.0;
+  options.weights[static_cast<int>(ProfileStyle::kGpsInProfile)] = 1.0;
+  ProfileTextGenerator generator(&db_, options);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    auto id = static_cast<geo::RegionId>(
+        rng.UniformInt(0, static_cast<int64_t>(db_.size()) - 1));
+    GeneratedProfileText out = generator.Generate(id, rng);
+    text::ParsedLocation parsed = parser_.Parse(out.text);
+    ASSERT_EQ(parsed.quality, text::LocationQuality::kWellDefined) << out.text;
+    EXPECT_TRUE(parsed.from_gps);
+    EXPECT_EQ(parsed.region, id);
+  }
+}
+
+TEST_F(ProfileTextTest, VagueStyleNeverParses) {
+  ProfileTextOptions options;
+  for (int s = 0; s < kNumProfileStyles; ++s) options.weights[s] = 0.0;
+  options.weights[static_cast<int>(ProfileStyle::kVague)] = 1.0;
+  ProfileTextGenerator generator(&db_, options);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    GeneratedProfileText out = generator.Generate(0, rng);
+    EXPECT_NE(parser_.Parse(out.text).quality,
+              text::LocationQuality::kWellDefined)
+        << out.text;
+  }
+}
+
+TEST_F(ProfileTextTest, StateOnlyStyleIsInsufficient) {
+  ProfileTextOptions options;
+  for (int s = 0; s < kNumProfileStyles; ++s) options.weights[s] = 0.0;
+  options.weights[static_cast<int>(ProfileStyle::kStateOnly)] = 1.0;
+  ProfileTextGenerator generator(&db_, options);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    auto id = static_cast<geo::RegionId>(
+        rng.UniformInt(0, static_cast<int64_t>(db_.size()) - 1));
+    GeneratedProfileText out = generator.Generate(id, rng);
+    EXPECT_EQ(parser_.Parse(out.text).quality,
+              text::LocationQuality::kInsufficient)
+        << out.text;
+  }
+}
+
+TEST_F(ProfileTextTest, EmptyStyleYieldsEmptyText) {
+  ProfileTextOptions options;
+  for (int s = 0; s < kNumProfileStyles; ++s) options.weights[s] = 0.0;
+  options.weights[static_cast<int>(ProfileStyle::kEmpty)] = 1.0;
+  ProfileTextGenerator generator(&db_, options);
+  Rng rng(7);
+  EXPECT_TRUE(generator.Generate(0, rng).text.empty());
+}
+
+}  // namespace
+}  // namespace stir::twitter

@@ -1,0 +1,134 @@
+#include "core/reliability.h"
+
+#include <gtest/gtest.h>
+
+namespace stir::core {
+namespace {
+
+UserGrouping MakeGrouping(twitter::UserId user, TopKGroup group,
+                          int64_t matched, int64_t total) {
+  UserGrouping grouping;
+  grouping.user = user;
+  grouping.group = group;
+  grouping.matched_tweet_count = matched;
+  grouping.gps_tweet_count = total;
+  grouping.match_rank = group == TopKGroup::kNone
+                            ? -1
+                            : static_cast<int>(group) + 1;
+  return grouping;
+}
+
+TEST(ReliabilityTest, UserWeightIsSmoothedMatchShare) {
+  std::vector<UserGrouping> groupings = {
+      MakeGrouping(1, TopKGroup::kTop1, 8, 10),
+      MakeGrouping(2, TopKGroup::kNone, 0, 10),
+  };
+  ReliabilityModel model = ReliabilityModel::FromGroupings(groupings);
+  // (8+1)/(10+2) = 0.75 ; (0+1)/(10+2) ~ 0.083.
+  EXPECT_NEAR(model.UserWeight(1), 0.75, 1e-9);
+  EXPECT_NEAR(model.UserWeight(2), 1.0 / 12.0, 1e-9);
+  EXPECT_GT(model.UserWeight(1), model.UserWeight(2));
+}
+
+TEST(ReliabilityTest, UnknownUserFallsBackToGlobal) {
+  std::vector<UserGrouping> groupings = {
+      MakeGrouping(1, TopKGroup::kTop1, 6, 10),
+      MakeGrouping(2, TopKGroup::kTop2, 4, 10),
+  };
+  ReliabilityModel model = ReliabilityModel::FromGroupings(groupings);
+  EXPECT_DOUBLE_EQ(model.global_weight(), 0.5);  // 10 matched / 20 total
+  EXPECT_DOUBLE_EQ(model.UserWeight(999), 0.5);
+}
+
+TEST(ReliabilityTest, GroupWeightsDecreaseWithRank) {
+  std::vector<UserGrouping> groupings = {
+      MakeGrouping(1, TopKGroup::kTop1, 9, 10),
+      MakeGrouping(2, TopKGroup::kTop1, 7, 10),
+      MakeGrouping(3, TopKGroup::kTop3, 2, 10),
+      MakeGrouping(4, TopKGroup::kNone, 0, 10),
+  };
+  ReliabilityModel model = ReliabilityModel::FromGroupings(groupings);
+  EXPECT_NEAR(model.GroupWeight(TopKGroup::kTop1), 0.8, 1e-9);
+  EXPECT_NEAR(model.GroupWeight(TopKGroup::kTop3), 0.2, 1e-9);
+  EXPECT_DOUBLE_EQ(model.GroupWeight(TopKGroup::kNone), 0.0);
+  EXPECT_DOUBLE_EQ(model.GroupWeight(TopKGroup::kTop5), 0.0);  // empty
+}
+
+TEST(ReliabilityTest, SmoothingAlphaAdjustable) {
+  std::vector<UserGrouping> groupings = {
+      MakeGrouping(1, TopKGroup::kTop1, 1, 1),
+  };
+  ReliabilityOptions no_smoothing;
+  no_smoothing.smoothing_alpha = 0.0;
+  ReliabilityModel raw =
+      ReliabilityModel::FromGroupings(groupings, no_smoothing);
+  EXPECT_DOUBLE_EQ(raw.UserWeight(1), 1.0);
+  ReliabilityModel smoothed = ReliabilityModel::FromGroupings(groupings);
+  EXPECT_LT(smoothed.UserWeight(1), 1.0);  // pulled toward 0.5
+  EXPECT_GT(smoothed.UserWeight(1), 0.5);
+}
+
+TEST(ReliabilityTest, EmptyFit) {
+  ReliabilityModel model = ReliabilityModel::FromGroupings({});
+  EXPECT_EQ(model.num_users(), 0u);
+  EXPECT_DOUBLE_EQ(model.global_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(model.UserWeight(1), 0.0);
+}
+
+TEST(ReliabilityTest, GranularityLevels) {
+  std::vector<UserGrouping> groupings = {
+      MakeGrouping(1, TopKGroup::kTop1, 9, 10),
+      MakeGrouping(2, TopKGroup::kTop1, 7, 10),
+      MakeGrouping(3, TopKGroup::kNone, 0, 10),
+  };
+  ReliabilityModel model = ReliabilityModel::FromGroupings(groupings);
+  // Per-user: smoothed individual estimate.
+  EXPECT_NEAR(model.WeightFor(1, ReliabilityGranularity::kPerUser),
+              10.0 / 12.0, 1e-9);
+  // Per-group: the Top-1 aggregate (16/20) for both Top-1 users.
+  EXPECT_NEAR(model.WeightFor(1, ReliabilityGranularity::kPerGroup), 0.8,
+              1e-9);
+  EXPECT_NEAR(model.WeightFor(2, ReliabilityGranularity::kPerGroup), 0.8,
+              1e-9);
+  EXPECT_DOUBLE_EQ(model.WeightFor(3, ReliabilityGranularity::kPerGroup),
+                   0.0);
+  // Global: 16/30 for everyone.
+  for (twitter::UserId u : {1, 2, 3}) {
+    EXPECT_NEAR(model.WeightFor(u, ReliabilityGranularity::kGlobal),
+                16.0 / 30.0, 1e-9);
+  }
+  // Unknown users: global at every granularity.
+  for (auto g : {ReliabilityGranularity::kPerUser,
+                 ReliabilityGranularity::kPerGroup,
+                 ReliabilityGranularity::kGlobal}) {
+    EXPECT_NEAR(model.WeightFor(42, g), 16.0 / 30.0, 1e-9);
+  }
+  EXPECT_EQ(model.GroupOf(1), TopKGroup::kTop1);
+  EXPECT_EQ(model.GroupOf(42), TopKGroup::kNone);
+}
+
+TEST(ReliabilityTest, GranularityNames) {
+  EXPECT_STREQ(
+      ReliabilityGranularityToString(ReliabilityGranularity::kPerUser),
+      "per-user");
+  EXPECT_STREQ(
+      ReliabilityGranularityToString(ReliabilityGranularity::kGlobal),
+      "global");
+}
+
+TEST(ReliabilityTest, WeightsBoundedByConstruction) {
+  std::vector<UserGrouping> groupings;
+  for (twitter::UserId u = 0; u < 100; ++u) {
+    groupings.push_back(MakeGrouping(u, TopKGroup::kTop2, u % 11,
+                                     10 + (u % 13)));
+  }
+  ReliabilityModel model = ReliabilityModel::FromGroupings(groupings);
+  for (twitter::UserId u = 0; u < 100; ++u) {
+    double w = model.UserWeight(u);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LT(w, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace stir::core

@@ -1,0 +1,114 @@
+#include "twitter/social_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace stir::twitter {
+namespace {
+
+SocialGraph MakeGraph(int64_t n, uint64_t seed = 1) {
+  SocialGraphOptions options;
+  options.num_users = n;
+  options.mean_following = 8.0;
+  Rng rng(seed);
+  return SocialGraph::Generate(options, rng);
+}
+
+TEST(SocialGraphTest, BasicInvariants) {
+  SocialGraph graph = MakeGraph(500);
+  EXPECT_EQ(graph.num_users(), 500);
+  EXPECT_GT(graph.num_edges(), 500);
+
+  int64_t following_total = 0, follower_total = 0;
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    const auto& following = graph.Following(u);
+    const auto& followers = graph.Followers(u);
+    following_total += static_cast<int64_t>(following.size());
+    follower_total += static_cast<int64_t>(followers.size());
+    // No self-edges; sorted unique adjacency.
+    EXPECT_TRUE(std::is_sorted(following.begin(), following.end()));
+    EXPECT_TRUE(
+        std::adjacent_find(following.begin(), following.end()) ==
+        following.end());
+    EXPECT_TRUE(std::find(following.begin(), following.end(), u) ==
+                following.end());
+  }
+  // Edge conservation: every follow edge appears once on each side.
+  EXPECT_EQ(following_total, follower_total);
+  EXPECT_EQ(following_total, graph.num_edges());
+}
+
+TEST(SocialGraphTest, EdgesAreMutuallyConsistent) {
+  SocialGraph graph = MakeGraph(300, 2);
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    for (UserId v : graph.Following(u)) {
+      const auto& followers = graph.Followers(v);
+      EXPECT_TRUE(std::binary_search(followers.begin(), followers.end(), u))
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(SocialGraphTest, DeterministicForSeed) {
+  SocialGraph a = MakeGraph(200, 7);
+  SocialGraph b = MakeGraph(200, 7);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.Following(u), b.Following(u));
+  }
+}
+
+TEST(SocialGraphTest, HeavyTailedInDegree) {
+  SocialGraph graph = MakeGraph(3000, 3);
+  size_t max_followers = 0;
+  double total = 0;
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    max_followers = std::max(max_followers, graph.Followers(u).size());
+    total += static_cast<double>(graph.Followers(u).size());
+  }
+  double mean = total / static_cast<double>(graph.num_users());
+  // Preferential attachment: the hub is far above the mean.
+  EXPECT_GT(static_cast<double>(max_followers), mean * 8.0);
+}
+
+TEST(SocialGraphTest, MostFollowedUserIsArgmax) {
+  SocialGraph graph = MakeGraph(400, 4);
+  UserId hub = graph.MostFollowedUser();
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    EXPECT_LE(graph.Followers(u).size(), graph.Followers(hub).size());
+  }
+}
+
+TEST(SocialGraphTest, FromEdgesBuildsExactGraph) {
+  SocialGraph graph = SocialGraph::FromEdges(
+      4, {{0, 1}, {1, 0}, {2, 1}, {0, 1} /*dup*/, {3, 3} /*self*/});
+  EXPECT_EQ(graph.num_users(), 4);
+  EXPECT_EQ(graph.num_edges(), 3);
+  EXPECT_EQ(graph.Following(0), (std::vector<UserId>{1}));
+  EXPECT_EQ(graph.Followers(1), (std::vector<UserId>{0, 2}));
+  EXPECT_TRUE(graph.Following(3).empty());
+  EXPECT_EQ(graph.MostFollowedUser(), 1);
+}
+
+TEST(SocialGraphTest, ReciprocityRoughlyHonored) {
+  SocialGraphOptions options;
+  options.num_users = 2000;
+  options.mean_following = 10.0;
+  options.reciprocity = 0.5;
+  Rng rng(5);
+  SocialGraph graph = SocialGraph::Generate(options, rng);
+  int64_t reciprocal = 0, edges = 0;
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    for (UserId v : graph.Following(u)) {
+      ++edges;
+      const auto& back = graph.Following(v);
+      reciprocal += std::binary_search(back.begin(), back.end(), u);
+    }
+  }
+  double ratio = static_cast<double>(reciprocal) / static_cast<double>(edges);
+  EXPECT_GT(ratio, 0.3);  // both directions counted; ~2*0.5/(1+0.5) ~ 0.66
+}
+
+}  // namespace
+}  // namespace stir::twitter

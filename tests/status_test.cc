@@ -1,0 +1,105 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stir {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughToString) {
+  struct Case {
+    Status status;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("x"), "InvalidArgument"},
+      {Status::NotFound("x"), "NotFound"},
+      {Status::AlreadyExists("x"), "AlreadyExists"},
+      {Status::OutOfRange("x"), "OutOfRange"},
+      {Status::FailedPrecondition("x"), "FailedPrecondition"},
+      {Status::ResourceExhausted("x"), "ResourceExhausted"},
+      {Status::Unavailable("x"), "Unavailable"},
+      {Status::IOError("x"), "IOError"},
+      {Status::Internal("x"), "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": x");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::OutOfRange("too big");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsOutOfRange());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValueMovesOut) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  STIR_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  *out = value * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  Status failed = UseAssignOrReturn(-1, &out);
+  EXPECT_TRUE(failed.IsInvalidArgument());
+  EXPECT_EQ(out, 10);  // untouched on failure
+}
+
+Status UseReturnIfError(bool fail) {
+  STIR_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_TRUE(UseReturnIfError(true).IsInternal());
+}
+
+}  // namespace
+}  // namespace stir

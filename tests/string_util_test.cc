@@ -1,0 +1,83 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace stir {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a#b#c", '#'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a##c", '#'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", '#'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("#", '#'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitAndTrimTest, DropsEmptyAndTrims) {
+  EXPECT_EQ(SplitAndTrim(" a / b /  ", '/'),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitAndTrim("  ", '/').empty());
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> pieces = {"1", "Seoul", "Jung-gu"};
+  EXPECT_EQ(Split(Join(pieces, "#"), '#'), pieces);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, RemovesAsciiWhitespaceOnly) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(CaseTest, ToLowerPreservesNonAscii) {
+  EXPECT_EQ(ToLower("Seoul GANGNAM-gu"), "seoul gangnam-gu");
+  // UTF-8 Korean bytes pass through untouched.
+  std::string korean = "\xEC\x84\x9C\xEC\x9A\xB8";  // 서울
+  EXPECT_EQ(ToLower(korean), korean);
+  EXPECT_EQ(ToUpper("abc"), "ABC");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Seoul", "sEOUL"));
+  EXPECT_FALSE(EqualsIgnoreCase("Seoul", "Seoul "));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(CaseTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("I love Lady GAGA tunes", "lady gaga"));
+  EXPECT_FALSE(ContainsIgnoreCase("gag", "gaga"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(ParseTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64(" -7 ").value(), -7);
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("12abc").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+}
+
+TEST(ParseTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("37.5665").value(), 37.5665);
+  EXPECT_DOUBLE_EQ(ParseDouble("-126.98").value(), -126.98);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "#"), "a#b#c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // left-to-right
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // empty pattern: no-op
+}
+
+}  // namespace
+}  // namespace stir

@@ -1,0 +1,99 @@
+#include "core/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "twitter/generator.h"
+
+namespace stir::core {
+namespace {
+
+twitter::Dataset DatasetWithHours(const std::vector<int>& hours) {
+  twitter::Dataset dataset;
+  twitter::User user;
+  user.id = 1;
+  user.handle = "u1";
+  user.total_tweets = static_cast<int64_t>(hours.size());
+  dataset.AddUser(user);
+  twitter::TweetId id = 1;
+  for (int hour : hours) {
+    twitter::Tweet tweet;
+    tweet.id = id++;
+    tweet.user = 1;
+    tweet.time = hour * kSecondsPerHour + 120;
+    tweet.text = "x";
+    dataset.AddTweet(tweet);
+  }
+  return dataset;
+}
+
+TEST(TemporalTest, SharesSumToOneAndPeakTroughCorrect) {
+  twitter::Dataset dataset = DatasetWithHours({9, 9, 9, 21, 21, 3});
+  auto profile = ComputePostingProfile(dataset);
+  ASSERT_TRUE(profile.ok());
+  double total = 0.0;
+  for (double p : profile->hour_share) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(profile->PeakHour(), 9);
+  EXPECT_EQ(profile->tweet_count, 6);
+  EXPECT_NEAR(profile->hour_share[21], 2.0 / 6.0, 1e-12);
+}
+
+TEST(TemporalTest, EmptyDatasetFails) {
+  twitter::Dataset empty;
+  EXPECT_TRUE(ComputePostingProfile(empty).status().IsInvalidArgument());
+}
+
+TEST(TemporalTest, EntropyBounds) {
+  // Single-hour profile: zero entropy.
+  auto concentrated =
+      ComputePostingProfile(DatasetWithHours({5, 5, 5, 5}));
+  ASSERT_TRUE(concentrated.ok());
+  EXPECT_DOUBLE_EQ(concentrated->EntropyBits(), 0.0);
+  // All 24 hours evenly: log2(24).
+  std::vector<int> flat;
+  for (int h = 0; h < 24; ++h) flat.push_back(h);
+  auto uniform = ComputePostingProfile(DatasetWithHours(flat));
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_NEAR(uniform->EntropyBits(), std::log2(24.0), 1e-12);
+}
+
+TEST(TemporalTest, UserProfileAndDistance) {
+  twitter::Dataset dataset = DatasetWithHours({8, 8, 20});
+  auto user_profile = ComputeUserPostingProfile(dataset, 1);
+  ASSERT_TRUE(user_profile.ok());
+  EXPECT_EQ(user_profile->tweet_count, 3);
+  EXPECT_TRUE(
+      ComputeUserPostingProfile(dataset, 99).status().IsNotFound());
+
+  auto whole = ComputePostingProfile(dataset);
+  ASSERT_TRUE(whole.ok());
+  // Single-user dataset: per-user profile == corpus profile.
+  EXPECT_DOUBLE_EQ(ProfileDistance(*user_profile, *whole), 0.0);
+
+  auto other = ComputePostingProfile(DatasetWithHours({2, 2, 2}));
+  ASSERT_TRUE(other.ok());
+  EXPECT_DOUBLE_EQ(ProfileDistance(*whole, *other), 2.0);  // disjoint
+}
+
+TEST(TemporalTest, RecoverGeneratorDiurnalCycle) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  auto config = twitter::DatasetGenerator::KoreanConfig(0.05);
+  config.plain_tweet_sample = 0.01;
+  twitter::DatasetGenerator generator(&db, config);
+  auto data = generator.Generate();
+  auto profile = ComputePostingProfile(data.dataset);
+  ASSERT_TRUE(profile.ok());
+  // Evening peak, small-hours trough, clearly non-uniform.
+  int peak = profile->PeakHour();
+  EXPECT_GE(peak, 17);
+  EXPECT_LE(peak, 23);
+  int trough = profile->TroughHour();
+  EXPECT_GE(trough, 1);
+  EXPECT_LE(trough, 6);
+  EXPECT_LT(profile->EntropyBits(), std::log2(24.0) - 0.1);
+  std::string rendered = profile->ToString();
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 24);
+}
+
+}  // namespace
+}  // namespace stir::core

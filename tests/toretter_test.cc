@@ -1,0 +1,187 @@
+#include "event/toretter.h"
+
+#include <gtest/gtest.h>
+
+namespace stir::event {
+namespace {
+
+class ToretterTest : public ::testing::Test {
+ protected:
+  ToretterTest() : db_(geo::AdminDb::KoreanDistricts()) {}
+
+  WitnessReport Report(twitter::UserId user, SimTime time,
+                       std::optional<geo::LatLng> gps = std::nullopt) {
+    WitnessReport report;
+    report.user = user;
+    report.time = time;
+    report.gps = gps;
+    report.text = "earthquake!!";
+    return report;
+  }
+
+  const geo::AdminDb& db_;
+};
+
+TEST_F(ToretterTest, KeywordMatching) {
+  ToretterDetector detector(&db_, ToretterOptions{});
+  EXPECT_TRUE(detector.MatchesKeywords("EARTHQUAKE now"));
+  EXPECT_TRUE(detector.MatchesKeywords("everything is shaking here"));
+  EXPECT_FALSE(detector.MatchesKeywords("nice lunch today"));
+}
+
+TEST_F(ToretterTest, DetectOnsetThreshold) {
+  ToretterOptions options;
+  options.min_reports = 3;
+  options.window_seconds = 100;
+  ToretterDetector detector(&db_, options);
+
+  // Two reports close together: below threshold.
+  std::vector<WitnessReport> sparse = {Report(1, 0), Report(2, 50)};
+  EXPECT_FALSE(detector.DetectOnset(sparse).detected);
+
+  // Third within the window triggers.
+  std::vector<WitnessReport> burst = {Report(1, 0), Report(2, 50),
+                                      Report(3, 99)};
+  DetectionResult result = detector.DetectOnset(burst);
+  EXPECT_TRUE(result.detected);
+  EXPECT_EQ(result.alarm_time, 99);
+  EXPECT_EQ(result.reports_at_alarm, 3);
+
+  // Three reports spread out over > window: no alarm.
+  std::vector<WitnessReport> slow = {Report(1, 0), Report(2, 150),
+                                     Report(3, 400)};
+  EXPECT_FALSE(detector.DetectOnset(slow).detected);
+}
+
+TEST_F(ToretterTest, EstimateFailsWithoutMeasurements) {
+  ToretterOptions options;
+  options.source = LocationSource::kGpsOnly;
+  ToretterDetector detector(&db_, options);
+  Rng rng(1);
+  std::vector<WitnessReport> no_gps = {Report(1, 0), Report(2, 10)};
+  EXPECT_TRUE(detector.EstimateLocation(no_gps, rng)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ToretterTest, GpsCentroidEstimate) {
+  ToretterOptions options;
+  options.source = LocationSource::kGpsOnly;
+  options.estimator = LocationEstimator::kWeightedCentroid;
+  ToretterDetector detector(&db_, options);
+  Rng rng(2);
+  std::vector<WitnessReport> reports = {
+      Report(1, 0, geo::LatLng{36.0, 128.0}),
+      Report(2, 1, geo::LatLng{36.2, 128.2}),
+      Report(3, 2, geo::LatLng{36.4, 128.4}),
+  };
+  auto estimate = detector.EstimateLocation(reports, rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->location.lat, 36.2, 1e-9);
+  EXPECT_NEAR(estimate->location.lng, 128.2, 1e-9);
+  EXPECT_EQ(estimate->measurements_used, 3);
+}
+
+TEST_F(ToretterTest, ProfileFallbackUsesProfileRegions) {
+  ToretterOptions options;
+  options.source = LocationSource::kProfileOnly;
+  options.estimator = LocationEstimator::kWeightedCentroid;
+  ToretterDetector detector(&db_, options);
+  std::unordered_map<twitter::UserId, geo::RegionId> profiles;
+  auto mapo = db_.FindCounty("Seoul", "Mapo-gu");
+  ASSERT_TRUE(mapo.ok());
+  profiles[1] = *mapo;
+  detector.set_profile_regions(&profiles);
+  Rng rng(3);
+  // User 2 has no known profile region: skipped.
+  std::vector<WitnessReport> reports = {Report(1, 0), Report(2, 1)};
+  auto estimate = detector.EstimateLocation(reports, rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->measurements_used, 1);
+  geo::LatLng mapo_centroid = db_.region(*mapo).centroid;
+  EXPECT_NEAR(estimate->location.lat, mapo_centroid.lat, 1e-9);
+}
+
+TEST_F(ToretterTest, ReliabilityWeightingDownweightsNoneUsers) {
+  // Two profile reports: user 1 (reliable, Top-1) says Pohang, user 2
+  // (None group) says Jeju. The weighted estimate must sit much closer
+  // to Pohang than the unweighted one.
+  auto pohang = db_.FindCounty("Gyeongsangbuk-do", "Pohang-si");
+  auto jeju = db_.FindCounty("Jeju-do", "Jeju-si");
+  ASSERT_TRUE(pohang.ok());
+  ASSERT_TRUE(jeju.ok());
+  std::unordered_map<twitter::UserId, geo::RegionId> profiles;
+  profiles[1] = *pohang;
+  profiles[2] = *jeju;
+
+  core::UserGrouping reliable;
+  reliable.user = 1;
+  reliable.group = core::TopKGroup::kTop1;
+  reliable.matched_tweet_count = 19;
+  reliable.gps_tweet_count = 20;
+  core::UserGrouping unreliable;
+  unreliable.user = 2;
+  unreliable.group = core::TopKGroup::kNone;
+  unreliable.matched_tweet_count = 0;
+  unreliable.gps_tweet_count = 20;
+  core::ReliabilityModel reliability =
+      core::ReliabilityModel::FromGroupings({reliable, unreliable});
+
+  std::vector<WitnessReport> reports = {Report(1, 0), Report(2, 1)};
+
+  ToretterOptions unweighted;
+  unweighted.source = LocationSource::kProfileOnly;
+  unweighted.estimator = LocationEstimator::kWeightedCentroid;
+  ToretterDetector plain(&db_, unweighted);
+  plain.set_profile_regions(&profiles);
+
+  ToretterOptions weighted_options = unweighted;
+  weighted_options.reliability_weighted = true;
+  ToretterDetector weighted(&db_, weighted_options);
+  weighted.set_profile_regions(&profiles);
+  weighted.set_reliability(&reliability);
+
+  Rng rng(4);
+  auto plain_estimate = plain.EstimateLocation(reports, rng);
+  auto weighted_estimate = weighted.EstimateLocation(reports, rng);
+  ASSERT_TRUE(plain_estimate.ok());
+  ASSERT_TRUE(weighted_estimate.ok());
+
+  geo::LatLng pohang_c = db_.region(*pohang).centroid;
+  EXPECT_LT(geo::HaversineKm(weighted_estimate->location, pohang_c),
+            geo::HaversineKm(plain_estimate->location, pohang_c));
+  EXPECT_LT(geo::HaversineKm(weighted_estimate->location, pohang_c), 40.0);
+}
+
+TEST_F(ToretterTest, KalmanAndParticleAgreeOnTightCluster) {
+  Rng rng(5);
+  std::vector<WitnessReport> reports;
+  geo::LatLng truth{36.35, 127.38};  // Daejeon
+  for (int i = 0; i < 40; ++i) {
+    reports.push_back(Report(i, i,
+                             geo::LatLng{truth.lat + rng.Normal(0, 0.05),
+                                         truth.lng + rng.Normal(0, 0.05)}));
+  }
+  for (auto estimator : {LocationEstimator::kKalman,
+                         LocationEstimator::kParticle,
+                         LocationEstimator::kWeightedCentroid}) {
+    ToretterOptions options;
+    options.source = LocationSource::kGpsOnly;
+    options.estimator = estimator;
+    ToretterDetector detector(&db_, options);
+    Rng est_rng(6);
+    auto estimate = detector.EstimateLocation(reports, est_rng);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_LT(geo::HaversineKm(estimate->location, truth), 20.0)
+        << LocationEstimatorToString(estimator);
+  }
+}
+
+TEST_F(ToretterTest, EnumNames) {
+  EXPECT_STREQ(LocationEstimatorToString(LocationEstimator::kKalman),
+               "kalman");
+  EXPECT_STREQ(LocationSourceToString(LocationSource::kGpsOnly), "gps-only");
+}
+
+}  // namespace
+}  // namespace stir::event

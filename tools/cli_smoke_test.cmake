@@ -1,0 +1,35 @@
+# Drives stir_cli through generate -> study -> audit and checks outputs.
+execute_process(
+  COMMAND ${CLI} generate --preset korean --scale 0.02
+          --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (${rc}): ${out} ${err}")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR}/smoke_report)
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv
+          --report-dir ${WORK_DIR}/smoke_report
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "study failed (${rc}): ${out} ${err}")
+endif()
+if(NOT out MATCHES "final users")
+  message(FATAL_ERROR "study output missing funnel: ${out}")
+endif()
+foreach(csv funnel.csv groups.csv users.csv)
+  if(NOT EXISTS ${WORK_DIR}/smoke_report/${csv})
+    message(FATAL_ERROR "missing report file ${csv}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E echo "Seoul Mapo-gu"
+  COMMAND ${CLI} audit
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "well-defined")
+  message(FATAL_ERROR "audit failed (${rc}): ${out} ${err}")
+endif()

@@ -1,0 +1,174 @@
+// stir — command-line front end for the library. The workflow a
+// downstream user runs without writing C++:
+//
+//   stir generate --preset korean --scale 0.1 --users u.tsv --tweets t.tsv
+//   stir study    --users u.tsv --tweets t.tsv --report-dir out/
+//   stir audit    < locations.txt
+//
+// generate: synthesize a corpus (Korean crawl or Lady Gaga Search-API
+//           preset) and persist it as TSV.
+// study:    run the paper's full pipeline on a TSV corpus, print the
+//           funnel + group table, optionally export plotting CSVs.
+// audit:    classify free-text profile locations from stdin.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "geo/admin_db.h"
+#include "text/location_parser.h"
+#include "twitter/generator.h"
+
+namespace {
+
+using stir::geo::AdminDb;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  stir_cli generate --preset korean|ladygaga [--scale S]\n"
+               "           [--seed N] --users FILE --tweets FILE\n"
+               "  stir_cli study --users FILE --tweets FILE\n"
+               "           [--gazetteer korean|world] [--report-dir DIR]\n"
+               "           [--xml-pipeline]\n"
+               "  stir_cli audit [--gazetteer korean|world]  (stdin lines)\n");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first, bool* ok) {
+  std::map<std::string, std::string> flags;
+  *ok = true;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      *ok = false;
+      return flags;
+    }
+    std::string key = arg.substr(2);
+    if (key == "xml-pipeline") {  // boolean flag
+      flags[key] = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      *ok = false;
+      return flags;
+    }
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+const AdminDb& GazetteerByName(const std::string& name) {
+  return name == "world" ? AdminDb::WorldCities() : AdminDb::KoreanDistricts();
+}
+
+int RunGenerate(const std::map<std::string, std::string>& flags) {
+  auto users_it = flags.find("users");
+  auto tweets_it = flags.find("tweets");
+  if (users_it == flags.end() || tweets_it == flags.end()) return Usage();
+  std::string preset =
+      flags.count("preset") ? flags.at("preset") : "korean";
+  double scale =
+      flags.count("scale") ? std::atof(flags.at("scale").c_str()) : 0.1;
+  if (scale <= 0.0) scale = 0.1;
+
+  const AdminDb& db = preset == "ladygaga" ? AdminDb::WorldCities()
+                                           : AdminDb::KoreanDistricts();
+  stir::twitter::DatasetGeneratorOptions options =
+      preset == "ladygaga"
+          ? stir::twitter::DatasetGenerator::LadyGagaConfig(scale)
+          : stir::twitter::DatasetGenerator::KoreanConfig(scale);
+  if (flags.count("seed")) {
+    options.seed = static_cast<uint64_t>(
+        std::strtoull(flags.at("seed").c_str(), nullptr, 10));
+  }
+  stir::twitter::DatasetGenerator generator(&db, options);
+  stir::twitter::GeneratedData data = generator.Generate();
+  stir::Status status =
+      data.dataset.SaveTsv(users_it->second, tweets_it->second);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu users (%lld tweets, %lld materialized, %lld GPS) "
+              "to %s / %s\n",
+              data.dataset.users().size(),
+              static_cast<long long>(data.dataset.total_tweet_count()),
+              static_cast<long long>(data.dataset.tweets().size()),
+              static_cast<long long>(data.dataset.gps_tweet_count()),
+              users_it->second.c_str(), tweets_it->second.c_str());
+  return 0;
+}
+
+int RunStudy(const std::map<std::string, std::string>& flags) {
+  auto users_it = flags.find("users");
+  auto tweets_it = flags.find("tweets");
+  if (users_it == flags.end() || tweets_it == flags.end()) return Usage();
+  const AdminDb& db = GazetteerByName(
+      flags.count("gazetteer") ? flags.at("gazetteer") : "korean");
+
+  auto dataset =
+      stir::twitter::Dataset::LoadTsv(users_it->second, tweets_it->second);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  stir::core::CorrelationStudyOptions options;
+  options.refinement.faithful_xml_pipeline = flags.count("xml-pipeline") > 0;
+  stir::core::CorrelationStudy study(&db, options);
+  stir::core::StudyResult result = study.Run(*dataset);
+  std::printf("%s\n%s\n%s", result.FunnelString().c_str(),
+              result.GroupTableString().c_str(),
+              stir::core::RenderGpsTweetHistogram(result).c_str());
+
+  if (flags.count("report-dir")) {
+    stir::Status status =
+        stir::core::WriteStudyReportCsv(result, flags.at("report-dir"));
+    if (!status.ok()) {
+      std::fprintf(stderr, "report export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nreport CSVs written to %s\n",
+                flags.at("report-dir").c_str());
+  }
+  return 0;
+}
+
+int RunAudit(const std::map<std::string, std::string>& flags) {
+  const AdminDb& db = GazetteerByName(
+      flags.count("gazetteer") ? flags.at("gazetteer") : "korean");
+  stir::text::LocationParser parser(&db);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    stir::text::ParsedLocation parsed = parser.Parse(line);
+    std::printf("%s\t%s", line.c_str(),
+                stir::text::LocationQualityToString(parsed.quality));
+    if (parsed.quality == stir::text::LocationQuality::kWellDefined) {
+      std::printf("\t%s", db.region(parsed.region).FullName().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  bool flags_ok = false;
+  std::map<std::string, std::string> flags =
+      ParseFlags(argc, argv, 2, &flags_ok);
+  if (!flags_ok) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return RunGenerate(flags);
+  if (std::strcmp(argv[1], "study") == 0) return RunStudy(flags);
+  if (std::strcmp(argv[1], "audit") == 0) return RunAudit(flags);
+  return Usage();
+}
