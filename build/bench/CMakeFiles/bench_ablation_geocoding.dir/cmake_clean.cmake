@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_geocoding.dir/bench_ablation_geocoding.cpp.o"
+  "CMakeFiles/bench_ablation_geocoding.dir/bench_ablation_geocoding.cpp.o.d"
+  "bench_ablation_geocoding"
+  "bench_ablation_geocoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_geocoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tiebreak.dir/bench_ablation_tiebreak.cpp.o"
+  "CMakeFiles/bench_ablation_tiebreak.dir/bench_ablation_tiebreak.cpp.o.d"
+  "bench_ablation_tiebreak"
+  "bench_ablation_tiebreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiebreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

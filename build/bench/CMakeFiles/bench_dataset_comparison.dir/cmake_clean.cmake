@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_comparison.dir/bench_dataset_comparison.cpp.o"
+  "CMakeFiles/bench_dataset_comparison.dir/bench_dataset_comparison.cpp.o.d"
+  "bench_dataset_comparison"
+  "bench_dataset_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_weighting.dir/bench_event_weighting.cpp.o"
+  "CMakeFiles/bench_event_weighting.dir/bench_event_weighting.cpp.o.d"
+  "bench_event_weighting"
+  "bench_event_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

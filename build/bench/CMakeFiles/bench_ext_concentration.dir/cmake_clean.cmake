@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_concentration.dir/bench_ext_concentration.cpp.o"
+  "CMakeFiles/bench_ext_concentration.dir/bench_ext_concentration.cpp.o.d"
+  "bench_ext_concentration"
+  "bench_ext_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

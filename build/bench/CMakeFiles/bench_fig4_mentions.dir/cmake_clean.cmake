@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mentions.dir/bench_fig4_mentions.cpp.o"
+  "CMakeFiles/bench_fig4_mentions.dir/bench_fig4_mentions.cpp.o.d"
+  "bench_fig4_mentions"
+  "bench_fig4_mentions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mentions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_avg_locations.dir/bench_fig6_avg_locations.cpp.o"
+  "CMakeFiles/bench_fig6_avg_locations.dir/bench_fig6_avg_locations.cpp.o.d"
+  "bench_fig6_avg_locations"
+  "bench_fig6_avg_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_avg_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

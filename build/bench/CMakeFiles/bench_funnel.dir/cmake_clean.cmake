@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_funnel.dir/bench_funnel.cpp.o"
+  "CMakeFiles/bench_funnel.dir/bench_funnel.cpp.o.d"
+  "bench_funnel"
+  "bench_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

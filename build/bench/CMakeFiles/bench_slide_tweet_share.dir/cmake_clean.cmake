@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slide_tweet_share.dir/bench_slide_tweet_share.cpp.o"
+  "CMakeFiles/bench_slide_tweet_share.dir/bench_slide_tweet_share.cpp.o.d"
+  "bench_slide_tweet_share"
+  "bench_slide_tweet_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slide_tweet_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

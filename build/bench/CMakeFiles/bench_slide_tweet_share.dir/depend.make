@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_slide_tweet_share.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthquake_detection.dir/earthquake_detection.cpp.o"
+  "CMakeFiles/earthquake_detection.dir/earthquake_detection.cpp.o.d"
+  "earthquake_detection"
+  "earthquake_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthquake_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_audit.dir/profile_audit.cpp.o"
+  "CMakeFiles/profile_audit.dir/profile_audit.cpp.o.d"
+  "profile_audit"
+  "profile_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

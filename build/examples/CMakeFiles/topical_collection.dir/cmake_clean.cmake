@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topical_collection.dir/topical_collection.cpp.o"
+  "CMakeFiles/topical_collection.dir/topical_collection.cpp.o.d"
+  "topical_collection"
+  "topical_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topical_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_summaries.dir/trend_summaries.cpp.o"
+  "CMakeFiles/trend_summaries.dir/trend_summaries.cpp.o.d"
+  "trend_summaries"
+  "trend_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

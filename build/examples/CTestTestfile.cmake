@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(quickstart_smoke "/root/repo/build/examples/quickstart" "0.01")
+set_tests_properties(quickstart_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(earthquake_detection_smoke "/root/repo/build/examples/earthquake_detection" "0.05")
+set_tests_properties(earthquake_detection_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(trend_summaries_smoke "/root/repo/build/examples/trend_summaries" "0.01")
+set_tests_properties(trend_summaries_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(profile_audit_smoke "/root/repo/build/examples/profile_audit")
+set_tests_properties(profile_audit_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(topical_collection_smoke "/root/repo/build/examples/topical_collection" "0.05")
+set_tests_properties(topical_collection_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stir_common.dir/csv.cc.o"
+  "CMakeFiles/stir_common.dir/csv.cc.o.d"
+  "CMakeFiles/stir_common.dir/logging.cc.o"
+  "CMakeFiles/stir_common.dir/logging.cc.o.d"
+  "CMakeFiles/stir_common.dir/random.cc.o"
+  "CMakeFiles/stir_common.dir/random.cc.o.d"
+  "CMakeFiles/stir_common.dir/status.cc.o"
+  "CMakeFiles/stir_common.dir/status.cc.o.d"
+  "CMakeFiles/stir_common.dir/string_util.cc.o"
+  "CMakeFiles/stir_common.dir/string_util.cc.o.d"
+  "CMakeFiles/stir_common.dir/xml.cc.o"
+  "CMakeFiles/stir_common.dir/xml.cc.o.d"
+  "libstir_common.a"
+  "libstir_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stir_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

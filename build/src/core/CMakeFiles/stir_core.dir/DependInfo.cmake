@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/concentration.cc" "src/core/CMakeFiles/stir_core.dir/concentration.cc.o" "gcc" "src/core/CMakeFiles/stir_core.dir/concentration.cc.o.d"
+  "/root/repo/src/core/grouping.cc" "src/core/CMakeFiles/stir_core.dir/grouping.cc.o" "gcc" "src/core/CMakeFiles/stir_core.dir/grouping.cc.o.d"
+  "/root/repo/src/core/location_string.cc" "src/core/CMakeFiles/stir_core.dir/location_string.cc.o" "gcc" "src/core/CMakeFiles/stir_core.dir/location_string.cc.o.d"
+  "/root/repo/src/core/refinement.cc" "src/core/CMakeFiles/stir_core.dir/refinement.cc.o" "gcc" "src/core/CMakeFiles/stir_core.dir/refinement.cc.o.d"
+  "/root/repo/src/core/reliability.cc" "src/core/CMakeFiles/stir_core.dir/reliability.cc.o" "gcc" "src/core/CMakeFiles/stir_core.dir/reliability.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/stir_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/stir_core.dir/report.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/core/CMakeFiles/stir_core.dir/study.cc.o" "gcc" "src/core/CMakeFiles/stir_core.dir/study.cc.o.d"
+  "/root/repo/src/core/temporal.cc" "src/core/CMakeFiles/stir_core.dir/temporal.cc.o" "gcc" "src/core/CMakeFiles/stir_core.dir/temporal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stir_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/stir_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/twitter/CMakeFiles/stir_twitter.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stir_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stir_core.dir/concentration.cc.o"
+  "CMakeFiles/stir_core.dir/concentration.cc.o.d"
+  "CMakeFiles/stir_core.dir/grouping.cc.o"
+  "CMakeFiles/stir_core.dir/grouping.cc.o.d"
+  "CMakeFiles/stir_core.dir/location_string.cc.o"
+  "CMakeFiles/stir_core.dir/location_string.cc.o.d"
+  "CMakeFiles/stir_core.dir/refinement.cc.o"
+  "CMakeFiles/stir_core.dir/refinement.cc.o.d"
+  "CMakeFiles/stir_core.dir/reliability.cc.o"
+  "CMakeFiles/stir_core.dir/reliability.cc.o.d"
+  "CMakeFiles/stir_core.dir/report.cc.o"
+  "CMakeFiles/stir_core.dir/report.cc.o.d"
+  "CMakeFiles/stir_core.dir/study.cc.o"
+  "CMakeFiles/stir_core.dir/study.cc.o.d"
+  "CMakeFiles/stir_core.dir/temporal.cc.o"
+  "CMakeFiles/stir_core.dir/temporal.cc.o.d"
+  "libstir_core.a"
+  "libstir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/event_sim.cc" "src/event/CMakeFiles/stir_event.dir/event_sim.cc.o" "gcc" "src/event/CMakeFiles/stir_event.dir/event_sim.cc.o.d"
+  "/root/repo/src/event/kalman.cc" "src/event/CMakeFiles/stir_event.dir/kalman.cc.o" "gcc" "src/event/CMakeFiles/stir_event.dir/kalman.cc.o.d"
+  "/root/repo/src/event/particle_filter.cc" "src/event/CMakeFiles/stir_event.dir/particle_filter.cc.o" "gcc" "src/event/CMakeFiles/stir_event.dir/particle_filter.cc.o.d"
+  "/root/repo/src/event/toretter.cc" "src/event/CMakeFiles/stir_event.dir/toretter.cc.o" "gcc" "src/event/CMakeFiles/stir_event.dir/toretter.cc.o.d"
+  "/root/repo/src/event/trajectory.cc" "src/event/CMakeFiles/stir_event.dir/trajectory.cc.o" "gcc" "src/event/CMakeFiles/stir_event.dir/trajectory.cc.o.d"
+  "/root/repo/src/event/twitris.cc" "src/event/CMakeFiles/stir_event.dir/twitris.cc.o" "gcc" "src/event/CMakeFiles/stir_event.dir/twitris.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stir_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/stir_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/twitter/CMakeFiles/stir_twitter.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stir_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

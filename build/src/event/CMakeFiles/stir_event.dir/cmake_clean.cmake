@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stir_event.dir/event_sim.cc.o"
+  "CMakeFiles/stir_event.dir/event_sim.cc.o.d"
+  "CMakeFiles/stir_event.dir/kalman.cc.o"
+  "CMakeFiles/stir_event.dir/kalman.cc.o.d"
+  "CMakeFiles/stir_event.dir/particle_filter.cc.o"
+  "CMakeFiles/stir_event.dir/particle_filter.cc.o.d"
+  "CMakeFiles/stir_event.dir/toretter.cc.o"
+  "CMakeFiles/stir_event.dir/toretter.cc.o.d"
+  "CMakeFiles/stir_event.dir/trajectory.cc.o"
+  "CMakeFiles/stir_event.dir/trajectory.cc.o.d"
+  "CMakeFiles/stir_event.dir/twitris.cc.o"
+  "CMakeFiles/stir_event.dir/twitris.cc.o.d"
+  "libstir_event.a"
+  "libstir_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stir_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/admin_data.cc" "src/geo/CMakeFiles/stir_geo.dir/admin_data.cc.o" "gcc" "src/geo/CMakeFiles/stir_geo.dir/admin_data.cc.o.d"
+  "/root/repo/src/geo/admin_db.cc" "src/geo/CMakeFiles/stir_geo.dir/admin_db.cc.o" "gcc" "src/geo/CMakeFiles/stir_geo.dir/admin_db.cc.o.d"
+  "/root/repo/src/geo/geohash.cc" "src/geo/CMakeFiles/stir_geo.dir/geohash.cc.o" "gcc" "src/geo/CMakeFiles/stir_geo.dir/geohash.cc.o.d"
+  "/root/repo/src/geo/grid_index.cc" "src/geo/CMakeFiles/stir_geo.dir/grid_index.cc.o" "gcc" "src/geo/CMakeFiles/stir_geo.dir/grid_index.cc.o.d"
+  "/root/repo/src/geo/latlng.cc" "src/geo/CMakeFiles/stir_geo.dir/latlng.cc.o" "gcc" "src/geo/CMakeFiles/stir_geo.dir/latlng.cc.o.d"
+  "/root/repo/src/geo/polygon.cc" "src/geo/CMakeFiles/stir_geo.dir/polygon.cc.o" "gcc" "src/geo/CMakeFiles/stir_geo.dir/polygon.cc.o.d"
+  "/root/repo/src/geo/polygon_locator.cc" "src/geo/CMakeFiles/stir_geo.dir/polygon_locator.cc.o" "gcc" "src/geo/CMakeFiles/stir_geo.dir/polygon_locator.cc.o.d"
+  "/root/repo/src/geo/reverse_geocoder.cc" "src/geo/CMakeFiles/stir_geo.dir/reverse_geocoder.cc.o" "gcc" "src/geo/CMakeFiles/stir_geo.dir/reverse_geocoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

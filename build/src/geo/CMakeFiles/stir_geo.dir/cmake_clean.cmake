@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stir_geo.dir/admin_data.cc.o"
+  "CMakeFiles/stir_geo.dir/admin_data.cc.o.d"
+  "CMakeFiles/stir_geo.dir/admin_db.cc.o"
+  "CMakeFiles/stir_geo.dir/admin_db.cc.o.d"
+  "CMakeFiles/stir_geo.dir/geohash.cc.o"
+  "CMakeFiles/stir_geo.dir/geohash.cc.o.d"
+  "CMakeFiles/stir_geo.dir/grid_index.cc.o"
+  "CMakeFiles/stir_geo.dir/grid_index.cc.o.d"
+  "CMakeFiles/stir_geo.dir/latlng.cc.o"
+  "CMakeFiles/stir_geo.dir/latlng.cc.o.d"
+  "CMakeFiles/stir_geo.dir/polygon.cc.o"
+  "CMakeFiles/stir_geo.dir/polygon.cc.o.d"
+  "CMakeFiles/stir_geo.dir/polygon_locator.cc.o"
+  "CMakeFiles/stir_geo.dir/polygon_locator.cc.o.d"
+  "CMakeFiles/stir_geo.dir/reverse_geocoder.cc.o"
+  "CMakeFiles/stir_geo.dir/reverse_geocoder.cc.o.d"
+  "libstir_geo.a"
+  "libstir_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stir_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stir_stats.dir/correlation.cc.o"
+  "CMakeFiles/stir_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/stir_stats.dir/descriptive.cc.o"
+  "CMakeFiles/stir_stats.dir/descriptive.cc.o.d"
+  "libstir_stats.a"
+  "libstir_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stir_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

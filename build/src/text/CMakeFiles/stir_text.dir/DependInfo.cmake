@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/gazetteer_matcher.cc" "src/text/CMakeFiles/stir_text.dir/gazetteer_matcher.cc.o" "gcc" "src/text/CMakeFiles/stir_text.dir/gazetteer_matcher.cc.o.d"
+  "/root/repo/src/text/location_parser.cc" "src/text/CMakeFiles/stir_text.dir/location_parser.cc.o" "gcc" "src/text/CMakeFiles/stir_text.dir/location_parser.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/text/CMakeFiles/stir_text.dir/normalize.cc.o" "gcc" "src/text/CMakeFiles/stir_text.dir/normalize.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/stir_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/stir_text.dir/tfidf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stir_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stir_text.dir/gazetteer_matcher.cc.o"
+  "CMakeFiles/stir_text.dir/gazetteer_matcher.cc.o.d"
+  "CMakeFiles/stir_text.dir/location_parser.cc.o"
+  "CMakeFiles/stir_text.dir/location_parser.cc.o.d"
+  "CMakeFiles/stir_text.dir/normalize.cc.o"
+  "CMakeFiles/stir_text.dir/normalize.cc.o.d"
+  "CMakeFiles/stir_text.dir/tfidf.cc.o"
+  "CMakeFiles/stir_text.dir/tfidf.cc.o.d"
+  "libstir_text.a"
+  "libstir_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stir_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

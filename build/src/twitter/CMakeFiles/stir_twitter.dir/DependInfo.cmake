@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twitter/api.cc" "src/twitter/CMakeFiles/stir_twitter.dir/api.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/api.cc.o.d"
+  "/root/repo/src/twitter/column_store.cc" "src/twitter/CMakeFiles/stir_twitter.dir/column_store.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/column_store.cc.o.d"
+  "/root/repo/src/twitter/crawler.cc" "src/twitter/CMakeFiles/stir_twitter.dir/crawler.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/crawler.cc.o.d"
+  "/root/repo/src/twitter/dataset.cc" "src/twitter/CMakeFiles/stir_twitter.dir/dataset.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/dataset.cc.o.d"
+  "/root/repo/src/twitter/generator.cc" "src/twitter/CMakeFiles/stir_twitter.dir/generator.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/generator.cc.o.d"
+  "/root/repo/src/twitter/mobility.cc" "src/twitter/CMakeFiles/stir_twitter.dir/mobility.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/mobility.cc.o.d"
+  "/root/repo/src/twitter/profile_text.cc" "src/twitter/CMakeFiles/stir_twitter.dir/profile_text.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/profile_text.cc.o.d"
+  "/root/repo/src/twitter/social_graph.cc" "src/twitter/CMakeFiles/stir_twitter.dir/social_graph.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/social_graph.cc.o.d"
+  "/root/repo/src/twitter/tweet_text.cc" "src/twitter/CMakeFiles/stir_twitter.dir/tweet_text.cc.o" "gcc" "src/twitter/CMakeFiles/stir_twitter.dir/tweet_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stir_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stir_twitter.dir/api.cc.o"
+  "CMakeFiles/stir_twitter.dir/api.cc.o.d"
+  "CMakeFiles/stir_twitter.dir/column_store.cc.o"
+  "CMakeFiles/stir_twitter.dir/column_store.cc.o.d"
+  "CMakeFiles/stir_twitter.dir/crawler.cc.o"
+  "CMakeFiles/stir_twitter.dir/crawler.cc.o.d"
+  "CMakeFiles/stir_twitter.dir/dataset.cc.o"
+  "CMakeFiles/stir_twitter.dir/dataset.cc.o.d"
+  "CMakeFiles/stir_twitter.dir/generator.cc.o"
+  "CMakeFiles/stir_twitter.dir/generator.cc.o.d"
+  "CMakeFiles/stir_twitter.dir/mobility.cc.o"
+  "CMakeFiles/stir_twitter.dir/mobility.cc.o.d"
+  "CMakeFiles/stir_twitter.dir/profile_text.cc.o"
+  "CMakeFiles/stir_twitter.dir/profile_text.cc.o.d"
+  "CMakeFiles/stir_twitter.dir/social_graph.cc.o"
+  "CMakeFiles/stir_twitter.dir/social_graph.cc.o.d"
+  "CMakeFiles/stir_twitter.dir/tweet_text.cc.o"
+  "CMakeFiles/stir_twitter.dir/tweet_text.cc.o.d"
+  "libstir_twitter.a"
+  "libstir_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stir_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

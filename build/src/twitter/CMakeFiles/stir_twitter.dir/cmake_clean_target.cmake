@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstir_twitter.a"
+)

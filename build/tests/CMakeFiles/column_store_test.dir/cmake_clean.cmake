@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_store_test.dir/column_store_test.cc.o"
+  "CMakeFiles/column_store_test.dir/column_store_test.cc.o.d"
+  "column_store_test"
+  "column_store_test.pdb"
+  "column_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gazetteer_matcher_test.dir/gazetteer_matcher_test.cc.o"
+  "CMakeFiles/gazetteer_matcher_test.dir/gazetteer_matcher_test.cc.o.d"
+  "gazetteer_matcher_test"
+  "gazetteer_matcher_test.pdb"
+  "gazetteer_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gazetteer_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

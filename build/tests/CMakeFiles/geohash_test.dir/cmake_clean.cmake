@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geohash_test.dir/geohash_test.cc.o"
+  "CMakeFiles/geohash_test.dir/geohash_test.cc.o.d"
+  "geohash_test"
+  "geohash_test.pdb"
+  "geohash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geohash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latlng_test.dir/latlng_test.cc.o"
+  "CMakeFiles/latlng_test.dir/latlng_test.cc.o.d"
+  "latlng_test"
+  "latlng_test.pdb"
+  "latlng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latlng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_parser_test.dir/location_parser_test.cc.o"
+  "CMakeFiles/location_parser_test.dir/location_parser_test.cc.o.d"
+  "location_parser_test"
+  "location_parser_test.pdb"
+  "location_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_string_test.dir/location_string_test.cc.o"
+  "CMakeFiles/location_string_test.dir/location_string_test.cc.o.d"
+  "location_string_test"
+  "location_string_test.pdb"
+  "location_string_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

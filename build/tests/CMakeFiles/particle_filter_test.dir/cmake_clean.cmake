@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_filter_test.dir/particle_filter_test.cc.o"
+  "CMakeFiles/particle_filter_test.dir/particle_filter_test.cc.o.d"
+  "particle_filter_test"
+  "particle_filter_test.pdb"
+  "particle_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_text_test.dir/profile_text_test.cc.o"
+  "CMakeFiles/profile_text_test.dir/profile_text_test.cc.o.d"
+  "profile_text_test"
+  "profile_text_test.pdb"
+  "profile_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

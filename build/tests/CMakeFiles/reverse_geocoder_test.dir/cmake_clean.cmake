@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_geocoder_test.dir/reverse_geocoder_test.cc.o"
+  "CMakeFiles/reverse_geocoder_test.dir/reverse_geocoder_test.cc.o.d"
+  "reverse_geocoder_test"
+  "reverse_geocoder_test.pdb"
+  "reverse_geocoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_geocoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toretter_test.dir/toretter_test.cc.o"
+  "CMakeFiles/toretter_test.dir/toretter_test.cc.o.d"
+  "toretter_test"
+  "toretter_test.pdb"
+  "toretter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toretter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

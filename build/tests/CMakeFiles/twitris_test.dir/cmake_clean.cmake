@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitris_test.dir/twitris_test.cc.o"
+  "CMakeFiles/twitris_test.dir/twitris_test.cc.o.d"
+  "twitris_test"
+  "twitris_test.pdb"
+  "twitris_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitris_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stir_cli.dir/stir_cli.cpp.o"
+  "CMakeFiles/stir_cli.dir/stir_cli.cpp.o.d"
+  "stir_cli"
+  "stir_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stir_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
