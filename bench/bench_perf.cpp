@@ -115,6 +115,32 @@ void BM_FullStudy(benchmark::State& state) {
 }
 BENCHMARK(BM_FullStudy)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
 
+// Serial-vs-parallel comparison on the default benchmark corpus: Arg is
+// the thread count (1 = the serial code path). Thread counts beyond the
+// machine's cores measure oversubscription, not speedup.
+void BM_FullStudyThreads(benchmark::State& state) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  twitter::DatasetGenerator generator(
+      &db, twitter::DatasetGenerator::KoreanConfig(0.1));
+  auto data = generator.Generate();
+  core::CorrelationStudyOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  core::CorrelationStudy study(&db, options);
+  for (auto _ : state) {
+    core::StudyResult result = study.Run(data.dataset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.dataset.users().size()));
+  state.counters["threads"] = static_cast<double>(options.threads);
+}
+BENCHMARK(BM_FullStudyThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 const twitter::Dataset& ScanCorpus() {
   static const twitter::GeneratedData& data = *new twitter::GeneratedData(
       [] {

@@ -1,12 +1,22 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace stir {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+/// Serializes sink writes so concurrent log statements never interleave
+/// within a line. fprintf is applied under the lock, not message
+/// formatting, so contention stays bounded by the write itself.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
 }  // namespace
 
 const char* LogLevelToString(LogLevel level) {
@@ -25,8 +35,12 @@ const char* LogLevelToString(LogLevel level) {
   return "UNKNOWN";
 }
 
-void SetMinLogLevel(LogLevel level) { g_min_level = level; }
-LogLevel GetMinLogLevel() { return g_min_level; }
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetMinLogLevel() {
+  return g_min_level.load(std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
@@ -39,8 +53,12 @@ LogMessage::~LogMessage() {
   for (const char* p = file_; *p != '\0'; ++p) {
     if (*p == '/') basename = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelToString(level_), basename,
-               line_, stream_.str().c_str());
+  const std::string message = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelToString(level_),
+                 basename, line_, message.c_str());
+  }
   if (level_ == LogLevel::kFatal) {
     std::abort();
   }

@@ -19,8 +19,9 @@ enum class LogLevel : int {
 const char* LogLevelToString(LogLevel level);
 
 /// Global minimum severity; messages below it are dropped. Defaults to
-/// kInfo. Not thread-safe to mutate concurrently with logging (set it once
-/// at startup, as tests and benches do).
+/// kInfo. Reads and writes are atomic, and sink writes are serialized, so
+/// parallel pipeline stages may log (and even retune the level)
+/// concurrently without tearing or interleaved lines.
 void SetMinLogLevel(LogLevel level);
 LogLevel GetMinLogLevel();
 

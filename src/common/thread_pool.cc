@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace stir::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) return;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();  // Inline pool: the packaged_task captures any exception.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+size_t NumShards(const ThreadPool* pool, size_t n) {
+  size_t workers = pool != nullptr && pool->size() > 0
+                       ? static_cast<size_t>(pool->size())
+                       : 1;
+  return std::max<size_t>(1, std::min(workers, n));
+}
+
+void ParallelForShards(
+    ThreadPool* pool, size_t n,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& fn) {
+  if (n == 0) return;
+  size_t shards = NumShards(pool, n);
+  // Stable boundaries: the first (n % shards) shards take one extra item.
+  size_t base = n / shards;
+  size_t extra = n % shards;
+  if (shards == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  size_t begin = 0;
+  for (size_t shard = 0; shard < shards; ++shard) {
+    size_t end = begin + base + (shard < extra ? 1 : 0);
+    futures.push_back(
+        pool->Submit([&fn, shard, begin, end] { fn(shard, begin, end); }));
+    begin = end;
+  }
+  // Wait for every shard before rethrowing so no shard outlives the call.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t i)>& fn) {
+  ParallelForShards(pool, n,
+                    [&fn](size_t /*shard*/, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) fn(i);
+                    });
+}
+
+}  // namespace stir::common

@@ -1,0 +1,77 @@
+#ifndef STIR_COMMON_THREAD_POOL_H_
+#define STIR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace stir::common {
+
+/// Fixed-size worker pool for the parallel study pipeline. Tasks are
+/// FIFO-scheduled onto `num_threads` workers; with zero threads the pool
+/// degenerates to inline execution on the submitting thread, so callers
+/// can treat "no parallelism" as just another pool size. Destruction
+/// drains the queue (every submitted task runs) before joining.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 creates an inline pool (no workers).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for an inline pool).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Schedules `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface from future.get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Schedule([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  void Schedule(std::function<void()> fn);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of contiguous shards ParallelFor/ParallelForShards split `n`
+/// items into for `pool`: min(n, worker count), at least 1. Shard
+/// boundaries depend only on (n, shard count), never on scheduling, which
+/// is what makes ordered merges of per-shard results deterministic.
+size_t NumShards(const ThreadPool* pool, size_t n);
+
+/// Runs `fn(shard, begin, end)` for each of NumShards(pool, n) contiguous,
+/// disjoint index ranges covering [0, n), in parallel on `pool` (inline
+/// when `pool` is null or has no workers). Blocks until all shards finish;
+/// the first exception thrown by any shard is rethrown after the barrier.
+void ParallelForShards(
+    ThreadPool* pool, size_t n,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& fn);
+
+/// Runs `fn(i)` for every i in [0, n), chunked per ParallelForShards.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t i)>& fn);
+
+}  // namespace stir::common
+
+#endif  // STIR_COMMON_THREAD_POOL_H_

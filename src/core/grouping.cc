@@ -62,12 +62,12 @@ UserGrouping GroupUser(const RefinedUser& user, const geo::AdminDb& db,
 
 std::vector<UserGrouping> GroupUsers(const std::vector<RefinedUser>& users,
                                      const geo::AdminDb& db,
-                                     TieBreak tie_break) {
-  std::vector<UserGrouping> groupings;
-  groupings.reserve(users.size());
-  for (const RefinedUser& user : users) {
-    groupings.push_back(GroupUser(user, db, tie_break));
-  }
+                                     TieBreak tie_break,
+                                     common::ThreadPool* pool) {
+  std::vector<UserGrouping> groupings(users.size());
+  common::ParallelFor(pool, users.size(), [&](size_t i) {
+    groupings[i] = GroupUser(users[i], db, tie_break);
+  });
   return groupings;
 }
 

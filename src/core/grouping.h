@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/location_string.h"
 #include "core/refinement.h"
 #include "geo/admin_db.h"
@@ -57,10 +58,14 @@ struct UserGrouping {
 UserGrouping GroupUser(const RefinedUser& user, const geo::AdminDb& db,
                        TieBreak tie_break = TieBreak::kLexicographic);
 
-/// Classifies every refined user.
+/// Classifies every refined user. Output order always matches `users`
+/// order: with a worker-carrying `pool` each grouping is computed in
+/// parallel but written to its input index, so the result is bit-identical
+/// to the serial run for any thread count.
 std::vector<UserGrouping> GroupUsers(
     const std::vector<RefinedUser>& users, const geo::AdminDb& db,
-    TieBreak tie_break = TieBreak::kLexicographic);
+    TieBreak tie_break = TieBreak::kLexicographic,
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace stir::core
 

@@ -4,6 +4,13 @@
 
 namespace stir::core {
 
+void FunnelStats::AccumulateUserCounts(const FunnelStats& other) {
+  for (int q = 0; q < 5; ++q) quality_counts[q] += other.quality_counts[q];
+  well_defined_users += other.well_defined_users;
+  geocode_failures += other.geocode_failures;
+  final_users += other.final_users;
+}
+
 RefinementPipeline::RefinementPipeline(const text::LocationParser* parser,
                                        geo::ReverseGeocoder* geocoder,
                                        RefinementOptions options)
@@ -28,8 +35,37 @@ StatusOr<geo::RegionId> RefinementPipeline::Geocode(
   return geocoder_->db().FindCounty(parsed.state, parsed.county);
 }
 
+bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
+                                    const twitter::User& user,
+                                    FunnelStats& stats,
+                                    RefinedUser* out) const {
+  text::ParsedLocation parsed = parser_->Parse(user.profile_location);
+  ++stats.quality_counts[static_cast<int>(parsed.quality)];
+  if (parsed.quality != text::LocationQuality::kWellDefined) return false;
+  ++stats.well_defined_users;
+
+  out->user = user.id;
+  out->profile_region = parsed.region;
+  out->total_tweets = user.total_tweets;
+  out->tweet_regions.clear();
+  for (size_t index : dataset.TweetIndicesOf(user.id)) {
+    const twitter::Tweet& tweet = dataset.tweets()[index];
+    if (!tweet.gps.has_value()) continue;
+    auto region = Geocode(*tweet.gps);
+    if (!region.ok()) {
+      ++stats.geocode_failures;
+      continue;
+    }
+    out->tweet_regions.push_back(*region);
+  }
+  if (out->tweet_regions.empty()) return false;
+  ++stats.final_users;
+  return true;
+}
+
 std::vector<RefinedUser> RefinementPipeline::Run(
-    const twitter::Dataset& dataset, FunnelStats* funnel) const {
+    const twitter::Dataset& dataset, FunnelStats* funnel,
+    common::ThreadPool* pool) const {
   FunnelStats local;
   FunnelStats& stats = funnel != nullptr ? *funnel : local;
   stats = FunnelStats{};
@@ -37,30 +73,48 @@ std::vector<RefinedUser> RefinementPipeline::Run(
   stats.total_tweets = dataset.total_tweet_count();
   stats.gps_tweets = dataset.gps_tweet_count();
 
-  std::vector<RefinedUser> refined;
-  for (const twitter::User& user : dataset.users()) {
-    text::ParsedLocation parsed = parser_->Parse(user.profile_location);
-    ++stats.quality_counts[static_cast<int>(parsed.quality)];
-    if (parsed.quality != text::LocationQuality::kWellDefined) continue;
-    ++stats.well_defined_users;
-
+  const std::vector<twitter::User>& users = dataset.users();
+  size_t shards = common::NumShards(pool, users.size());
+  if (shards <= 1) {
+    std::vector<RefinedUser> refined;
     RefinedUser candidate;
-    candidate.user = user.id;
-    candidate.profile_region = parsed.region;
-    candidate.total_tweets = user.total_tweets;
-    for (size_t index : dataset.TweetIndicesOf(user.id)) {
-      const twitter::Tweet& tweet = dataset.tweets()[index];
-      if (!tweet.gps.has_value()) continue;
-      auto region = Geocode(*tweet.gps);
-      if (!region.ok()) {
-        ++stats.geocode_failures;
-        continue;
+    for (const twitter::User& user : users) {
+      if (RefineUser(dataset, user, stats, &candidate)) {
+        refined.push_back(std::move(candidate));
+        candidate = RefinedUser{};
       }
-      candidate.tweet_regions.push_back(*region);
     }
-    if (candidate.tweet_regions.empty()) continue;
-    ++stats.final_users;
-    refined.push_back(std::move(candidate));
+    return refined;
+  }
+
+  // Contiguous user shards, each with private outputs; the shard-ordered
+  // merge below makes the result independent of execution interleaving.
+  std::vector<FunnelStats> shard_stats(shards);
+  std::vector<std::vector<RefinedUser>> shard_refined(shards);
+  common::ParallelForShards(
+      pool, users.size(),
+      [&](size_t shard, size_t begin, size_t end) {
+        RefinedUser candidate;
+        for (size_t i = begin; i < end; ++i) {
+          if (RefineUser(dataset, users[i], shard_stats[shard],
+                         &candidate)) {
+            shard_refined[shard].push_back(std::move(candidate));
+            candidate = RefinedUser{};
+          }
+        }
+      });
+
+  std::vector<RefinedUser> refined;
+  size_t total = 0;
+  for (const std::vector<RefinedUser>& part : shard_refined) {
+    total += part.size();
+  }
+  refined.reserve(total);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    stats.AccumulateUserCounts(shard_stats[shard]);
+    for (RefinedUser& user : shard_refined[shard]) {
+      refined.push_back(std::move(user));
+    }
   }
   return refined;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "geo/reverse_geocoder.h"
 #include "text/location_parser.h"
 #include "twitter/dataset.h"
@@ -37,6 +38,14 @@ struct FunnelStats {
   int64_t geocode_failures = 0;
   /// Well-defined users with >= 1 geocoded GPS tweet — the final sample.
   int64_t final_users = 0;
+
+  /// Adds `other`'s per-user counters (quality histogram, well-defined,
+  /// geocode failures, final users) into this. Corpus-wide fields
+  /// (crawled_users, total_tweets, gps_tweets) are left untouched: shards
+  /// accumulate only what they counted, the caller sets the globals once.
+  /// Addition is commutative and associative, so any shard merge order
+  /// yields the same totals as a serial pass.
+  void AccumulateUserCounts(const FunnelStats& other);
 };
 
 /// Options for the refinement pass.
@@ -59,11 +68,24 @@ class RefinementPipeline {
                      RefinementOptions options = {});
 
   /// Runs the funnel over `dataset`. `funnel` receives the accounting.
+  /// With a non-null `pool` carrying workers, users are partitioned into
+  /// contiguous shards refined in parallel and merged in shard order, so
+  /// the refined vector and funnel are bit-identical to the serial run for
+  /// any thread count (the geocoder must then be thread-safe, which
+  /// geo::ReverseGeocoder is; a finite geocoder quota is the one knob that
+  /// can make parallel results diverge, since which lookup exhausts it
+  /// becomes a race).
   std::vector<RefinedUser> Run(const twitter::Dataset& dataset,
-                               FunnelStats* funnel) const;
+                               FunnelStats* funnel,
+                               common::ThreadPool* pool = nullptr) const;
 
  private:
   StatusOr<geo::RegionId> Geocode(const geo::LatLng& point) const;
+
+  /// Refines one user into `out`, updating `stats`' per-user counters.
+  /// Returns true when the user survives both gates.
+  bool RefineUser(const twitter::Dataset& dataset, const twitter::User& user,
+                  FunnelStats& stats, RefinedUser* out) const;
 
   const text::LocationParser* parser_;
   geo::ReverseGeocoder* geocoder_;

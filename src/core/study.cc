@@ -1,6 +1,9 @@
 #include "core/study.h"
 
+#include <memory>
+
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace stir::core {
 
@@ -56,8 +59,13 @@ StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
 
   geo::ReverseGeocoder geocoder(db_, options_.geocoder);
   RefinementPipeline pipeline(&parser_, &geocoder, options_.refinement);
-  result.refined = pipeline.Run(dataset, &result.funnel);
-  result.groupings = GroupUsers(result.refined, *db_, options_.tie_break);
+  std::unique_ptr<common::ThreadPool> pool;
+  if (options_.threads > 1) {
+    pool = std::make_unique<common::ThreadPool>(options_.threads);
+  }
+  result.refined = pipeline.Run(dataset, &result.funnel, pool.get());
+  result.groupings =
+      GroupUsers(result.refined, *db_, options_.tie_break, pool.get());
   result.final_users = static_cast<int64_t>(result.groupings.size());
 
   int64_t total_gps = 0;

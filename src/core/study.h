@@ -53,11 +53,15 @@ struct CorrelationStudyOptions {
   /// Tie rule for equal string multiplicities (ablation knob; the
   /// paper's results must not depend on it).
   TieBreak tie_break = TieBreak::kLexicographic;
+  /// Worker threads for refinement and grouping; <= 1 runs serially.
+  /// Results are bit-identical across thread counts (sharded execution
+  /// with ordered merges) as long as the geocoder quota is unlimited.
+  int threads = 1;
 };
 
 /// The paper's end-to-end analysis: refinement funnel -> text-based
 /// grouping -> Top-k classification -> group aggregates. Deterministic
-/// for a given dataset and gazetteer.
+/// for a given dataset and gazetteer, and for any `threads` setting.
 class CorrelationStudy {
  public:
   /// `db` must outlive the study.

@@ -36,13 +36,21 @@ ReverseGeocoder::ReverseGeocoder(const AdminDb* db,
 
 int64_t ReverseGeocoder::quota_remaining() const {
   if (options_.quota < 0) return -1;
-  return options_.quota > quota_used_ ? options_.quota - quota_used_ : 0;
+  int64_t used = quota_used_.load(std::memory_order_relaxed);
+  return options_.quota > used ? options_.quota - used : 0;
 }
 
-void ReverseGeocoder::ResetQuota() { quota_used_ = 0; }
+void ReverseGeocoder::ResetQuota() {
+  quota_used_.store(0, std::memory_order_relaxed);
+}
+
+ReverseGeocoder::CacheShard& ReverseGeocoder::ShardFor(
+    std::string_view cache_key) {
+  return cache_shards_[Fnv1a64(cache_key) % kCacheShards];
+}
 
 StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point) {
-  ++num_queries_;
+  num_queries_.fetch_add(1, std::memory_order_relaxed);
   if (!point.IsValid()) {
     return Status::InvalidArgument("invalid coordinate: " + point.ToString());
   }
@@ -50,17 +58,27 @@ StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point) {
   std::string cache_key;
   if (options_.enable_cache) {
     cache_key = GeohashEncode(point, options_.cache_precision);
-    auto it = cache_.find(cache_key);
-    if (it != cache_.end()) {
-      ++num_cache_hits_;
+    CacheShard& shard = ShardFor(cache_key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(cache_key);
+    if (it != shard.map.end()) {
+      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
 
-  if (options_.quota >= 0 && quota_used_ >= options_.quota) {
-    return Status::ResourceExhausted("reverse geocoding quota exhausted");
+  if (options_.quota >= 0) {
+    // CAS so concurrent misses can never overspend the quota.
+    int64_t used = quota_used_.load(std::memory_order_relaxed);
+    do {
+      if (used >= options_.quota) {
+        return Status::ResourceExhausted("reverse geocoding quota exhausted");
+      }
+    } while (!quota_used_.compare_exchange_weak(used, used + 1,
+                                                std::memory_order_relaxed));
+  } else {
+    quota_used_.fetch_add(1, std::memory_order_relaxed);
   }
-  ++quota_used_;
 
   STIR_ASSIGN_OR_RETURN(RegionId id, db_->Locate(point));
   const Region& region = db_->region(id);
@@ -71,7 +89,13 @@ StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point) {
   result.town = SynthesizeTown(region, point);
   result.region = id;
 
-  if (options_.enable_cache) cache_[cache_key] = result;
+  if (options_.enable_cache) {
+    CacheShard& shard = ShardFor(cache_key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // try_emplace keeps the first writer's entry on a racing double-miss
+    // (both computed the same deterministic result anyway).
+    shard.map.try_emplace(std::move(cache_key), result);
+  }
   return result;
 }
 

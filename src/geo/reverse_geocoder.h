@@ -1,7 +1,9 @@
 #ifndef STIR_GEO_REVERSE_GEOCODER_H_
 #define STIR_GEO_REVERSE_GEOCODER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -41,6 +43,12 @@ struct ReverseGeocoderOptions {
 /// structured fast path; `ReverseToXml` + `ParseResponse` reproduce the
 /// exact serialize/parse pipeline of the original study (and are what the
 /// faithful-mode pipeline exercises).
+///
+/// Thread-safe: the memoization cache is striped across mutex-guarded
+/// shards (selected by cache-key hash), and the query/hit/quota counters
+/// are atomics, so the parallel study pipeline can share one instance
+/// across worker threads. Quota is enforced with a CAS loop, so concurrent
+/// lookups never spend more than `options.quota` total.
 class ReverseGeocoder {
  public:
   /// `db` must outlive the geocoder.
@@ -58,21 +66,36 @@ class ReverseGeocoder {
   /// is not recovered; resolve it against an AdminDb if needed).
   static StatusOr<GeocodeResult> ParseResponse(std::string_view xml);
 
-  /// Query accounting.
-  int64_t num_queries() const { return num_queries_; }
-  int64_t num_cache_hits() const { return num_cache_hits_; }
+  /// Query accounting (atomic snapshots; totals are exact once all
+  /// concurrent callers have returned).
+  int64_t num_queries() const {
+    return num_queries_.load(std::memory_order_relaxed);
+  }
+  int64_t num_cache_hits() const {
+    return num_cache_hits_.load(std::memory_order_relaxed);
+  }
   int64_t quota_remaining() const;
   void ResetQuota();
 
   const AdminDb& db() const { return *db_; }
 
+  /// Number of mutex-striped cache shards.
+  static constexpr int kCacheShards = 16;
+
  private:
+  struct CacheShard {
+    std::mutex mu;
+    std::unordered_map<std::string, GeocodeResult> map;
+  };
+
+  CacheShard& ShardFor(std::string_view cache_key);
+
   const AdminDb* db_;
   ReverseGeocoderOptions options_;
-  std::unordered_map<std::string, GeocodeResult> cache_;
-  int64_t num_queries_ = 0;
-  int64_t num_cache_hits_ = 0;
-  int64_t quota_used_ = 0;
+  CacheShard cache_shards_[kCacheShards];
+  std::atomic<int64_t> num_queries_{0};
+  std::atomic<int64_t> num_cache_hits_{0};
+  std::atomic<int64_t> quota_used_{0};
 };
 
 }  // namespace stir::geo

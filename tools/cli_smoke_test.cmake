@@ -26,6 +26,26 @@ foreach(csv funnel.csv groups.csv users.csv)
   endif()
 endforeach()
 
+# Parallel study must print byte-identical reports to the serial run.
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv --threads 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE serial_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial study failed (${rc}): ${serial_out} ${err}")
+endif()
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv --threads 4
+  RESULT_VARIABLE rc OUTPUT_VARIABLE parallel_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "parallel study failed (${rc}): ${parallel_out} ${err}")
+endif()
+if(NOT serial_out STREQUAL parallel_out)
+  message(FATAL_ERROR "--threads 4 output differs from --threads 1:\n"
+          "=== serial ===\n${serial_out}\n=== parallel ===\n${parallel_out}")
+endif()
+
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E echo "Seoul Mapo-gu"
   COMMAND ${CLI} audit

@@ -12,6 +12,7 @@
 // audit:    classify free-text profile locations from stdin.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -34,7 +35,7 @@ int Usage() {
                "           [--seed N] --users FILE --tweets FILE\n"
                "  stir_cli study --users FILE --tweets FILE\n"
                "           [--gazetteer korean|world] [--report-dir DIR]\n"
-               "           [--xml-pipeline]\n"
+               "           [--xml-pipeline] [--threads N]\n"
                "  stir_cli audit [--gazetteer korean|world]  (stdin lines)\n");
   return 2;
 }
@@ -122,6 +123,13 @@ int RunStudy(const std::map<std::string, std::string>& flags) {
 
   stir::core::CorrelationStudyOptions options;
   options.refinement.faithful_xml_pipeline = flags.count("xml-pipeline") > 0;
+  if (flags.count("threads")) {
+    options.threads = std::atoi(flags.at("threads").c_str());
+    if (options.threads < 1) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return Usage();
+    }
+  }
   stir::core::CorrelationStudy study(&db, options);
   stir::core::StudyResult result = study.Run(*dataset);
   std::printf("%s\n%s\n%s", result.FunnelString().c_str(),
