@@ -1,0 +1,92 @@
+#include "common/fault.h"
+
+#include "common/hash.h"
+
+namespace stir::common {
+
+namespace {
+
+/// Independent decision streams per knob, decorrelated by salt.
+constexpr uint64_t kErrorSalt = 0x9E2F6E15A4C1D3B7ULL;
+constexpr uint64_t kLatencySalt = 0x51D7A3E94B8C6F21ULL;
+
+/// Uniform double in [0, 1) from (seed, salt, index, attempt); the same
+/// construction as splitmix64-seeded draws in common/random, so the
+/// stream is stable across platforms.
+double UniformAt(uint64_t seed, uint64_t salt, int64_t index, int attempt) {
+  uint64_t h = Mix64(seed ^ salt);
+  h = Mix64(HashCombine(h, static_cast<uint64_t>(index)));
+  h = Mix64(HashCombine(h, static_cast<uint64_t>(attempt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultInjectorOptions options)
+    : options_(options) {}
+
+bool FaultInjector::enabled() const {
+  return options_.error_rate > 0.0 ||
+         (options_.burst_start >= 0 && options_.burst_length > 0) ||
+         options_.exhaust_after >= 0 || options_.latency_spike_rate > 0.0;
+}
+
+FaultDecision FaultInjector::Decide(int64_t index, int attempt) const {
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  FaultDecision decision;
+
+  if (options_.latency_spike_rate > 0.0 &&
+      UniformAt(options_.seed, kLatencySalt, index, attempt) <
+          options_.latency_spike_rate) {
+    decision.latency_ms = options_.latency_spike_ms;
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    simulated_latency_ms_.fetch_add(options_.latency_spike_ms,
+                                    std::memory_order_relaxed);
+  }
+
+  // Deterministic hard failures first: they are attempt-independent, so
+  // retries cannot escape them (a real outage / spent quota behaves the
+  // same way).
+  if (options_.exhaust_after >= 0 && index >= options_.exhaust_after) {
+    decision.status =
+        Status::ResourceExhausted("injected quota exhaustion at call " +
+                                  std::to_string(index));
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  if (options_.burst_start >= 0 && options_.burst_length > 0) {
+    int64_t position = index;
+    if (options_.burst_period > 0) position = index % options_.burst_period;
+    if (position >= options_.burst_start &&
+        position < options_.burst_start + options_.burst_length) {
+      decision.status = Status::Unavailable("injected burst outage at call " +
+                                            std::to_string(index));
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      return decision;
+    }
+  }
+  if (options_.error_rate > 0.0 &&
+      UniformAt(options_.seed, kErrorSalt, index, attempt) <
+          options_.error_rate) {
+    decision.status = Status::Unavailable(
+        "injected transient fault at call " + std::to_string(index) +
+        " attempt " + std::to_string(attempt));
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+FaultDecision FaultInjector::Next() { return Decide(NextIndex(), 0); }
+
+int64_t FaultInjector::NextIndex() {
+  return next_index_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::ResetCounters() {
+  decisions_.store(0, std::memory_order_relaxed);
+  faults_injected_.store(0, std::memory_order_relaxed);
+  latency_spikes_.store(0, std::memory_order_relaxed);
+  simulated_latency_ms_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace stir::common

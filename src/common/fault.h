@@ -1,0 +1,112 @@
+#ifndef STIR_COMMON_FAULT_H_
+#define STIR_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace stir::common {
+
+/// Configuration for a deterministic fault schedule. Every knob is keyed
+/// on the *call index* the caller supplies (plus the retry attempt), so a
+/// given (seed, index, attempt) triple always yields the same decision —
+/// under any thread count, in any interleaving. Callers that process work
+/// items with stable identities (e.g. the refinement pipeline, which keys
+/// on the tweet's dataset index) therefore see byte-identical fault
+/// placement whether they run serially or sharded.
+struct FaultInjectorOptions {
+  /// Salt for the hash that drives the stochastic knobs.
+  uint64_t seed = 0;
+  /// Per-attempt probability of an injected Unavailable ("the request
+  /// failed; an immediate retry may succeed"). 0 disables.
+  double error_rate = 0.0;
+  /// Burst outage: call indices in [burst_start, burst_start+burst_length)
+  /// fail with Unavailable regardless of attempt (retries land inside the
+  /// same outage window, modelling a hard service outage). burst_start < 0
+  /// disables.
+  int64_t burst_start = -1;
+  int64_t burst_length = 0;
+  /// > 0 repeats the outage every `burst_period` indices (the window is
+  /// applied to index modulo period).
+  int64_t burst_period = 0;
+  /// Simulated quota exhaustion: call indices >= exhaust_after fail with
+  /// ResourceExhausted (not retryable by default). < 0 disables.
+  int64_t exhaust_after = -1;
+  /// Per-attempt probability of a latency spike. The spike does not fail
+  /// the call; it charges `latency_spike_ms` of simulated latency, which
+  /// the injector accounts so benches can price resilience overhead.
+  double latency_spike_rate = 0.0;
+  int64_t latency_spike_ms = 100;
+};
+
+/// Outcome of one fault decision: an injected error (or OK) plus the
+/// simulated latency charged to the attempt.
+struct FaultDecision {
+  Status status;           ///< OK, or the injected failure.
+  int64_t latency_ms = 0;  ///< Simulated latency charged to this attempt.
+
+  bool injected() const { return !status.ok(); }
+};
+
+/// Seeded-deterministic fault injector for the simulated services
+/// (ReverseGeocoder, Search/Streaming APIs). `Decide` is a pure function
+/// of (options, index, attempt); the injector only accumulates counters,
+/// so one instance can be shared across worker threads and replayed
+/// exactly. Accounting totals are exact once concurrent callers return.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions options = {});
+
+  /// True when any fault knob is active (callers may skip the hook
+  /// entirely otherwise).
+  bool enabled() const;
+
+  /// Fault decision for retry `attempt` (0-based) of call `index`.
+  /// Deterministic: identical inputs yield identical decisions on every
+  /// thread of every run.
+  FaultDecision Decide(int64_t index, int attempt = 0) const;
+
+  /// Decision at the next internal sequence index — for call sites whose
+  /// call order is itself deterministic (serial loops). Returns the
+  /// decision for attempt 0 of the claimed index.
+  FaultDecision Next();
+
+  /// Claims and returns the next internal sequence index without
+  /// deciding (callers that retry want a stable index across attempts).
+  int64_t NextIndex();
+
+  const FaultInjectorOptions& options() const { return options_; }
+
+  /// Total decisions taken (every attempt counts).
+  int64_t decisions() const {
+    return decisions_.load(std::memory_order_relaxed);
+  }
+  /// Total injected failures across all attempts. When a caller retries
+  /// per RetryPolicy, this equals its retried count plus its terminal
+  /// fault count — the invariant the exactness tests pin down.
+  int64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  int64_t latency_spikes() const {
+    return latency_spikes_.load(std::memory_order_relaxed);
+  }
+  /// Sum of simulated latency charged (spikes only; backoff is accounted
+  /// by the retrying caller).
+  int64_t simulated_latency_ms() const {
+    return simulated_latency_ms_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters();
+
+ private:
+  FaultInjectorOptions options_;
+  std::atomic<int64_t> next_index_{0};
+  mutable std::atomic<int64_t> decisions_{0};
+  mutable std::atomic<int64_t> faults_injected_{0};
+  mutable std::atomic<int64_t> latency_spikes_{0};
+  mutable std::atomic<int64_t> simulated_latency_ms_{0};
+};
+
+}  // namespace stir::common
+
+#endif  // STIR_COMMON_FAULT_H_

@@ -1,0 +1,114 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace stir::common {
+
+RetryPolicy::RetryPolicy(RetryPolicyOptions options) : options_(options) {
+  STIR_CHECK(options_.max_attempts >= 1);
+  STIR_CHECK(options_.base_backoff_ms >= 0);
+  STIR_CHECK(options_.multiplier >= 1.0);
+}
+
+bool RetryPolicy::IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kIOError;
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status, int attempts_made) const {
+  if (status.ok()) return false;
+  if (attempts_made >= options_.max_attempts) return false;
+  if (IsRetryable(status.code())) return true;
+  return options_.retry_resource_exhausted &&
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+int64_t RetryPolicy::BackoffMs(int attempt, uint64_t key) const {
+  STIR_CHECK(attempt >= 1);
+  double backoff = static_cast<double>(options_.base_backoff_ms) *
+                   std::pow(options_.multiplier, attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff_ms));
+  int64_t backoff_ms = static_cast<int64_t>(backoff);
+  if (options_.jitter > 0.0 && backoff_ms > 0) {
+    uint64_t h = Mix64(options_.seed ^ 0x7C6B5A49382716F5ULL);
+    h = Mix64(HashCombine(h, static_cast<uint64_t>(attempt)));
+    h = Mix64(HashCombine(h, key));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    backoff_ms += static_cast<int64_t>(static_cast<double>(backoff_ms) *
+                                       options_.jitter * u);
+  }
+  return backoff_ms;
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  STIR_CHECK(options_.failure_threshold >= 1);
+  STIR_CHECK(options_.cooldown_rejections >= 1);
+  STIR_CHECK(options_.success_threshold >= 1);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kOpen) return true;
+  ++total_rejected_;
+  if (++open_rejections_ >= options_.cooldown_rejections) {
+    state_ = State::kHalfOpen;
+    consecutive_successes_ = 0;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen &&
+      ++consecutive_successes_ >= options_.success_threshold) {
+    state_ = State::kClosed;
+    consecutive_successes_ = 0;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_successes_ = 0;
+  if (state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       ++consecutive_failures_ >= options_.failure_threshold)) {
+    state_ = State::kOpen;
+    consecutive_failures_ = 0;
+    open_rejections_ = 0;
+    ++times_opened_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_rejected_;
+}
+
+int64_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return times_opened_;
+}
+
+const char* CircuitBreakerStateToString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace stir::common

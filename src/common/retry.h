@@ -1,0 +1,112 @@
+#ifndef STIR_COMMON_RETRY_H_
+#define STIR_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace stir::common {
+
+/// Knobs for retrying a fallible service call. Backoff is *simulated*
+/// (accounted in milliseconds, never slept), keeping faulty runs exactly
+/// reproducible and fast; jitter is derived from (seed, attempt, key) so
+/// the schedule is deterministic under any thread count.
+struct RetryPolicyOptions {
+  /// Total attempts including the first; 1 disables retries.
+  int max_attempts = 3;
+  /// Backoff before retry k (1-based) is base * multiplier^(k-1), capped.
+  int64_t base_backoff_ms = 100;
+  double multiplier = 2.0;
+  int64_t max_backoff_ms = 10'000;
+  /// Adds up to `jitter` fraction of the capped backoff, deterministically
+  /// per (seed, attempt, key). 0 disables.
+  double jitter = 0.1;
+  uint64_t seed = 0;
+  /// Whether ResourceExhausted counts as retryable. Off by default: a
+  /// spent quota will not recover within a retry loop, unlike a rate
+  /// limit window.
+  bool retry_resource_exhausted = false;
+};
+
+/// Retryable-status classification + deterministic backoff schedule.
+/// Stateless and cheap to copy; safe to share across threads.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryPolicyOptions options = {});
+
+  /// Transient-failure classification: Unavailable and IOError are
+  /// retryable; everything else (bad input, missing data, spent quota,
+  /// logic errors) is not.
+  static bool IsRetryable(StatusCode code);
+
+  /// True when a call that has already made `attempts_made` attempts and
+  /// just failed with `status` should try again.
+  bool ShouldRetry(const Status& status, int attempts_made) const;
+
+  /// Simulated backoff in ms before retry `attempt` (1-based), including
+  /// deterministic jitter keyed on `key` (callers pass their call index).
+  int64_t BackoffMs(int attempt, uint64_t key = 0) const;
+
+  const RetryPolicyOptions& options() const { return options_; }
+
+ private:
+  RetryPolicyOptions options_;
+};
+
+/// Knobs for the circuit breaker. Cooldown is measured in *rejected
+/// calls* rather than wall time, keeping the state machine deterministic
+/// for a fixed call sequence.
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Requests rejected while open before the breaker half-opens to probe.
+  int64_t cooldown_rejections = 50;
+  /// Consecutive successes in half-open that close the breaker.
+  int success_threshold = 2;
+};
+
+/// Minimal three-state circuit breaker (closed -> open -> half-open).
+/// Thread-safe; all transitions happen under one mutex. Note that under
+/// concurrency the *placement* of trips depends on call interleaving, so
+/// pipelines that guarantee bit-identical parallel output leave the
+/// breaker disabled (see DESIGN.md §7).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// True when the protected call may proceed. While open, counts the
+  /// rejection and half-opens once `cooldown_rejections` have been
+  /// rejected.
+  bool AllowRequest();
+
+  /// Reports the outcome of an allowed call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// Total calls rejected while open.
+  int64_t rejected() const;
+  /// Times the breaker tripped from closed/half-open to open.
+  int64_t times_opened() const;
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int consecutive_successes_ = 0;
+  int64_t open_rejections_ = 0;  ///< Rejections in the current open spell.
+  int64_t total_rejected_ = 0;
+  int64_t times_opened_ = 0;
+};
+
+const char* CircuitBreakerStateToString(CircuitBreaker::State state);
+
+}  // namespace stir::common
+
+#endif  // STIR_COMMON_RETRY_H_

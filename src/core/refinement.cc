@@ -1,14 +1,29 @@
 #include "core/refinement.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace stir::core {
+
+namespace {
+
+/// Transient service failures (the fault injector's Unavailable bursts
+/// and errors) are eligible for degraded-mode salvage; authoritative
+/// answers (NotFound = outside coverage) and spent quotas are not.
+bool IsTransientServiceFault(const Status& status) {
+  return status.IsUnavailable() || status.IsIOError();
+}
+
+}  // namespace
 
 void FunnelStats::AccumulateUserCounts(const FunnelStats& other) {
   for (int q = 0; q < 5; ++q) quality_counts[q] += other.quality_counts[q];
   well_defined_users += other.well_defined_users;
   geocode_failures += other.geocode_failures;
   final_users += other.final_users;
+  geocode_faulted += other.geocode_faulted;
+  geocode_degraded += other.geocode_degraded;
 }
 
 RefinementPipeline::RefinementPipeline(const text::LocationParser* parser,
@@ -20,19 +35,37 @@ RefinementPipeline::RefinementPipeline(const text::LocationParser* parser,
 }
 
 StatusOr<geo::RegionId> RefinementPipeline::Geocode(
-    const geo::LatLng& point) const {
+    const geo::LatLng& point, int64_t fault_index) const {
   if (!options_.faithful_xml_pipeline) {
     STIR_ASSIGN_OR_RETURN(geo::GeocodeResult result,
-                          geocoder_->Reverse(point));
+                          geocoder_->Reverse(point, fault_index));
     return result.region;
   }
   // Faithful mode: serialize the response to XML, parse it back, and
   // resolve the (state, county) pair against the gazetteer — exactly the
   // dance the original study performed against the Yahoo Open API.
-  STIR_ASSIGN_OR_RETURN(std::string xml, geocoder_->ReverseToXml(point));
+  STIR_ASSIGN_OR_RETURN(std::string xml,
+                        geocoder_->ReverseToXml(point, fault_index));
   STIR_ASSIGN_OR_RETURN(geo::GeocodeResult parsed,
                         geo::ReverseGeocoder::ParseResponse(xml));
   return geocoder_->db().FindCounty(parsed.state, parsed.county);
+}
+
+geo::RegionId RefinementPipeline::TextFallbackRegion(
+    const std::string& text, geo::RegionId profile_region) const {
+  text::ParsedLocation parsed = parser_->Parse(text);
+  if (parsed.quality == text::LocationQuality::kWellDefined) {
+    return parsed.region;
+  }
+  // A cross-state district name ("Jung-gu") is ambiguous on its own, but
+  // the user's profile district is a strong prior when it is among the
+  // candidates.
+  if (parsed.quality == text::LocationQuality::kAmbiguous &&
+      std::find(parsed.candidates.begin(), parsed.candidates.end(),
+                profile_region) != parsed.candidates.end()) {
+    return profile_region;
+  }
+  return geo::kInvalidRegion;
 }
 
 bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
@@ -51,8 +84,20 @@ bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
   for (size_t index : dataset.TweetIndicesOf(user.id)) {
     const twitter::Tweet& tweet = dataset.tweets()[index];
     if (!tweet.gps.has_value()) continue;
-    auto region = Geocode(*tweet.gps);
+    auto region = Geocode(*tweet.gps, static_cast<int64_t>(index));
     if (!region.ok()) {
+      if (IsTransientServiceFault(region.status())) {
+        ++stats.geocode_faulted;
+        if (options_.degraded_text_fallback) {
+          geo::RegionId fallback =
+              TextFallbackRegion(tweet.text, parsed.region);
+          if (fallback != geo::kInvalidRegion) {
+            ++stats.geocode_degraded;
+            out->tweet_regions.push_back(fallback);
+            continue;
+          }
+        }
+      }
       ++stats.geocode_failures;
       continue;
     }
@@ -73,10 +118,15 @@ std::vector<RefinedUser> RefinementPipeline::Run(
   stats.total_tweets = dataset.total_tweet_count();
   stats.gps_tweets = dataset.gps_tweet_count();
 
+  // Retry/backoff totals live in the geocoder (they accumulate across
+  // attempts inside Reverse); deltas over this run land in the funnel.
+  int64_t retries_before = geocoder_->num_retries();
+  int64_t backoff_before = geocoder_->simulated_backoff_ms();
+
   const std::vector<twitter::User>& users = dataset.users();
   size_t shards = common::NumShards(pool, users.size());
+  std::vector<RefinedUser> refined;
   if (shards <= 1) {
-    std::vector<RefinedUser> refined;
     RefinedUser candidate;
     for (const twitter::User& user : users) {
       if (RefineUser(dataset, user, stats, &candidate)) {
@@ -84,38 +134,41 @@ std::vector<RefinedUser> RefinementPipeline::Run(
         candidate = RefinedUser{};
       }
     }
-    return refined;
-  }
-
-  // Contiguous user shards, each with private outputs; the shard-ordered
-  // merge below makes the result independent of execution interleaving.
-  std::vector<FunnelStats> shard_stats(shards);
-  std::vector<std::vector<RefinedUser>> shard_refined(shards);
-  common::ParallelForShards(
-      pool, users.size(),
-      [&](size_t shard, size_t begin, size_t end) {
-        RefinedUser candidate;
-        for (size_t i = begin; i < end; ++i) {
-          if (RefineUser(dataset, users[i], shard_stats[shard],
-                         &candidate)) {
-            shard_refined[shard].push_back(std::move(candidate));
-            candidate = RefinedUser{};
+  } else {
+    // Contiguous user shards, each with private outputs; the
+    // shard-ordered merge below makes the result independent of
+    // execution interleaving.
+    std::vector<FunnelStats> shard_stats(shards);
+    std::vector<std::vector<RefinedUser>> shard_refined(shards);
+    common::ParallelForShards(
+        pool, users.size(),
+        [&](size_t shard, size_t begin, size_t end) {
+          RefinedUser candidate;
+          for (size_t i = begin; i < end; ++i) {
+            if (RefineUser(dataset, users[i], shard_stats[shard],
+                           &candidate)) {
+              shard_refined[shard].push_back(std::move(candidate));
+              candidate = RefinedUser{};
+            }
           }
-        }
-      });
+        });
 
-  std::vector<RefinedUser> refined;
-  size_t total = 0;
-  for (const std::vector<RefinedUser>& part : shard_refined) {
-    total += part.size();
-  }
-  refined.reserve(total);
-  for (size_t shard = 0; shard < shards; ++shard) {
-    stats.AccumulateUserCounts(shard_stats[shard]);
-    for (RefinedUser& user : shard_refined[shard]) {
-      refined.push_back(std::move(user));
+    size_t total = 0;
+    for (const std::vector<RefinedUser>& part : shard_refined) {
+      total += part.size();
+    }
+    refined.reserve(total);
+    for (size_t shard = 0; shard < shards; ++shard) {
+      stats.AccumulateUserCounts(shard_stats[shard]);
+      for (RefinedUser& user : shard_refined[shard]) {
+        refined.push_back(std::move(user));
+      }
     }
   }
+
+  stats.fault_injection_enabled = geocoder_->fault_injection_enabled();
+  stats.geocode_retried = geocoder_->num_retries() - retries_before;
+  stats.backoff_ms = geocoder_->simulated_backoff_ms() - backoff_before;
   return refined;
 }
 

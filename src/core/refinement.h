@@ -33,11 +33,26 @@ struct FunnelStats {
   int64_t total_tweets = 0;
   /// Materialized GPS-tagged tweets across all users.
   int64_t gps_tweets = 0;
-  /// GPS tweets of well-defined users that failed reverse geocoding
-  /// (outside coverage).
+  /// GPS tweets of well-defined users that failed reverse geocoding and
+  /// were dropped (outside coverage, spent quota, or an unsalvageable
+  /// service fault).
   int64_t geocode_failures = 0;
   /// Well-defined users with >= 1 geocoded GPS tweet — the final sample.
   int64_t final_users = 0;
+
+  /// --- Failure-model accounting (all zero unless a FaultInjector was
+  /// active; `fault_injection_enabled` gates the fault block in reports
+  /// so fault-free output stays byte-identical). ---
+  bool fault_injection_enabled = false;
+  /// Geocode lookups whose final status was an injected service fault
+  /// (after retries); each one either degrades or joins geocode_failures.
+  int64_t geocode_faulted = 0;
+  /// Retry attempts the geocoder spent on injected transient faults.
+  int64_t geocode_retried = 0;
+  /// Faulted lookups salvaged by the degraded text-fallback path.
+  int64_t geocode_degraded = 0;
+  /// Simulated retry backoff charged by the geocoder, in ms.
+  int64_t backoff_ms = 0;
 
   /// Adds `other`'s per-user counters (quality histogram, well-defined,
   /// geocode failures, final users) into this. Corpus-wide fields
@@ -54,6 +69,14 @@ struct RefinementOptions {
   /// byte-for-byte reproducing the original Yahoo-API pipeline (slower;
   /// the structured path is semantically identical and is the default).
   bool faithful_xml_pipeline = false;
+  /// Degraded mode: when a geocode fails with a *transient* service fault
+  /// (Unavailable/IOError — injected outages; never NotFound, which is an
+  /// authoritative "outside coverage"), fall back to parsing the tweet
+  /// text with the gazetteer location parser. A well-defined parse — or
+  /// an ambiguous one whose candidates include the user's profile
+  /// district — salvages the tweet (counted in FunnelStats::
+  /// geocode_degraded); otherwise the tweet is dropped.
+  bool degraded_text_fallback = true;
 };
 
 /// The §III.B refinement pipeline: parse profile locations, drop vague /
@@ -80,7 +103,16 @@ class RefinementPipeline {
                                common::ThreadPool* pool = nullptr) const;
 
  private:
-  StatusOr<geo::RegionId> Geocode(const geo::LatLng& point) const;
+  /// `fault_index` is the tweet's global dataset index — a stable,
+  /// thread-count-independent key for the geocoder's fault schedule.
+  StatusOr<geo::RegionId> Geocode(const geo::LatLng& point,
+                                  int64_t fault_index) const;
+
+  /// Degraded-mode salvage: district named in the tweet text, if any
+  /// (see RefinementOptions::degraded_text_fallback). kInvalidRegion
+  /// when the text does not resolve.
+  geo::RegionId TextFallbackRegion(const std::string& text,
+                                   geo::RegionId profile_region) const;
 
   /// Refines one user into `out`, updating `stats`' per-user counters.
   /// Returns true when the user survives both gates.

@@ -28,6 +28,18 @@ Status WriteStudyReportCsv(const StudyResult& result,
       {"geocode_failures", integer(result.funnel.geocode_failures)},
       {"final_users", integer(result.funnel.final_users)},
   };
+  if (result.funnel.fault_injection_enabled) {
+    // Failure-model rows only appear on faulty runs, keeping fault-free
+    // reports byte-identical to earlier versions.
+    funnel_rows.push_back(
+        {"geocode_faulted", integer(result.funnel.geocode_faulted)});
+    funnel_rows.push_back(
+        {"geocode_retried", integer(result.funnel.geocode_retried)});
+    funnel_rows.push_back(
+        {"geocode_degraded", integer(result.funnel.geocode_degraded)});
+    funnel_rows.push_back(
+        {"simulated_backoff_ms", integer(result.funnel.backoff_ms)});
+  }
   STIR_RETURN_IF_ERROR(
       WriteCsvFile(directory + "/funnel.csv", funnel_rows));
 

@@ -45,6 +45,16 @@ std::string StudyResult::FunnelString() const {
                    static_cast<long long>(funnel.gps_tweets));
   out += StrFormat("geocode failures:            %lld\n",
                    static_cast<long long>(funnel.geocode_failures));
+  if (funnel.fault_injection_enabled) {
+    out += StrFormat("  service faults (terminal): %lld\n",
+                     static_cast<long long>(funnel.geocode_faulted));
+    out += StrFormat("  retried attempts:          %lld\n",
+                     static_cast<long long>(funnel.geocode_retried));
+    out += StrFormat("  degraded (text fallback):  %lld\n",
+                     static_cast<long long>(funnel.geocode_degraded));
+    out += StrFormat("  simulated backoff (ms):    %lld\n",
+                     static_cast<long long>(funnel.backoff_ms));
+  }
   out += StrFormat("final users (study sample):  %lld\n",
                    static_cast<long long>(funnel.final_users));
   return out;
@@ -57,7 +67,16 @@ CorrelationStudy::CorrelationStudy(const geo::AdminDb* db,
 StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
   StudyResult result;
 
-  geo::ReverseGeocoder geocoder(db_, options_.geocoder);
+  geo::ReverseGeocoderOptions geocoder_options = options_.geocoder;
+  // Each run owns a fresh injector so fault schedules restart at call
+  // index zero; a caller-supplied injector (options_.geocoder
+  // .fault_injector) takes precedence.
+  common::FaultInjector injector(options_.fault);
+  if (geocoder_options.fault_injector == nullptr && injector.enabled()) {
+    geocoder_options.fault_injector = &injector;
+    geocoder_options.retry = options_.retry;
+  }
+  geo::ReverseGeocoder geocoder(db_, geocoder_options);
   RefinementPipeline pipeline(&parser_, &geocoder, options_.refinement);
   std::unique_ptr<common::ThreadPool> pool;
   if (options_.threads > 1) {

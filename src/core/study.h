@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/retry.h"
 #include "core/grouping.h"
 #include "core/refinement.h"
 #include "geo/admin_db.h"
@@ -57,6 +59,14 @@ struct CorrelationStudyOptions {
   /// Results are bit-identical across thread counts (sharded execution
   /// with ordered merges) as long as the geocoder quota is unlimited.
   int threads = 1;
+  /// Fault schedule injected into the reverse geocoder (CLI --fault-rate
+  /// and friends). All knobs off — the default — leaves the fault layer
+  /// disengaged and the output byte-identical to a fault-free build.
+  /// Faults are keyed on tweet dataset indices, so a faulty run is also
+  /// bit-identical across thread counts.
+  common::FaultInjectorOptions fault;
+  /// Retry schedule for injected faults (forwarded to the geocoder).
+  common::RetryPolicyOptions retry;
 };
 
 /// The paper's end-to-end analysis: refinement funnel -> text-based

@@ -30,7 +30,7 @@ std::string SynthesizeTown(const Region& region, const LatLng& point) {
 
 ReverseGeocoder::ReverseGeocoder(const AdminDb* db,
                                  ReverseGeocoderOptions options)
-    : db_(db), options_(options) {
+    : db_(db), options_(options), retry_policy_(options.retry) {
   STIR_CHECK(db != nullptr);
 }
 
@@ -49,7 +49,45 @@ ReverseGeocoder::CacheShard& ReverseGeocoder::ShardFor(
   return cache_shards_[Fnv1a64(cache_key) % kCacheShards];
 }
 
-StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point) {
+StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point,
+                                                 int64_t fault_index) {
+  common::FaultInjector* fault = options_.fault_injector;
+  if (fault == nullptr || !fault->enabled()) return ReverseDirect(point);
+
+  if (fault_index < 0) fault_index = fault->NextIndex();
+  int attempts = 0;
+  for (;;) {
+    if (options_.circuit_breaker != nullptr &&
+        !options_.circuit_breaker->AllowRequest()) {
+      num_breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("reverse geocoder circuit breaker open");
+    }
+    common::FaultDecision decision = fault->Decide(fault_index, attempts);
+    ++attempts;
+    if (decision.status.ok()) {
+      // The attempt reached the service; whatever it answers (including
+      // NotFound / a spent quota) is a successful round trip.
+      if (options_.circuit_breaker != nullptr) {
+        options_.circuit_breaker->RecordSuccess();
+      }
+      return ReverseDirect(point);
+    }
+    if (options_.circuit_breaker != nullptr) {
+      options_.circuit_breaker->RecordFailure();
+    }
+    if (!retry_policy_.ShouldRetry(decision.status, attempts)) {
+      num_faulted_.fetch_add(1, std::memory_order_relaxed);
+      return decision.status;
+    }
+    num_retries_.fetch_add(1, std::memory_order_relaxed);
+    simulated_backoff_ms_.fetch_add(
+        retry_policy_.BackoffMs(attempts,
+                                static_cast<uint64_t>(fault_index)),
+        std::memory_order_relaxed);
+  }
+}
+
+StatusOr<GeocodeResult> ReverseGeocoder::ReverseDirect(const LatLng& point) {
   num_queries_.fetch_add(1, std::memory_order_relaxed);
   if (!point.IsValid()) {
     return Status::InvalidArgument("invalid coordinate: " + point.ToString());
@@ -99,8 +137,9 @@ StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point) {
   return result;
 }
 
-StatusOr<std::string> ReverseGeocoder::ReverseToXml(const LatLng& point) {
-  STIR_ASSIGN_OR_RETURN(GeocodeResult r, Reverse(point));
+StatusOr<std::string> ReverseGeocoder::ReverseToXml(const LatLng& point,
+                                                    int64_t fault_index) {
+  STIR_ASSIGN_OR_RETURN(GeocodeResult r, Reverse(point, fault_index));
   XmlNode root("ResultSet");
   root.AddAttribute("version", "1.0");
   XmlNode& result = root.AddChild("Result");

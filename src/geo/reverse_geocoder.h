@@ -8,6 +8,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/fault.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "geo/admin_db.h"
 #include "geo/latlng.h"
@@ -36,6 +38,19 @@ struct ReverseGeocoderOptions {
   /// Maximum lookups before the service returns ResourceExhausted
   /// (simulating an API quota); <0 disables.
   int64_t quota = -1;
+  /// Optional fault hook (not owned; must outlive the geocoder; null or
+  /// all-knobs-off disables). Consulted once per lookup *attempt*, before
+  /// the cache, so fault placement is a pure function of the supplied
+  /// fault index — never of cache state or thread interleaving.
+  common::FaultInjector* fault_injector = nullptr;
+  /// Retry schedule for injected transient failures (engaged only when a
+  /// fault injector is active). Backoff is simulated, never slept.
+  common::RetryPolicyOptions retry;
+  /// Optional circuit breaker guarding the simulated service (not owned;
+  /// null disables). Under concurrency the breaker's trip points depend
+  /// on call interleaving, so leave it null when bit-identical parallel
+  /// output matters (DESIGN.md §7).
+  common::CircuitBreaker* circuit_breaker = nullptr;
 };
 
 /// Reverse geocoder over an AdminDb, shaped like the web API the paper
@@ -56,11 +71,21 @@ class ReverseGeocoder {
                            ReverseGeocoderOptions options = {});
 
   /// Structured lookup. NotFound outside coverage; ResourceExhausted once
-  /// the simulated quota is spent; InvalidArgument for bad coordinates.
-  StatusOr<GeocodeResult> Reverse(const LatLng& point);
+  /// the simulated quota is spent; InvalidArgument for bad coordinates;
+  /// Unavailable for an injected (and retried-past-budget) service fault.
+  ///
+  /// `fault_index` keys the fault schedule when a FaultInjector is
+  /// configured: callers with a stable per-call identity (the refinement
+  /// pipeline passes the tweet's dataset index) get fault placement that
+  /// is bit-identical across thread counts. The default (-1) claims the
+  /// injector's next sequence index, which is deterministic for serial
+  /// call sites only.
+  StatusOr<GeocodeResult> Reverse(const LatLng& point,
+                                  int64_t fault_index = -1);
 
   /// Same lookup rendered as the Yahoo-shaped XML document.
-  StatusOr<std::string> ReverseToXml(const LatLng& point);
+  StatusOr<std::string> ReverseToXml(const LatLng& point,
+                                     int64_t fault_index = -1);
 
   /// Parses a ReverseToXml document back into a GeocodeResult (region id
   /// is not recovered; resolve it against an AdminDb if needed).
@@ -77,7 +102,32 @@ class ReverseGeocoder {
   int64_t quota_remaining() const;
   void ResetQuota();
 
+  /// Fault-path accounting (all zero unless a fault injector is active).
+  /// Retry attempts performed after an injected transient failure.
+  int64_t num_retries() const {
+    return num_retries_.load(std::memory_order_relaxed);
+  }
+  /// Lookups that failed with an injected fault after exhausting retries.
+  int64_t num_faulted() const {
+    return num_faulted_.load(std::memory_order_relaxed);
+  }
+  /// Lookups rejected by the circuit breaker without an attempt.
+  int64_t num_breaker_rejections() const {
+    return num_breaker_rejections_.load(std::memory_order_relaxed);
+  }
+  /// Total simulated backoff charged by the retry loop, in ms.
+  int64_t simulated_backoff_ms() const {
+    return simulated_backoff_ms_.load(std::memory_order_relaxed);
+  }
+
   const AdminDb& db() const { return *db_; }
+
+  /// True when a fault injector with at least one active knob is wired in
+  /// (the pipeline gates its degraded-mode reporting on this).
+  bool fault_injection_enabled() const {
+    return options_.fault_injector != nullptr &&
+           options_.fault_injector->enabled();
+  }
 
   /// Number of mutex-striped cache shards.
   static constexpr int kCacheShards = 16;
@@ -90,12 +140,21 @@ class ReverseGeocoder {
 
   CacheShard& ShardFor(std::string_view cache_key);
 
+  /// The fault-free lookup (cache, quota, AdminDb) — the pre-fault-layer
+  /// behaviour, byte for byte.
+  StatusOr<GeocodeResult> ReverseDirect(const LatLng& point);
+
   const AdminDb* db_;
   ReverseGeocoderOptions options_;
+  common::RetryPolicy retry_policy_;
   CacheShard cache_shards_[kCacheShards];
   std::atomic<int64_t> num_queries_{0};
   std::atomic<int64_t> num_cache_hits_{0};
   std::atomic<int64_t> quota_used_{0};
+  std::atomic<int64_t> num_retries_{0};
+  std::atomic<int64_t> num_faulted_{0};
+  std::atomic<int64_t> num_breaker_rejections_{0};
+  std::atomic<int64_t> simulated_backoff_ms_{0};
 };
 
 }  // namespace stir::geo

@@ -9,7 +9,14 @@
 namespace stir::twitter {
 
 SearchApi::SearchApi(const Dataset* dataset, int64_t quota)
-    : dataset_(dataset), quota_(quota) {
+    : SearchApi(dataset, [quota] {
+        SearchApiOptions options;
+        options.quota = quota;
+        return options;
+      }()) {}
+
+SearchApi::SearchApi(const Dataset* dataset, SearchApiOptions options)
+    : dataset_(dataset), options_(options), retry_policy_(options.retry) {
   STIR_CHECK(dataset != nullptr);
   by_time_desc_.resize(dataset_->tweets().size());
   std::iota(by_time_desc_.begin(), by_time_desc_.end(), size_t{0});
@@ -24,10 +31,51 @@ SearchApi::SearchApi(const Dataset* dataset, int64_t quota)
 
 StatusOr<std::vector<const Tweet*>> SearchApi::Search(
     const SearchQuery& query) {
-  if (quota_ >= 0 && requests_ >= quota_) {
-    return Status::ResourceExhausted("search API quota exhausted");
+  common::FaultInjector* fault = options_.fault_injector;
+  if (fault == nullptr || !fault->enabled()) return SearchDirect(query);
+
+  int64_t fault_index = fault->NextIndex();
+  int attempts = 0;
+  for (;;) {
+    if (options_.circuit_breaker != nullptr &&
+        !options_.circuit_breaker->AllowRequest()) {
+      return Status::Unavailable("search API circuit breaker open");
+    }
+    common::FaultDecision decision = fault->Decide(fault_index, attempts);
+    ++attempts;
+    if (decision.status.ok()) {
+      if (options_.circuit_breaker != nullptr) {
+        options_.circuit_breaker->RecordSuccess();
+      }
+      return SearchDirect(query);
+    }
+    if (options_.circuit_breaker != nullptr) {
+      options_.circuit_breaker->RecordFailure();
+    }
+    if (!retry_policy_.ShouldRetry(decision.status, attempts)) {
+      num_faulted_.fetch_add(1, std::memory_order_relaxed);
+      return decision.status;
+    }
+    num_retries_.fetch_add(1, std::memory_order_relaxed);
+    simulated_backoff_ms_.fetch_add(
+        retry_policy_.BackoffMs(attempts, static_cast<uint64_t>(fault_index)),
+        std::memory_order_relaxed);
   }
-  ++requests_;
+}
+
+StatusOr<std::vector<const Tweet*>> SearchApi::SearchDirect(
+    const SearchQuery& query) {
+  if (options_.quota >= 0) {
+    // CAS so concurrent requests can never overspend the quota.
+    int64_t used = quota_used_.load(std::memory_order_relaxed);
+    do {
+      if (used >= options_.quota) {
+        return Status::ResourceExhausted("search API quota exhausted");
+      }
+    } while (!quota_used_.compare_exchange_weak(used, used + 1,
+                                                std::memory_order_relaxed));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
   if (query.max_results <= 0) {
     return Status::InvalidArgument("max_results must be positive");
   }
@@ -46,7 +94,9 @@ StatusOr<std::vector<const Tweet*>> SearchApi::Search(
   return results;
 }
 
-StreamingApi::StreamingApi(const Dataset* dataset) : dataset_(dataset) {
+StreamingApi::StreamingApi(const Dataset* dataset,
+                           common::FaultInjector* fault_injector)
+    : dataset_(dataset), fault_injector_(fault_injector) {
   STIR_CHECK(dataset != nullptr);
   by_time_asc_.resize(dataset_->tweets().size());
   std::iota(by_time_asc_.begin(), by_time_asc_.end(), size_t{0});
@@ -58,14 +108,23 @@ StreamingApi::StreamingApi(const Dataset* dataset) : dataset_(dataset) {
   });
 }
 
+bool StreamingApi::ShouldDeliver(int64_t index) const {
+  if (fault_injector_ == nullptr || !fault_injector_->enabled()) return true;
+  if (!fault_injector_->Decide(index).injected()) return true;
+  deliveries_dropped_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
 int64_t StreamingApi::Filter(const std::string& keyword,
                              const Callback& callback) const {
   int64_t delivered = 0;
+  int64_t position = 0;
   for (size_t index : by_time_asc_) {
     const Tweet& tweet = dataset_->tweets()[index];
     if (!keyword.empty() && !ContainsIgnoreCase(tweet.text, keyword)) {
       continue;
     }
+    if (!ShouldDeliver(position++)) continue;
     callback(tweet);
     ++delivered;
   }
@@ -75,8 +134,10 @@ int64_t StreamingApi::Filter(const std::string& keyword,
 int64_t StreamingApi::Sample(double rate, Rng& rng,
                              const Callback& callback) const {
   int64_t delivered = 0;
+  int64_t position = 0;
   for (size_t index : by_time_asc_) {
     if (!rng.Bernoulli(rate)) continue;
+    if (!ShouldDeliver(position++)) continue;
     callback(dataset_->tweets()[index]);
     ++delivered;
   }

@@ -1,0 +1,232 @@
+// FaultInjector: schedules must be pure functions of (options, index,
+// attempt) — identical on every thread of every run — and the accounting
+// must be exact.
+
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace stir::common {
+namespace {
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int64_t i = 0; i < 100; ++i) {
+    FaultDecision decision = injector.Decide(i);
+    EXPECT_TRUE(decision.status.ok());
+    EXPECT_EQ(decision.latency_ms, 0);
+  }
+  EXPECT_EQ(injector.faults_injected(), 0);
+  EXPECT_EQ(injector.decisions(), 100);
+}
+
+TEST(FaultInjectorTest, EnabledReflectsEachKnob) {
+  FaultInjectorOptions options;
+  options.error_rate = 0.1;
+  EXPECT_TRUE(FaultInjector(options).enabled());
+  options = {};
+  options.burst_start = 5;
+  options.burst_length = 2;
+  EXPECT_TRUE(FaultInjector(options).enabled());
+  options = {};
+  options.burst_start = 5;  // zero-length burst is inert
+  EXPECT_FALSE(FaultInjector(options).enabled());
+  options = {};
+  options.exhaust_after = 100;
+  EXPECT_TRUE(FaultInjector(options).enabled());
+  options = {};
+  options.latency_spike_rate = 0.5;
+  EXPECT_TRUE(FaultInjector(options).enabled());
+}
+
+TEST(FaultInjectorTest, DecideIsAPureFunction) {
+  FaultInjectorOptions options;
+  options.seed = 42;
+  options.error_rate = 0.3;
+  options.latency_spike_rate = 0.2;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int64_t i = 0; i < 2000; ++i) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      FaultDecision da = a.Decide(i, attempt);
+      FaultDecision db = b.Decide(i, attempt);
+      EXPECT_EQ(da.status.code(), db.status.code());
+      EXPECT_EQ(da.latency_ms, db.latency_ms);
+      // Re-deciding the same (index, attempt) yields the same outcome.
+      EXPECT_EQ(a.Decide(i, attempt).status.code(), da.status.code());
+    }
+  }
+}
+
+TEST(FaultInjectorTest, SeedSelectsADifferentSchedule) {
+  FaultInjectorOptions options;
+  options.error_rate = 0.3;
+  options.seed = 1;
+  FaultInjector a(options);
+  options.seed = 2;
+  FaultInjector b(options);
+  int differing = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    differing += a.Decide(i).injected() != b.Decide(i).injected();
+  }
+  EXPECT_GT(differing, 100);  // ~2 * 0.3 * 0.7 * 1000 expected
+}
+
+TEST(FaultInjectorTest, AttemptSelectsADifferentDraw) {
+  FaultInjectorOptions options;
+  options.error_rate = 0.5;
+  options.seed = 9;
+  FaultInjector injector(options);
+  int differing = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    differing +=
+        injector.Decide(i, 0).injected() != injector.Decide(i, 1).injected();
+  }
+  // Retrying re-rolls the fault, so ~half the indices flip outcome.
+  EXPECT_GT(differing, 300);
+}
+
+TEST(FaultInjectorTest, ErrorRateMatchesFrequency) {
+  FaultInjectorOptions options;
+  options.error_rate = 0.3;
+  options.seed = 7;
+  FaultInjector injector(options);
+  int faults = 0;
+  constexpr int kTrials = 20000;
+  for (int64_t i = 0; i < kTrials; ++i) {
+    FaultDecision decision = injector.Decide(i);
+    if (decision.injected()) {
+      ++faults;
+      EXPECT_TRUE(decision.status.IsUnavailable());
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(faults) / kTrials, 0.3, 0.02);
+  EXPECT_EQ(injector.faults_injected(), faults);
+  EXPECT_EQ(injector.decisions(), kTrials);
+}
+
+TEST(FaultInjectorTest, BurstWindowIsExactAndAttemptIndependent) {
+  FaultInjectorOptions options;
+  options.burst_start = 10;
+  options.burst_length = 5;
+  FaultInjector injector(options);
+  for (int64_t i = 0; i < 30; ++i) {
+    bool in_window = i >= 10 && i < 15;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      FaultDecision decision = injector.Decide(i, attempt);
+      EXPECT_EQ(decision.injected(), in_window) << "index " << i;
+      if (in_window) {
+        EXPECT_TRUE(decision.status.IsUnavailable());
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorTest, PeriodicBurstRepeats) {
+  FaultInjectorOptions options;
+  options.burst_start = 3;
+  options.burst_length = 2;
+  options.burst_period = 10;
+  FaultInjector injector(options);
+  for (int64_t i = 0; i < 100; ++i) {
+    bool in_window = (i % 10) == 3 || (i % 10) == 4;
+    EXPECT_EQ(injector.Decide(i).injected(), in_window) << "index " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ExhaustAfterFailsEveryLaterCall) {
+  FaultInjectorOptions options;
+  options.exhaust_after = 50;
+  FaultInjector injector(options);
+  for (int64_t i = 0; i < 100; ++i) {
+    FaultDecision decision = injector.Decide(i);
+    if (i < 50) {
+      EXPECT_TRUE(decision.status.ok()) << "index " << i;
+    } else {
+      EXPECT_TRUE(decision.status.IsResourceExhausted()) << "index " << i;
+    }
+  }
+  EXPECT_EQ(injector.faults_injected(), 50);
+}
+
+TEST(FaultInjectorTest, LatencySpikesAreChargedAndCounted) {
+  FaultInjectorOptions options;
+  options.latency_spike_rate = 0.5;
+  options.latency_spike_ms = 250;
+  options.seed = 3;
+  FaultInjector injector(options);
+  int64_t spikes = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    FaultDecision decision = injector.Decide(i);
+    EXPECT_TRUE(decision.status.ok());  // spikes slow calls, never fail them
+    if (decision.latency_ms > 0) {
+      EXPECT_EQ(decision.latency_ms, 250);
+      ++spikes;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(spikes) / 1000.0, 0.5, 0.06);
+  EXPECT_EQ(injector.latency_spikes(), spikes);
+  EXPECT_EQ(injector.simulated_latency_ms(), spikes * 250);
+}
+
+TEST(FaultInjectorTest, NextClaimsSequentialIndices) {
+  FaultInjector injector;
+  EXPECT_EQ(injector.NextIndex(), 0);
+  EXPECT_EQ(injector.NextIndex(), 1);
+  injector.Next();  // claims 2
+  EXPECT_EQ(injector.NextIndex(), 3);
+}
+
+// The determinism guarantee under contention: many threads replaying the
+// same index range must see byte-identical schedules, and the shared
+// counters must total exactly.
+TEST(FaultInjectorTest, ScheduleReplaysIdenticallyAcrossThreads) {
+  FaultInjectorOptions options;
+  options.error_rate = 0.25;
+  options.seed = 77;
+  options.burst_start = 100;
+  options.burst_length = 20;
+  FaultInjector injector(options);
+  constexpr int kThreads = 8;
+  constexpr int64_t kIndices = 5000;
+
+  std::vector<std::vector<char>> schedules(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      schedules[t].reserve(kIndices);
+      for (int64_t i = 0; i < kIndices; ++i) {
+        schedules[t].push_back(injector.Decide(i).injected() ? 1 : 0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(schedules[t], schedules[0]) << "thread " << t;
+  }
+  EXPECT_EQ(injector.decisions(), int64_t{kThreads} * kIndices);
+  int64_t faults_per_thread = 0;
+  for (char f : schedules[0]) faults_per_thread += f;
+  EXPECT_EQ(injector.faults_injected(), kThreads * faults_per_thread);
+}
+
+TEST(FaultInjectorTest, ResetCountersZeroesAccounting) {
+  FaultInjectorOptions options;
+  options.error_rate = 1.0;
+  FaultInjector injector(options);
+  injector.Decide(0);
+  EXPECT_GT(injector.faults_injected(), 0);
+  injector.ResetCounters();
+  EXPECT_EQ(injector.decisions(), 0);
+  EXPECT_EQ(injector.faults_injected(), 0);
+  EXPECT_EQ(injector.latency_spikes(), 0);
+  EXPECT_EQ(injector.simulated_latency_ms(), 0);
+}
+
+}  // namespace
+}  // namespace stir::common

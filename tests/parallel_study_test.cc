@@ -112,6 +112,39 @@ TEST_F(ParallelStudyTest, GoldenEquivalenceAcrossThreadCounts) {
   }
 }
 
+// A faulty run — transient errors, retries, degraded-mode salvage — must
+// stay bit-identical across thread counts: the fault schedule is keyed on
+// the tweet's dataset index, not on arrival order.
+TEST_F(ParallelStudyTest, FaultyRunsAreBitIdenticalAcrossThreadCounts) {
+  twitter::GeneratedData data = Generate(0.05);
+  CorrelationStudyOptions options;
+  options.fault.error_rate = 0.25;
+  options.fault.seed = 13;
+  options.retry.max_attempts = 2;
+
+  CorrelationStudy serial_study(&db_, options);
+  StudyResult serial = serial_study.Run(data.dataset);
+  ASSERT_GT(serial.final_users, 0);
+  // The run really was faulty.
+  EXPECT_TRUE(serial.funnel.fault_injection_enabled);
+  EXPECT_GT(serial.funnel.geocode_faulted, 0);
+  EXPECT_GT(serial.funnel.geocode_retried, 0);
+  EXPECT_GT(serial.funnel.backoff_ms, 0);
+
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    CorrelationStudy parallel_study(&db_, options);
+    StudyResult parallel = parallel_study.Run(data.dataset);
+    ExpectIdenticalResults(serial, parallel, threads);
+    // The fault/retry/degradation accounting is part of the guarantee.
+    EXPECT_EQ(serial.funnel.geocode_faulted, parallel.funnel.geocode_faulted);
+    EXPECT_EQ(serial.funnel.geocode_retried, parallel.funnel.geocode_retried);
+    EXPECT_EQ(serial.funnel.geocode_degraded,
+              parallel.funnel.geocode_degraded);
+    EXPECT_EQ(serial.funnel.backoff_ms, parallel.funnel.backoff_ms);
+  }
+}
+
 TEST_F(ParallelStudyTest, FaithfulXmlPipelineIsAlsoEquivalent) {
   twitter::GeneratedData data = Generate(0.02);
   CorrelationStudyOptions options;

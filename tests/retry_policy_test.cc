@@ -1,0 +1,212 @@
+// RetryPolicy: exact backoff schedule, deterministic jitter, and the
+// retryable-status classification. CircuitBreaker: the closed -> open ->
+// half-open state machine at its configured thresholds.
+
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "geo/reverse_geocoder.h"
+
+namespace stir::common {
+namespace {
+
+TEST(RetryPolicyTest, RetryableStatusClassificationIsExact) {
+  // Transient transport-level failures are retryable...
+  EXPECT_TRUE(RetryPolicy::IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(StatusCode::kIOError));
+  // ...everything else is not.
+  EXPECT_FALSE(RetryPolicy::IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(StatusCode::kAlreadyExists));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(StatusCode::kOutOfRange));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(StatusCode::kInternal));
+}
+
+TEST(RetryPolicyTest, ShouldRetryHonoursAttemptBudget) {
+  RetryPolicyOptions options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  Status transient = Status::Unavailable("down");
+  EXPECT_TRUE(policy.ShouldRetry(transient, 1));
+  EXPECT_TRUE(policy.ShouldRetry(transient, 2));
+  EXPECT_FALSE(policy.ShouldRetry(transient, 3));  // budget spent
+  EXPECT_FALSE(policy.ShouldRetry(Status::OK(), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::NotFound("no"), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::ResourceExhausted("quota"), 1));
+}
+
+TEST(RetryPolicyTest, ResourceExhaustedRetryIsOptIn) {
+  RetryPolicyOptions options;
+  options.retry_resource_exhausted = true;
+  RetryPolicy policy(options);
+  EXPECT_TRUE(policy.ShouldRetry(Status::ResourceExhausted("rate limit"), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::NotFound("still no"), 1));
+}
+
+TEST(RetryPolicyTest, BackoffSequenceIsExactWithoutJitter) {
+  RetryPolicyOptions options;
+  options.base_backoff_ms = 100;
+  options.multiplier = 2.0;
+  options.max_backoff_ms = 1500;
+  options.jitter = 0.0;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.BackoffMs(1), 100);
+  EXPECT_EQ(policy.BackoffMs(2), 200);
+  EXPECT_EQ(policy.BackoffMs(3), 400);
+  EXPECT_EQ(policy.BackoffMs(4), 800);
+  EXPECT_EQ(policy.BackoffMs(5), 1500);  // capped
+  EXPECT_EQ(policy.BackoffMs(6), 1500);
+}
+
+TEST(RetryPolicyTest, JitterIsBoundedAndDeterministic) {
+  RetryPolicyOptions options;
+  options.base_backoff_ms = 1000;
+  options.multiplier = 1.0;
+  options.jitter = 0.5;
+  options.seed = 11;
+  RetryPolicy policy(options);
+  bool saw_jitter = false;
+  for (uint64_t key = 0; key < 200; ++key) {
+    int64_t backoff = policy.BackoffMs(1, key);
+    EXPECT_GE(backoff, 1000);
+    EXPECT_LT(backoff, 1500);
+    EXPECT_EQ(policy.BackoffMs(1, key), backoff);  // same key, same jitter
+    saw_jitter |= backoff != 1000;
+  }
+  EXPECT_TRUE(saw_jitter);
+  // A different seed draws a different jitter stream.
+  options.seed = 12;
+  RetryPolicy other(options);
+  int differing = 0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    differing += other.BackoffMs(1, key) != policy.BackoffMs(1, key);
+  }
+  EXPECT_GT(differing, 150);
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailureThreshold) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.times_opened(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCooldownAndClosesOnSuccesses) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_rejections = 4;
+  options.success_threshold = 2;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // Rejections 1..3 stay open; the 4th flips to half-open (probe next).
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.rejected(), 4);
+  // Two probe successes close it.
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensImmediately) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  options.cooldown_rejections = 1;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());  // cooldown of 1 -> half-open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordFailure();  // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitBreakerStateToString(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreakerStateToString(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreakerStateToString(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+// Breaker wired into the geocoder: a hard outage trips it open, rejected
+// lookups are counted without touching the service, and it recovers once
+// the outage window has passed.
+TEST(CircuitBreakerTest, GeocoderTripsAndRecoversAcrossAnOutage) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  FaultInjectorOptions fault_options;
+  fault_options.burst_start = 0;
+  fault_options.burst_length = 10;  // indices 0..9 are a hard outage
+  FaultInjector injector(fault_options);
+  CircuitBreakerOptions breaker_options;
+  breaker_options.failure_threshold = 3;
+  breaker_options.cooldown_rejections = 2;
+  breaker_options.success_threshold = 1;
+  CircuitBreaker breaker(breaker_options);
+
+  geo::ReverseGeocoderOptions options;
+  options.fault_injector = &injector;
+  options.circuit_breaker = &breaker;
+  options.retry.max_attempts = 1;  // isolate the breaker behaviour
+  geo::ReverseGeocoder geocoder(&db, options);
+
+  Rng rng(5);
+  geo::LatLng point = db.SamplePointIn(0, rng);
+  int64_t queries_before = geocoder.num_queries();
+  // Outage: 3 real failures trip the breaker; later lookups are rejected
+  // without reaching the injector/service.
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(geocoder.Reverse(point, i).ok());
+  }
+  EXPECT_GT(geocoder.num_breaker_rejections(), 0);
+  EXPECT_EQ(geocoder.num_queries(), queries_before);  // never reached it
+  // Past the outage the breaker half-opens and the first good probe
+  // closes it again.
+  bool recovered = false;
+  for (int64_t i = 10; i < 20; ++i) {
+    recovered |= geocoder.Reverse(point, i).ok();
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+}  // namespace
+}  // namespace stir::common

@@ -4,11 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/xml.h"
+#include "core/refinement.h"
 #include "core/study.h"
 #include "geo/reverse_geocoder.h"
 #include "text/location_parser.h"
@@ -181,6 +187,130 @@ TEST(FailureInjectionTest, ParserRejectsOverlongGarbageFast) {
   for (int i = 0; i < 2000; ++i) long_input += "word ";
   text::ParsedLocation parsed = parser.Parse(long_input);
   EXPECT_EQ(parsed.quality, text::LocationQuality::kVague);
+}
+
+// End-to-end faulty run through the refinement pipeline with an external
+// injector: every injected fault must be accounted for exactly — either
+// retried past or terminal, with degradation a subset of the terminal
+// ones — and the funnel's fault counters must agree with the geocoder's.
+TEST(FailureInjectionTest, FunnelCountersSumExactlyToInjectedFaults) {
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  twitter::DatasetGenerator generator(
+      &db, twitter::DatasetGenerator::KoreanConfig(0.05));
+  twitter::GeneratedData data = generator.Generate();
+
+  common::FaultInjectorOptions fault_options;
+  fault_options.error_rate = 0.2;
+  fault_options.seed = 7;
+  common::FaultInjector injector(fault_options);
+
+  geo::ReverseGeocoderOptions geocoder_options;
+  geocoder_options.fault_injector = &injector;
+  geocoder_options.retry.max_attempts = 2;
+  geo::ReverseGeocoder geocoder(&db, geocoder_options);
+  text::LocationParser parser(&db);
+  core::RefinementPipeline pipeline(&parser, &geocoder);
+
+  core::FunnelStats funnel;
+  std::vector<core::RefinedUser> refined = pipeline.Run(data.dataset, &funnel);
+  EXPECT_FALSE(refined.empty());
+  EXPECT_TRUE(funnel.fault_injection_enabled);
+
+  // The run actually exercised the fault layer.
+  EXPECT_GT(injector.faults_injected(), 0);
+  EXPECT_GT(funnel.geocode_faulted, 0);
+  EXPECT_GT(funnel.geocode_retried, 0);
+
+  // Exactness: every injected fault was either retried past or terminal.
+  EXPECT_EQ(injector.faults_injected(),
+            funnel.geocode_retried + funnel.geocode_faulted);
+  // The funnel's fault counters are the geocoder's, verbatim.
+  EXPECT_EQ(funnel.geocode_retried, geocoder.num_retries());
+  EXPECT_EQ(funnel.geocode_faulted, geocoder.num_faulted());
+  EXPECT_EQ(funnel.backoff_ms, geocoder.simulated_backoff_ms());
+  // Degradation only ever salvages terminally-faulted lookups.
+  EXPECT_LE(funnel.geocode_degraded, funnel.geocode_faulted);
+}
+
+std::string ReadWholeFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Checked-in corpus of malformed/truncated/garbled geocode responses:
+// ParseResponse must return a Status for every one, never crash, and
+// still parse the known-good document.
+TEST(FuzzTest, GeocodeResponseCorpusAlwaysYieldsAStatus) {
+  const std::filesystem::path dir =
+      std::filesystem::path(STIR_TEST_DATA_DIR) / "geocode_responses";
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+  int files = 0;
+  int parsed_ok = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++files;
+    SCOPED_TRACE(entry.path().filename().string());
+    std::string content = ReadWholeFile(entry.path());
+    auto result = geo::ReverseGeocoder::ParseResponse(content);
+    if (result.ok()) {
+      ++parsed_ok;
+      EXPECT_FALSE(result->state.empty());
+      EXPECT_FALSE(result->county.empty());
+    }
+  }
+  EXPECT_GE(files, 10);
+  // Almost all of the corpus is structurally broken and must be rejected
+  // (the XML parser is lenient about unknown entities, so the garbled-
+  // entity document legally parses with the entities passed through).
+  EXPECT_GE(files - parsed_ok, 8);
+  auto valid = geo::ReverseGeocoder::ParseResponse(
+      ReadWholeFile(dir / "valid.xml"));
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(valid->state, "Seoul");
+  EXPECT_EQ(valid->county, "Mapo-gu");
+  EXPECT_EQ(valid->country, "South Korea");
+}
+
+// Property test: every truncation prefix and thousands of seeded random
+// byte mutations of a valid response must come back as a Status — ok or
+// error — without crashing (ASAN-checked in sanitizer runs).
+TEST(FuzzTest, GeocodeResponseTruncationsAndMutationsNeverCrash) {
+  const std::string valid = ReadWholeFile(
+      std::filesystem::path(STIR_TEST_DATA_DIR) / "geocode_responses" /
+      "valid.xml");
+  ASSERT_TRUE(geo::ReverseGeocoder::ParseResponse(valid).ok());
+
+  // Every prefix, byte by byte. Only prefixes that still contain the
+  // whole document body (i.e. cut nothing but trailing whitespace) may
+  // parse; anything shorter must be rejected.
+  const size_t body_end = valid.rfind('>') + 1;
+  for (size_t len = 0; len < valid.size(); ++len) {
+    auto result = geo::ReverseGeocoder::ParseResponse(
+        std::string_view(valid).substr(0, len));
+    if (len < body_end) {
+      EXPECT_FALSE(result.ok()) << "prefix length " << len;
+    }
+  }
+
+  // Seeded random mutations: flip 1..8 bytes to arbitrary values.
+  Rng rng(105);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mutated = valid;
+    int flips = static_cast<int>(rng.UniformInt(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    auto result = geo::ReverseGeocoder::ParseResponse(mutated);
+    if (result.ok()) {
+      // A surviving parse must still satisfy the parser's contract.
+      EXPECT_FALSE(result->state.empty());
+      EXPECT_FALSE(result->county.empty());
+    }
+  }
 }
 
 }  // namespace

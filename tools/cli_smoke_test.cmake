@@ -46,6 +46,51 @@ if(NOT serial_out STREQUAL parallel_out)
           "=== serial ===\n${serial_out}\n=== parallel ===\n${parallel_out}")
 endif()
 
+# --fault-rate 0 must leave the report byte-identical to a fault-free run.
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv --threads 1 --fault-rate 0
+  RESULT_VARIABLE rc OUTPUT_VARIABLE zero_fault_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--fault-rate 0 study failed (${rc}): ${zero_fault_out} ${err}")
+endif()
+if(NOT zero_fault_out STREQUAL serial_out)
+  message(FATAL_ERROR "--fault-rate 0 output differs from the fault-free run:\n"
+          "=== fault-free ===\n${serial_out}\n=== fault-rate 0 ===\n${zero_fault_out}")
+endif()
+
+# Faulty run: the degraded-mode pipeline must complete and report nonzero
+# retried/degraded counters ...
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv --threads 1
+          --fault-rate 0.2 --fault-seed 7 --retry-max 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE faulty_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "faulty study failed (${rc}): ${faulty_out} ${err}")
+endif()
+if(NOT faulty_out MATCHES "retried attempts: +[1-9]")
+  message(FATAL_ERROR "faulty study reported no retries: ${faulty_out}")
+endif()
+if(NOT faulty_out MATCHES "degraded \\(text fallback\\): +[1-9]")
+  message(FATAL_ERROR "faulty study reported no degraded lookups: ${faulty_out}")
+endif()
+
+# ... and the faulty report must still be byte-identical across thread
+# counts (faults are keyed on tweet dataset indices, not arrival order).
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv --threads 4
+          --fault-rate 0.2 --fault-seed 7 --retry-max 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE faulty_parallel_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "faulty parallel study failed (${rc}): ${faulty_parallel_out} ${err}")
+endif()
+if(NOT faulty_out STREQUAL faulty_parallel_out)
+  message(FATAL_ERROR "faulty --threads 4 output differs from --threads 1:\n"
+          "=== serial ===\n${faulty_out}\n=== parallel ===\n${faulty_parallel_out}")
+endif()
+
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E echo "Seoul Mapo-gu"
   COMMAND ${CLI} audit

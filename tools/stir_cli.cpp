@@ -36,6 +36,8 @@ int Usage() {
                "  stir_cli study --users FILE --tweets FILE\n"
                "           [--gazetteer korean|world] [--report-dir DIR]\n"
                "           [--xml-pipeline] [--threads N]\n"
+               "           [--fault-rate P] [--fault-seed N]\n"
+               "           [--retry-max N] [--retry-base-ms MS]\n"
                "  stir_cli audit [--gazetteer korean|world]  (stdin lines)\n");
   return 2;
 }
@@ -127,6 +129,32 @@ int RunStudy(const std::map<std::string, std::string>& flags) {
     options.threads = std::atoi(flags.at("threads").c_str());
     if (options.threads < 1) {
       std::fprintf(stderr, "--threads must be >= 1\n");
+      return Usage();
+    }
+  }
+  if (flags.count("fault-rate")) {
+    options.fault.error_rate = std::atof(flags.at("fault-rate").c_str());
+    if (options.fault.error_rate < 0.0 || options.fault.error_rate > 1.0) {
+      std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+      return Usage();
+    }
+  }
+  if (flags.count("fault-seed")) {
+    options.fault.seed = static_cast<uint64_t>(
+        std::strtoull(flags.at("fault-seed").c_str(), nullptr, 10));
+  }
+  if (flags.count("retry-max")) {
+    options.retry.max_attempts = std::atoi(flags.at("retry-max").c_str());
+    if (options.retry.max_attempts < 1) {
+      std::fprintf(stderr, "--retry-max must be >= 1\n");
+      return Usage();
+    }
+  }
+  if (flags.count("retry-base-ms")) {
+    options.retry.base_backoff_ms = static_cast<int64_t>(
+        std::strtoll(flags.at("retry-base-ms").c_str(), nullptr, 10));
+    if (options.retry.base_backoff_ms < 0) {
+      std::fprintf(stderr, "--retry-base-ms must be >= 0\n");
       return Usage();
     }
   }
