@@ -48,15 +48,23 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
   STIR_CHECK(options_.failure_threshold >= 1);
   STIR_CHECK(options_.cooldown_rejections >= 1);
   STIR_CHECK(options_.success_threshold >= 1);
+  if (options_.metrics != nullptr) {
+    m_opened_ = options_.metrics->GetCounter("breaker.opened");
+    m_half_opened_ = options_.metrics->GetCounter("breaker.half_opened");
+    m_closed_ = options_.metrics->GetCounter("breaker.closed");
+    m_rejected_ = options_.metrics->GetCounter("breaker.rejected");
+  }
 }
 
 bool CircuitBreaker::AllowRequest() {
   std::lock_guard<std::mutex> lock(mu_);
   if (state_ != State::kOpen) return true;
   ++total_rejected_;
+  obs::IncrementCounter(m_rejected_);
   if (++open_rejections_ >= options_.cooldown_rejections) {
     state_ = State::kHalfOpen;
     consecutive_successes_ = 0;
+    obs::IncrementCounter(m_half_opened_);
   }
   return false;
 }
@@ -68,6 +76,7 @@ void CircuitBreaker::RecordSuccess() {
       ++consecutive_successes_ >= options_.success_threshold) {
     state_ = State::kClosed;
     consecutive_successes_ = 0;
+    obs::IncrementCounter(m_closed_);
   }
 }
 
@@ -81,6 +90,7 @@ void CircuitBreaker::RecordFailure() {
     consecutive_failures_ = 0;
     open_rejections_ = 0;
     ++times_opened_;
+    obs::IncrementCounter(m_opened_);
   }
 }
 

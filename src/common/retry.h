@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace stir::common {
 
@@ -64,6 +65,10 @@ struct CircuitBreakerOptions {
   int64_t cooldown_rejections = 50;
   /// Consecutive successes in half-open that close the breaker.
   int success_threshold = 2;
+  /// Optional metrics sink (not owned; must outlive the breaker). Reports
+  /// state transitions as counters `breaker.opened` / `breaker.half_opened`
+  /// / `breaker.closed` plus `breaker.rejected` (DESIGN.md §8).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Minimal three-state circuit breaker (closed -> open -> half-open).
@@ -103,6 +108,12 @@ class CircuitBreaker {
   int64_t open_rejections_ = 0;  ///< Rejections in the current open spell.
   int64_t total_rejected_ = 0;
   int64_t times_opened_ = 0;
+
+  // Transition counters (null when no metrics sink is configured).
+  obs::Counter* m_opened_ = nullptr;
+  obs::Counter* m_half_opened_ = nullptr;
+  obs::Counter* m_closed_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
 };
 
 const char* CircuitBreakerStateToString(CircuitBreaker::State state);

@@ -2,14 +2,52 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 
 namespace stir::common {
 
-ThreadPool::ThreadPool(int num_threads) {
+namespace {
+
+/// Microsecond latency buckets shared by the pool's histograms: spans
+/// queue waits of a few µs through multi-second stalls.
+std::vector<int64_t> LatencyBucketsUs() {
+  return {10, 100, 1'000, 10'000, 100'000, 1'000'000};
+}
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* metrics)
+    : metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    tasks_submitted_ = metrics_->GetCounter("pool.tasks_submitted");
+    tasks_completed_ = metrics_->GetCounter("pool.tasks_completed");
+    queue_depth_ = metrics_->GetGauge("pool.queue_depth");
+    queue_depth_max_ = metrics_->GetGauge("pool.queue_depth_max");
+    queue_wait_us_ =
+        metrics_->GetHistogram("pool.queue_wait_us", LatencyBucketsUs());
+    task_run_us_ =
+        metrics_->GetHistogram("pool.task_run_us", LatencyBucketsUs());
+  }
   if (num_threads <= 0) return;
   workers_.reserve(static_cast<size_t>(num_threads));
+  if (metrics_ != nullptr) {
+    worker_tasks_.reserve(static_cast<size_t>(num_threads));
+    worker_busy_us_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      std::string prefix = "pool.worker." + std::to_string(i);
+      worker_tasks_.push_back(metrics_->GetCounter(prefix + ".tasks"));
+      worker_busy_us_.push_back(metrics_->GetCounter(prefix + ".busy_us"));
+    }
+  }
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<size_t>(i)); });
   }
 }
 
@@ -22,29 +60,58 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Schedule(std::function<void()> fn) {
-  if (workers_.empty()) {
-    fn();  // Inline pool: the packaged_task captures any exception.
+void ThreadPool::RunTask(QueuedTask task, size_t worker_index) {
+  if (metrics_ == nullptr) {
+    task.fn();
     return;
   }
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+  task.fn();
+  int64_t run_us = ElapsedUs(started);
+  obs::RecordSample(task_run_us_, run_us);
+  obs::IncrementCounter(tasks_completed_);
+  if (worker_index < worker_tasks_.size()) {
+    obs::IncrementCounter(worker_tasks_[worker_index]);
+    obs::IncrementCounter(worker_busy_us_[worker_index], run_us);
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  obs::IncrementCounter(tasks_submitted_);
+  if (workers_.empty()) {
+    // Inline pool: the packaged_task captures any exception.
+    RunTask(QueuedTask{std::move(fn), {}}, static_cast<size_t>(-1));
+    return;
+  }
+  QueuedTask task{std::move(fn), {}};
+  if (metrics_ != nullptr) task.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(std::move(task));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Add(1);
+      queue_depth_max_->SetMax(static_cast<int64_t>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
-    std::function<void()> fn;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
-      fn = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_ != nullptr) queue_depth_->Add(-1);
     }
-    fn();
+    if (metrics_ != nullptr) {
+      obs::RecordSample(queue_wait_us_, ElapsedUs(task.enqueued));
+    }
+    RunTask(std::move(task), worker_index);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef STIR_COMMON_THREAD_POOL_H_
 #define STIR_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -12,6 +13,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace stir::common {
 
 /// Fixed-size worker pool for the parallel study pipeline. Tasks are
@@ -19,10 +22,19 @@ namespace stir::common {
 /// degenerates to inline execution on the submitting thread, so callers
 /// can treat "no parallelism" as just another pool size. Destruction
 /// drains the queue (every submitted task runs) before joining.
+///
+/// With a `metrics` registry the pool reports its runtime behaviour
+/// (DESIGN.md §8): counters `pool.tasks_submitted` / `pool.tasks_completed`
+/// and per-worker `pool.worker.<i>.tasks` / `pool.worker.<i>.busy_us`,
+/// gauges `pool.queue_depth` (live) and `pool.queue_depth_max`
+/// (high-water), histograms `pool.queue_wait_us` and `pool.task_run_us`.
+/// A null registry keeps every code path timing-free.
 class ThreadPool {
  public:
-  /// `num_threads` <= 0 creates an inline pool (no workers).
-  explicit ThreadPool(int num_threads);
+  /// `num_threads` <= 0 creates an inline pool (no workers). `metrics`
+  /// (optional, not owned) must outlive the pool.
+  explicit ThreadPool(int num_threads,
+                      obs::MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -44,14 +56,35 @@ class ThreadPool {
   }
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    /// Enqueue time; only sampled when metrics are attached.
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void Schedule(std::function<void()> fn);
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
+  /// Runs one task, charging run time / completion to `worker_index`
+  /// (worker slots are resolved in the constructor; the inline path uses
+  /// the shared counters only).
+  void RunTask(QueuedTask task, size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // Observability (all null when no registry is attached).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* queue_depth_max_ = nullptr;
+  obs::Histogram* queue_wait_us_ = nullptr;
+  obs::Histogram* task_run_us_ = nullptr;
+  std::vector<obs::Counter*> worker_tasks_;
+  std::vector<obs::Counter*> worker_busy_us_;
 };
 
 /// Number of contiguous shards ParallelFor/ParallelForShards split `n`

@@ -1,8 +1,10 @@
 #include "core/refinement.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
+#include "core/study_config.h"
 
 namespace stir::core {
 
@@ -13,6 +15,12 @@ namespace {
 /// answers (NotFound = outside coverage) and spent quotas are not.
 bool IsTransientServiceFault(const Status& status) {
   return status.IsUnavailable() || status.IsIOError();
+}
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
 }
 
 }  // namespace
@@ -32,6 +40,18 @@ RefinementPipeline::RefinementPipeline(const text::LocationParser* parser,
     : parser_(parser), geocoder_(geocoder), options_(options) {
   STIR_CHECK(parser != nullptr);
   STIR_CHECK(geocoder != nullptr);
+}
+
+RefinementPipeline::RefinementPipeline(const text::LocationParser* parser,
+                                       geo::ReverseGeocoder* geocoder,
+                                       const StudyConfig& config)
+    : RefinementPipeline(parser, geocoder, config.refinement) {
+  metrics_ = config.obs.metrics;
+  tracer_ = config.obs.tracer;
+  if (metrics_ != nullptr) {
+    stage_parse_us_ = metrics_->GetCounter("funnel.stage.profile_parse_us");
+    stage_geocode_us_ = metrics_->GetCounter("funnel.stage.geocode_us");
+  }
 }
 
 StatusOr<geo::RegionId> RefinementPipeline::Geocode(
@@ -72,11 +92,22 @@ bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
                                     const twitter::User& user,
                                     FunnelStats& stats,
                                     RefinedUser* out) const {
-  text::ParsedLocation parsed = parser_->Parse(user.profile_location);
+  text::ParsedLocation parsed;
+  if (stage_parse_us_ != nullptr) {
+    std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+    parsed = parser_->Parse(user.profile_location);
+    stage_parse_us_->Increment(ElapsedUs(t0));
+  } else {
+    parsed = parser_->Parse(user.profile_location);
+  }
   ++stats.quality_counts[static_cast<int>(parsed.quality)];
   if (parsed.quality != text::LocationQuality::kWellDefined) return false;
   ++stats.well_defined_users;
 
+  std::chrono::steady_clock::time_point geocode_t0;
+  if (stage_geocode_us_ != nullptr) {
+    geocode_t0 = std::chrono::steady_clock::now();
+  }
   out->user = user.id;
   out->profile_region = parsed.region;
   out->total_tweets = user.total_tweets;
@@ -103,14 +134,48 @@ bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
     }
     out->tweet_regions.push_back(*region);
   }
+  if (stage_geocode_us_ != nullptr) {
+    stage_geocode_us_->Increment(ElapsedUs(geocode_t0));
+  }
   if (out->tweet_regions.empty()) return false;
   ++stats.final_users;
   return true;
 }
 
+void RefinementPipeline::PublishFunnelMetrics(const FunnelStats& stats) const {
+  static const char* kQualityDropNames[4] = {
+      "funnel.drop.profile_empty", "funnel.drop.profile_vague",
+      "funnel.drop.profile_insufficient", "funnel.drop.profile_ambiguous"};
+  obs::MetricsRegistry* m = metrics_;
+  m->GetCounter("funnel.users.crawled")->Increment(stats.crawled_users);
+  for (int q = 0; q < 4; ++q) {
+    m->GetCounter(kQualityDropNames[q])->Increment(stats.quality_counts[q]);
+  }
+  m->GetCounter("funnel.users.well_defined")
+      ->Increment(stats.well_defined_users);
+  m->GetCounter("funnel.tweets.total")->Increment(stats.total_tweets);
+  m->GetCounter("funnel.tweets.gps")->Increment(stats.gps_tweets);
+  m->GetCounter("funnel.drop.geocode_failure")
+      ->Increment(stats.geocode_failures);
+  m->GetCounter("funnel.drop.no_geocoded_tweets")
+      ->Increment(stats.well_defined_users - stats.final_users);
+  m->GetCounter("funnel.users.final")->Increment(stats.final_users);
+  if (stats.fault_injection_enabled) {
+    m->GetCounter("funnel.resilience.faulted")
+        ->Increment(stats.geocode_faulted);
+    m->GetCounter("funnel.resilience.retried")
+        ->Increment(stats.geocode_retried);
+    m->GetCounter("funnel.resilience.degraded")
+        ->Increment(stats.geocode_degraded);
+    m->GetCounter("funnel.resilience.backoff_ms")
+        ->Increment(stats.backoff_ms);
+  }
+}
+
 std::vector<RefinedUser> RefinementPipeline::Run(
     const twitter::Dataset& dataset, FunnelStats* funnel,
     common::ThreadPool* pool) const {
+  obs::Tracer::ScopedSpan refinement_span(tracer_, "refinement");
   FunnelStats local;
   FunnelStats& stats = funnel != nullptr ? *funnel : local;
   stats = FunnelStats{};
@@ -140,9 +205,22 @@ std::vector<RefinedUser> RefinementPipeline::Run(
     // execution interleaving.
     std::vector<FunnelStats> shard_stats(shards);
     std::vector<std::vector<RefinedUser>> shard_refined(shards);
+    int64_t parent_span = refinement_span.id();
     common::ParallelForShards(
         pool, users.size(),
         [&](size_t shard, size_t begin, size_t end) {
+          // Worker threads have no ambient span; attach the shard span to
+          // the refinement stage explicitly.
+          int64_t span = tracer_ != nullptr
+                             ? tracer_->BeginSpanUnder("refine.shard",
+                                                       parent_span)
+                             : obs::Tracer::kNoSpan;
+          if (tracer_ != nullptr) {
+            tracer_->AddAttribute(span, "shard",
+                                  static_cast<int64_t>(shard));
+            tracer_->AddAttribute(span, "users",
+                                  static_cast<int64_t>(end - begin));
+          }
           RefinedUser candidate;
           for (size_t i = begin; i < end; ++i) {
             if (RefineUser(dataset, users[i], shard_stats[shard],
@@ -151,8 +229,10 @@ std::vector<RefinedUser> RefinementPipeline::Run(
               candidate = RefinedUser{};
             }
           }
+          if (tracer_ != nullptr) tracer_->EndSpan(span);
         });
 
+    obs::Tracer::ScopedSpan merge_span(tracer_, "refine.merge");
     size_t total = 0;
     for (const std::vector<RefinedUser>& part : shard_refined) {
       total += part.size();
@@ -169,6 +249,7 @@ std::vector<RefinedUser> RefinementPipeline::Run(
   stats.fault_injection_enabled = geocoder_->fault_injection_enabled();
   stats.geocode_retried = geocoder_->num_retries() - retries_before;
   stats.backoff_ms = geocoder_->simulated_backoff_ms() - backoff_before;
+  if (metrics_ != nullptr) PublishFunnelMetrics(stats);
   return refined;
 }
 

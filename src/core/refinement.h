@@ -7,8 +7,14 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "geo/reverse_geocoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/location_parser.h"
 #include "twitter/dataset.h"
+
+namespace stir {
+struct StudyConfig;
+}
 
 namespace stir::core {
 
@@ -86,9 +92,21 @@ class RefinementPipeline {
  public:
   /// `parser` and `geocoder` must outlive the pipeline. The parser's and
   /// geocoder's AdminDb should be the same gazetteer.
+  ///
+  /// Deprecated shim: prefer the StudyConfig constructor below, which also
+  /// carries the observability sinks.
   RefinementPipeline(const text::LocationParser* parser,
                      geo::ReverseGeocoder* geocoder,
                      RefinementOptions options = {});
+
+  /// Unified-config constructor: reads `config.refinement` plus the
+  /// observability sinks in `config.obs` (the *effective* pointers — a
+  /// caller that wants per-run instances fills them in first, the way
+  /// CorrelationStudy::Run does). With the sinks null this is exactly the
+  /// legacy constructor.
+  RefinementPipeline(const text::LocationParser* parser,
+                     geo::ReverseGeocoder* geocoder,
+                     const StudyConfig& config);
 
   /// Runs the funnel over `dataset`. `funnel` receives the accounting.
   /// With a non-null `pool` carrying workers, users are partitioned into
@@ -119,9 +137,22 @@ class RefinementPipeline {
   bool RefineUser(const twitter::Dataset& dataset, const twitter::User& user,
                   FunnelStats& stats, RefinedUser* out) const;
 
+  /// Publishes the merged funnel accounting as per-stage drop counters
+  /// (`funnel.drop.*`, `funnel.users.*`, `funnel.tweets.*`) — the
+  /// invariant the smoke test checks: profile drops sum to
+  /// crawled - well_defined, and no_geocoded_tweets to
+  /// well_defined - final.
+  void PublishFunnelMetrics(const FunnelStats& stats) const;
+
   const text::LocationParser* parser_;
   geo::ReverseGeocoder* geocoder_;
   RefinementOptions options_;
+
+  // Observability (null when disabled — the pre-observability path).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* stage_parse_us_ = nullptr;
+  obs::Counter* stage_geocode_us_ = nullptr;
 };
 
 }  // namespace stir::core

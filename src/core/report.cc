@@ -1,9 +1,11 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "obs/json.h"
 #include "stats/descriptive.h"
 
 namespace stir::core {
@@ -68,6 +70,90 @@ Status WriteStudyReportCsv(const StudyResult& result,
          integer(grouping.distinct_tweet_locations())});
   }
   return WriteCsvFile(directory + "/users.csv", user_rows);
+}
+
+std::string StudyReportJsonString(const StudyResult& result,
+                                  int schema_version) {
+  const FunnelStats& funnel = result.funnel;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(schema_version);
+
+  w.Key("funnel");
+  w.BeginObject();
+  w.Key("crawled_users"); w.Int(funnel.crawled_users);
+  w.Key("empty_profiles"); w.Int(funnel.quality_counts[0]);
+  w.Key("vague_profiles"); w.Int(funnel.quality_counts[1]);
+  w.Key("insufficient_profiles"); w.Int(funnel.quality_counts[2]);
+  w.Key("ambiguous_profiles"); w.Int(funnel.quality_counts[3]);
+  w.Key("well_defined_profiles"); w.Int(funnel.well_defined_users);
+  w.Key("total_tweets"); w.Int(funnel.total_tweets);
+  w.Key("gps_tweets"); w.Int(funnel.gps_tweets);
+  w.Key("geocode_failures"); w.Int(funnel.geocode_failures);
+  w.Key("final_users"); w.Int(funnel.final_users);
+  if (schema_version == 1 && funnel.fault_injection_enabled) {
+    // Legacy layout: fault counters inlined into the funnel, and only
+    // when the fault layer was engaged (mirrors funnel.csv).
+    w.Key("geocode_faulted"); w.Int(funnel.geocode_faulted);
+    w.Key("geocode_retried"); w.Int(funnel.geocode_retried);
+    w.Key("geocode_degraded"); w.Int(funnel.geocode_degraded);
+    w.Key("simulated_backoff_ms"); w.Int(funnel.backoff_ms);
+  }
+  w.EndObject();
+
+  if (schema_version >= 2) {
+    // Schema 2: the failure model is always reported, under its own
+    // object, with an explicit enabled marker (all-zero counters on a
+    // fault-free run are data, not absence).
+    w.Key("resilience");
+    w.BeginObject();
+    w.Key("fault_injection_enabled");
+    w.Bool(funnel.fault_injection_enabled);
+    w.Key("geocode_faulted"); w.Int(funnel.geocode_faulted);
+    w.Key("geocode_retried"); w.Int(funnel.geocode_retried);
+    w.Key("geocode_degraded"); w.Int(funnel.geocode_degraded);
+    w.Key("simulated_backoff_ms"); w.Int(funnel.backoff_ms);
+    w.EndObject();
+  }
+
+  w.Key("groups");
+  w.BeginArray();
+  for (int g = 0; g < kNumTopKGroups; ++g) {
+    const GroupStats& stats = result.groups[g];
+    w.BeginObject();
+    w.Key("group"); w.String(TopKGroupToString(static_cast<TopKGroup>(g)));
+    w.Key("users"); w.Int(stats.users);
+    w.Key("user_share"); w.FixedDouble(stats.user_share, 6);
+    w.Key("gps_tweets"); w.Int(stats.gps_tweets);
+    w.Key("tweet_share"); w.FixedDouble(stats.tweet_share, 6);
+    w.Key("avg_tweet_locations"); w.FixedDouble(stats.avg_tweet_locations, 6);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("final_users");
+  w.Int(result.final_users);
+  w.Key("overall_avg_locations");
+  w.FixedDouble(result.overall_avg_locations, 6);
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteStudyReportJson(const StudyResult& result,
+                            const std::string& directory,
+                            int schema_version) {
+  if (schema_version < 1 || schema_version > kReportSchemaVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported report schema version %d (supported: 1..%d)",
+                  schema_version, kReportSchemaVersion));
+  }
+  std::string path = directory + "/report.json";
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << StudyReportJsonString(result, schema_version) << '\n';
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
 }
 
 std::string RenderGpsTweetHistogram(const StudyResult& result, int buckets) {

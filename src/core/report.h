@@ -21,6 +21,25 @@ namespace stir::core {
 Status WriteStudyReportCsv(const StudyResult& result,
                            const std::string& directory);
 
+/// Current version of the machine-readable JSON report schema. Version 2
+/// nests the failure-model counters under a "resilience" object; version 1
+/// is the legacy layout with the fault counters inlined into "funnel"
+/// (and only on faulty runs). See DESIGN.md §8.
+inline constexpr int kReportSchemaVersion = 2;
+
+/// Renders the study result as a versioned JSON document
+/// (`"schema_version"` is always the first key). `schema_version` must be
+/// 1 or 2 — anything else returns InvalidArgument from the Write variant;
+/// this renderer expects a validated value.
+std::string StudyReportJsonString(const StudyResult& result,
+                                  int schema_version = kReportSchemaVersion);
+
+/// Writes `report.json` into `directory` (which must exist) alongside the
+/// CSVs. InvalidArgument for an unsupported `schema_version`.
+Status WriteStudyReportJson(const StudyResult& result,
+                            const std::string& directory,
+                            int schema_version = kReportSchemaVersion);
+
 /// ASCII histogram of GPS tweets per final user — the sample-size
 /// distribution behind every per-user estimate in the study.
 std::string RenderGpsTweetHistogram(const StudyResult& result,

@@ -60,38 +60,104 @@ std::string StudyResult::FunnelString() const {
   return out;
 }
 
+StudyConfig CorrelationStudyOptions::ToConfig() const {
+  StudyConfig config;
+  config.threads = threads;
+  config.tie_break = tie_break;
+  config.refinement = refinement;
+  config.geocoder = geocoder;
+  config.fault = fault;
+  config.retry = retry;
+  return config;
+}
+
+CorrelationStudy::CorrelationStudy(const geo::AdminDb* db,
+                                   const StudyConfig& config)
+    : db_(db), config_(config), parser_(db) {}
+
 CorrelationStudy::CorrelationStudy(const geo::AdminDb* db,
                                    CorrelationStudyOptions options)
-    : db_(db), options_(options), parser_(db) {}
+    : CorrelationStudy(db, options.ToConfig()) {}
 
 StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
   StudyResult result;
 
-  geo::ReverseGeocoderOptions geocoder_options = options_.geocoder;
+  // Resolve the effective observability sinks: a caller-owned instance
+  // wins; an enable flag with no instance gets a per-run one; otherwise
+  // the pointers stay null and every component takes its
+  // pre-observability path (the byte-identical guarantee).
+  StudyConfig cfg = config_;
+  std::unique_ptr<obs::MetricsRegistry> run_metrics;
+  if (cfg.obs.metrics == nullptr && cfg.obs.enable_metrics) {
+    run_metrics = std::make_unique<obs::MetricsRegistry>();
+    cfg.obs.metrics = run_metrics.get();
+  }
+  std::unique_ptr<obs::SteadyClock> steady_clock;
+  std::unique_ptr<obs::Tracer> run_tracer;
+  if (cfg.obs.tracer == nullptr && cfg.obs.enable_trace) {
+    obs::Tracer::Options tracer_options;
+    if (cfg.obs.real_time_trace) {
+      steady_clock = std::make_unique<obs::SteadyClock>();
+      tracer_options.clock = steady_clock.get();
+    }
+    run_tracer = std::make_unique<obs::Tracer>(tracer_options);
+    cfg.obs.tracer = run_tracer.get();
+  }
+
+  // RunStages closes the "study" root span on return, so the snapshots
+  // below see every span complete.
+  RunStages(dataset, cfg, &result);
+
+  if (cfg.obs.metrics != nullptr) {
+    result.metrics = cfg.obs.metrics->Snapshot();
+  }
+  if (cfg.obs.tracer != nullptr) {
+    result.trace = cfg.obs.tracer->Snapshot();
+  }
+  return result;
+}
+
+void CorrelationStudy::RunStages(const twitter::Dataset& dataset,
+                                 const StudyConfig& cfg,
+                                 StudyResult* result) const {
+  obs::Tracer::ScopedSpan study_span(cfg.obs.tracer, "study");
+
+  geo::ReverseGeocoderOptions geocoder_options = cfg.geocoder;
   // Each run owns a fresh injector so fault schedules restart at call
-  // index zero; a caller-supplied injector (options_.geocoder
-  // .fault_injector) takes precedence.
-  common::FaultInjector injector(options_.fault);
+  // index zero; a caller-supplied injector (cfg.geocoder.fault_injector)
+  // takes precedence.
+  common::FaultInjector injector(cfg.fault);
   if (geocoder_options.fault_injector == nullptr && injector.enabled()) {
     geocoder_options.fault_injector = &injector;
-    geocoder_options.retry = options_.retry;
+    geocoder_options.retry = cfg.retry;
+  }
+  if (geocoder_options.metrics == nullptr) {
+    geocoder_options.metrics = cfg.obs.metrics;
+  }
+  if (geocoder_options.tracer == nullptr) {
+    geocoder_options.tracer = cfg.obs.tracer;
+    geocoder_options.trace_lookups = cfg.obs.trace_geocode_calls;
   }
   geo::ReverseGeocoder geocoder(db_, geocoder_options);
-  RefinementPipeline pipeline(&parser_, &geocoder, options_.refinement);
+  RefinementPipeline pipeline(&parser_, &geocoder, cfg);
   std::unique_ptr<common::ThreadPool> pool;
-  if (options_.threads > 1) {
-    pool = std::make_unique<common::ThreadPool>(options_.threads);
+  if (cfg.threads > 1) {
+    pool = std::make_unique<common::ThreadPool>(cfg.threads, cfg.obs.metrics);
   }
-  result.refined = pipeline.Run(dataset, &result.funnel, pool.get());
-  result.groupings =
-      GroupUsers(result.refined, *db_, options_.tie_break, pool.get());
-  result.final_users = static_cast<int64_t>(result.groupings.size());
+  result->refined = pipeline.Run(dataset, &result->funnel, pool.get());
+  {
+    obs::Tracer::ScopedSpan grouping_span(cfg.obs.tracer, "grouping");
+    result->groupings =
+        GroupUsers(result->refined, *db_, cfg.tie_break, pool.get());
+  }
+  result->final_users = static_cast<int64_t>(result->groupings.size());
 
+  obs::Tracer::ScopedSpan aggregate_span(cfg.obs.tracer, "aggregate");
   int64_t total_gps = 0;
   double location_sum_all = 0.0;
   double location_sum[kNumTopKGroups] = {};
-  for (const UserGrouping& grouping : result.groupings) {
-    GroupStats& stats = result.groups[static_cast<int>(grouping.group)];
+  for (const UserGrouping& grouping : result->groupings) {
+    GroupStats& stats = result->groups[static_cast<int>(grouping.group)];
     ++stats.users;
     stats.gps_tweets += grouping.gps_tweet_count;
     total_gps += grouping.gps_tweet_count;
@@ -101,10 +167,10 @@ StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
         static_cast<double>(grouping.distinct_tweet_locations());
   }
   for (int g = 0; g < kNumTopKGroups; ++g) {
-    GroupStats& stats = result.groups[g];
-    if (result.final_users > 0) {
+    GroupStats& stats = result->groups[g];
+    if (result->final_users > 0) {
       stats.user_share = static_cast<double>(stats.users) /
-                         static_cast<double>(result.final_users);
+                         static_cast<double>(result->final_users);
     }
     if (total_gps > 0) {
       stats.tweet_share = static_cast<double>(stats.gps_tweets) /
@@ -115,11 +181,10 @@ StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
           location_sum[g] / static_cast<double>(stats.users);
     }
   }
-  if (result.final_users > 0) {
-    result.overall_avg_locations =
-        location_sum_all / static_cast<double>(result.final_users);
+  if (result->final_users > 0) {
+    result->overall_avg_locations =
+        location_sum_all / static_cast<double>(result->final_users);
   }
-  return result;
 }
 
 }  // namespace stir::core

@@ -8,8 +8,11 @@
 #include "common/retry.h"
 #include "core/grouping.h"
 #include "core/refinement.h"
+#include "core/study_config.h"
 #include "geo/admin_db.h"
 #include "geo/reverse_geocoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/location_parser.h"
 #include "twitter/dataset.h"
 
@@ -38,6 +41,11 @@ struct StudyResult {
   std::vector<UserGrouping> groupings;
   std::vector<RefinedUser> refined;
 
+  /// Observability output (empty unless config.obs enabled the collector;
+  /// snapshotted from the per-run registry/tracer at the end of Run).
+  obs::MetricsSnapshot metrics;
+  obs::TraceSnapshot trace;
+
   const GroupStats& group(TopKGroup g) const {
     return groups[static_cast<int>(g)];
   }
@@ -48,7 +56,9 @@ struct StudyResult {
   std::string FunnelString() const;
 };
 
-/// Study configuration.
+/// Deprecated shim: the pre-StudyConfig flat options struct. Kept so
+/// existing call sites compile unchanged; internally converted via
+/// ToConfig(). New code should build a stir::StudyConfig directly.
 struct CorrelationStudyOptions {
   RefinementOptions refinement;
   geo::ReverseGeocoderOptions geocoder;
@@ -67,14 +77,23 @@ struct CorrelationStudyOptions {
   common::FaultInjectorOptions fault;
   /// Retry schedule for injected faults (forwarded to the geocoder).
   common::RetryPolicyOptions retry;
+
+  /// Field-for-field mapping onto the unified config (DESIGN.md §8 has
+  /// the full migration table). Observability stays at its defaults —
+  /// the legacy surface never had it.
+  StudyConfig ToConfig() const;
 };
 
 /// The paper's end-to-end analysis: refinement funnel -> text-based
 /// grouping -> Top-k classification -> group aggregates. Deterministic
-/// for a given dataset and gazetteer, and for any `threads` setting.
+/// for a given dataset and gazetteer, and for any `config.threads`
+/// setting.
 class CorrelationStudy {
  public:
-  /// `db` must outlive the study.
+  /// `db` must outlive the study. The config is copied.
+  CorrelationStudy(const geo::AdminDb* db, const StudyConfig& config);
+
+  /// Deprecated shim: accepts the legacy flat options struct.
   explicit CorrelationStudy(const geo::AdminDb* db,
                             CorrelationStudyOptions options = {});
 
@@ -82,10 +101,18 @@ class CorrelationStudy {
 
   const geo::AdminDb& db() const { return *db_; }
   const text::LocationParser& parser() const { return parser_; }
+  const StudyConfig& config() const { return config_; }
 
  private:
+  /// The instrumented pipeline stages (refine -> group -> aggregate),
+  /// run with the *effective* config (observability pointers resolved).
+  /// Split out of Run so the "study" root span closes before Run
+  /// snapshots the sinks into the result.
+  void RunStages(const twitter::Dataset& dataset, const StudyConfig& cfg,
+                 StudyResult* result) const;
+
   const geo::AdminDb* db_;
-  CorrelationStudyOptions options_;
+  StudyConfig config_;
   text::LocationParser parser_;
 };
 

@@ -1,0 +1,50 @@
+#ifndef STIR_CORE_STUDY_CONFIG_H_
+#define STIR_CORE_STUDY_CONFIG_H_
+
+#include "common/fault.h"
+#include "common/retry.h"
+#include "core/location_string.h"
+#include "core/refinement.h"
+#include "geo/reverse_geocoder.h"
+#include "obs/options.h"
+
+namespace stir {
+
+/// The one configuration surface for a study run. Every knob that used to
+/// live in CorrelationStudyOptions, in per-component constructor options,
+/// or in ad-hoc CLI flag parsing hangs off a named sub-struct here, so a
+/// caller (or the CLI flag table) sets `config.threads`, `config.fault.
+/// error_rate`, `config.retry.max_attempts`, `config.geocoder.quota`,
+/// `config.obs.enable_metrics`, ... and hands one const-ref around.
+///
+/// Migration map (old -> new) lives in DESIGN.md §8. The default-
+/// constructed config reproduces the paper pipeline exactly: serial,
+/// fault-free, observability off — byte-identical to the pre-StudyConfig
+/// code.
+struct StudyConfig {
+  /// Worker threads for refinement and grouping; <= 1 runs serially.
+  /// Results are bit-identical across thread counts (sharded execution
+  /// with ordered merges) as long as the geocoder quota is unlimited.
+  int threads = 1;
+  /// Tie rule for equal string multiplicities (ablation knob; the
+  /// paper's results must not depend on it).
+  core::TieBreak tie_break = core::TieBreak::kLexicographic;
+  /// §III.B funnel behaviour (faithful XML path, degraded-mode salvage).
+  core::RefinementOptions refinement;
+  /// Simulated geocoding service (cache, quota; the obs/fault pointers
+  /// inside are filled per run from `fault`/`obs` below — set them only
+  /// to override with caller-owned instances).
+  geo::ReverseGeocoderOptions geocoder;
+  /// Fault schedule injected into the reverse geocoder (CLI --fault-rate
+  /// and friends). All knobs off — the default — leaves the fault layer
+  /// disengaged and the output byte-identical to a fault-free build.
+  common::FaultInjectorOptions fault;
+  /// Retry schedule for injected faults (forwarded to the geocoder).
+  common::RetryPolicyOptions retry;
+  /// Observability: metrics registry + stage tracing (DESIGN.md §8).
+  obs::ObsOptions obs;
+};
+
+}  // namespace stir
+
+#endif  // STIR_CORE_STUDY_CONFIG_H_

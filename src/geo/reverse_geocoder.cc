@@ -32,6 +32,18 @@ ReverseGeocoder::ReverseGeocoder(const AdminDb* db,
                                  ReverseGeocoderOptions options)
     : db_(db), options_(options), retry_policy_(options.retry) {
   STIR_CHECK(db != nullptr);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    m_queries_ = m->GetCounter("geocode.queries");
+    m_cache_hits_ = m->GetCounter("geocode.cache_hits");
+    m_cache_misses_ = m->GetCounter("geocode.cache_misses");
+    m_cache_contention_ = m->GetCounter("geocode.cache_contention");
+    m_faulted_ = m->GetCounter("geocode.faulted");
+    m_retried_ = m->GetCounter("geocode.retried");
+    m_breaker_rejections_ = m->GetCounter("geocode.breaker_rejections");
+    m_backoff_ms_ = m->GetCounter("geocode.backoff_ms");
+    m_attempts_ = m->GetHistogram("geocode.attempts", {1, 2, 3, 4, 6, 8});
+  }
 }
 
 int64_t ReverseGeocoder::quota_remaining() const {
@@ -49,10 +61,34 @@ ReverseGeocoder::CacheShard& ReverseGeocoder::ShardFor(
   return cache_shards_[Fnv1a64(cache_key) % kCacheShards];
 }
 
+std::unique_lock<std::mutex> ReverseGeocoder::LockShard(CacheShard& shard) {
+  if (m_cache_contention_ == nullptr) {
+    return std::unique_lock<std::mutex>(shard.mu);
+  }
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    m_cache_contention_->Increment();
+    lock.lock();
+  }
+  return lock;
+}
+
 StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point,
                                                  int64_t fault_index) {
+  if (options_.tracer != nullptr && options_.trace_lookups) {
+    obs::Tracer::ScopedSpan span(options_.tracer, "geocode");
+    return ReverseImpl(point, fault_index);
+  }
+  return ReverseImpl(point, fault_index);
+}
+
+StatusOr<GeocodeResult> ReverseGeocoder::ReverseImpl(const LatLng& point,
+                                                     int64_t fault_index) {
   common::FaultInjector* fault = options_.fault_injector;
-  if (fault == nullptr || !fault->enabled()) return ReverseDirect(point);
+  if (fault == nullptr || !fault->enabled()) {
+    obs::RecordSample(m_attempts_, 1);
+    return ReverseDirect(point);
+  }
 
   if (fault_index < 0) fault_index = fault->NextIndex();
   int attempts = 0;
@@ -60,6 +96,7 @@ StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point,
     if (options_.circuit_breaker != nullptr &&
         !options_.circuit_breaker->AllowRequest()) {
       num_breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+      obs::IncrementCounter(m_breaker_rejections_);
       return Status::Unavailable("reverse geocoder circuit breaker open");
     }
     common::FaultDecision decision = fault->Decide(fault_index, attempts);
@@ -70,6 +107,7 @@ StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point,
       if (options_.circuit_breaker != nullptr) {
         options_.circuit_breaker->RecordSuccess();
       }
+      obs::RecordSample(m_attempts_, attempts);
       return ReverseDirect(point);
     }
     if (options_.circuit_breaker != nullptr) {
@@ -77,18 +115,22 @@ StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point,
     }
     if (!retry_policy_.ShouldRetry(decision.status, attempts)) {
       num_faulted_.fetch_add(1, std::memory_order_relaxed);
+      obs::IncrementCounter(m_faulted_);
+      obs::RecordSample(m_attempts_, attempts);
       return decision.status;
     }
     num_retries_.fetch_add(1, std::memory_order_relaxed);
-    simulated_backoff_ms_.fetch_add(
-        retry_policy_.BackoffMs(attempts,
-                                static_cast<uint64_t>(fault_index)),
-        std::memory_order_relaxed);
+    obs::IncrementCounter(m_retried_);
+    int64_t backoff = retry_policy_.BackoffMs(
+        attempts, static_cast<uint64_t>(fault_index));
+    simulated_backoff_ms_.fetch_add(backoff, std::memory_order_relaxed);
+    obs::IncrementCounter(m_backoff_ms_, backoff);
   }
 }
 
 StatusOr<GeocodeResult> ReverseGeocoder::ReverseDirect(const LatLng& point) {
   num_queries_.fetch_add(1, std::memory_order_relaxed);
+  obs::IncrementCounter(m_queries_);
   if (!point.IsValid()) {
     return Status::InvalidArgument("invalid coordinate: " + point.ToString());
   }
@@ -97,12 +139,14 @@ StatusOr<GeocodeResult> ReverseGeocoder::ReverseDirect(const LatLng& point) {
   if (options_.enable_cache) {
     cache_key = GeohashEncode(point, options_.cache_precision);
     CacheShard& shard = ShardFor(cache_key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::unique_lock<std::mutex> lock = LockShard(shard);
     auto it = shard.map.find(cache_key);
     if (it != shard.map.end()) {
       num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::IncrementCounter(m_cache_hits_);
       return it->second;
     }
+    obs::IncrementCounter(m_cache_misses_);
   }
 
   if (options_.quota >= 0) {
@@ -129,7 +173,7 @@ StatusOr<GeocodeResult> ReverseGeocoder::ReverseDirect(const LatLng& point) {
 
   if (options_.enable_cache) {
     CacheShard& shard = ShardFor(cache_key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::unique_lock<std::mutex> lock = LockShard(shard);
     // try_emplace keeps the first writer's entry on a racing double-miss
     // (both computed the same deterministic result anyway).
     shard.map.try_emplace(std::move(cache_key), result);

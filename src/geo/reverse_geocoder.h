@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "geo/admin_db.h"
 #include "geo/latlng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace stir::geo {
 
@@ -51,6 +53,17 @@ struct ReverseGeocoderOptions {
   /// on call interleaving, so leave it null when bit-identical parallel
   /// output matters (DESIGN.md §7).
   common::CircuitBreaker* circuit_breaker = nullptr;
+  /// Optional observability sinks (not owned; must outlive the geocoder;
+  /// null disables — the pre-observability code path, byte for byte).
+  /// Metrics: `geocode.queries`, `geocode.cache_hits` / `.cache_misses` /
+  /// `.cache_contention` (contended stripe acquisitions), `geocode.faulted`
+  /// / `.retried` / `.breaker_rejections` / `.backoff_ms`, and the
+  /// `geocode.attempts` histogram (attempts per lookup, retries included).
+  /// The tracer gets one "geocode" span per lookup while `trace_lookups`
+  /// is set (DESIGN.md §8).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  bool trace_lookups = true;
 };
 
 /// Reverse geocoder over an AdminDb, shaped like the web API the paper
@@ -140,6 +153,16 @@ class ReverseGeocoder {
 
   CacheShard& ShardFor(std::string_view cache_key);
 
+  /// Locks a cache stripe, counting contended acquisitions when metrics
+  /// are attached (a failed try_lock means another worker held the
+  /// stripe).
+  std::unique_lock<std::mutex> LockShard(CacheShard& shard);
+
+  /// The lookup behind the per-call trace span: fault schedule, retry
+  /// loop, breaker, then ReverseDirect.
+  StatusOr<GeocodeResult> ReverseImpl(const LatLng& point,
+                                      int64_t fault_index);
+
   /// The fault-free lookup (cache, quota, AdminDb) — the pre-fault-layer
   /// behaviour, byte for byte.
   StatusOr<GeocodeResult> ReverseDirect(const LatLng& point);
@@ -155,6 +178,19 @@ class ReverseGeocoder {
   std::atomic<int64_t> num_faulted_{0};
   std::atomic<int64_t> num_breaker_rejections_{0};
   std::atomic<int64_t> simulated_backoff_ms_{0};
+
+  // Observability handles, resolved once at construction (all null when
+  // options_.metrics is null, which keeps the hot path branch-predictable
+  // and timing-free).
+  obs::Counter* m_queries_ = nullptr;
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_cache_contention_ = nullptr;
+  obs::Counter* m_faulted_ = nullptr;
+  obs::Counter* m_retried_ = nullptr;
+  obs::Counter* m_breaker_rejections_ = nullptr;
+  obs::Counter* m_backoff_ms_ = nullptr;
+  obs::Histogram* m_attempts_ = nullptr;
 };
 
 }  // namespace stir::geo

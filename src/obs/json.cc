@@ -1,0 +1,345 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace stir::obs {
+
+namespace {
+
+void AppendFormatted(std::string* out, const char* fmt, ...) {
+  char buf[64];
+  va_list args;
+  va_start(args, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          AppendFormatted(&out, "\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter() { out_.reserve(256); }
+
+void JsonWriter::Fail(std::string_view what) {
+  if (error_.empty()) error_ = std::string(what);
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    if (root_written_) Fail("second root value");
+    root_written_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    if (!top.key_pending) Fail("value inside object without a key");
+    top.key_pending = false;
+    return;
+  }
+  if (top.count > 0) out_ += ',';
+  ++top.count;
+}
+
+void JsonWriter::Key(std::string_view name) {
+  if (stack_.empty() || stack_.back().scope != Scope::kObject) {
+    Fail("Key() outside an object");
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.key_pending) Fail("consecutive keys");
+  if (top.count > 0) out_ += ',';
+  ++top.count;
+  top.key_pending = true;
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  stack_.push_back({Scope::kObject});
+  out_ += '{';
+}
+
+void JsonWriter::EndObject() {
+  if (stack_.empty() || stack_.back().scope != Scope::kObject ||
+      stack_.back().key_pending) {
+    Fail("EndObject() without matching open object");
+    return;
+  }
+  stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  stack_.push_back({Scope::kArray});
+  out_ += '[';
+}
+
+void JsonWriter::EndArray() {
+  if (stack_.empty() || stack_.back().scope != Scope::kArray) {
+    Fail("EndArray() without matching open array");
+    return;
+  }
+  stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  AppendFormatted(&out_, "%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  AppendFormatted(&out_, "%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    Null();
+    return;
+  }
+  BeforeValue();
+  AppendFormatted(&out_, "%.17g", value);
+}
+
+void JsonWriter::FixedDouble(double value, int precision) {
+  if (!std::isfinite(value)) {
+    Null();
+    return;
+  }
+  BeforeValue();
+  AppendFormatted(&out_, "%.*f", precision, value);
+}
+
+void JsonWriter::Raw(std::string_view token) {
+  BeforeValue();
+  out_.append(token.data(), token.size());
+}
+
+namespace {
+
+/// Recursive-descent JSON validator. Tracks position for error messages;
+/// depth-capped so malicious nesting cannot blow the stack.
+class JsonLinter {
+ public:
+  explicit JsonLinter(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    bool ok = Value(0) && (SkipWs(), pos_ == text_.size());
+    if (!ok && error != nullptr) {
+      *error = error_.empty()
+                   ? "trailing bytes at offset " + std::to_string(pos_)
+                   : error_;
+    }
+    return ok;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool StringValue() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected '\"'");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      unsigned char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() || !isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool NumberValue() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("bad number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad fraction");
+      }
+      while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad exponent");
+      }
+      while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ObjectValue(depth);
+      case '[': return ArrayValue(depth);
+      case '"': return StringValue();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return NumberValue();
+    }
+  }
+
+  bool ObjectValue(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!StringValue()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWs();
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ArrayValue(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonIsValid(std::string_view text, std::string* error) {
+  return JsonLinter(text).Run(error);
+}
+
+}  // namespace stir::obs

@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace stir::obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(int64_t value) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  size_t index = static_cast<size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int64_t MetricsSnapshot::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : counters) {
+    w.Key(name);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : gauges) {
+    w.Key(name);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, data] : histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("bounds");
+    w.BeginArray();
+    for (int64_t b : data.bounds) w.Int(b);
+    w.EndArray();
+    w.Key("counts");
+    w.BeginArray();
+    for (int64_t c : data.counts) w.Int(c);
+    w.EndArray();
+    w.Key("count");
+    w.Int(data.count);
+    w.Key("sum");
+    w.Int(data.sum);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.find(name) != gauges_.end() ||
+      histograms_.find(name) != histograms_.end()) {
+    return nullptr;
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.find(name) != counters_.end() ||
+      histograms_.find(name) != histograms_.end()) {
+    return nullptr;
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<int64_t> bounds) {
+  if (bounds.empty()) return nullptr;
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.find(name) != counters_.end() ||
+      gauges_.find(name) != gauges_.end()) {
+    return nullptr;
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = histogram->bounds();
+    data.counts.reserve(data.bounds.size() + 1);
+    for (size_t i = 0; i <= data.bounds.size(); ++i) {
+      data.counts.push_back(histogram->bucket(i));
+    }
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    snapshot.histograms[name] = std::move(data);
+  }
+  return snapshot;
+}
+
+}  // namespace stir::obs

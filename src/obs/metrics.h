@@ -1,0 +1,143 @@
+#ifndef STIR_OBS_METRICS_H_
+#define STIR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stir::obs {
+
+/// Monotonic event count. Increment is a single relaxed atomic add — safe
+/// and exact under any number of concurrent writers (totals are precise
+/// once the writers have returned, the same contract as the pipeline's
+/// existing accounting atomics).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, cache size). `Add` tracks a level
+/// that moves both ways; `SetMax` keeps a high-water mark via CAS.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void SetMax(int64_t candidate) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !value_.compare_exchange_weak(cur, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples v <= bounds[i] (first
+/// matching bound); one implicit overflow bucket counts v > bounds.back().
+/// Bounds are immutable after registration, so Record is a binary search
+/// plus three relaxed atomic adds — no locks on the hot path.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Bucket count, index in [0, bounds().size()] (last = overflow).
+  int64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Read-side copy of a registry: plain values, ordered by name so every
+/// export is deterministic for a given set of recorded values.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<int64_t> bounds;
+    std::vector<int64_t> counts;  ///< bounds.size() + 1 (overflow last).
+    int64_t count = 0;
+    int64_t sum = 0;
+  };
+
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Counter value, 0 when the name was never registered.
+  int64_t counter(std::string_view name) const;
+  /// Gauge value, 0 when absent.
+  int64_t gauge(std::string_view name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"bounds": [...], "counts": [...], "count": N, "sum": S}}}
+  std::string ToJson() const;
+};
+
+/// Thread-safe named-metric registry. Registration (Get*) takes a mutex;
+/// the returned pointers are stable for the registry's lifetime, so
+/// instrumented components resolve them once and then touch only atomics.
+/// Snapshot() copies every value under the same mutex — writers are never
+/// blocked (they don't take it), so a snapshot taken while writers run is
+/// a consistent-per-metric, possibly-torn-across-metrics view, exact once
+/// writers have returned.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-get. A name registered as one kind must not be reused as
+  /// another (returns the existing instance of the right kind; a kind
+  /// clash returns nullptr, which instrumentation treats as "disabled").
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` must be strictly increasing and non-empty; re-registration
+  /// ignores the new bounds and returns the existing histogram.
+  Histogram* GetHistogram(std::string_view name, std::vector<int64_t> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Null-tolerant helpers so instrumented hot paths stay one-liners even
+/// when observability is disabled (the pointers are simply null).
+inline void IncrementCounter(Counter* counter, int64_t delta = 1) {
+  if (counter != nullptr) counter->Increment(delta);
+}
+inline void RecordSample(Histogram* histogram, int64_t value) {
+  if (histogram != nullptr) histogram->Record(value);
+}
+
+}  // namespace stir::obs
+
+#endif  // STIR_OBS_METRICS_H_

@@ -1,0 +1,204 @@
+#include "obs/trace.h"
+
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace stir::obs {
+
+namespace {
+
+/// Per-thread open-span stacks, keyed by a globally unique tracer key so a
+/// tracer allocated at a freed tracer's address can never inherit stale
+/// stacks left behind in long-lived worker threads.
+thread_local std::unordered_map<uint64_t, std::vector<int64_t>> tls_stacks;
+
+std::atomic<uint64_t> next_tracer_key{1};
+
+}  // namespace
+
+Tracer::Tracer() : Tracer(Options{}) {}
+
+Tracer::Tracer(Options options)
+    : tracer_key_(next_tracer_key.fetch_add(1, std::memory_order_relaxed)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : &default_clock_) {}
+
+Tracer::~Tracer() = default;
+
+std::vector<int64_t>* Tracer::ThreadStack() const {
+  return &tls_stacks[tracer_key_];
+}
+
+int64_t Tracer::ThreadIndexLocked() {
+  std::thread::id self = std::this_thread::get_id();
+  for (const auto& [id, index] : thread_ids_) {
+    if (id == self) return index;
+  }
+  int64_t index = static_cast<int64_t>(thread_ids_.size()) + 1;
+  thread_ids_.emplace_back(self, index);
+  return index;
+}
+
+int64_t Tracer::BeginSpan(std::string_view name) {
+  std::vector<int64_t>* stack = ThreadStack();
+  int64_t parent = stack->empty() ? kNoSpan : stack->back();
+  return BeginSpanUnder(name, parent);
+}
+
+int64_t Tracer::BeginSpanUnder(std::string_view name, int64_t parent_id) {
+  int64_t start = clock_->NowMicros();
+  int64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= options_.max_spans) {
+      ++dropped_spans_;
+      return kNoSpan;
+    }
+    id = static_cast<int64_t>(spans_.size()) + 1;
+    SpanRecord record;
+    record.id = id;
+    record.parent_id = parent_id;
+    record.name = std::string(name);
+    record.start_us = start;
+    record.tid = ThreadIndexLocked();
+    spans_.push_back(std::move(record));
+  }
+  ThreadStack()->push_back(id);
+  return id;
+}
+
+void Tracer::EndSpan(int64_t span_id) {
+  if (span_id == kNoSpan) return;
+  int64_t end = clock_->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t index = static_cast<size_t>(span_id) - 1;
+    if (index < spans_.size() && spans_[index].end_us < 0) {
+      spans_[index].end_us = end;
+    }
+  }
+  // Unwind the calling thread's stack through the ended span; ending a
+  // span implicitly ends anything left open beneath it (the records of
+  // those inner spans keep their own end times if already set).
+  std::vector<int64_t>* stack = ThreadStack();
+  for (size_t i = stack->size(); i > 0; --i) {
+    if ((*stack)[i - 1] == span_id) {
+      stack->resize(i - 1);
+      break;
+    }
+  }
+}
+
+void Tracer::AddAttribute(int64_t span_id, std::string_view key,
+                          int64_t value) {
+  if (span_id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t index = static_cast<size_t>(span_id) - 1;
+  if (index < spans_.size()) {
+    spans_[index].attributes.emplace_back(std::string(key), value);
+  }
+}
+
+int64_t Tracer::CurrentSpan() const {
+  const std::vector<int64_t>* stack = ThreadStack();
+  return stack->empty() ? kNoSpan : stack->back();
+}
+
+TraceSnapshot Tracer::Snapshot() const {
+  TraceSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.spans = spans_;
+  snapshot.dropped_spans = dropped_spans_;
+  return snapshot;
+}
+
+int64_t TraceSnapshot::CountNamed(std::string_view name) const {
+  int64_t n = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) ++n;
+  }
+  return n;
+}
+
+std::string TraceSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("spans");
+  w.BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("id");
+    w.Int(span.id);
+    w.Key("parent");
+    w.Int(span.parent_id);
+    w.Key("name");
+    w.String(span.name);
+    w.Key("start_us");
+    w.Int(span.start_us);
+    w.Key("end_us");
+    w.Int(span.end_us < 0 ? span.start_us : span.end_us);
+    w.Key("complete");
+    w.Bool(span.end_us >= 0);
+    w.Key("tid");
+    w.Int(span.tid);
+    if (!span.attributes.empty()) {
+      w.Key("args");
+      w.BeginObject();
+      for (const auto& [key, value] : span.attributes) {
+        w.Key(key);
+        w.Int(value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("dropped_spans");
+  w.Int(dropped_spans);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string TraceSnapshot::ToChromeTrace() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(span.name);
+    w.Key("cat");
+    w.String("stir");
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Int(span.start_us);
+    w.Key("dur");
+    w.Int(span.end_us < 0 ? 0 : span.end_us - span.start_us);
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(span.tid);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("span_id");
+    w.Int(span.id);
+    w.Key("parent_id");
+    w.Int(span.parent_id);
+    for (const auto& [key, value] : span.attributes) {
+      w.Key(key);
+      w.Int(value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace stir::obs

@@ -1,0 +1,163 @@
+#ifndef STIR_OBS_TRACE_H_
+#define STIR_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stir::obs {
+
+/// Time source for span boundaries, in microseconds from an arbitrary
+/// epoch. Implementations must be safe to call from multiple threads.
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  virtual int64_t NowMicros() = 0;
+};
+
+/// Deterministic clock: the n-th NowMicros() call across all threads
+/// returns (n-1) * tick_micros. Under serial execution every trace is
+/// bit-identical run to run, which is what the trace tests pin down; under
+/// concurrency the *ordering* of calls decides timestamps, but the stream
+/// is still strictly monotonic and collision-free.
+class VirtualClock : public TraceClock {
+ public:
+  explicit VirtualClock(int64_t tick_micros = 1) : tick_(tick_micros) {}
+  int64_t NowMicros() override {
+    return tick_ * calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  const int64_t tick_;
+  std::atomic<int64_t> calls_{0};
+};
+
+/// Wall-duration clock for benchmarking real runs: microseconds of
+/// std::chrono::steady_clock elapsed since construction.
+class SteadyClock : public TraceClock {
+ public:
+  SteadyClock() : start_(std::chrono::steady_clock::now()) {}
+  int64_t NowMicros() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point start_;
+};
+
+/// One recorded span. `parent_id` 0 means a root span; `end_us` < 0 means
+/// the span never ended before the snapshot (exporters render it with
+/// zero duration and an "incomplete" mark).
+struct SpanRecord {
+  int64_t id = 0;
+  int64_t parent_id = 0;
+  std::string name;
+  int64_t start_us = 0;
+  int64_t end_us = -1;
+  int64_t tid = 0;  ///< Small per-tracer thread index, 1-based.
+  std::vector<std::pair<std::string, int64_t>> attributes;
+};
+
+/// Read-side copy of a trace, with the two export formats the tooling
+/// consumes: a plain JSON span list and Chrome's trace_event format
+/// (loadable in chrome://tracing and Perfetto).
+struct TraceSnapshot {
+  std::vector<SpanRecord> spans;  ///< In begin order.
+  int64_t dropped_spans = 0;      ///< Begins refused by the span cap.
+
+  bool empty() const { return spans.empty(); }
+  /// Number of spans with the given name.
+  int64_t CountNamed(std::string_view name) const;
+
+  /// {"spans": [{"id":..,"parent":..,"name":..,"start_us":..,
+  ///   "end_us":..,"tid":..,"args":{...}}, ...], "dropped_spans": N}
+  std::string ToJson() const;
+  /// {"traceEvents":[{"name":..,"cat":"stir","ph":"X","ts":..,"dur":..,
+  ///   "pid":1,"tid":..,"args":{...}}, ...]}
+  std::string ToChromeTrace() const;
+};
+
+/// Hierarchical stage tracer. Begin/End append to a mutex-guarded log;
+/// parentage defaults to the innermost span currently open *on the calling
+/// thread* (a per-thread stack), so nested instrumentation composes
+/// without plumbing span ids through every call — worker-thread roots can
+/// still attach to an explicit parent via BeginSpanUnder.
+///
+/// The tracer is intended for stage-granularity spans (a study run emits
+/// tens to a few thousand); `max_spans` caps memory for pathological
+/// workloads by dropping further begins (counted, never blocking).
+class Tracer {
+ public:
+  struct Options {
+    /// Not owned; must outlive the tracer. Null uses an internal
+    /// VirtualClock(1), the deterministic default.
+    TraceClock* clock = nullptr;
+    size_t max_spans = 1 << 20;
+  };
+
+  static constexpr int64_t kNoSpan = 0;
+
+  Tracer();
+  explicit Tracer(Options options);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span under the calling thread's innermost open span (a root
+  /// if none). Returns kNoSpan when the span cap is reached; every method
+  /// accepts kNoSpan as a no-op, so call sites never branch.
+  int64_t BeginSpan(std::string_view name);
+  /// Opens a span under an explicit parent (kNoSpan for a root) — used by
+  /// pool workers whose thread has no ambient span.
+  int64_t BeginSpanUnder(std::string_view name, int64_t parent_id);
+  void EndSpan(int64_t span_id);
+  /// Attaches an integer attribute (exported under "args").
+  void AddAttribute(int64_t span_id, std::string_view key, int64_t value);
+  /// Innermost open span on the calling thread, kNoSpan if none.
+  int64_t CurrentSpan() const;
+
+  TraceSnapshot Snapshot() const;
+
+  /// RAII begin/end for straight-line scopes.
+  class ScopedSpan {
+   public:
+    ScopedSpan(Tracer* tracer, std::string_view name)
+        : tracer_(tracer),
+          id_(tracer != nullptr ? tracer->BeginSpan(name) : kNoSpan) {}
+    ~ScopedSpan() {
+      if (tracer_ != nullptr) tracer_->EndSpan(id_);
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+    int64_t id() const { return id_; }
+
+   private:
+    Tracer* tracer_;
+    int64_t id_;
+  };
+
+ private:
+  std::vector<int64_t>* ThreadStack() const;
+  int64_t ThreadIndexLocked();
+
+  const uint64_t tracer_key_;  ///< Globally unique, keys per-thread stacks.
+  Options options_;
+  VirtualClock default_clock_;
+  TraceClock* clock_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::pair<std::thread::id, int64_t>> thread_ids_;
+  int64_t dropped_spans_ = 0;
+};
+
+}  // namespace stir::obs
+
+#endif  // STIR_OBS_TRACE_H_

@@ -142,5 +142,103 @@ TEST_F(StudyTest, GroupAccessorMatchesArray) {
   EXPECT_EQ(result.group(TopKGroup::kNone).users, result.groups[6].users);
 }
 
+TEST_F(StudyTest, LegacyOptionsShimMatchesStudyConfig) {
+  twitter::GeneratedData data = Generate(0.02);
+  CorrelationStudyOptions options;
+  options.threads = 2;
+  options.fault.error_rate = 0.1;
+  options.retry.max_attempts = 2;
+  StudyConfig config = options.ToConfig();
+  EXPECT_EQ(config.threads, 2);
+  EXPECT_DOUBLE_EQ(config.fault.error_rate, 0.1);
+  EXPECT_EQ(config.retry.max_attempts, 2);
+  EXPECT_FALSE(config.obs.metrics_enabled());
+
+  StudyResult via_options =
+      CorrelationStudy(&db_, options).Run(data.dataset);
+  StudyResult via_config = CorrelationStudy(&db_, config).Run(data.dataset);
+  EXPECT_EQ(via_options.FunnelString(), via_config.FunnelString());
+  EXPECT_EQ(via_options.GroupTableString(), via_config.GroupTableString());
+}
+
+TEST_F(StudyTest, ObservabilityDoesNotPerturbResults) {
+  // The byte-identical guarantee: with metrics + tracing on, the study's
+  // human-readable output must match the uninstrumented run exactly.
+  twitter::GeneratedData data = Generate(0.02);
+  StudyConfig plain;
+  plain.threads = 4;
+  StudyResult baseline = CorrelationStudy(&db_, plain).Run(data.dataset);
+
+  StudyConfig observed = plain;
+  observed.obs.enable_metrics = true;
+  observed.obs.enable_trace = true;
+  StudyResult instrumented =
+      CorrelationStudy(&db_, observed).Run(data.dataset);
+
+  EXPECT_EQ(baseline.FunnelString(), instrumented.FunnelString());
+  EXPECT_EQ(baseline.GroupTableString(), instrumented.GroupTableString());
+  EXPECT_TRUE(baseline.metrics.empty());
+  EXPECT_TRUE(baseline.trace.empty());
+  EXPECT_FALSE(instrumented.metrics.empty());
+  EXPECT_FALSE(instrumented.trace.empty());
+}
+
+TEST_F(StudyTest, MetricsDropCountersMatchFunnel) {
+  twitter::GeneratedData data = Generate(0.02);
+  StudyConfig config;
+  config.threads = 4;
+  config.obs.enable_metrics = true;
+  config.fault.error_rate = 0.2;
+  config.fault.seed = 7;
+  StudyResult result = CorrelationStudy(&db_, config).Run(data.dataset);
+  const obs::MetricsSnapshot& m = result.metrics;
+  const FunnelStats& funnel = result.funnel;
+
+  EXPECT_EQ(m.counter("funnel.users.crawled"), funnel.crawled_users);
+  EXPECT_EQ(m.counter("funnel.users.final"), funnel.final_users);
+  // Profile-stage drops sum exactly to crawled - well_defined.
+  int64_t profile_drops = m.counter("funnel.drop.profile_empty") +
+                          m.counter("funnel.drop.profile_vague") +
+                          m.counter("funnel.drop.profile_insufficient") +
+                          m.counter("funnel.drop.profile_ambiguous");
+  EXPECT_EQ(profile_drops,
+            funnel.crawled_users - funnel.well_defined_users);
+  // User-stage drop closes the funnel to the final sample.
+  EXPECT_EQ(m.counter("funnel.drop.no_geocoded_tweets"),
+            funnel.well_defined_users - funnel.final_users);
+  EXPECT_EQ(m.counter("funnel.drop.geocode_failure"),
+            funnel.geocode_failures);
+  // Resilience counters mirror the funnel's fault accounting.
+  EXPECT_EQ(m.counter("funnel.resilience.faulted"), funnel.geocode_faulted);
+  EXPECT_EQ(m.counter("funnel.resilience.retried"), funnel.geocode_retried);
+  EXPECT_EQ(m.counter("funnel.resilience.degraded"),
+            funnel.geocode_degraded);
+}
+
+TEST_F(StudyTest, TraceCoversPipelineStages) {
+  twitter::GeneratedData data = Generate(0.02);
+  StudyConfig config;
+  config.threads = 4;
+  config.obs.enable_trace = true;
+  StudyResult result = CorrelationStudy(&db_, config).Run(data.dataset);
+  const obs::TraceSnapshot& trace = result.trace;
+  EXPECT_EQ(trace.CountNamed("study"), 1);
+  EXPECT_EQ(trace.CountNamed("refinement"), 1);
+  EXPECT_EQ(trace.CountNamed("grouping"), 1);
+  EXPECT_EQ(trace.CountNamed("aggregate"), 1);
+  EXPECT_GT(trace.CountNamed("refine.shard"), 0);
+  EXPECT_GT(trace.CountNamed("geocode"), 0);
+  // Every span ended before the snapshot.
+  for (const obs::SpanRecord& span : trace.spans) {
+    EXPECT_GE(span.end_us, span.start_us) << span.name;
+  }
+
+  // The coarse tier alone when per-lookup spans are off.
+  config.obs.trace_geocode_calls = false;
+  StudyResult coarse = CorrelationStudy(&db_, config).Run(data.dataset);
+  EXPECT_EQ(coarse.trace.CountNamed("geocode"), 0);
+  EXPECT_EQ(coarse.trace.CountNamed("study"), 1);
+}
+
 }  // namespace
 }  // namespace stir::core

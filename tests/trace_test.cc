@@ -1,0 +1,184 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace stir::obs {
+namespace {
+
+TEST(VirtualClockTest, TicksDeterministically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  EXPECT_EQ(clock.NowMicros(), 1);
+  EXPECT_EQ(clock.NowMicros(), 2);
+  VirtualClock wide(10);
+  EXPECT_EQ(wide.NowMicros(), 0);
+  EXPECT_EQ(wide.NowMicros(), 10);
+}
+
+TEST(TracerTest, VirtualClockSpansAreDeterministic) {
+  // Two identical serial runs must produce byte-identical spans; the
+  // default clock is the deterministic VirtualClock.
+  auto run = [] {
+    Tracer tracer;
+    int64_t outer = tracer.BeginSpan("study");
+    int64_t inner = tracer.BeginSpan("refinement");
+    tracer.AddAttribute(inner, "users", 42);
+    tracer.EndSpan(inner);
+    tracer.EndSpan(outer);
+    return tracer.Snapshot().ToJson();
+  };
+  std::string first = run();
+  EXPECT_EQ(first, run());
+  std::string error;
+  EXPECT_TRUE(JsonIsValid(first, &error)) << error;
+}
+
+TEST(TracerTest, NestingTracksThreadLocalParent) {
+  Tracer tracer;
+  int64_t outer = tracer.BeginSpan("outer");
+  EXPECT_EQ(tracer.CurrentSpan(), outer);
+  int64_t inner = tracer.BeginSpan("inner");
+  EXPECT_EQ(tracer.CurrentSpan(), inner);
+  tracer.EndSpan(inner);
+  EXPECT_EQ(tracer.CurrentSpan(), outer);
+  int64_t sibling = tracer.BeginSpan("sibling");
+  tracer.EndSpan(sibling);
+  tracer.EndSpan(outer);
+  EXPECT_EQ(tracer.CurrentSpan(), Tracer::kNoSpan);
+
+  TraceSnapshot snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 3u);
+  const SpanRecord& outer_record = snapshot.spans[0];
+  const SpanRecord& inner_record = snapshot.spans[1];
+  const SpanRecord& sibling_record = snapshot.spans[2];
+  EXPECT_EQ(outer_record.parent_id, 0);
+  EXPECT_EQ(inner_record.parent_id, outer);
+  EXPECT_EQ(sibling_record.parent_id, outer);
+  // Virtual clock: begin order is timestamp order, every end is at or
+  // after its begin, and the outer span spans its children.
+  EXPECT_LT(outer_record.start_us, inner_record.start_us);
+  EXPECT_LE(inner_record.start_us, inner_record.end_us);
+  EXPECT_GT(outer_record.end_us, sibling_record.end_us);
+}
+
+TEST(TracerTest, BeginSpanUnderAttachesExplicitParent) {
+  Tracer tracer;
+  int64_t root = tracer.BeginSpan("refinement");
+  std::vector<int64_t> worker_spans(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer, &worker_spans, root, t] {
+      int64_t span = tracer.BeginSpanUnder("refine.shard", root);
+      tracer.AddAttribute(span, "shard", t);
+      tracer.EndSpan(span);
+      worker_spans[t] = span;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  tracer.EndSpan(root);
+
+  TraceSnapshot snapshot = tracer.Snapshot();
+  EXPECT_EQ(snapshot.CountNamed("refine.shard"), 4);
+  for (const SpanRecord& span : snapshot.spans) {
+    if (span.name != "refine.shard") continue;
+    EXPECT_EQ(span.parent_id, root);
+    ASSERT_EQ(span.attributes.size(), 1u);
+    EXPECT_EQ(span.attributes[0].first, "shard");
+  }
+}
+
+TEST(TracerTest, NoSpanIsNoOpEverywhere) {
+  Tracer tracer;
+  tracer.EndSpan(Tracer::kNoSpan);
+  tracer.AddAttribute(Tracer::kNoSpan, "ignored", 1);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  // ScopedSpan must tolerate a null tracer (observability disabled).
+  { Tracer::ScopedSpan span(nullptr, "ignored"); }
+}
+
+TEST(TracerTest, SpanCapDropsAndCounts) {
+  Tracer::Options options;
+  options.max_spans = 2;
+  Tracer tracer(options);
+  int64_t a = tracer.BeginSpan("a");
+  int64_t b = tracer.BeginSpan("b");
+  int64_t c = tracer.BeginSpan("c");  // Over the cap.
+  EXPECT_NE(a, Tracer::kNoSpan);
+  EXPECT_NE(b, Tracer::kNoSpan);
+  EXPECT_EQ(c, Tracer::kNoSpan);
+  tracer.EndSpan(c);
+  tracer.EndSpan(b);
+  tracer.EndSpan(a);
+  TraceSnapshot snapshot = tracer.Snapshot();
+  EXPECT_EQ(snapshot.spans.size(), 2u);
+  EXPECT_EQ(snapshot.dropped_spans, 1);
+}
+
+TEST(TracerTest, SteadyClockSpansAreOrderedAndComplete) {
+  SteadyClock clock;
+  Tracer::Options options;
+  options.clock = &clock;
+  Tracer tracer(options);
+  {
+    Tracer::ScopedSpan outer(&tracer, "outer");
+    Tracer::ScopedSpan inner(&tracer, "inner");
+  }
+  TraceSnapshot snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 2u);
+  for (const SpanRecord& span : snapshot.spans) {
+    EXPECT_GE(span.start_us, 0);
+    EXPECT_GE(span.end_us, span.start_us);
+  }
+}
+
+TEST(ChromeTraceTest, ExportIsWellFormedAndComplete) {
+  Tracer tracer;
+  int64_t outer = tracer.BeginSpan("study");
+  int64_t inner = tracer.BeginSpan("geocode");
+  tracer.AddAttribute(inner, "cache_hit", 1);
+  tracer.EndSpan(inner);
+  tracer.EndSpan(outer);
+
+  std::string chrome = tracer.Snapshot().ToChromeTrace();
+  std::string error;
+  ASSERT_TRUE(JsonIsValid(chrome, &error)) << error << "\n" << chrome;
+  // The loadability contract: a traceEvents array of complete ("ph":"X")
+  // events with the fields chrome://tracing requires.
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"study\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"geocode\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"pid\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"tid\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ts\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"dur\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"cache_hit\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyTraceIsStillValidJson) {
+  Tracer tracer;
+  std::string chrome = tracer.Snapshot().ToChromeTrace();
+  std::string error;
+  EXPECT_TRUE(JsonIsValid(chrome, &error)) << error;
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceSnapshotTest, CountNamed) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    Tracer::ScopedSpan span(&tracer, "geocode");
+  }
+  Tracer::ScopedSpan other(&tracer, "grouping");
+  TraceSnapshot snapshot = tracer.Snapshot();
+  EXPECT_EQ(snapshot.CountNamed("geocode"), 3);
+  EXPECT_EQ(snapshot.CountNamed("grouping"), 1);
+  EXPECT_EQ(snapshot.CountNamed("absent"), 0);
+}
+
+}  // namespace
+}  // namespace stir::obs

@@ -98,3 +98,133 @@ execute_process(
 if(NOT rc EQUAL 0 OR NOT out MATCHES "well-defined")
   message(FATAL_ERROR "audit failed (${rc}): ${out} ${err}")
 endif()
+
+# --- Observability -----------------------------------------------------
+
+# An obs-enabled parallel run must keep stdout byte-identical (exports
+# announce on stderr) and produce parseable metrics + Chrome trace JSON.
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv --threads 4
+          --metrics-out ${WORK_DIR}/smoke_metrics.json
+          --trace-out ${WORK_DIR}/smoke_trace.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE obs_out ERROR_VARIABLE obs_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs-enabled study failed (${rc}): ${obs_out} ${obs_err}")
+endif()
+if(NOT obs_out STREQUAL serial_out)
+  message(FATAL_ERROR "--metrics-out/--trace-out perturbed stdout:\n"
+          "=== baseline ===\n${serial_out}\n=== observed ===\n${obs_out}")
+endif()
+if(NOT obs_err MATCHES "metrics written to" OR NOT obs_err MATCHES "trace written to")
+  message(FATAL_ERROR "obs export notices missing from stderr: ${obs_err}")
+endif()
+
+file(READ ${WORK_DIR}/smoke_metrics.json metrics_json)
+# string(JSON) (CMake >= 3.19) both lints the documents and checks the
+# drop-counter invariants the metrics contract promises; older CMake
+# still runs everything above plus the CLI-contract checks below.
+if(CMAKE_VERSION VERSION_LESS 3.19)
+  set(skip_json_checks TRUE)
+else()
+  set(skip_json_checks FALSE)
+endif()
+if(NOT skip_json_checks)
+string(JSON crawled GET "${metrics_json}" counters funnel.users.crawled)
+string(JSON well_defined GET "${metrics_json}" counters funnel.users.well_defined)
+string(JSON final GET "${metrics_json}" counters funnel.users.final)
+string(JSON drop_empty GET "${metrics_json}" counters funnel.drop.profile_empty)
+string(JSON drop_vague GET "${metrics_json}" counters funnel.drop.profile_vague)
+string(JSON drop_insufficient GET "${metrics_json}" counters funnel.drop.profile_insufficient)
+string(JSON drop_ambiguous GET "${metrics_json}" counters funnel.drop.profile_ambiguous)
+string(JSON drop_no_geo GET "${metrics_json}" counters funnel.drop.no_geocoded_tweets)
+math(EXPR profile_drops
+     "${drop_empty} + ${drop_vague} + ${drop_insufficient} + ${drop_ambiguous}")
+math(EXPR expected_profile_drops "${crawled} - ${well_defined}")
+if(NOT profile_drops EQUAL expected_profile_drops)
+  message(FATAL_ERROR "funnel.drop.profile_* sum ${profile_drops} != "
+          "crawled - well_defined = ${expected_profile_drops}")
+endif()
+math(EXPR funnel_final "${well_defined} - ${drop_no_geo}")
+if(NOT funnel_final EQUAL final)
+  message(FATAL_ERROR "well_defined - no_geocoded_tweets = ${funnel_final} "
+          "!= funnel.users.final = ${final}")
+endif()
+string(JSON geocode_queries GET "${metrics_json}" counters geocode.queries)
+if(geocode_queries LESS 1)
+  message(FATAL_ERROR "geocode.queries not recorded: ${geocode_queries}")
+endif()
+
+file(READ ${WORK_DIR}/smoke_trace.json trace_json)
+string(JSON first_event GET "${trace_json}" traceEvents 0)
+foreach(stage study refinement refine.shard grouping aggregate geocode)
+  string(FIND "${trace_json}" "\"${stage}\"" stage_pos)
+  if(stage_pos EQUAL -1)
+    message(FATAL_ERROR "trace missing stage span '${stage}': ${trace_json}")
+  endif()
+endforeach()
+
+# report.json: schema 2 nests the failure model under "resilience";
+# --report-schema 1 reproduces the legacy layout without it.
+file(READ ${WORK_DIR}/smoke_report/report.json report_json)
+string(JSON report_schema GET "${report_json}" schema_version)
+if(NOT report_schema EQUAL 2)
+  message(FATAL_ERROR "report.json default schema_version ${report_schema} != 2")
+endif()
+string(JSON report_crawled GET "${report_json}" funnel crawled_users)
+if(NOT report_crawled EQUAL crawled)
+  message(FATAL_ERROR "report.json crawled_users ${report_crawled} != "
+          "metrics funnel.users.crawled ${crawled}")
+endif()
+string(JSON fault_enabled GET "${report_json}" resilience fault_injection_enabled)
+if(NOT fault_enabled MATCHES "^(OFF|FALSE|false)$")
+  message(FATAL_ERROR "fault-free report.json resilience.fault_injection_enabled "
+          "should be false, got '${fault_enabled}'")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR}/smoke_report_v1)
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv
+          --report-dir ${WORK_DIR}/smoke_report_v1 --report-schema 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--report-schema 1 study failed (${rc}): ${out} ${err}")
+endif()
+file(READ ${WORK_DIR}/smoke_report_v1/report.json report_v1_json)
+string(JSON report_v1_schema GET "${report_v1_json}" schema_version)
+if(NOT report_v1_schema EQUAL 1)
+  message(FATAL_ERROR "--report-schema 1 wrote schema_version ${report_v1_schema}")
+endif()
+string(JSON v1_resilience ERROR_VARIABLE v1_json_err GET "${report_v1_json}" resilience)
+if(v1_json_err STREQUAL "NOTFOUND")
+  message(FATAL_ERROR "schema 1 report.json must not contain 'resilience'")
+endif()
+endif()  # skip_json_checks
+
+# --- CLI contract ------------------------------------------------------
+
+# Unknown flags must be rejected with a non-zero exit.
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv --definitely-not-a-flag
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown flag was accepted: ${out}")
+endif()
+if(NOT err MATCHES "unknown flag --definitely-not-a-flag")
+  message(FATAL_ERROR "unknown-flag diagnostic missing: ${err}")
+endif()
+
+# --help is generated from the flag table and exits 0.
+execute_process(
+  COMMAND ${CLI} study --help
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "study --help exited ${rc}: ${err}")
+endif()
+foreach(flag metrics-out trace-out report-schema threads fault-rate)
+  if(NOT err MATCHES "--${flag}")
+    message(FATAL_ERROR "study --help missing --${flag}: ${err}")
+  endif()
+endforeach()

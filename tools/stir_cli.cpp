@@ -3,23 +3,35 @@
 //
 //   stir generate --preset korean --scale 0.1 --users u.tsv --tweets t.tsv
 //   stir study    --users u.tsv --tweets t.tsv --report-dir out/
+//   stir study    --users u.tsv --tweets t.tsv --metrics-out metrics.json
 //   stir audit    < locations.txt
 //
 // generate: synthesize a corpus (Korean crawl or Lady Gaga Search-API
 //           preset) and persist it as TSV.
 // study:    run the paper's full pipeline on a TSV corpus, print the
-//           funnel + group table, optionally export plotting CSVs.
+//           funnel + group table, optionally export plotting CSVs, a
+//           versioned JSON report, pipeline metrics, and a stage trace.
 // audit:    classify free-text profile locations from stdin.
+//
+// Flags are declared in per-command tables (see StudyFlags etc.) that
+// bind directly onto stir::StudyConfig; --help output is generated from
+// the same tables, and unknown flags are rejected with exit code 2.
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <iostream>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "core/report.h"
 #include "core/study.h"
+#include "core/study_config.h"
 #include "geo/admin_db.h"
 #include "text/location_parser.h"
 #include "twitter/generator.h"
@@ -28,57 +40,224 @@ namespace {
 
 using stir::geo::AdminDb;
 
+// ---------------------------------------------------------------------------
+// Declarative flag table
+
+/// One command-line flag: its name, an optional value placeholder (null
+/// for booleans), the --help line, and a binder that parses the value
+/// into whatever the command's config object is. The binder returns
+/// false (after printing its own diagnostic) on a bad value.
+struct Flag {
+  const char* name;        ///< Without the leading "--".
+  const char* value_name;  ///< e.g. "N"; nullptr marks a boolean flag.
+  const char* help;
+  std::function<bool(const std::string& value)> bind;
+};
+
+void PrintHelp(const char* command, const char* summary,
+               const std::vector<Flag>& flags) {
+  std::fprintf(stderr, "usage: stir_cli %s [flags]\n%s\n\nflags:\n", command,
+               summary);
+  size_t width = 0;
+  for (const Flag& flag : flags) {
+    size_t w = std::strlen(flag.name) +
+               (flag.value_name != nullptr
+                    ? std::strlen(flag.value_name) + 1
+                    : 0);
+    width = std::max(width, w);
+  }
+  for (const Flag& flag : flags) {
+    std::string left = flag.name;
+    if (flag.value_name != nullptr) {
+      left += ' ';
+      left += flag.value_name;
+    }
+    std::fprintf(stderr, "  --%-*s  %s\n", static_cast<int>(width),
+                 left.c_str(), flag.help);
+  }
+  std::fprintf(stderr, "  --%-*s  %s\n", static_cast<int>(width), "help",
+               "show this message and exit");
+}
+
+/// Parses argv[first..) against the flag table. Accepts "--name value"
+/// and "--name=value". Returns 0 on success, 2 on any error (unknown
+/// flag, missing value, bad value — diagnostics go to stderr), and sets
+/// `*want_help` when --help/-h was seen (caller prints help, exits 0).
+int ParseArgs(int argc, char** argv, int first,
+              const std::vector<Flag>& flags, const char* command,
+              bool* want_help) {
+  *want_help = false;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      *want_help = true;
+      return 0;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr,
+                   "stir_cli %s: unexpected argument '%s' (flags only; try "
+                   "--help)\n",
+                   command, arg.c_str());
+      return 2;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    const Flag* match = nullptr;
+    for (const Flag& flag : flags) {
+      if (name == flag.name) {
+        match = &flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "stir_cli %s: unknown flag --%s (try --help)\n",
+                   command, name.c_str());
+      return 2;
+    }
+    if (match->value_name == nullptr) {
+      if (has_inline_value) {
+        std::fprintf(stderr, "stir_cli %s: --%s takes no value\n", command,
+                     name.c_str());
+        return 2;
+      }
+    } else if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "stir_cli %s: --%s requires a value (%s)\n",
+                     command, name.c_str(), match->value_name);
+        return 2;
+      }
+      value = argv[++i];
+    }
+    if (!match->bind(value)) return 2;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Value parsers (strict: the whole token must consume, unlike atoi)
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseUInt64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool BadValue(const char* command, const char* flag, const char* expect) {
+  std::fprintf(stderr, "stir_cli %s: --%s must be %s\n", command, flag,
+               expect);
+  return false;
+}
+
+const AdminDb* GazetteerByName(const std::string& name) {
+  if (name == "world") return &AdminDb::WorldCities();
+  if (name == "korean") return &AdminDb::KoreanDistricts();
+  return nullptr;
+}
+
+stir::Status WriteTextFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) return stir::Status::IOError("cannot open for write: " + path);
+  out << body;
+  if (!body.empty() && body.back() != '\n') out << '\n';
+  if (!out) return stir::Status::IOError("write failed: " + path);
+  return stir::Status::OK();
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  stir_cli generate --preset korean|ladygaga [--scale S]\n"
-               "           [--seed N] --users FILE --tweets FILE\n"
-               "  stir_cli study --users FILE --tweets FILE\n"
-               "           [--gazetteer korean|world] [--report-dir DIR]\n"
-               "           [--xml-pipeline] [--threads N]\n"
-               "           [--fault-rate P] [--fault-seed N]\n"
-               "           [--retry-max N] [--retry-base-ms MS]\n"
-               "  stir_cli audit [--gazetteer korean|world]  (stdin lines)\n");
+               "  stir_cli generate [flags]   synthesize a TSV corpus\n"
+               "  stir_cli study    [flags]   run the correlation study\n"
+               "  stir_cli audit    [flags]   classify stdin locations\n"
+               "run 'stir_cli <command> --help' for the command's flags\n");
   return 2;
 }
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first, bool* ok) {
-  std::map<std::string, std::string> flags;
-  *ok = true;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      *ok = false;
-      return flags;
-    }
-    std::string key = arg.substr(2);
-    if (key == "xml-pipeline") {  // boolean flag
-      flags[key] = "true";
-      continue;
-    }
-    if (i + 1 >= argc) {
-      *ok = false;
-      return flags;
-    }
-    flags[key] = argv[++i];
+// ---------------------------------------------------------------------------
+// generate
+
+int RunGenerate(int argc, char** argv) {
+  std::string preset = "korean";
+  double scale = 0.1;
+  bool has_seed = false;
+  uint64_t seed = 0;
+  std::string users_path;
+  std::string tweets_path;
+
+  const char* cmd = "generate";
+  std::vector<Flag> flags = {
+      {"preset", "NAME", "corpus preset: korean | ladygaga (default korean)",
+       [&](const std::string& v) {
+         if (v != "korean" && v != "ladygaga") {
+           return BadValue(cmd, "preset", "korean or ladygaga");
+         }
+         preset = v;
+         return true;
+       }},
+      {"scale", "S", "corpus scale factor, > 0 (default 0.1)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &scale) || scale <= 0.0) {
+           return BadValue(cmd, "scale", "a number > 0");
+         }
+         return true;
+       }},
+      {"seed", "N", "generator seed (default: preset's)",
+       [&](const std::string& v) {
+         if (!ParseUInt64(v, &seed)) {
+           return BadValue(cmd, "seed", "a non-negative integer");
+         }
+         has_seed = true;
+         return true;
+       }},
+      {"users", "FILE", "output TSV for users (required)",
+       [&](const std::string& v) { users_path = v; return true; }},
+      {"tweets", "FILE", "output TSV for tweets (required)",
+       [&](const std::string& v) { tweets_path = v; return true; }},
+  };
+
+  bool want_help = false;
+  int rc = ParseArgs(argc, argv, 2, flags, cmd, &want_help);
+  if (rc != 0) return rc;
+  if (want_help) {
+    PrintHelp(cmd, "synthesize a study corpus and persist it as TSV", flags);
+    return 0;
   }
-  return flags;
-}
-
-const AdminDb& GazetteerByName(const std::string& name) {
-  return name == "world" ? AdminDb::WorldCities() : AdminDb::KoreanDistricts();
-}
-
-int RunGenerate(const std::map<std::string, std::string>& flags) {
-  auto users_it = flags.find("users");
-  auto tweets_it = flags.find("tweets");
-  if (users_it == flags.end() || tweets_it == flags.end()) return Usage();
-  std::string preset =
-      flags.count("preset") ? flags.at("preset") : "korean";
-  double scale =
-      flags.count("scale") ? std::atof(flags.at("scale").c_str()) : 0.1;
-  if (scale <= 0.0) scale = 0.1;
+  if (users_path.empty() || tweets_path.empty()) {
+    std::fprintf(stderr, "stir_cli %s: --users and --tweets are required\n",
+                 cmd);
+    return 2;
+  }
 
   const AdminDb& db = preset == "ladygaga" ? AdminDb::WorldCities()
                                            : AdminDb::KoreanDistricts();
@@ -86,14 +265,10 @@ int RunGenerate(const std::map<std::string, std::string>& flags) {
       preset == "ladygaga"
           ? stir::twitter::DatasetGenerator::LadyGagaConfig(scale)
           : stir::twitter::DatasetGenerator::KoreanConfig(scale);
-  if (flags.count("seed")) {
-    options.seed = static_cast<uint64_t>(
-        std::strtoull(flags.at("seed").c_str(), nullptr, 10));
-  }
+  if (has_seed) options.seed = seed;
   stir::twitter::DatasetGenerator generator(&db, options);
   stir::twitter::GeneratedData data = generator.Generate();
-  stir::Status status =
-      data.dataset.SaveTsv(users_it->second, tweets_it->second);
+  stir::Status status = data.dataset.SaveTsv(users_path, tweets_path);
   if (!status.ok()) {
     std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
@@ -104,83 +279,243 @@ int RunGenerate(const std::map<std::string, std::string>& flags) {
               static_cast<long long>(data.dataset.total_tweet_count()),
               static_cast<long long>(data.dataset.tweets().size()),
               static_cast<long long>(data.dataset.gps_tweet_count()),
-              users_it->second.c_str(), tweets_it->second.c_str());
+              users_path.c_str(), tweets_path.c_str());
   return 0;
 }
 
-int RunStudy(const std::map<std::string, std::string>& flags) {
-  auto users_it = flags.find("users");
-  auto tweets_it = flags.find("tweets");
-  if (users_it == flags.end() || tweets_it == flags.end()) return Usage();
-  const AdminDb& db = GazetteerByName(
-      flags.count("gazetteer") ? flags.at("gazetteer") : "korean");
+// ---------------------------------------------------------------------------
+// study
 
-  auto dataset =
-      stir::twitter::Dataset::LoadTsv(users_it->second, tweets_it->second);
+int RunStudy(int argc, char** argv) {
+  stir::StudyConfig config;
+  std::string users_path;
+  std::string tweets_path;
+  std::string gazetteer = "korean";
+  std::string report_dir;
+  int report_schema = stir::core::kReportSchemaVersion;
+  std::string metrics_out;
+  std::string trace_out;
+
+  const char* cmd = "study";
+  std::vector<Flag> flags = {
+      {"users", "FILE", "input users TSV (required)",
+       [&](const std::string& v) { users_path = v; return true; }},
+      {"tweets", "FILE", "input tweets TSV (required)",
+       [&](const std::string& v) { tweets_path = v; return true; }},
+      {"gazetteer", "NAME", "gazetteer: korean | world (default korean)",
+       [&](const std::string& v) {
+         if (GazetteerByName(v) == nullptr) {
+           return BadValue(cmd, "gazetteer", "korean or world");
+         }
+         gazetteer = v;
+         return true;
+       }},
+      {"report-dir", "DIR",
+       "write funnel/groups/users CSVs + report.json into DIR",
+       [&](const std::string& v) { report_dir = v; return true; }},
+      {"report-schema", "N", "report.json schema version: 1 | 2 (default 2)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1 ||
+             n > stir::core::kReportSchemaVersion) {
+           return BadValue(cmd, "report-schema", "1 or 2");
+         }
+         report_schema = static_cast<int>(n);
+         return true;
+       }},
+      {"xml-pipeline", nullptr,
+       "route geocoding through the faithful XML serialize/parse path",
+       [&](const std::string&) {
+         config.refinement.faithful_xml_pipeline = true;
+         return true;
+       }},
+      {"no-text-fallback", nullptr,
+       "disable degraded-mode text salvage of faulted geocodes",
+       [&](const std::string&) {
+         config.refinement.degraded_text_fallback = false;
+         return true;
+       }},
+      {"threads", "N", "worker threads, >= 1 (default 1 = serial)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1) {
+           return BadValue(cmd, "threads", ">= 1");
+         }
+         config.threads = static_cast<int>(n);
+         return true;
+       }},
+      {"tie-break", "RULE",
+       "grouping tie rule: lexicographic | reverse (ablation knob)",
+       [&](const std::string& v) {
+         if (v == "lexicographic") {
+           config.tie_break = stir::core::TieBreak::kLexicographic;
+         } else if (v == "reverse") {
+           config.tie_break = stir::core::TieBreak::kReverseLexicographic;
+         } else {
+           return BadValue(cmd, "tie-break", "lexicographic or reverse");
+         }
+         return true;
+       }},
+      {"geocode-quota", "N",
+       "geocoder lookup quota; -1 = unlimited (default)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &config.geocoder.quota) ||
+             config.geocoder.quota < -1) {
+           return BadValue(cmd, "geocode-quota", ">= -1");
+         }
+         return true;
+       }},
+      {"fault-rate", "P", "injected geocoder fault probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &config.fault.error_rate) ||
+             config.fault.error_rate < 0.0 || config.fault.error_rate > 1.0) {
+           return BadValue(cmd, "fault-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"fault-seed", "N", "fault schedule seed",
+       [&](const std::string& v) {
+         if (!ParseUInt64(v, &config.fault.seed)) {
+           return BadValue(cmd, "fault-seed", "a non-negative integer");
+         }
+         return true;
+       }},
+      {"retry-max", "N", "max geocode attempts per lookup, >= 1",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1) {
+           return BadValue(cmd, "retry-max", ">= 1");
+         }
+         config.retry.max_attempts = static_cast<int>(n);
+         return true;
+       }},
+      {"retry-base-ms", "MS", "base simulated backoff per retry, >= 0",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &config.retry.base_backoff_ms) ||
+             config.retry.base_backoff_ms < 0) {
+           return BadValue(cmd, "retry-base-ms", ">= 0");
+         }
+         return true;
+       }},
+      {"metrics-out", "FILE",
+       "collect pipeline metrics, write JSON snapshot to FILE",
+       [&](const std::string& v) {
+         metrics_out = v;
+         config.obs.enable_metrics = true;
+         return true;
+       }},
+      {"trace-out", "FILE",
+       "record stage spans, write Chrome trace_event JSON to FILE",
+       [&](const std::string& v) {
+         trace_out = v;
+         config.obs.enable_trace = true;
+         return true;
+       }},
+      {"trace-real-time", nullptr,
+       "time spans with a real clock instead of the deterministic one",
+       [&](const std::string&) {
+         config.obs.real_time_trace = true;
+         return true;
+       }},
+      {"no-geocode-spans", nullptr,
+       "omit per-lookup geocode spans (keep stage spans only)",
+       [&](const std::string&) {
+         config.obs.trace_geocode_calls = false;
+         return true;
+       }},
+  };
+
+  bool want_help = false;
+  int rc = ParseArgs(argc, argv, 2, flags, cmd, &want_help);
+  if (rc != 0) return rc;
+  if (want_help) {
+    PrintHelp(cmd, "run the paper's full pipeline on a TSV corpus", flags);
+    return 0;
+  }
+  if (users_path.empty() || tweets_path.empty()) {
+    std::fprintf(stderr, "stir_cli %s: --users and --tweets are required\n",
+                 cmd);
+    return 2;
+  }
+
+  const AdminDb& db = *GazetteerByName(gazetteer);
+  auto dataset = stir::twitter::Dataset::LoadTsv(users_path, tweets_path);
   if (!dataset.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
                  dataset.status().ToString().c_str());
     return 1;
   }
 
-  stir::core::CorrelationStudyOptions options;
-  options.refinement.faithful_xml_pipeline = flags.count("xml-pipeline") > 0;
-  if (flags.count("threads")) {
-    options.threads = std::atoi(flags.at("threads").c_str());
-    if (options.threads < 1) {
-      std::fprintf(stderr, "--threads must be >= 1\n");
-      return Usage();
-    }
-  }
-  if (flags.count("fault-rate")) {
-    options.fault.error_rate = std::atof(flags.at("fault-rate").c_str());
-    if (options.fault.error_rate < 0.0 || options.fault.error_rate > 1.0) {
-      std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
-      return Usage();
-    }
-  }
-  if (flags.count("fault-seed")) {
-    options.fault.seed = static_cast<uint64_t>(
-        std::strtoull(flags.at("fault-seed").c_str(), nullptr, 10));
-  }
-  if (flags.count("retry-max")) {
-    options.retry.max_attempts = std::atoi(flags.at("retry-max").c_str());
-    if (options.retry.max_attempts < 1) {
-      std::fprintf(stderr, "--retry-max must be >= 1\n");
-      return Usage();
-    }
-  }
-  if (flags.count("retry-base-ms")) {
-    options.retry.base_backoff_ms = static_cast<int64_t>(
-        std::strtoll(flags.at("retry-base-ms").c_str(), nullptr, 10));
-    if (options.retry.base_backoff_ms < 0) {
-      std::fprintf(stderr, "--retry-base-ms must be >= 0\n");
-      return Usage();
-    }
-  }
-  stir::core::CorrelationStudy study(&db, options);
+  stir::core::CorrelationStudy study(&db, config);
   stir::core::StudyResult result = study.Run(*dataset);
   std::printf("%s\n%s\n%s", result.FunnelString().c_str(),
               result.GroupTableString().c_str(),
               stir::core::RenderGpsTweetHistogram(result).c_str());
 
-  if (flags.count("report-dir")) {
-    stir::Status status =
-        stir::core::WriteStudyReportCsv(result, flags.at("report-dir"));
+  if (!report_dir.empty()) {
+    stir::Status status = stir::core::WriteStudyReportCsv(result, report_dir);
+    if (status.ok()) {
+      status =
+          stir::core::WriteStudyReportJson(result, report_dir, report_schema);
+    }
     if (!status.ok()) {
       std::fprintf(stderr, "report export failed: %s\n",
                    status.ToString().c_str());
       return 1;
     }
-    std::printf("\nreport CSVs written to %s\n",
-                flags.at("report-dir").c_str());
+    std::printf("\nreport CSVs written to %s\n", report_dir.c_str());
+  }
+  // Observability exports announce on stderr so stdout stays byte-
+  // identical to a run without them.
+  if (!metrics_out.empty()) {
+    stir::Status status = WriteTextFile(metrics_out, result.metrics.ToJson());
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    stir::Status status =
+        WriteTextFile(trace_out, result.trace.ToChromeTrace());
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
   }
   return 0;
 }
 
-int RunAudit(const std::map<std::string, std::string>& flags) {
-  const AdminDb& db = GazetteerByName(
-      flags.count("gazetteer") ? flags.at("gazetteer") : "korean");
+// ---------------------------------------------------------------------------
+// audit
+
+int RunAudit(int argc, char** argv) {
+  std::string gazetteer = "korean";
+
+  const char* cmd = "audit";
+  std::vector<Flag> flags = {
+      {"gazetteer", "NAME", "gazetteer: korean | world (default korean)",
+       [&](const std::string& v) {
+         if (GazetteerByName(v) == nullptr) {
+           return BadValue(cmd, "gazetteer", "korean or world");
+         }
+         gazetteer = v;
+         return true;
+       }},
+  };
+
+  bool want_help = false;
+  int rc = ParseArgs(argc, argv, 2, flags, cmd, &want_help);
+  if (rc != 0) return rc;
+  if (want_help) {
+    PrintHelp(cmd, "classify free-text profile locations from stdin", flags);
+    return 0;
+  }
+
+  const AdminDb& db = *GazetteerByName(gazetteer);
   stir::text::LocationParser parser(&db);
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -199,12 +534,13 @@ int RunAudit(const std::map<std::string, std::string>& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  bool flags_ok = false;
-  std::map<std::string, std::string> flags =
-      ParseFlags(argc, argv, 2, &flags_ok);
-  if (!flags_ok) return Usage();
-  if (std::strcmp(argv[1], "generate") == 0) return RunGenerate(flags);
-  if (std::strcmp(argv[1], "study") == 0) return RunStudy(flags);
-  if (std::strcmp(argv[1], "audit") == 0) return RunAudit(flags);
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    Usage();
+    return 0;
+  }
+  if (std::strcmp(argv[1], "generate") == 0) return RunGenerate(argc, argv);
+  if (std::strcmp(argv[1], "study") == 0) return RunStudy(argc, argv);
+  if (std::strcmp(argv[1], "audit") == 0) return RunAudit(argc, argv);
+  std::fprintf(stderr, "stir_cli: unknown command '%s'\n", argv[1]);
   return Usage();
 }
