@@ -4,6 +4,7 @@
 // failure model DESIGN.md §7 describes.
 
 #include <chrono>
+#include <filesystem>
 
 #include "bench_util.h"
 
@@ -14,6 +15,17 @@ double MeasureStudyMs(const stir::twitter::Dataset& dataset,
                       const stir::core::CorrelationStudyOptions& options,
                       stir::core::StudyResult* result) {
   stir::core::CorrelationStudy study(&db, options);
+  auto start = std::chrono::steady_clock::now();
+  *result = study.Run(dataset);
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+double MeasureConfigMs(const stir::twitter::Dataset& dataset,
+                       const stir::geo::AdminDb& db,
+                       const stir::StudyConfig& config,
+                       stir::core::StudyResult* result) {
+  stir::core::CorrelationStudy study(&db, config);
   auto start = std::chrono::steady_clock::now();
   *result = study.Run(dataset);
   auto end = std::chrono::steady_clock::now();
@@ -68,6 +80,31 @@ int main(int argc, char** argv) {
               "%lld ms simulated backoff\n\n",
               overhead, static_cast<long long>(faulty.funnel.backoff_ms));
 
+  // --- Durability overhead: geocode journal + checkpoints on vs off. ---
+  std::filesystem::path ckpt_dir =
+      std::filesystem::temp_directory_path() / "stir_bench_resilience_ckpt";
+  std::filesystem::remove_all(ckpt_dir);
+
+  StudyConfig durable;
+  durable.durability.checkpoint_dir = ckpt_dir.string();
+  // Per-record fsync on the journal is the paper-faithful write-ahead
+  // setting; the bench prices it as the worst case.
+  durable.durability.fsync = true;
+  core::StudyResult journaled;
+  double journaled_ms = MeasureConfigMs(data.dataset, db, durable, &journaled);
+
+  StudyConfig resumed_config = durable;
+  resumed_config.durability.resume = true;
+  core::StudyResult resumed;
+  double resumed_ms =
+      MeasureConfigMs(data.dataset, db, resumed_config, &resumed);
+
+  double durability_overhead =
+      clean_ms > 0.0 ? (journaled_ms / clean_ms - 1.0) * 100.0 : 0.0;
+  std::printf("durability (journal + checkpoints, fsync each append):\n");
+  std::printf("  off %9.1f ms   on %9.1f ms  (%+.1f%%)   resume %9.1f ms\n\n",
+              clean_ms, journaled_ms, durability_overhead, resumed_ms);
+
   bool ok = true;
   std::printf("shape checks:\n");
   ok &= bench::Check(faulty.final_users > 0,
@@ -79,5 +116,10 @@ int main(int argc, char** argv) {
   ok &= bench::Check(
       faulty.final_users >= clean.final_users * 8 / 10,
       "retry + degradation retain >= 80% of the fault-free sample");
+  ok &= bench::Check(journaled.final_users == clean.final_users,
+                     "journaled run matches the plain run's final users");
+  ok &= bench::Check(resumed.final_users == clean.final_users,
+                     "resumed run matches the plain run's final users");
+  std::filesystem::remove_all(ckpt_dir);
   return ok ? 0 : 1;
 }

@@ -1,0 +1,42 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace stir {
+
+namespace {
+
+/// Table for the reflected Castagnoli polynomial 0x82F63B78, built once
+/// at static-init time (256 entries, byte-at-a-time form).
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t state, std::string_view data) {
+  const std::array<uint32_t, 256>& table = Table();
+  for (char c : data) {
+    state = (state >> 8) ^ table[(state ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return state;
+}
+
+uint32_t Crc32c(std::string_view data) {
+  return Crc32cFinish(Crc32cExtend(kCrc32cInit, data));
+}
+
+}  // namespace stir

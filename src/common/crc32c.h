@@ -1,0 +1,24 @@
+#ifndef STIR_COMMON_CRC32C_H_
+#define STIR_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace stir {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) over bytes.
+/// The integrity check used by every durable artifact in the tree: the
+/// io journal record frames, atomic snapshot files, and the column
+/// store's v2 container (DESIGN.md §9). Stable across platforms.
+uint32_t Crc32c(std::string_view data);
+
+/// Incremental form: feeds `data` into a running checksum. Start from
+/// `kCrc32cInit` and finish with Crc32cFinish, or just call Crc32c for
+/// one-shot use.
+inline constexpr uint32_t kCrc32cInit = 0xFFFFFFFFu;
+uint32_t Crc32cExtend(uint32_t state, std::string_view data);
+inline uint32_t Crc32cFinish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace stir
+
+#endif  // STIR_COMMON_CRC32C_H_

@@ -1,5 +1,7 @@
 #include "common/fault.h"
 
+#include <cstdlib>
+
 #include "common/hash.h"
 
 namespace stir::common {
@@ -74,6 +76,17 @@ FaultDecision FaultInjector::Decide(int64_t index, int attempt) const {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
   }
   return decision;
+}
+
+void FaultInjector::OnLookupMaybeCrash() {
+  if (!crash_enabled()) return;
+  int64_t count = lookups_started_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count == options_.crash_after) {
+    // _Exit, not exit/abort: skip destructors and flushes so the death is
+    // as rude as a kill -9 — the recovery path must not rely on any
+    // shutdown-time cleanup having happened.
+    std::_Exit(static_cast<int>(kCrashExitStatus));
+  }
 }
 
 FaultDecision FaultInjector::Next() { return Decide(NextIndex(), 0); }

@@ -38,6 +38,13 @@ struct FaultInjectorOptions {
   /// the injector accounts so benches can price resilience overhead.
   double latency_spike_rate = 0.0;
   int64_t latency_spike_ms = 100;
+  /// Deterministic hard crash: the process exits (std::_Exit, no cleanup
+  /// — the point is to tear state mid-flight) when the Nth instrumented
+  /// lookup starts. The kill-resume harness uses this to die at exact,
+  /// reproducible points. < 1 disables. Crash scheduling deliberately
+  /// does NOT count as "enabled()": a run that only crashes must behave
+  /// byte-identically to a clean run right up to the exit.
+  int64_t crash_after = -1;
 };
 
 /// Outcome of one fault decision: an injected error (or OK) plus the
@@ -59,8 +66,21 @@ class FaultInjector {
   explicit FaultInjector(FaultInjectorOptions options = {});
 
   /// True when any fault knob is active (callers may skip the hook
-  /// entirely otherwise).
+  /// entirely otherwise). Crash scheduling is excluded — see
+  /// crash_enabled().
   bool enabled() const;
+
+  /// True when a deterministic crash point is armed.
+  bool crash_enabled() const { return options_.crash_after >= 1; }
+
+  /// Instrumentation hook for crash points: counts one lookup and
+  /// hard-exits the process (status 42) when the armed crash point is
+  /// reached. No-op unless crash_enabled().
+  void OnLookupMaybeCrash();
+
+  /// Exit status used by the deterministic crash point (distinct from
+  /// assertion/abort codes so the harness can tell planned deaths apart).
+  static constexpr int kCrashExitStatus = 42;
 
   /// Fault decision for retry `attempt` (0-based) of call `index`.
   /// Deterministic: identical inputs yield identical decisions on every
@@ -75,6 +95,17 @@ class FaultInjector {
   /// Claims and returns the next internal sequence index without
   /// deciding (callers that retry want a stable index across attempts).
   int64_t NextIndex();
+
+  /// Current value of the internal sequence counter (indices claimed so
+  /// far). Checkpoints persist this so a resumed run's Next()/NextIndex()
+  /// stream continues where the crashed run left off.
+  int64_t next_index_value() const {
+    return next_index_.load(std::memory_order_relaxed);
+  }
+  /// Restores the internal sequence counter from a checkpoint.
+  void RestoreNextIndex(int64_t value) {
+    next_index_.store(value, std::memory_order_relaxed);
+  }
 
   const FaultInjectorOptions& options() const { return options_; }
 
@@ -101,6 +132,7 @@ class FaultInjector {
  private:
   FaultInjectorOptions options_;
   std::atomic<int64_t> next_index_{0};
+  std::atomic<int64_t> lookups_started_{0};
   mutable std::atomic<int64_t> decisions_{0};
   mutable std::atomic<int64_t> faults_injected_{0};
   mutable std::atomic<int64_t> latency_spikes_{0};

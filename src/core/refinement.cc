@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "core/checkpoint.h"
 #include "core/study_config.h"
 
 namespace stir::core {
@@ -31,7 +32,9 @@ void FunnelStats::AccumulateUserCounts(const FunnelStats& other) {
   geocode_failures += other.geocode_failures;
   final_users += other.final_users;
   geocode_faulted += other.geocode_faulted;
+  geocode_retried += other.geocode_retried;
   geocode_degraded += other.geocode_degraded;
+  backoff_ms += other.backoff_ms;
 }
 
 RefinementPipeline::RefinementPipeline(const text::LocationParser* parser,
@@ -108,6 +111,13 @@ bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
   if (stage_geocode_us_ != nullptr) {
     geocode_t0 = std::chrono::steady_clock::now();
   }
+  // Retry/backoff charges are attributed per user by sampling this
+  // thread's cumulative geocoder counters around the tweet loop (each
+  // user is refined entirely on one thread). Per-user attribution is what
+  // lets a checkpoint carry exact counters for completed users only — an
+  // in-flight user's retries recur deterministically on resume.
+  geo::ReverseGeocoder::ThreadRetryStats retry_before =
+      geo::ReverseGeocoder::CurrentThreadRetryStats();
   out->user = user.id;
   out->profile_region = parsed.region;
   out->total_tweets = user.total_tweets;
@@ -137,6 +147,10 @@ bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
   if (stage_geocode_us_ != nullptr) {
     stage_geocode_us_->Increment(ElapsedUs(geocode_t0));
   }
+  geo::ReverseGeocoder::ThreadRetryStats retry_after =
+      geo::ReverseGeocoder::CurrentThreadRetryStats();
+  stats.geocode_retried += retry_after.retries - retry_before.retries;
+  stats.backoff_ms += retry_after.backoff_ms - retry_before.backoff_ms;
   if (out->tweet_regions.empty()) return false;
   ++stats.final_users;
   return true;
@@ -174,7 +188,7 @@ void RefinementPipeline::PublishFunnelMetrics(const FunnelStats& stats) const {
 
 std::vector<RefinedUser> RefinementPipeline::Run(
     const twitter::Dataset& dataset, FunnelStats* funnel,
-    common::ThreadPool* pool) const {
+    common::ThreadPool* pool, StudyCheckpointer* checkpointer) const {
   obs::Tracer::ScopedSpan refinement_span(tracer_, "refinement");
   FunnelStats local;
   FunnelStats& stats = funnel != nullptr ? *funnel : local;
@@ -183,20 +197,31 @@ std::vector<RefinedUser> RefinementPipeline::Run(
   stats.total_tweets = dataset.total_tweet_count();
   stats.gps_tweets = dataset.gps_tweet_count();
 
-  // Retry/backoff totals live in the geocoder (they accumulate across
-  // attempts inside Reverse); deltas over this run land in the funnel.
-  int64_t retries_before = geocoder_->num_retries();
-  int64_t backoff_before = geocoder_->simulated_backoff_ms();
-
   const std::vector<twitter::User>& users = dataset.users();
   size_t shards = common::NumShards(pool, users.size());
+  if (checkpointer != nullptr) checkpointer->InitShards(shards);
   std::vector<RefinedUser> refined;
   if (shards <= 1) {
+    size_t start = 0;
+    if (checkpointer != nullptr) {
+      // The serial path checkpoints the whole funnel (globals included),
+      // so restoring is a plain assignment.
+      if (const ShardProgress* restored = checkpointer->RestoredShard(0)) {
+        stats = restored->stats;
+        start = static_cast<size_t>(restored->next_user);
+        refined = checkpointer->TakeRestoredShardRefined(0);
+      }
+    }
     RefinedUser candidate;
-    for (const twitter::User& user : users) {
-      if (RefineUser(dataset, user, stats, &candidate)) {
+    for (size_t i = start; i < users.size(); ++i) {
+      if (RefineUser(dataset, users[i], stats, &candidate)) {
         refined.push_back(std::move(candidate));
         candidate = RefinedUser{};
+      }
+      if (checkpointer != nullptr) {
+        checkpointer->NoteUserProcessed(0, static_cast<int64_t>(i + 1), stats,
+                                        refined, i + 1 == users.size());
+        if (checkpointer->ShouldStop()) break;
       }
     }
   } else {
@@ -221,12 +246,29 @@ std::vector<RefinedUser> RefinementPipeline::Run(
             tracer_->AddAttribute(span, "users",
                                   static_cast<int64_t>(end - begin));
           }
+          size_t start = begin;
+          if (checkpointer != nullptr) {
+            if (const ShardProgress* restored =
+                    checkpointer->RestoredShard(shard)) {
+              shard_stats[shard] = restored->stats;
+              shard_refined[shard] =
+                  checkpointer->TakeRestoredShardRefined(shard);
+              start = std::max(
+                  start, static_cast<size_t>(restored->next_user));
+            }
+          }
           RefinedUser candidate;
-          for (size_t i = begin; i < end; ++i) {
+          for (size_t i = start; i < end; ++i) {
             if (RefineUser(dataset, users[i], shard_stats[shard],
                            &candidate)) {
               shard_refined[shard].push_back(std::move(candidate));
               candidate = RefinedUser{};
+            }
+            if (checkpointer != nullptr) {
+              checkpointer->NoteUserProcessed(
+                  shard, static_cast<int64_t>(i + 1), shard_stats[shard],
+                  shard_refined[shard], i + 1 == end);
+              if (checkpointer->ShouldStop()) break;
             }
           }
           if (tracer_ != nullptr) tracer_->EndSpan(span);
@@ -246,9 +288,10 @@ std::vector<RefinedUser> RefinementPipeline::Run(
     }
   }
 
+  // Retry/backoff totals are accumulated per user inside RefineUser (see
+  // the thread-local sampling there); for a fresh geocoder they equal its
+  // num_retries()/simulated_backoff_ms() totals.
   stats.fault_injection_enabled = geocoder_->fault_injection_enabled();
-  stats.geocode_retried = geocoder_->num_retries() - retries_before;
-  stats.backoff_ms = geocoder_->simulated_backoff_ms() - backoff_before;
   if (metrics_ != nullptr) PublishFunnelMetrics(stats);
   return refined;
 }

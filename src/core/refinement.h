@@ -18,6 +18,8 @@ struct StudyConfig;
 
 namespace stir::core {
 
+class StudyCheckpointer;
+
 /// A user who survived both refinement gates (§III.B): a well-defined
 /// profile location and at least one geocodable GPS tweet.
 struct RefinedUser {
@@ -61,11 +63,11 @@ struct FunnelStats {
   int64_t backoff_ms = 0;
 
   /// Adds `other`'s per-user counters (quality histogram, well-defined,
-  /// geocode failures, final users) into this. Corpus-wide fields
-  /// (crawled_users, total_tweets, gps_tweets) are left untouched: shards
-  /// accumulate only what they counted, the caller sets the globals once.
-  /// Addition is commutative and associative, so any shard merge order
-  /// yields the same totals as a serial pass.
+  /// geocode failures, final users, retry/backoff charges) into this.
+  /// Corpus-wide fields (crawled_users, total_tweets, gps_tweets) are
+  /// left untouched: shards accumulate only what they counted, the caller
+  /// sets the globals once. Addition is commutative and associative, so
+  /// any shard merge order yields the same totals as a serial pass.
   void AccumulateUserCounts(const FunnelStats& other);
 };
 
@@ -116,9 +118,15 @@ class RefinementPipeline {
   /// geo::ReverseGeocoder is; a finite geocoder quota is the one knob that
   /// can make parallel results diverge, since which lookup exhausts it
   /// becomes a race).
+  ///
+  /// A non-null `checkpointer` enables crash-safe progress (DESIGN.md §9):
+  /// each shard restores the checkpointed position/counters and reports
+  /// every completed user back, so a killed run resumes at the last
+  /// durable user boundary with byte-identical final output.
   std::vector<RefinedUser> Run(const twitter::Dataset& dataset,
                                FunnelStats* funnel,
-                               common::ThreadPool* pool = nullptr) const;
+                               common::ThreadPool* pool = nullptr,
+                               StudyCheckpointer* checkpointer = nullptr) const;
 
  private:
   /// `fault_index` is the tweet's global dataset index — a stable,

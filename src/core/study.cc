@@ -2,8 +2,12 @@
 
 #include <memory>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
+#include "geo/geocode_journal.h"
+#include "io/atomic_file.h"
 
 namespace stir::core {
 
@@ -125,9 +129,12 @@ void CorrelationStudy::RunStages(const twitter::Dataset& dataset,
   geo::ReverseGeocoderOptions geocoder_options = cfg.geocoder;
   // Each run owns a fresh injector so fault schedules restart at call
   // index zero; a caller-supplied injector (cfg.geocoder.fault_injector)
-  // takes precedence.
+  // takes precedence. Crash scheduling alone (crash_after with every
+  // fault knob off) also wires the injector in: the crash hook lives in
+  // the geocoder, but enabled() stays false so reporting is untouched.
   common::FaultInjector injector(cfg.fault);
-  if (geocoder_options.fault_injector == nullptr && injector.enabled()) {
+  if (geocoder_options.fault_injector == nullptr &&
+      (injector.enabled() || injector.crash_enabled())) {
     geocoder_options.fault_injector = &injector;
     geocoder_options.retry = cfg.retry;
   }
@@ -138,13 +145,114 @@ void CorrelationStudy::RunStages(const twitter::Dataset& dataset,
     geocoder_options.tracer = cfg.obs.tracer;
     geocoder_options.trace_lookups = cfg.obs.trace_geocode_calls;
   }
+
+  // --- Durability (DESIGN.md §9). Every failure on this path degrades
+  // to running without the affected piece; corruption never aborts. ---
+  const io::DurabilityOptions& durability = cfg.durability;
+  std::unique_ptr<StudyCheckpointer> checkpointer;
+  std::unique_ptr<geo::GeocodeJournal> journal;
+  geo::GeocodeJournalReplay journal_replay;
+  bool resumed = false;
+  if (!durability.checkpoint_dir.empty()) {
+    Status dir_status = io::EnsureDirectory(durability.checkpoint_dir);
+    if (!dir_status.ok()) {
+      STIR_LOG(Warning) << "checkpoint directory unavailable, durability "
+                           "disabled for this run: "
+                        << dir_status.message();
+    } else {
+      checkpointer = std::make_unique<StudyCheckpointer>(
+          durability, DatasetFingerprint(dataset), ConfigFingerprint(cfg));
+      checkpointer->set_fault_injector(&injector);
+      std::string journal_path =
+          durability.checkpoint_dir + "/geocode.journal";
+      journal = std::make_unique<geo::GeocodeJournal>();
+      Status journal_status;
+      if (durability.resume) {
+        journal_replay = geo::GeocodeJournal::Replay(journal_path);
+        if (!journal_replay.usable) {
+          STIR_LOG(Warning)
+              << "geocode journal unusable, starting a fresh one: "
+              << journal_replay.error;
+          journal_replay = geo::GeocodeJournalReplay{};
+          journal_status = journal->OpenFresh(journal_path, durability.fsync);
+        } else {
+          journal_status = journal->OpenForResume(
+              journal_path, journal_replay.stats.valid_bytes,
+              durability.fsync);
+        }
+        resumed = checkpointer->TryRestore();
+        if (resumed) {
+          injector.RestoreNextIndex(checkpointer->restored_fault_next_index());
+        }
+      } else {
+        journal_status = journal->OpenFresh(journal_path, durability.fsync);
+      }
+      if (!journal_status.ok()) {
+        STIR_LOG(Warning) << "geocode journal unavailable (lookups will not "
+                             "be journaled): "
+                          << journal_status.message();
+        journal.reset();
+      }
+      geocoder_options.journal = journal.get();
+    }
+  }
+
   geo::ReverseGeocoder geocoder(db_, geocoder_options);
+  // Pre-warm the cache from the journal: every lookup the crashed run
+  // resolved is served as a cache hit, spending zero additional quota.
+  for (const geo::GeocodeJournalEntry& entry : journal_replay.entries) {
+    geocoder.PreloadCache(entry.cache_key, entry.result);
+  }
+
+  auto publish_io_metrics = [&] {
+    if (cfg.obs.metrics == nullptr || durability.checkpoint_dir.empty()) {
+      return;
+    }
+    obs::MetricsRegistry* m = cfg.obs.metrics;
+    m->GetCounter("io.journal.replayed")
+        ->Increment(journal_replay.stats.records);
+    m->GetCounter("io.journal.quarantined")
+        ->Increment(journal_replay.stats.quarantined);
+    m->GetCounter("io.journal.truncated_bytes")
+        ->Increment(journal_replay.stats.truncated_bytes);
+    m->GetCounter("io.journal.appended")
+        ->Increment(journal != nullptr ? journal->appended() : 0);
+    if (checkpointer != nullptr) {
+      m->GetCounter("io.snapshot.writes")
+          ->Increment(checkpointer->snapshot_writes());
+    }
+    m->GetCounter("io.checkpoint.resumed")->Increment(resumed ? 1 : 0);
+  };
+
   RefinementPipeline pipeline(&parser_, &geocoder, cfg);
   std::unique_ptr<common::ThreadPool> pool;
   if (cfg.threads > 1) {
     pool = std::make_unique<common::ThreadPool>(cfg.threads, cfg.obs.metrics);
   }
-  result->refined = pipeline.Run(dataset, &result->funnel, pool.get());
+  if (resumed &&
+      checkpointer->restored_stage() == StudyCheckpoint::kRefinementDone) {
+    // Refinement completed before the crash; grouping and aggregation are
+    // recomputed from the persisted refined vector.
+    result->funnel = checkpointer->restored_funnel();
+    result->refined = checkpointer->TakeRestoredRefined();
+  } else {
+    result->refined = pipeline.Run(dataset, &result->funnel, pool.get(),
+                                   checkpointer.get());
+    if (checkpointer != nullptr && checkpointer->halted()) {
+      result->incomplete = true;
+      publish_io_metrics();
+      return;
+    }
+    if (checkpointer != nullptr) {
+      Status s = checkpointer->SaveRefinementDone(result->funnel,
+                                                  result->refined);
+      if (!s.ok()) {
+        STIR_LOG(Warning) << "refinement-done checkpoint failed: "
+                          << s.message();
+      }
+    }
+  }
+  publish_io_metrics();
   {
     obs::Tracer::ScopedSpan grouping_span(cfg.obs.tracer, "grouping");
     result->groupings =

@@ -46,6 +46,12 @@ struct StudyResult {
   obs::MetricsSnapshot metrics;
   obs::TraceSnapshot trace;
 
+  /// True when the run stopped early at the durability test hook
+  /// (config.durability.halt_after_users) — refinement progress is on
+  /// disk, but funnel/groups in this result are partial and must not be
+  /// reported. A resumed run completes them.
+  bool incomplete = false;
+
   const GroupStats& group(TopKGroup g) const {
     return groups[static_cast<int>(g)];
   }

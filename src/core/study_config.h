@@ -6,6 +6,7 @@
 #include "core/location_string.h"
 #include "core/refinement.h"
 #include "geo/reverse_geocoder.h"
+#include "io/options.h"
 #include "obs/options.h"
 
 namespace stir {
@@ -43,6 +44,10 @@ struct StudyConfig {
   common::RetryPolicyOptions retry;
   /// Observability: metrics registry + stage tracing (DESIGN.md §8).
   obs::ObsOptions obs;
+  /// Crash safety: geocode journal + study checkpoints + resume
+  /// (DESIGN.md §9). Off by default — with `durability.checkpoint_dir`
+  /// empty the run is byte-identical to a build without the subsystem.
+  io::DurabilityOptions durability;
 };
 
 }  // namespace stir

@@ -1,0 +1,60 @@
+#include "geo/geocode_journal.h"
+
+#include "io/serialize.h"
+
+namespace stir::geo {
+
+std::string GeocodeJournal::EncodeEntry(std::string_view cache_key,
+                                        const GeocodeResult& result) {
+  io::BinaryWriter w;
+  w.String(cache_key);
+  w.String(result.country);
+  w.String(result.state);
+  w.String(result.county);
+  w.String(result.town);
+  w.I32(result.region);
+  return w.Take();
+}
+
+bool GeocodeJournal::DecodeEntry(std::string_view payload,
+                                 GeocodeJournalEntry* out) {
+  io::BinaryReader r(payload);
+  GeocodeJournalEntry entry;
+  int32_t region = kInvalidRegion;
+  if (!r.String(&entry.cache_key) || !r.String(&entry.result.country) ||
+      !r.String(&entry.result.state) || !r.String(&entry.result.county) ||
+      !r.String(&entry.result.town) || !r.I32(&region) || !r.Done()) {
+    return false;
+  }
+  entry.result.region = region;
+  *out = std::move(entry);
+  return true;
+}
+
+GeocodeJournalReplay GeocodeJournal::Replay(const std::string& path) {
+  GeocodeJournalReplay replay;
+  int64_t decode_failures = 0;
+  auto stats_or = io::ReplayJournal(
+      path, kMagic, [&](std::string_view payload) {
+        GeocodeJournalEntry entry;
+        if (GeocodeJournal::DecodeEntry(payload, &entry)) {
+          replay.entries.push_back(std::move(entry));
+        } else {
+          ++decode_failures;
+        }
+      });
+  if (!stats_or.ok()) {
+    replay.usable = false;
+    replay.error = stats_or.status().message();
+    replay.entries.clear();
+    return replay;
+  }
+  replay.stats = *stats_or;
+  // A frame whose payload decodes to garbage is as corrupt as one whose
+  // CRC failed; fold both into the quarantine count.
+  replay.stats.quarantined += decode_failures;
+  replay.stats.records -= decode_failures;
+  return replay;
+}
+
+}  // namespace stir::geo

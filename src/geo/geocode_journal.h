@@ -1,0 +1,76 @@
+#ifndef STIR_GEO_GEOCODE_JOURNAL_H_
+#define STIR_GEO_GEOCODE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/reverse_geocoder.h"
+#include "io/journal.h"
+
+namespace stir::geo {
+
+/// One replayed journal entry: a resolved cache-key → district mapping.
+struct GeocodeJournalEntry {
+  std::string cache_key;
+  GeocodeResult result;
+};
+
+/// Outcome of replaying a geocode journal. Structural journal problems
+/// (bad magic, unusable header) surface as `usable == false` with the
+/// reason in `error` — never as an aborted study; the caller logs it and
+/// starts a fresh journal.
+struct GeocodeJournalReplay {
+  bool usable = true;
+  std::string error;
+  std::vector<GeocodeJournalEntry> entries;
+  io::JournalReplayStats stats;  ///< quarantined includes decode failures.
+};
+
+/// Write-ahead journal of resolved geocode lookups (magic "STIRGEOJ").
+/// The geocoder appends each cache-miss success; replaying the journal
+/// into ReverseGeocoder::PreloadCache before a resumed run means every
+/// previously-resolved coordinate is a cache hit — zero additional
+/// simulated API quota.
+class GeocodeJournal {
+ public:
+  static constexpr std::string_view kMagic = "STIRGEOJ";
+
+  /// Decodes every intact record of the journal at `path`. Duplicate
+  /// cache keys are kept (PreloadCache dedups on insert); records whose
+  /// payload fails to decode are counted into `stats.quarantined`.
+  static GeocodeJournalReplay Replay(const std::string& path);
+
+  /// Serialization of one entry (exposed for tests).
+  static std::string EncodeEntry(std::string_view cache_key,
+                                 const GeocodeResult& result);
+  static bool DecodeEntry(std::string_view payload, GeocodeJournalEntry* out);
+
+  Status OpenFresh(const std::string& path, bool fsync = true) {
+    return writer_.OpenFresh(path, kMagic, fsync);
+  }
+  Status OpenForResume(const std::string& path, int64_t valid_bytes,
+                       bool fsync = true) {
+    return writer_.OpenForResume(path, kMagic, valid_bytes, fsync);
+  }
+
+  /// Appends one resolved lookup. Errors are returned, not fatal: the
+  /// geocoder treats a failed append as "journal lost", logs once, and
+  /// keeps serving lookups.
+  Status Append(std::string_view cache_key, const GeocodeResult& result) {
+    return writer_.Append(EncodeEntry(cache_key, result));
+  }
+
+  bool is_open() const { return writer_.is_open(); }
+  int64_t appended() const { return writer_.appended(); }
+  void Close() { writer_.Close(); }
+
+ private:
+  io::JournalWriter writer_;
+};
+
+}  // namespace stir::geo
+
+#endif  // STIR_GEO_GEOCODE_JOURNAL_H_

@@ -4,11 +4,19 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/xml.h"
+#include "geo/geocode_journal.h"
 #include "geo/geohash.h"
 
 namespace stir::geo {
 
 namespace {
+
+/// Per-thread retry accounting (see CurrentThreadRetryStats). Each shard
+/// of the refinement pipeline runs on exactly one worker thread, so
+/// sampling these around a user's tweets yields that user's exact retry
+/// and backoff charges with no atomics on the hot path.
+thread_local int64_t t_retries = 0;
+thread_local int64_t t_backoff_ms = 0;
 
 /// Deterministic pseudo-town (dong-level) name for a point inside a
 /// county. The original API returned a real <town>; the study never uses
@@ -82,9 +90,24 @@ StatusOr<GeocodeResult> ReverseGeocoder::Reverse(const LatLng& point,
   return ReverseImpl(point, fault_index);
 }
 
+ReverseGeocoder::ThreadRetryStats ReverseGeocoder::CurrentThreadRetryStats() {
+  return ThreadRetryStats{t_retries, t_backoff_ms};
+}
+
+void ReverseGeocoder::PreloadCache(std::string_view cache_key,
+                                   const GeocodeResult& result) {
+  if (!options_.enable_cache) return;
+  CacheShard& shard = ShardFor(cache_key);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  shard.map.try_emplace(std::string(cache_key), result);
+}
+
 StatusOr<GeocodeResult> ReverseGeocoder::ReverseImpl(const LatLng& point,
                                                      int64_t fault_index) {
   common::FaultInjector* fault = options_.fault_injector;
+  // The crash hook fires before any fault/cache logic so "Nth lookup"
+  // means the same thing whether or not fault knobs are active.
+  if (fault != nullptr) fault->OnLookupMaybeCrash();
   if (fault == nullptr || !fault->enabled()) {
     obs::RecordSample(m_attempts_, 1);
     return ReverseDirect(point);
@@ -120,10 +143,12 @@ StatusOr<GeocodeResult> ReverseGeocoder::ReverseImpl(const LatLng& point,
       return decision.status;
     }
     num_retries_.fetch_add(1, std::memory_order_relaxed);
+    ++t_retries;
     obs::IncrementCounter(m_retried_);
     int64_t backoff = retry_policy_.BackoffMs(
         attempts, static_cast<uint64_t>(fault_index));
     simulated_backoff_ms_.fetch_add(backoff, std::memory_order_relaxed);
+    t_backoff_ms += backoff;
     obs::IncrementCounter(m_backoff_ms_, backoff);
   }
 }
@@ -172,6 +197,17 @@ StatusOr<GeocodeResult> ReverseGeocoder::ReverseDirect(const LatLng& point) {
   result.region = id;
 
   if (options_.enable_cache) {
+    // Journal before publishing to the cache: write-ahead order
+    // guarantees any result other threads can observe (and build state
+    // on) is already durable.
+    if (options_.journal != nullptr && options_.journal->is_open()) {
+      Status s = options_.journal->Append(cache_key, result);
+      if (!s.ok() && !journal_append_failed_.exchange(true)) {
+        STIR_LOG(Warning) << "geocode journal append failed (journal "
+                             "abandoned for this run): "
+                          << s.message();
+      }
+    }
     CacheShard& shard = ShardFor(cache_key);
     std::unique_lock<std::mutex> lock = LockShard(shard);
     // try_emplace keeps the first writer's entry on a racing double-miss

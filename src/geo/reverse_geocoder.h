@@ -18,6 +18,8 @@
 
 namespace stir::geo {
 
+class GeocodeJournal;
+
 /// Structured reverse-geocoding result: the four elements the Yahoo Open
 /// API returned under <location> (see paper Fig. 5). The study consumes
 /// <state> and <county>.
@@ -64,6 +66,13 @@ struct ReverseGeocoderOptions {
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
   bool trace_lookups = true;
+  /// Optional write-ahead geocode journal (not owned; must outlive the
+  /// geocoder; null disables). Every cache-miss resolution is appended,
+  /// so a resumed run can PreloadCache the journal and answer all
+  /// previously-resolved coordinates without spending quota (DESIGN.md
+  /// §9). Requires enable_cache; append failures are logged once and
+  /// never fail a lookup.
+  GeocodeJournal* journal = nullptr;
 };
 
 /// Reverse geocoder over an AdminDb, shaped like the web API the paper
@@ -99,6 +108,22 @@ class ReverseGeocoder {
   /// Same lookup rendered as the Yahoo-shaped XML document.
   StatusOr<std::string> ReverseToXml(const LatLng& point,
                                      int64_t fault_index = -1);
+
+  /// Pre-warms the memoization cache with a previously-resolved entry
+  /// (journal replay). First writer wins on duplicate keys; no-op with
+  /// the cache disabled. Preloaded entries are hits: they spend no quota
+  /// and are not re-journaled.
+  void PreloadCache(std::string_view cache_key, const GeocodeResult& result);
+
+  /// Per-thread retry accounting, cumulative over this thread's lifetime.
+  /// The refinement pipeline samples deltas around each user so
+  /// checkpoints can attribute retries/backoff to completed users exactly
+  /// (each shard runs on a single worker thread; DESIGN.md §9).
+  struct ThreadRetryStats {
+    int64_t retries = 0;
+    int64_t backoff_ms = 0;
+  };
+  static ThreadRetryStats CurrentThreadRetryStats();
 
   /// Parses a ReverseToXml document back into a GeocodeResult (region id
   /// is not recovered; resolve it against an AdminDb if needed).
@@ -178,6 +203,7 @@ class ReverseGeocoder {
   std::atomic<int64_t> num_faulted_{0};
   std::atomic<int64_t> num_breaker_rejections_{0};
   std::atomic<int64_t> simulated_backoff_ms_{0};
+  std::atomic<bool> journal_append_failed_{false};
 
   // Observability handles, resolved once at construction (all null when
   // options_.metrics is null, which keeps the hot path branch-predictable

@@ -1,0 +1,31 @@
+#ifndef STIR_IO_ATOMIC_FILE_H_
+#define STIR_IO_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace stir::io {
+
+/// Atomically replaces `path` with `contents`: writes to a temporary
+/// sibling (`path` + ".tmp"), fsyncs it, renames it over `path`, and
+/// fsyncs the parent directory. A crash at any point leaves either the
+/// previous file intact or the new one complete — never a torn mix.
+/// `fsync` false skips the durability syncs (rename atomicity is kept;
+/// use only where a post-crash rollback to the old file is acceptable).
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       bool fsync = true);
+
+/// Reads the whole file. IOError when it cannot be opened.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Creates `path` (and missing parents). OK when it already exists.
+Status EnsureDirectory(const std::string& path);
+
+/// True when `path` names an existing file system entry.
+bool PathExists(const std::string& path);
+
+}  // namespace stir::io
+
+#endif  // STIR_IO_ATOMIC_FILE_H_

@@ -1,0 +1,203 @@
+#include "io/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "io/atomic_file.h"
+#include "io/serialize.h"
+
+namespace stir::io {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IOError(std::string(op) + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::string MakeHeader(std::string_view magic) {
+  BinaryWriter w;
+  w.U32(kJournalFormatVersion);
+  std::string header(magic);
+  header.append(w.bytes());
+  BinaryWriter crc;
+  crc.U32(Crc32c(header));
+  header.append(crc.bytes());
+  return header;
+}
+
+}  // namespace
+
+StatusOr<JournalReplayStats> ReplayJournal(
+    const std::string& path, std::string_view magic,
+    const std::function<void(std::string_view payload)>& callback) {
+  STIR_CHECK_EQ(magic.size(), kJournalMagicSize);
+  JournalReplayStats stats;
+  if (!PathExists(path)) return stats;
+  STIR_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  if (contents.empty()) return stats;
+  if (contents.size() < kJournalHeaderSize) {
+    // Crash while writing the very first header: nothing to replay, the
+    // partial header is a torn tail.
+    stats.truncated_bytes = static_cast<int64_t>(contents.size());
+    return stats;
+  }
+  std::string_view view(contents);
+  if (view.substr(0, kJournalMagicSize) != magic) {
+    return Status::InvalidArgument("bad journal magic: " + path);
+  }
+  BinaryReader header(view.substr(kJournalMagicSize,
+                                  kJournalHeaderSize - kJournalMagicSize));
+  uint32_t version = 0, header_crc = 0;
+  if (!header.U32(&version) || !header.U32(&header_crc)) {
+    return Status::InvalidArgument("unreadable journal header: " + path);
+  }
+  if (Crc32c(view.substr(0, kJournalHeaderSize - sizeof(uint32_t))) !=
+      header_crc) {
+    return Status::InvalidArgument("journal header checksum mismatch: " +
+                                   path);
+  }
+  if (version != kJournalFormatVersion) {
+    return Status::InvalidArgument("unsupported journal version: " + path);
+  }
+
+  size_t offset = kJournalHeaderSize;
+  stats.valid_bytes = static_cast<int64_t>(offset);
+  while (offset < view.size()) {
+    std::string_view rest = view.substr(offset);
+    if (rest.size() < kJournalFrameOverhead) break;  // torn frame header
+    BinaryReader frame(rest.substr(0, kJournalFrameOverhead));
+    uint32_t length = 0, crc = 0;
+    frame.U32(&length);
+    frame.U32(&crc);
+    if (length > kJournalMaxRecordSize) break;  // frame header is garbage
+    if (rest.size() - kJournalFrameOverhead < length) break;  // torn payload
+    std::string_view payload = rest.substr(kJournalFrameOverhead, length);
+    offset += kJournalFrameOverhead + length;
+    stats.valid_bytes = static_cast<int64_t>(offset);
+    if (Crc32c(payload) != crc) {
+      ++stats.quarantined;
+      continue;
+    }
+    ++stats.records;
+    if (callback) callback(payload);
+  }
+  stats.truncated_bytes =
+      static_cast<int64_t>(view.size()) - stats.valid_bytes;
+  return stats;
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+Status JournalWriter::OpenFresh(const std::string& path,
+                                std::string_view magic,
+                                bool fsync_each_append) {
+  return OpenInternal(path, magic, 0, fsync_each_append);
+}
+
+Status JournalWriter::OpenForResume(const std::string& path,
+                                    std::string_view magic,
+                                    int64_t valid_bytes,
+                                    bool fsync_each_append) {
+  return OpenInternal(path, magic, valid_bytes, fsync_each_append);
+}
+
+Status JournalWriter::OpenInternal(const std::string& path,
+                                   std::string_view magic,
+                                   int64_t valid_bytes,
+                                   bool fsync_each_append) {
+  STIR_CHECK_EQ(magic.size(), kJournalMagicSize);
+  std::lock_guard<std::mutex> lock(mu_);
+  STIR_CHECK(fd_ < 0) << "JournalWriter already open";
+  bool fresh = valid_bytes < static_cast<int64_t>(kJournalHeaderSize);
+  int flags = O_WRONLY | O_CREAT;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  // Drop the torn tail (or everything, for a fresh journal) so appends
+  // land exactly at the end of the valid prefix.
+  if (::ftruncate(fd, fresh ? 0 : valid_bytes) != 0) {
+    ::close(fd);
+    return Errno("ftruncate", path);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  if (fresh) {
+    std::string header = MakeHeader(magic);
+    Status s = WriteAll(fd, header.data(), header.size(), path);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+  if (fsync_each_append && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync", path);
+  }
+  fd_ = fd;
+  path_ = path;
+  fsync_each_append_ = fsync_each_append;
+  return Status::OK();
+}
+
+Status JournalWriter::Append(std::string_view payload) {
+  STIR_CHECK_LE(payload.size(), kJournalMaxRecordSize);
+  BinaryWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32c(payload));
+  std::string record(frame.bytes());
+  record.append(payload.data(), payload.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("journal not open");
+  // One write() per record: a crash tears at most the tail frame, which
+  // replay then truncates.
+  STIR_RETURN_IF_ERROR(WriteAll(fd_, record.data(), record.size(), path_));
+  if (fsync_each_append_ && ::fsync(fd_) != 0) return Errno("fsync", path_);
+  ++appended_;
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("journal not open");
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+void JournalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int64_t JournalWriter::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+}  // namespace stir::io

@@ -1,0 +1,39 @@
+#ifndef STIR_IO_OPTIONS_H_
+#define STIR_IO_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stir::io {
+
+/// Crash-safety knobs for a study run (DESIGN.md §9). Everything is off
+/// by default: with `checkpoint_dir` empty the pipeline takes no io::
+/// code paths at all and its output is byte-identical to a build without
+/// this subsystem.
+struct DurabilityOptions {
+  /// Directory for the geocode journal + study checkpoints. Empty
+  /// disables durability entirely.
+  std::string checkpoint_dir;
+
+  /// Replay any journal/checkpoint found in `checkpoint_dir` and
+  /// continue from there. Without it the directory is started fresh
+  /// (existing state is truncated/overwritten).
+  bool resume = false;
+
+  /// Snapshot refinement progress every N processed users per shard.
+  int64_t checkpoint_every_users = 64;
+
+  /// fsync journal appends and snapshot writes. Turning this off keeps
+  /// atomicity (valid-prefix recovery, atomic rename) but lets a power
+  /// loss drop recent work; a plain process crash still loses nothing.
+  bool fsync = true;
+
+  /// Test hook: stop the pipeline cleanly after this many users have
+  /// been processed in total (across shards), leaving checkpoints
+  /// behind as if the process had died. -1 disables.
+  int64_t halt_after_users = -1;
+};
+
+}  // namespace stir::io
+
+#endif  // STIR_IO_OPTIONS_H_

@@ -1,0 +1,82 @@
+#ifndef STIR_IO_SERIALIZE_H_
+#define STIR_IO_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace stir::io {
+
+/// Append-only little-endian byte writer for the durable file formats
+/// (journal records, checkpoint payloads). Fixed-width fields only —
+/// the reader must consume the exact sequence the writer produced.
+class BinaryWriter {
+ public:
+  void U32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void U64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void I32(int32_t v) { PutRaw(&v, sizeof(v)); }
+  void I64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void Bool(bool v) { U32(v ? 1 : 0); }
+  void Double(double v) { PutRaw(&v, sizeof(v)); }
+  /// Length-prefixed (u64) byte string.
+  void String(std::string_view v) {
+    U64(v.size());
+    out_.append(v.data(), v.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    out_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+/// Bounds-checked reader over a BinaryWriter-produced byte string. Every
+/// getter returns false (leaving the cursor unspecified) on underrun, so
+/// deserializers can funnel all failures into one corrupt-payload error.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool U32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool I32(int32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool Bool(bool* v) {
+    uint32_t raw = 0;
+    if (!U32(&raw) || raw > 1) return false;
+    *v = raw != 0;
+    return true;
+  }
+  bool Double(double* v) { return GetRaw(v, sizeof(*v)); }
+  bool String(std::string* v) {
+    uint64_t size = 0;
+    if (!U64(&size) || size > data_.size() - pos_) return false;
+    v->assign(data_.data() + pos_, static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
+    return true;
+  }
+
+  /// True when every byte has been consumed (trailing garbage means a
+  /// corrupt or mismatched payload).
+  bool Done() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool GetRaw(void* p, size_t n) {
+    if (n > data_.size() - pos_) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace stir::io
+
+#endif  // STIR_IO_SERIALIZE_H_

@@ -1,0 +1,62 @@
+#include "io/snapshot.h"
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "io/atomic_file.h"
+#include "io/serialize.h"
+
+namespace stir::io {
+
+Status WriteSnapshotFile(const std::string& path, std::string_view magic,
+                         std::string_view payload, bool fsync) {
+  STIR_CHECK_EQ(magic.size(), kSnapshotMagicSize);
+  std::string file;
+  file.reserve(kSnapshotHeaderSize + payload.size());
+  file.append(magic.data(), magic.size());
+  BinaryWriter header;
+  header.U32(kSnapshotFormatVersion);
+  header.U32(Crc32c(payload));
+  header.U64(payload.size());
+  file.append(header.bytes());
+  file.append(payload.data(), payload.size());
+  return AtomicWriteFile(path, file, fsync);
+}
+
+StatusOr<std::string> ReadSnapshotFile(const std::string& path,
+                                       std::string_view magic) {
+  STIR_CHECK_EQ(magic.size(), kSnapshotMagicSize);
+  STIR_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  if (contents.size() < kSnapshotHeaderSize) {
+    return Status::InvalidArgument("snapshot too short: " + path);
+  }
+  if (!SnapshotHasMagic(contents, magic)) {
+    return Status::InvalidArgument("bad snapshot magic: " + path);
+  }
+  BinaryReader r(std::string_view(contents)
+                     .substr(kSnapshotMagicSize,
+                             kSnapshotHeaderSize - kSnapshotMagicSize));
+  uint32_t version = 0, crc = 0;
+  uint64_t size = 0;
+  if (!r.U32(&version) || !r.U32(&crc) || !r.U64(&size)) {
+    return Status::InvalidArgument("unreadable snapshot header: " + path);
+  }
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot version: " + path);
+  }
+  if (contents.size() - kSnapshotHeaderSize != size) {
+    return Status::InvalidArgument("snapshot payload size mismatch: " + path);
+  }
+  std::string_view payload =
+      std::string_view(contents).substr(kSnapshotHeaderSize);
+  if (Crc32c(payload) != crc) {
+    return Status::InvalidArgument("snapshot checksum mismatch: " + path);
+  }
+  return std::string(payload);
+}
+
+bool SnapshotHasMagic(std::string_view contents, std::string_view magic) {
+  return contents.size() >= kSnapshotMagicSize &&
+         contents.substr(0, kSnapshotMagicSize) == magic;
+}
+
+}  // namespace stir::io

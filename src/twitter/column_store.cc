@@ -5,12 +5,19 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "io/atomic_file.h"
+#include "io/snapshot.h"
 
 namespace stir::twitter {
 
 namespace {
 
+/// Legacy v1 layout: magic + columns + FNV-1a trailer, written with a
+/// plain (non-atomic) ofstream. Still readable; Save now writes v2.
 constexpr char kMagic[8] = {'S', 'T', 'I', 'R', 'C', 'O', 'L', '1'};
+/// v2: the same column body inside the shared snapshot container
+/// (CRC32C + atomic write-temp-fsync-rename; see io/snapshot.h).
+constexpr std::string_view kMagicV2 = "STIRCOL2";
 
 /// Appends a POD vector's bytes to the serialization buffer.
 template <typename T>
@@ -112,54 +119,52 @@ TweetView TweetColumnStore::Get(size_t i) const {
 }
 
 Status TweetColumnStore::Save(const std::string& path) const {
-  std::string buffer;
-  buffer.append(kMagic, sizeof(kMagic));
-  PutColumn(buffer, ids_);
-  PutColumn(buffer, users_);
-  PutColumn(buffer, times_);
-  PutColumn(buffer, lats_);
-  PutColumn(buffer, lngs_);
-  PutColumn(buffer, gps_bitmap_);
-  PutColumn(buffer, text_offsets_);
+  std::string body;
+  PutColumn(body, ids_);
+  PutColumn(body, users_);
+  PutColumn(body, times_);
+  PutColumn(body, lats_);
+  PutColumn(body, lngs_);
+  PutColumn(body, gps_bitmap_);
+  PutColumn(body, text_offsets_);
   uint64_t text_size = text_arena_.size();
-  buffer.append(reinterpret_cast<const char*>(&text_size),
-                sizeof(text_size));
-  buffer.append(text_arena_);
-  uint64_t checksum = Fnv1a64(buffer);
-  buffer.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  body.append(reinterpret_cast<const char*>(&text_size), sizeof(text_size));
+  body.append(text_arena_);
+  return io::WriteSnapshotFile(path, kMagicV2, body);
 }
 
 StatusOr<TweetColumnStore> TweetColumnStore::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  std::string buffer((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-  if (buffer.size() < sizeof(kMagic) + sizeof(uint64_t)) {
-    return Status::InvalidArgument("file too short: " + path);
+  STIR_ASSIGN_OR_RETURN(std::string contents, io::ReadFileToString(path));
+
+  std::string buffer;
+  size_t pos = 0;
+  if (contents.size() >= sizeof(kMagic) &&
+      std::memcmp(contents.data(), kMagic, sizeof(kMagic)) == 0) {
+    // Legacy v1: trailing FNV-1a checksum over magic + body.
+    if (contents.size() < sizeof(kMagic) + sizeof(uint64_t)) {
+      return Status::InvalidArgument("file too short: " + path);
+    }
+    uint64_t stored_checksum;
+    std::memcpy(&stored_checksum,
+                contents.data() + contents.size() - sizeof(stored_checksum),
+                sizeof(stored_checksum));
+    std::string_view body(contents.data(),
+                          contents.size() - sizeof(uint64_t));
+    if (Fnv1a64(body) != stored_checksum) {
+      return Status::InvalidArgument("checksum mismatch (corrupt file): " +
+                                     path);
+    }
+    contents.resize(contents.size() - sizeof(uint64_t));
+    buffer = std::move(contents);
+    pos = sizeof(kMagic);
+  } else if (io::SnapshotHasMagic(contents, kMagicV2)) {
+    STIR_ASSIGN_OR_RETURN(buffer, io::ReadSnapshotFile(path, kMagicV2));
+  } else {
+    return Status::InvalidArgument(
+        "bad magic (not a STIRCOL1/STIRCOL2 file): " + path);
   }
-  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("bad magic (not a STIRCOL1 file): " +
-                                   path);
-  }
-  uint64_t stored_checksum;
-  std::memcpy(&stored_checksum,
-              buffer.data() + buffer.size() - sizeof(stored_checksum),
-              sizeof(stored_checksum));
-  std::string_view body(buffer.data(), buffer.size() - sizeof(uint64_t));
-  if (Fnv1a64(body) != stored_checksum) {
-    return Status::InvalidArgument("checksum mismatch (corrupt file): " +
-                                   path);
-  }
-  buffer.resize(buffer.size() - sizeof(uint64_t));
 
   TweetColumnStore store;
-  size_t pos = sizeof(kMagic);
   if (!GetColumn(buffer, pos, &store.ids_) ||
       !GetColumn(buffer, pos, &store.users_) ||
       !GetColumn(buffer, pos, &store.times_) ||

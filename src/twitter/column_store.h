@@ -75,9 +75,11 @@ class TweetColumnStore {
     }
   }
 
-  /// Binary persistence: a little-endian single-file format with magic
-  /// "STIRCOL1", per-column lengths, and a FNV-1a checksum trailer.
-  /// Load rejects bad magic, truncation, and checksum mismatches.
+  /// Binary persistence. Save writes the shared snapshot container
+  /// (magic "STIRCOL2", CRC32C, atomic replace — io/snapshot.h) holding
+  /// the little-endian column body. Load also accepts the legacy
+  /// "STIRCOL1" layout (FNV-1a trailer, pre-io::snapshot). Both paths
+  /// reject bad magic, truncation, and checksum mismatches.
   Status Save(const std::string& path) const;
   static StatusOr<TweetColumnStore> Load(const std::string& path);
 

@@ -72,62 +72,96 @@ Status Dataset::SaveTsv(const std::string& users_path,
 
 StatusOr<Dataset> Dataset::LoadTsv(const std::string& users_path,
                                    const std::string& tweets_path) {
+  return LoadTsv(users_path, tweets_path, TsvLoadOptions{});
+}
+
+StatusOr<Dataset> Dataset::LoadTsv(const std::string& users_path,
+                                   const std::string& tweets_path,
+                                   const TsvLoadOptions& options,
+                                   TsvLoadStats* stats) {
   CsvOptions tsv;
   tsv.delimiter = '\t';
   Dataset dataset;
+  TsvLoadStats local_stats;
+  TsvLoadStats& counts = stats != nullptr ? *stats : local_stats;
+  counts = TsvLoadStats{};
 
   STIR_ASSIGN_OR_RETURN(auto user_rows, ReadCsvFile(users_path, tsv));
   for (size_t i = 1; i < user_rows.size(); ++i) {  // skip header
     const auto& row = user_rows[i];
+    Status bad;
+    User user;
     if (row.size() != 4) {
-      return Status::InvalidArgument(
+      bad = Status::InvalidArgument(
           StrFormat("users row %zu: expected 4 fields, got %zu", i,
                     row.size()));
+    } else {
+      auto id = ParseInt64(row[0]);
+      auto total = ParseInt64(row[3]);
+      if (!id || !total) {
+        bad = Status::InvalidArgument(StrFormat("users row %zu: bad ints", i));
+      } else {
+        user.id = *id;
+        user.handle = row[1];
+        user.profile_location = row[2];
+        user.total_tweets = *total;
+        // Lenient mode pre-checks duplicates so they quarantine instead
+        // of tripping AddUser's fatal check (which strict mode keeps).
+        if (!options.strict && dataset.FindUser(*id) != nullptr) {
+          bad = Status::InvalidArgument(
+              StrFormat("users row %zu: duplicate user id", i));
+        }
+      }
     }
-    User user;
-    auto id = ParseInt64(row[0]);
-    auto total = ParseInt64(row[3]);
-    if (!id || !total) {
-      return Status::InvalidArgument(StrFormat("users row %zu: bad ints", i));
+    if (!bad.ok()) {
+      if (options.strict) return bad;
+      ++counts.quarantined_user_rows;
+      continue;
     }
-    user.id = *id;
-    user.handle = row[1];
-    user.profile_location = row[2];
-    user.total_tweets = *total;
     dataset.AddUser(std::move(user));
   }
 
   STIR_ASSIGN_OR_RETURN(auto tweet_rows, ReadCsvFile(tweets_path, tsv));
   for (size_t i = 1; i < tweet_rows.size(); ++i) {
     const auto& row = tweet_rows[i];
+    Status bad;
+    Tweet tweet;
     if (row.size() != 6) {
-      return Status::InvalidArgument(
+      bad = Status::InvalidArgument(
           StrFormat("tweets row %zu: expected 6 fields, got %zu", i,
                     row.size()));
-    }
-    Tweet tweet;
-    auto id = ParseInt64(row[0]);
-    auto user = ParseInt64(row[1]);
-    auto time = ParseInt64(row[2]);
-    if (!id || !user || !time) {
-      return Status::InvalidArgument(StrFormat("tweets row %zu: bad ints", i));
-    }
-    tweet.id = *id;
-    tweet.user = *user;
-    tweet.time = *time;
-    if (!row[3].empty() || !row[4].empty()) {
-      auto lat = ParseDouble(row[3]);
-      auto lng = ParseDouble(row[4]);
-      if (!lat || !lng) {
-        return Status::InvalidArgument(
-            StrFormat("tweets row %zu: bad coordinates", i));
+    } else {
+      auto id = ParseInt64(row[0]);
+      auto user = ParseInt64(row[1]);
+      auto time = ParseInt64(row[2]);
+      if (!id || !user || !time) {
+        bad =
+            Status::InvalidArgument(StrFormat("tweets row %zu: bad ints", i));
+      } else {
+        tweet.id = *id;
+        tweet.user = *user;
+        tweet.time = *time;
+        if (!row[3].empty() || !row[4].empty()) {
+          auto lat = ParseDouble(row[3]);
+          auto lng = ParseDouble(row[4]);
+          if (!lat || !lng) {
+            bad = Status::InvalidArgument(
+                StrFormat("tweets row %zu: bad coordinates", i));
+          } else {
+            tweet.gps = geo::LatLng{*lat, *lng};
+          }
+        }
+        tweet.text = row[5];
+        if (bad.ok() && dataset.FindUser(tweet.user) == nullptr) {
+          bad = Status::InvalidArgument(
+              StrFormat("tweets row %zu: unknown user", i));
+        }
       }
-      tweet.gps = geo::LatLng{*lat, *lng};
     }
-    tweet.text = row[5];
-    if (dataset.FindUser(tweet.user) == nullptr) {
-      return Status::InvalidArgument(
-          StrFormat("tweets row %zu: unknown user", i));
+    if (!bad.ok()) {
+      if (options.strict) return bad;
+      ++counts.quarantined_tweet_rows;
+      continue;
     }
     dataset.AddTweet(std::move(tweet));
   }

@@ -53,6 +53,28 @@ class Dataset {
   static StatusOr<Dataset> LoadTsv(const std::string& users_path,
                                    const std::string& tweets_path);
 
+  /// Malformed-row handling for LoadTsv.
+  struct TsvLoadOptions {
+    /// Strict (the default, and the 2-argument overload's behaviour):
+    /// the first malformed row fails the whole load with
+    /// InvalidArgument. Lenient: malformed rows — wrong field count,
+    /// unparsable ints/coordinates, duplicate user ids, tweets from
+    /// unknown users — are quarantined (skipped and counted) and the
+    /// valid remainder loads.
+    bool strict = true;
+  };
+  struct TsvLoadStats {
+    int64_t quarantined_user_rows = 0;
+    int64_t quarantined_tweet_rows = 0;
+    int64_t quarantined() const {
+      return quarantined_user_rows + quarantined_tweet_rows;
+    }
+  };
+  static StatusOr<Dataset> LoadTsv(const std::string& users_path,
+                                   const std::string& tweets_path,
+                                   const TsvLoadOptions& options,
+                                   TsvLoadStats* stats = nullptr);
+
  private:
   std::vector<User> users_;
   std::vector<Tweet> tweets_;

@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
+#include "common/hash.h"
 #include "twitter/generator.h"
 
 namespace stir::twitter {
@@ -195,6 +197,107 @@ TEST(ColumnStoreTest, MemorySmallerThanRowStorageEstimate) {
   }
   EXPECT_LT(store.MemoryBytes(), row_estimate);
   EXPECT_GT(store.MemoryBytes(), 0);
+}
+
+// --- Format versioning: Save writes the v2 snapshot container, Load also
+// accepts the legacy v1 (FNV-1a trailer) layout. ---
+
+template <typename T>
+void PutLegacyColumn(std::string& out, const std::vector<T>& column) {
+  uint64_t count = column.size();
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  if (!column.empty()) {
+    out.append(reinterpret_cast<const char*>(column.data()),
+               column.size() * sizeof(T));
+  }
+}
+
+/// Bytes of a legacy STIRCOL1 file holding two tweets:
+///   (1, 10, 100, gps{37.5, 127.0}, "hi") and (2, 11, 200, plain, "yo").
+std::string LegacyV1Bytes() {
+  std::string bytes = "STIRCOL1";
+  PutLegacyColumn(bytes, std::vector<TweetId>{1, 2});
+  PutLegacyColumn(bytes, std::vector<UserId>{10, 11});
+  PutLegacyColumn(bytes, std::vector<SimTime>{100, 200});
+  PutLegacyColumn(bytes, std::vector<double>{37.5, 0.0});
+  PutLegacyColumn(bytes, std::vector<double>{127.0, 0.0});
+  PutLegacyColumn(bytes, std::vector<uint64_t>{1});  // GPS bitmap: row 0
+  PutLegacyColumn(bytes, std::vector<uint32_t>{0, 2, 4});
+  std::string arena = "hiyo";
+  uint64_t text_size = arena.size();
+  bytes.append(reinterpret_cast<const char*>(&text_size), sizeof(text_size));
+  bytes.append(arena);
+  uint64_t checksum = Fnv1a64(bytes);
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return bytes;
+}
+
+TEST(ColumnStoreTest, SaveWritesV2Magic) {
+  TweetColumnStore store;
+  store.Append(MakeTweet(1, 1, 1, std::nullopt, "x"));
+  std::string path = ::testing::TempDir() + "/stir_v2_magic.col";
+  ASSERT_TRUE(store.Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  EXPECT_EQ(std::string(magic, sizeof(magic)), "STIRCOL2");
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, LoadReadsLegacyV1Format) {
+  std::string path = ::testing::TempDir() + "/stir_legacy.col";
+  std::string bytes = LegacyV1Bytes();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = TweetColumnStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->gps_count(), 1);
+  TweetView first = loaded->Get(0);
+  EXPECT_EQ(first.id, 1);
+  EXPECT_EQ(first.user, 10);
+  ASSERT_TRUE(first.gps.has_value());
+  EXPECT_DOUBLE_EQ(first.gps->lat, 37.5);
+  EXPECT_DOUBLE_EQ(first.gps->lng, 127.0);
+  EXPECT_EQ(first.text, "hi");
+  TweetView second = loaded->Get(1);
+  EXPECT_FALSE(second.gps.has_value());
+  EXPECT_EQ(second.text, "yo");
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, LegacyV1ResavesAsV2) {
+  std::string path = ::testing::TempDir() + "/stir_legacy_upgrade.col";
+  std::string bytes = LegacyV1Bytes();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = TweetColumnStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->Save(path).ok());
+  auto reloaded = TweetColumnStore::Load(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(reloaded->size(), 2u);
+  EXPECT_EQ(reloaded->Get(0).text, "hi");
+  EXPECT_EQ(reloaded->Get(1).text, "yo");
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, LegacyV1CorruptionRejected) {
+  std::string path = ::testing::TempDir() + "/stir_legacy_corrupt.col";
+  std::string bytes = LegacyV1Bytes();
+  bytes[bytes.size() / 2] ^= 0x01;  // body flip: FNV trailer mismatch
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto corrupt = TweetColumnStore::Load(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_TRUE(corrupt.status().IsInvalidArgument());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -91,6 +91,29 @@ if(NOT faulty_out STREQUAL faulty_parallel_out)
           "=== serial ===\n${faulty_out}\n=== parallel ===\n${faulty_parallel_out}")
 endif()
 
+# Checkpointing on (fresh directory, no crash) must leave stdout
+# byte-identical to the plain run — durability is observable only in the
+# checkpoint directory, never in the results.
+file(REMOVE_RECURSE ${WORK_DIR}/smoke_ckpt)
+file(MAKE_DIRECTORY ${WORK_DIR}/smoke_ckpt)
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/smoke_users.tsv
+          --tweets ${WORK_DIR}/smoke_tweets.tsv --threads 1
+          --checkpoint-dir ${WORK_DIR}/smoke_ckpt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE ckpt_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "checkpointed study failed (${rc}): ${ckpt_out} ${err}")
+endif()
+if(NOT ckpt_out STREQUAL serial_out)
+  message(FATAL_ERROR "--checkpoint-dir perturbed stdout:\n"
+          "=== baseline ===\n${serial_out}\n=== checkpointed ===\n${ckpt_out}")
+endif()
+foreach(artifact geocode.journal study.ckpt)
+  if(NOT EXISTS ${WORK_DIR}/smoke_ckpt/${artifact})
+    message(FATAL_ERROR "checkpointed run left no ${artifact}")
+  endif()
+endforeach()
+
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E echo "Seoul Mapo-gu"
   COMMAND ${CLI} audit

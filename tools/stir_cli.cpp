@@ -33,6 +33,7 @@
 #include "core/study.h"
 #include "core/study_config.h"
 #include "geo/admin_db.h"
+#include "obs/metrics.h"
 #include "text/location_parser.h"
 #include "twitter/generator.h"
 
@@ -297,6 +298,7 @@ int RunStudy(int argc, char** argv) {
   std::string trace_out;
 
   const char* cmd = "study";
+  bool lenient_load = false;
   std::vector<Flag> flags = {
       {"users", "FILE", "input users TSV (required)",
        [&](const std::string& v) { users_path = v; return true; }},
@@ -423,6 +425,42 @@ int RunStudy(int argc, char** argv) {
          config.obs.trace_geocode_calls = false;
          return true;
        }},
+      {"checkpoint-dir", "DIR",
+       "durable geocode journal + study checkpoints in DIR",
+       [&](const std::string& v) {
+         config.durability.checkpoint_dir = v;
+         return true;
+       }},
+      {"resume", nullptr,
+       "resume from the checkpoint in --checkpoint-dir (fresh run if none)",
+       [&](const std::string&) {
+         config.durability.resume = true;
+         return true;
+       }},
+      {"checkpoint-every", "N",
+       "snapshot refinement progress every N users per shard (default 64)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &config.durability.checkpoint_every_users) ||
+             config.durability.checkpoint_every_users < 1) {
+           return BadValue(cmd, "checkpoint-every", ">= 1");
+         }
+         return true;
+       }},
+      {"crash-after", "N",
+       "hard-exit (status 42) when the Nth geocode lookup starts (testing)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &config.fault.crash_after) ||
+             config.fault.crash_after < 1) {
+           return BadValue(cmd, "crash-after", ">= 1");
+         }
+         return true;
+       }},
+      {"lenient-load", nullptr,
+       "quarantine malformed TSV rows instead of failing the load",
+       [&](const std::string&) {
+         lenient_load = true;
+         return true;
+       }},
   };
 
   bool want_help = false;
@@ -437,13 +475,40 @@ int RunStudy(int argc, char** argv) {
                  cmd);
     return 2;
   }
+  if (config.durability.resume && config.durability.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "stir_cli %s: --resume requires --checkpoint-dir\n",
+                 cmd);
+    return 2;
+  }
+
+  // With --metrics-out the CLI owns the registry (instead of letting Run
+  // create a per-run one) so loader-side counters like
+  // io.dataset.quarantined land in the exported snapshot too.
+  stir::obs::MetricsRegistry cli_metrics;
+  if (config.obs.enable_metrics) config.obs.metrics = &cli_metrics;
 
   const AdminDb& db = *GazetteerByName(gazetteer);
-  auto dataset = stir::twitter::Dataset::LoadTsv(users_path, tweets_path);
+  stir::twitter::Dataset::TsvLoadOptions load_options;
+  load_options.strict = !lenient_load;
+  stir::twitter::Dataset::TsvLoadStats load_stats;
+  auto dataset = stir::twitter::Dataset::LoadTsv(users_path, tweets_path,
+                                                 load_options, &load_stats);
   if (!dataset.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
                  dataset.status().ToString().c_str());
     return 1;
+  }
+  if (load_stats.quarantined() > 0) {
+    std::fprintf(stderr,
+                 "lenient load quarantined %lld malformed rows "
+                 "(%lld user, %lld tweet)\n",
+                 static_cast<long long>(load_stats.quarantined()),
+                 static_cast<long long>(load_stats.quarantined_user_rows),
+                 static_cast<long long>(load_stats.quarantined_tweet_rows));
+  }
+  if (config.obs.metrics != nullptr) {
+    config.obs.metrics->GetCounter("io.dataset.quarantined")
+        ->Increment(load_stats.quarantined());
   }
 
   stir::core::CorrelationStudy study(&db, config);
