@@ -1,9 +1,14 @@
 // Performance microbenchmarks (google-benchmark): throughput of the hot
 // components — reverse geocoding, profile parsing, grouping, and the
 // end-to-end study — so regressions in the substrate are visible.
+//
+// `--json <path>` (consumed before google-benchmark sees the argv)
+// additionally writes the machine-readable shape shared with
+// bench_serve: {"benchmarks":[{"name","iterations","ns_per_op"}]}.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/study.h"
 #include "geo/reverse_geocoder.h"
 #include "text/location_parser.h"
@@ -192,6 +197,62 @@ void BM_ScanColumnStore(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanColumnStore);
 
+// Console output plus a side-channel collecting (name, iterations,
+// ns/op) per measured run for the --json file. Aggregate rows (mean/
+// median/stddev under --benchmark_repetitions) are display-only.
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations <= 0) {
+        continue;
+      }
+      stir::bench::BenchJsonEntry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = run.iterations;
+      entry.ns_per_op = run.real_accumulated_time * 1e9 /
+                        static_cast<double>(run.iterations);
+      entries_.push_back(std::move(entry));
+    }
+  }
+
+  const std::vector<stir::bench::BenchJsonEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<stir::bench::BenchJsonEntry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out --json <path> before google-benchmark rejects it as an
+  // unrecognized flag.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int passthrough_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&passthrough_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(passthrough_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  TeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !stir::bench::WriteBenchJson(json_path, reporter.entries())) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,326 @@
+// bench_serve: load generator for the stir::serve query subsystem.
+//
+// Builds a StudyIndex from a Korean-preset corpus (default scale 2.0,
+// about 104k generated users — twice the paper's crawl), then drives the
+// in-process Server front-end with pipelined clients and reports
+// throughput plus p50/p99 latency for micro-batch sizes 1, 4 and 16.
+// A final scenario shrinks the admission queue to force overload and
+// verifies the contract: explicit `overloaded` rejections, never a hang.
+//
+// Usage: bench_serve [scale] [--json <path>] [--clients N] [--requests N]
+//
+// --json writes the machine-readable shape shared with bench_perf:
+//   {"benchmarks":[{"name","iterations","ns_per_op",...}]}
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "obs/json.h"
+#include "serve/server.h"
+#include "serve/study_index.h"
+
+namespace stir::bench {
+namespace {
+
+struct Args {
+  double scale = 2.0;
+  std::string json_path;
+  int clients = 8;
+  int requests_per_client = 4000;
+};
+
+bool ParseBenchArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--json") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->json_path = value;
+    } else if (arg == "--clients") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->clients = std::max(1, std::atoi(value));
+    } else if (arg == "--requests") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->requests_per_client = std::max(1, std::atoi(value));
+    } else if (!arg.empty() && arg[0] != '-') {
+      double scale = std::atof(argv[i]);
+      if (scale > 0.0) args->scale = scale;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A deterministic per-client request script. Ids are disjoint across
+/// clients so lost or duplicated responses would be detectable; the mix
+/// leans on lookup_user (the hot path) with district scans and summaries
+/// sprinkled in.
+std::vector<std::string> BuildScript(const serve::StudyIndex& index,
+                                     int client, int count) {
+  std::vector<std::string> script;
+  script.reserve(static_cast<size_t>(count));
+  Rng rng(1000 + client);
+  const auto& users = index.users();
+  const auto& districts = index.districts();
+  const int64_t id_base = static_cast<int64_t>(client) * 1'000'000;
+  for (int i = 0; i < count; ++i) {
+    const int64_t id = id_base + i;
+    const int64_t roll = rng.UniformInt(0, 99);
+    if (roll < 70 && !users.empty()) {
+      const auto& entry = users[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(users.size()) - 1))];
+      script.push_back(StrFormat(
+          "{\"v\":1,\"id\":%lld,\"method\":\"lookup_user\","
+          "\"params\":{\"user\":%lld}}",
+          static_cast<long long>(id), static_cast<long long>(entry.user)));
+    } else if (roll < 90 && !districts.empty()) {
+      const auto& entry = districts[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(districts.size()) - 1))];
+      // Korean-preset names are "State County" with single-token halves.
+      const std::string& name = index.name(entry.name);
+      size_t space = name.find(' ');
+      std::string state = name.substr(0, space);
+      std::string county =
+          space == std::string::npos ? "" : name.substr(space + 1);
+      script.push_back(StrFormat(
+          "{\"v\":1,\"id\":%lld,\"method\":\"lookup_district\","
+          "\"params\":{\"state\":\"%s\",\"county\":\"%s\",\"limit\":10}}",
+          static_cast<long long>(id), obs::JsonEscape(state).c_str(),
+          obs::JsonEscape(county).c_str()));
+    } else {
+      script.push_back(
+          StrFormat("{\"v\":1,\"id\":%lld,\"method\":\"topk_summary\"}",
+                    static_cast<long long>(id)));
+    }
+  }
+  return script;
+}
+
+struct LoadResult {
+  double seconds = 0.0;
+  int64_t requests = 0;
+  int64_t errors = 0;  ///< Responses with "ok":false (should be zero).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Drives `scripts.size()` client threads against `server`, each
+/// pipelining up to `window` requests, and measures wall time plus exact
+/// per-request latency (submit to future-ready) across all clients.
+LoadResult RunLoad(serve::Server& server,
+                   const std::vector<std::vector<std::string>>& scripts,
+                   size_t window) {
+  using Clock = std::chrono::steady_clock;
+  struct Inflight {
+    std::future<std::string> future;
+    Clock::time_point submitted;
+  };
+  const size_t clients = scripts.size();
+  std::vector<std::vector<int64_t>> latencies(clients);
+  std::vector<int64_t> errors(clients, 0);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      auto& mine = latencies[c];
+      mine.reserve(scripts[c].size());
+      std::deque<Inflight> inflight;
+      auto drain_one = [&] {
+        std::string response = inflight.front().future.get();
+        mine.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - inflight.front().submitted)
+                           .count());
+        if (response.find("\"ok\":true") == std::string::npos) ++errors[c];
+        inflight.pop_front();
+      };
+      for (const std::string& line : scripts[c]) {
+        if (inflight.size() >= window) drain_one();
+        inflight.push_back({server.SubmitLine(line), Clock::now()});
+      }
+      while (!inflight.empty()) drain_one();
+    });
+  }
+  while (ready.load() < static_cast<int>(clients)) {
+    std::this_thread::yield();
+  }
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  const auto stop = Clock::now();
+
+  LoadResult result;
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  std::vector<int64_t> all;
+  for (size_t c = 0; c < clients; ++c) {
+    result.requests += static_cast<int64_t>(scripts[c].size());
+    result.errors += errors[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    result.p50_us = static_cast<double>(all[all.size() / 2]);
+    result.p99_us = static_cast<double>(all[(all.size() * 99) / 100]);
+  }
+  return result;
+}
+
+/// Floods a deliberately tiny server (one worker parked in a long linger,
+/// queue of 16) and verifies the backpressure contract: the overflow is
+/// rejected explicitly and Drain() still answers every admitted request.
+bool RunOverloadScenario(const serve::StudyIndex& index) {
+  serve::ServeOptions options;
+  options.workers = 1;
+  options.max_batch_size = 1024;     // Unreachable: the worker lingers.
+  options.batch_linger_us = 30'000'000;
+  options.queue_capacity = 16;
+  serve::Server server(&index, options);
+  std::vector<std::future<std::string>> futures;
+  const int kFlood = 500;
+  for (int i = 0; i < kFlood; ++i) {
+    futures.push_back(server.SubmitLine(StrFormat(
+        "{\"v\":1,\"id\":%d,\"method\":\"topk_summary\"}", i)));
+  }
+  server.Drain();  // Wakes the lingering worker; must not hang.
+  int64_t overloaded = 0;
+  int64_t answered = 0;
+  for (auto& future : futures) {
+    std::string response = future.get();
+    if (response.find("\"code\":\"overloaded\"") != std::string::npos) {
+      ++overloaded;
+    } else if (response.find("\"ok\":true") != std::string::npos) {
+      ++answered;
+    }
+  }
+  serve::SchedulerStats stats = server.stats();
+  std::printf("  flood=%d answered=%lld overloaded=%lld (queue_capacity=%d)\n",
+              kFlood, static_cast<long long>(answered),
+              static_cast<long long>(overloaded), options.queue_capacity);
+  bool ok = true;
+  ok &= Check(answered + overloaded == kFlood,
+              "every flooded request got exactly one response (no hang)");
+  ok &= Check(overloaded > 0 && overloaded == stats.rejected_overload,
+              "overflow rejected explicitly with `overloaded`");
+  ok &= Check(answered == stats.admitted,
+              "every admitted request was answered through Drain()");
+  return ok;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseBenchArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: bench_serve [scale] [--json <path>] "
+                 "[--clients N] [--requests N]\n");
+    return 2;
+  }
+  PrintHeader("bench_serve — query-serving throughput vs micro-batch size",
+              "Pipelined clients against stir::serve; p50/p99 latency and "
+              "overload backpressure (DESIGN.md section 10).");
+
+  std::printf("generating corpus (Korean preset, scale %.2f)...\n",
+              args.scale);
+  StudyRun run = RunKoreanStudy(args.scale);
+  const geo::AdminDb& db = geo::AdminDb::KoreanDistricts();
+  serve::StudyIndex index = serve::StudyIndex::Build(run.result, db);
+  const int64_t dataset_users =
+      static_cast<int64_t>(run.data.dataset.users().size());
+  std::printf("dataset users=%lld  index: %zu users, %zu districts, "
+              "%lld bytes\n\n",
+              static_cast<long long>(dataset_users), index.user_count(),
+              index.district_count(),
+              static_cast<long long>(index.MemoryBytes()));
+
+  std::vector<std::vector<std::string>> scripts;
+  for (int c = 0; c < args.clients; ++c) {
+    scripts.push_back(BuildScript(index, c, args.requests_per_client));
+  }
+
+  const int kBatchSizes[] = {1, 4, 16};
+  std::vector<BenchJsonEntry> json_entries;
+  double throughput_by_batch[3] = {0, 0, 0};
+  std::printf("%-10s %12s %12s %12s %12s\n", "batch", "requests", "req/s",
+              "p50_us", "p99_us");
+  int64_t total_errors = 0;
+  for (size_t bi = 0; bi < 3; ++bi) {
+    serve::ServeOptions options;
+    options.workers = 4;
+    options.max_batch_size = kBatchSizes[bi];
+    // A short linger lets partial batches fill while clients are mid-
+    // submit; at batch size 1 it never engages (the queue is always
+    // "full enough"), so the comparison isolates the batching win.
+    options.batch_linger_us = 200;
+    options.queue_capacity = 4096;
+    serve::Server server(&index, options);
+    LoadResult result = RunLoad(server, scripts, /*window=*/128);
+    server.Drain();
+    const double throughput =
+        static_cast<double>(result.requests) / result.seconds;
+    throughput_by_batch[bi] = throughput;
+    total_errors += result.errors;
+    std::printf("%-10d %12lld %12.0f %12.0f %12.0f\n", kBatchSizes[bi],
+                static_cast<long long>(result.requests), throughput,
+                result.p50_us, result.p99_us);
+    BenchJsonEntry entry;
+    entry.name = StrFormat("serve/throughput/batch:%d", kBatchSizes[bi]);
+    entry.iterations = result.requests;
+    entry.ns_per_op = result.seconds * 1e9 /
+                      static_cast<double>(result.requests);
+    entry.extra = {{"requests_per_second", throughput},
+                   {"p50_us", result.p50_us},
+                   {"p99_us", result.p99_us}};
+    json_entries.push_back(std::move(entry));
+  }
+  std::printf("\n");
+
+  bool ok = true;
+  // The 100k-user floor is the acceptance bar for the default scale;
+  // a smaller explicit override is a quick smoke run, not a failure.
+  ok &= Check(args.scale < 2.0 || dataset_users >= 100'000,
+              "dataset is at least 100k users at default scale");
+  ok &= Check(total_errors == 0, "every scripted request succeeded");
+  ok &= Check(throughput_by_batch[2] > throughput_by_batch[0],
+              "batch-16 throughput exceeds batch-1");
+
+  std::printf("\noverload scenario:\n");
+  ok &= RunOverloadScenario(index);
+
+  if (!args.json_path.empty()) {
+    if (WriteBenchJson(args.json_path, json_entries)) {
+      std::printf("\nwrote %s\n", args.json_path.c_str());
+    } else {
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stir::bench
+
+int main(int argc, char** argv) { return stir::bench::Main(argc, argv); }

@@ -9,9 +9,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/study.h"
 #include "geo/admin_db.h"
+#include "obs/json.h"
 #include "twitter/generator.h"
 
 namespace stir::bench {
@@ -59,6 +61,53 @@ inline StudyRun RunLadyGagaStudy(double scale) {
 inline bool Check(bool ok, const char* what) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "CHECK", what);
   return ok;
+}
+
+/// One measured configuration for the machine-readable `--json` output
+/// shared by the load benches: name, iteration count, and nanoseconds per
+/// operation, plus free-form numeric extras (latency quantiles and the
+/// like).
+struct BenchJsonEntry {
+  std::string name;
+  int64_t iterations = 0;
+  double ns_per_op = 0.0;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Writes `{"benchmarks":[{"name":...,"iterations":...,"ns_per_op":...}]}`
+/// to `path`. Returns false (with a message on stderr) when the file
+/// cannot be written.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<BenchJsonEntry>& entries) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("benchmarks");
+  w.BeginArray();
+  for (const BenchJsonEntry& entry : entries) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(entry.name);
+    w.Key("iterations");
+    w.Int(entry.iterations);
+    w.Key("ns_per_op");
+    w.FixedDouble(entry.ns_per_op, 1);
+    for (const auto& [key, value] : entry.extra) {
+      w.Key(key);
+      w.FixedDouble(value, 3);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
 }
 
 inline void PrintHeader(const char* experiment, const char* description) {

@@ -75,6 +75,40 @@ class JsonWriter {
 /// Returns the escaped body without surrounding quotes.
 std::string JsonEscape(std::string_view raw);
 
+/// Minimal JSON document tree, the read-side counterpart of JsonWriter.
+/// Produced by JsonParse for consumers that must *interpret* incoming
+/// JSON (the serve request protocol); exporters keep using JsonWriter.
+/// Numbers keep both views: `number` always holds the double value, and
+/// when the token was integral and fits, `is_int`/`integer` hold the
+/// exact int64 (the protocol layer rejects non-integral ids/params).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  bool is_int = false;
+  int64_t integer = 0;
+  std::string string;                  ///< kString payload (unescaped).
+  std::vector<JsonValue> elements;     ///< kArray payload.
+  /// kObject payload in document order. Duplicate keys are a parse error
+  /// (stricter than RFC 8259, which leaves them undefined).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Strict recursive-descent parse of a complete JSON document into a
+/// JsonValue tree. Enforces the same grammar as JsonIsValid (depth cap,
+/// no trailing bytes) plus unique object keys; \uXXXX escapes are decoded
+/// to UTF-8 (surrogate pairs included, lone surrogates rejected). On
+/// failure returns false and, when `error` is non-null, a byte offset +
+/// reason.
+bool JsonParse(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
+
 /// Minimal strict JSON validity check (full recursive-descent parse, no
 /// DOM). Used by the observability tests and available to harnesses that
 /// want to lint emitted documents without a JSON library dependency.

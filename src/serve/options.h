@@ -1,0 +1,62 @@
+#ifndef STIR_SERVE_OPTIONS_H_
+#define STIR_SERVE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace stir::serve {
+
+/// Knobs for the query-serving layer (DESIGN.md §10). The defaults give a
+/// small multi-threaded server with micro-batching on and a bounded
+/// admission queue; every pointer is optional and not owned.
+struct ServeOptions {
+  /// Worker threads executing request batches; >= 1. The scheduler runs
+  /// at most `workers` batches concurrently on its common::ThreadPool.
+  int workers = 4;
+  /// Requests coalesced into one batch (>= 1). 1 disables micro-batching:
+  /// every request runs as its own pool task.
+  int max_batch_size = 16;
+  /// How long a worker lingers for more requests before running a partial
+  /// batch, in microseconds of wall time. 0 — the default, and the only
+  /// setting the deterministic tests use — runs whatever is queued
+  /// immediately; latency-tolerant deployments trade up to this long per
+  /// batch for fuller batches.
+  int64_t batch_linger_us = 0;
+  /// Bounded admission queue. A request arriving while `queue_capacity`
+  /// requests are already pending is rejected immediately with an
+  /// `overloaded` error response — explicit backpressure, never a hang.
+  int queue_capacity = 1024;
+  /// Requests longer than this many bytes (the raw line) are rejected
+  /// with an `oversized` error without being parsed.
+  size_t max_request_bytes = 64 * 1024;
+
+  /// Metrics sink (not owned). Populates the `serve.*` namespace:
+  /// counters `serve.requests.received/admitted/parse_errors`,
+  /// `serve.rejected.overload/shutdown`, `serve.responses`,
+  /// `serve.method.<name>`, `serve.faults_injected`; gauges
+  /// `serve.queue_depth` / `serve.queue_depth_max`; histograms
+  /// `serve.batch_size` and `serve.latency_us` (admission to response,
+  /// wall time).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Tracer (not owned): one `serve.batch` span per executed batch with a
+  /// `requests` attribute, plus per-request `serve.request` child spans
+  /// when `trace_requests` is set.
+  obs::Tracer* tracer = nullptr;
+  bool trace_requests = false;
+
+  /// Fault hook on the request handlers (not owned). Decisions are keyed
+  /// on the request's admission sequence number, so a fixed single-client
+  /// stream sees identical fault placement under any worker count. An
+  /// injected fault yields an `unavailable` error response; clients
+  /// should treat it exactly like `overloaded` — retryable with
+  /// common::RetryPolicy backoff (DESIGN.md §10 documents the contract).
+  common::FaultInjector* fault_injector = nullptr;
+};
+
+}  // namespace stir::serve
+
+#endif  // STIR_SERVE_OPTIONS_H_

@@ -1,0 +1,107 @@
+#ifndef STIR_SERVE_PROTOCOL_H_
+#define STIR_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/study_index.h"
+#include "twitter/model.h"
+
+namespace stir::serve {
+
+/// Version tag every request and response carries ("v"). Requests with a
+/// different version are rejected with `bad_version`, so the protocol can
+/// evolve without silently misreading old clients.
+inline constexpr int kProtocolVersion = 1;
+
+/// Default / maximum page size for lookup_district posting lists.
+inline constexpr int64_t kDefaultDistrictLimit = 100;
+inline constexpr int64_t kMaxDistrictLimit = 10'000;
+
+/// The four request methods (DESIGN.md §10 has the schema):
+///
+///   {"v":1,"id":7,"method":"lookup_user","params":{"user":123}}
+///   {"v":1,"id":8,"method":"lookup_district",
+///    "params":{"state":"Seoul","county":"Mapo-gu","limit":10,"offset":0}}
+///   {"v":1,"id":9,"method":"topk_summary"}
+///   {"v":1,"id":10,"method":"server_stats"}
+///
+/// One request per line (line-delimited JSON); responses echo the id:
+///
+///   {"v":1,"id":7,"ok":true,"result":{...}}
+///   {"v":1,"id":7,"ok":false,"error":{"code":"not_found","message":"..."}}
+enum class Method : int {
+  kLookupUser = 0,
+  kLookupDistrict = 1,
+  kTopkSummary = 2,
+  kServerStats = 3,
+};
+inline constexpr int kNumMethods = 4;
+const char* MethodToString(Method method);
+
+/// Error codes carried in `error.code`. The retry contract for clients
+/// (documented in DESIGN.md §10): `overloaded` and `unavailable` are
+/// transient — retry with common::RetryPolicy semantics (exponential
+/// backoff, bounded attempts); everything else is terminal for the
+/// request as written.
+enum class ErrorCode : int {
+  kParseError = 0,     ///< Line is not valid JSON.
+  kBadRequest = 1,     ///< Valid JSON, wrong shape (schema violation).
+  kBadVersion = 2,     ///< "v" != kProtocolVersion.
+  kUnknownMethod = 3,  ///< "method" names nothing served here.
+  kOversized = 4,      ///< Line exceeds the size cap; not parsed.
+  kNotFound = 5,       ///< User / district outside the index.
+  kOverloaded = 6,     ///< Admission queue full — retryable.
+  kShuttingDown = 7,   ///< Server draining; no new work accepted.
+  kUnavailable = 8,    ///< Injected service fault — retryable.
+  kInternal = 9,       ///< Handler invariant broke (never expected).
+};
+const char* ErrorCodeToString(ErrorCode code);
+
+/// A validated request, ready to execute.
+struct Request {
+  int64_t id = -1;
+  Method method = Method::kTopkSummary;
+  // lookup_user
+  twitter::UserId user = twitter::kInvalidUser;
+  // lookup_district
+  std::string state;
+  std::string county;
+  int64_t limit = kDefaultDistrictLimit;
+  int64_t offset = 0;
+};
+
+/// Outcome of parsing one request line: a Request, or the error response
+/// to send instead. When the malformed line still carried a usable id it
+/// is echoed (`has_id`), otherwise the error response carries "id":null.
+struct ParseOutcome {
+  bool ok = false;
+  Request request;
+  ErrorCode code = ErrorCode::kParseError;
+  std::string message;
+  bool has_id = false;
+  int64_t id = -1;
+};
+
+/// Strictly parses one line. Rejects: oversized lines (> `max_bytes`,
+/// unparsed), invalid JSON, non-object roots, unknown or missing keys,
+/// wrong value types, bad versions, unknown methods, and out-of-range
+/// params. Deterministic: identical lines yield identical outcomes.
+ParseOutcome ParseRequest(std::string_view line, size_t max_bytes);
+
+/// Renders the error-response line (no trailing newline).
+std::string ErrorResponse(bool has_id, int64_t id, ErrorCode code,
+                          std::string_view message);
+
+/// Executes a lookup_user / lookup_district / topk_summary request
+/// against the immutable index and renders the response line. Pure:
+/// identical (index, request) pairs yield identical bytes, on any
+/// thread. server_stats is answered by the scheduler (it owns the
+/// counters) and must not be passed here.
+std::string ExecuteOnIndex(const StudyIndex& index, const Request& request);
+
+}  // namespace stir::serve
+
+#endif  // STIR_SERVE_PROTOCOL_H_

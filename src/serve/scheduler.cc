@@ -1,0 +1,282 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace stir::serve {
+
+namespace {
+
+std::future<std::string> ReadyResponse(std::string response) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+int64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(const StudyIndex* index,
+                                   const ServeOptions& options)
+    : index_(index),
+      options_(options),
+      pool_(std::max(1, options.workers), options.metrics) {
+  options_.workers = std::max(1, options_.workers);
+  options_.max_batch_size = std::max(1, options_.max_batch_size);
+  options_.queue_capacity = std::max(1, options_.queue_capacity);
+  if (obs::MetricsRegistry* m = options_.metrics; m != nullptr) {
+    m_received_ = m->GetCounter("serve.requests.received");
+    m_admitted_ = m->GetCounter("serve.requests.admitted");
+    m_parse_errors_ = m->GetCounter("serve.requests.parse_errors");
+    m_rejected_overload_ = m->GetCounter("serve.rejected.overload");
+    m_rejected_shutdown_ = m->GetCounter("serve.rejected.shutdown");
+    m_responses_ = m->GetCounter("serve.responses");
+    m_faults_injected_ = m->GetCounter("serve.faults_injected");
+    for (int i = 0; i < kNumMethods; ++i) {
+      m_method_[i] = m->GetCounter(
+          std::string("serve.method.") +
+          MethodToString(static_cast<Method>(i)));
+    }
+    m_queue_depth_ = m->GetGauge("serve.queue_depth");
+    m_queue_depth_max_ = m->GetGauge("serve.queue_depth_max");
+    m_batch_size_ =
+        m->GetHistogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+    m_latency_us_ = m->GetHistogram(
+        "serve.latency_us", {50, 100, 250, 500, 1'000, 2'500, 5'000, 10'000,
+                             25'000, 50'000, 100'000, 250'000, 1'000'000});
+  }
+}
+
+RequestScheduler::~RequestScheduler() { Drain(); }
+
+bool RequestScheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+SchedulerStats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string RequestScheduler::StatsResponseLocked(int64_t id) const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("v");
+  w.Int(kProtocolVersion);
+  w.Key("id");
+  w.Int(id);
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("result");
+  w.BeginObject();
+  w.Key("index");
+  w.BeginObject();
+  w.Key("users");
+  w.Int(static_cast<int64_t>(index_->user_count()));
+  w.Key("districts");
+  w.Int(static_cast<int64_t>(index_->district_count()));
+  w.Key("final_users");
+  w.Int(index_->final_users());
+  w.Key("memory_bytes");
+  w.Int(index_->MemoryBytes());
+  w.EndObject();
+  // Config echo deliberately omits the worker count: responses must be
+  // byte-identical under any worker count, and this is the one field
+  // that would vary.
+  w.Key("scheduler");
+  w.BeginObject();
+  w.Key("max_batch_size");
+  w.Int(options_.max_batch_size);
+  w.Key("batch_linger_us");
+  w.Int(options_.batch_linger_us);
+  w.Key("queue_capacity");
+  w.Int(options_.queue_capacity);
+  w.EndObject();
+  w.Key("counters");
+  w.BeginObject();
+  w.Key("received");
+  w.Int(stats_.received);
+  w.Key("admitted");
+  w.Int(stats_.admitted);
+  w.Key("stats_served");
+  w.Int(stats_.stats_served);
+  w.Key("parse_errors");
+  w.Int(stats_.parse_errors);
+  w.Key("rejected_overload");
+  w.Int(stats_.rejected_overload);
+  w.Key("rejected_shutdown");
+  w.Int(stats_.rejected_shutdown);
+  w.EndObject();
+  w.Key("methods");
+  w.BeginObject();
+  for (int i = 0; i < kNumMethods; ++i) {
+    w.Key(MethodToString(static_cast<Method>(i)));
+    w.Int(stats_.method_counts[i]);
+  }
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::future<std::string> RequestScheduler::SubmitLine(std::string_view line) {
+  // Parsing is pure; keep it outside the admission lock.
+  ParseOutcome outcome = ParseRequest(line, options_.max_request_bytes);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.received;
+  obs::IncrementCounter(m_received_);
+
+  if (!outcome.ok) {
+    ++stats_.parse_errors;
+    obs::IncrementCounter(m_parse_errors_);
+    obs::IncrementCounter(m_responses_);
+    return ReadyResponse(ErrorResponse(outcome.has_id, outcome.id,
+                                       outcome.code, outcome.message));
+  }
+  if (draining_) {
+    ++stats_.rejected_shutdown;
+    obs::IncrementCounter(m_rejected_shutdown_);
+    obs::IncrementCounter(m_responses_);
+    return ReadyResponse(ErrorResponse(true, outcome.id,
+                                       ErrorCode::kShuttingDown,
+                                       "server is draining"));
+  }
+  if (outcome.request.method == Method::kServerStats) {
+    ++stats_.stats_served;
+    ++stats_.method_counts[static_cast<int>(Method::kServerStats)];
+    obs::IncrementCounter(
+        m_method_[static_cast<int>(Method::kServerStats)]);
+    obs::IncrementCounter(m_responses_);
+    return ReadyResponse(StatsResponseLocked(outcome.id));
+  }
+  if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+    ++stats_.rejected_overload;
+    obs::IncrementCounter(m_rejected_overload_);
+    obs::IncrementCounter(m_responses_);
+    return ReadyResponse(ErrorResponse(
+        true, outcome.id, ErrorCode::kOverloaded,
+        "admission queue is full; retry with backoff"));
+  }
+
+  ++stats_.admitted;
+  ++stats_.method_counts[static_cast<int>(outcome.request.method)];
+  obs::IncrementCounter(m_admitted_);
+  obs::IncrementCounter(m_method_[static_cast<int>(outcome.request.method)]);
+
+  Pending pending;
+  pending.request = std::move(outcome.request);
+  pending.seq = next_seq_++;
+  if (m_latency_us_ != nullptr) {
+    pending.enqueued = std::chrono::steady_clock::now();
+  }
+  std::future<std::string> future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    m_queue_depth_max_->SetMax(static_cast<int64_t>(queue_.size()));
+  }
+  if (queue_.size() >= static_cast<size_t>(options_.max_batch_size)) {
+    batch_cv_.notify_one();
+  }
+  if (active_drainers_ < options_.workers) {
+    ++active_drainers_;
+    lock.unlock();
+    pool_.Submit([this] { DrainLoop(); });
+  }
+  return future;
+}
+
+void RequestScheduler::DrainLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (queue_.empty()) {
+      --active_drainers_;
+      if (active_drainers_ == 0) drained_cv_.notify_all();
+      return;
+    }
+    if (options_.batch_linger_us > 0 &&
+        queue_.size() < static_cast<size_t>(options_.max_batch_size) &&
+        !draining_) {
+      batch_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.batch_linger_us), [&] {
+            return draining_ ||
+                   queue_.size() >=
+                       static_cast<size_t>(options_.max_batch_size);
+          });
+    }
+    size_t n = std::min(queue_.size(),
+                        static_cast<size_t>(options_.max_batch_size));
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
+  obs::RecordSample(m_batch_size_, static_cast<int64_t>(batch.size()));
+  int64_t batch_span = obs::Tracer::kNoSpan;
+  if (options_.tracer != nullptr) {
+    batch_span = options_.tracer->BeginSpan("serve.batch");
+    options_.tracer->AddAttribute(batch_span, "requests",
+                                  static_cast<int64_t>(batch.size()));
+  }
+  for (Pending& pending : batch) {
+    int64_t request_span = obs::Tracer::kNoSpan;
+    if (options_.tracer != nullptr && options_.trace_requests) {
+      request_span =
+          options_.tracer->BeginSpanUnder("serve.request", batch_span);
+      options_.tracer->AddAttribute(request_span, "id", pending.request.id);
+    }
+    std::string response;
+    common::FaultInjector* injector = options_.fault_injector;
+    if (injector != nullptr && injector->enabled() &&
+        injector->Decide(pending.seq).injected()) {
+      obs::IncrementCounter(m_faults_injected_);
+      response = ErrorResponse(true, pending.request.id,
+                               ErrorCode::kUnavailable,
+                               "injected service fault; retry with backoff");
+    } else {
+      response = ExecuteOnIndex(*index_, pending.request);
+    }
+    if (options_.tracer != nullptr && options_.trace_requests) {
+      options_.tracer->EndSpan(request_span);
+    }
+    if (m_latency_us_ != nullptr) {
+      m_latency_us_->Record(ElapsedMicros(pending.enqueued));
+    }
+    obs::IncrementCounter(m_responses_);
+    pending.promise.set_value(std::move(response));
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->EndSpan(batch_span);
+  }
+}
+
+void RequestScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  batch_cv_.notify_all();
+  drained_cv_.wait(lock,
+                   [&] { return queue_.empty() && active_drainers_ == 0; });
+}
+
+}  // namespace stir::serve

@@ -1,0 +1,132 @@
+#ifndef STIR_SERVE_SCHEDULER_H_
+#define STIR_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/options.h"
+#include "serve/protocol.h"
+#include "serve/study_index.h"
+
+namespace stir::serve {
+
+/// Admission-ordered counters, all maintained under the admission mutex.
+/// `received` counts every submitted line; the others partition it:
+///
+///   received == admitted + stats_served + parse_errors
+///             + rejected_overload + rejected_shutdown
+///
+/// and sum(method_counts) == admitted + stats_served. Because the
+/// counters advance in stream order, a single client replaying the same
+/// request stream reads identical values from server_stats on every run,
+/// under any worker count — the serving determinism guarantee.
+struct SchedulerStats {
+  int64_t received = 0;
+  int64_t admitted = 0;      ///< Queued for batch execution.
+  int64_t stats_served = 0;  ///< server_stats answered at admission.
+  int64_t parse_errors = 0;  ///< Includes oversized lines.
+  int64_t rejected_overload = 0;
+  int64_t rejected_shutdown = 0;
+  int64_t method_counts[kNumMethods] = {};
+};
+
+/// Micro-batching request scheduler: a bounded admission queue feeding
+/// the common::ThreadPool, where up to `workers` drain tasks each take up
+/// to `max_batch_size` requests at a time, execute them against the
+/// immutable StudyIndex, and fulfill the per-request futures.
+///
+/// Backpressure is explicit: a request arriving on a full queue is
+/// answered immediately with an `overloaded` error — the scheduler never
+/// blocks the submitter and never drops a request silently. Shutdown is a
+/// graceful drain: every admitted request completes, later submissions
+/// get `shutting_down`.
+///
+/// server_stats requests are answered synchronously at admission, under
+/// the admission mutex, from the admission-ordered SchedulerStats — the
+/// one method whose result depends on history rather than the index
+/// alone, pinned to stream order so it stays deterministic.
+class RequestScheduler {
+ public:
+  /// `index` must outlive the scheduler. Worker threads start
+  /// immediately; the pool and all queues are owned.
+  RequestScheduler(const StudyIndex* index, const ServeOptions& options);
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Parses and routes one request line. The returned future always
+  /// becomes ready with exactly one response line (success, error, or
+  /// rejection — never an exception), even across Drain().
+  std::future<std::string> SubmitLine(std::string_view line);
+
+  /// Graceful shutdown: stops admitting, flushes lingering partial
+  /// batches, and blocks until every admitted request has been answered.
+  /// Idempotent; also run by the destructor.
+  void Drain();
+
+  bool draining() const;
+
+  /// Admission-ordered counters (test + server_stats surface).
+  SchedulerStats stats() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<std::string> promise;
+    int64_t seq = 0;  ///< Admission order; keys the fault schedule.
+    /// Sampled only when metrics are attached (serve.latency_us).
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Body of one pool drain task: repeatedly takes batches until the
+  /// queue is empty, lingering up to batch_linger_us for fuller ones.
+  void DrainLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+  /// Renders the server_stats response. mu_ must be held.
+  std::string StatsResponseLocked(int64_t id) const;
+
+  const StudyIndex* index_;
+  ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable batch_cv_;    ///< Wakes lingering drainers.
+  std::condition_variable drained_cv_;  ///< Signals Drain completion.
+  std::deque<Pending> queue_;
+  int active_drainers_ = 0;
+  bool draining_ = false;
+  int64_t next_seq_ = 0;
+  SchedulerStats stats_;
+
+  // Observability (null when no registry is attached).
+  obs::Counter* m_received_ = nullptr;
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_parse_errors_ = nullptr;
+  obs::Counter* m_rejected_overload_ = nullptr;
+  obs::Counter* m_rejected_shutdown_ = nullptr;
+  obs::Counter* m_responses_ = nullptr;
+  obs::Counter* m_faults_injected_ = nullptr;
+  obs::Counter* m_method_[kNumMethods] = {};
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_queue_depth_max_ = nullptr;
+  obs::Histogram* m_batch_size_ = nullptr;
+  obs::Histogram* m_latency_us_ = nullptr;
+
+  /// Last member: its destructor joins the workers, which still touch the
+  /// members above while draining.
+  common::ThreadPool pool_;
+};
+
+}  // namespace stir::serve
+
+#endif  // STIR_SERVE_SCHEDULER_H_

@@ -1,0 +1,190 @@
+#include "serve/study_index.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace stir::serve {
+
+namespace {
+
+/// Lookup key for a (state, county) pair: ASCII-lowercased, tab-joined
+/// (tab cannot appear in gazetteer names).
+std::string DistrictKey(std::string_view state, std::string_view county) {
+  std::string key = ToLower(state);
+  key += '\t';
+  key += ToLower(county);
+  return key;
+}
+
+/// Build-time accumulator for one district's postings.
+struct DistrictBuild {
+  std::string state;
+  std::string county;
+  std::vector<twitter::UserId> users;
+  int64_t gps_tweets = 0;
+  int64_t profile_users = 0;
+};
+
+}  // namespace
+
+NameId StudyIndex::Intern(const std::string& name) {
+  auto [it, inserted] =
+      name_ids_.emplace(name, static_cast<NameId>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+StudyIndex StudyIndex::Build(const core::StudyResult& result,
+                             const geo::AdminDb& db) {
+  StudyIndex index;
+  if (result.incomplete) return index;
+
+  index.funnel_ = result.funnel;
+  for (int g = 0; g < core::kNumTopKGroups; ++g) {
+    index.groups_[g] = result.groups[g];
+  }
+  index.overall_avg_locations_ = result.overall_avg_locations;
+  index.final_users_ = result.final_users;
+
+  // User table in ascending-id order (value-determined, not build-order-
+  // determined), locations laid into the arena in rank order.
+  std::vector<const core::UserGrouping*> ordered;
+  ordered.reserve(result.groupings.size());
+  for (const core::UserGrouping& grouping : result.groupings) {
+    ordered.push_back(&grouping);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const core::UserGrouping* a, const core::UserGrouping* b) {
+              return a->user < b->user;
+            });
+
+  // District accumulation keyed by the display name, which sorts the
+  // district table deterministically.
+  std::map<std::string, DistrictBuild> district_builds;
+
+  index.users_.reserve(ordered.size());
+  for (const core::UserGrouping* grouping : ordered) {
+    UserEntry entry;
+    entry.user = grouping->user;
+    entry.group = grouping->group;
+    entry.match_rank = grouping->match_rank;
+    entry.gps_tweets = grouping->gps_tweet_count;
+    entry.matched_tweets = grouping->matched_tweet_count;
+    entry.first_location = static_cast<uint32_t>(index.locations_.size());
+    entry.num_locations = static_cast<uint32_t>(grouping->ordered.size());
+    entry.concentration = core::ComputeConcentration(*grouping);
+    if (!grouping->ordered.empty()) {
+      const core::LocationRecord& first = grouping->ordered.front().record;
+      entry.profile_district =
+          index.Intern(first.profile_state + " " + first.profile_county);
+    }
+    for (const core::MergedLocationString& merged : grouping->ordered) {
+      const core::LocationRecord& record = merged.record;
+      std::string name = record.tweet_state + " " + record.tweet_county;
+      RankedLocation location;
+      location.district = index.Intern(name);
+      location.count = merged.count;
+      location.matched = record.IsMatched();
+      index.locations_.push_back(location);
+
+      DistrictBuild& build = district_builds[name];
+      if (build.users.empty() && build.profile_users == 0) {
+        build.state = record.tweet_state;
+        build.county = record.tweet_county;
+      }
+      build.users.push_back(grouping->user);
+      build.gps_tweets += merged.count;
+    }
+    if (!grouping->ordered.empty()) {
+      const core::LocationRecord& first = grouping->ordered.front().record;
+      std::string profile_name =
+          first.profile_state + " " + first.profile_county;
+      DistrictBuild& build = district_builds[profile_name];
+      if (build.users.empty() && build.profile_users == 0) {
+        build.state = first.profile_state;
+        build.county = first.profile_county;
+      }
+      ++build.profile_users;
+    }
+    index.user_ids_.emplace(entry.user,
+                            static_cast<uint32_t>(index.users_.size()));
+    index.users_.push_back(entry);
+  }
+
+  // District table + postings arena, both in deterministic order (the
+  // per-user pass above visits users ascending, so each posting list is
+  // already ascending and duplicate-free).
+  index.districts_.reserve(district_builds.size());
+  for (auto& [name, build] : district_builds) {
+    DistrictEntry entry;
+    entry.name = index.Intern(name);
+    entry.first_user = static_cast<uint32_t>(index.postings_.size());
+    entry.num_users = static_cast<uint32_t>(build.users.size());
+    entry.gps_tweets = build.gps_tweets;
+    entry.profile_users = build.profile_users;
+    index.postings_.insert(index.postings_.end(), build.users.begin(),
+                           build.users.end());
+    uint32_t district_index = static_cast<uint32_t>(index.districts_.size());
+    index.districts_.push_back(entry);
+
+    // Lookup keys: the canonical spelling plus every alias the gazetteer
+    // knows (alternate romanizations, hangul), so clients can query with
+    // whatever spelling the original service produced.
+    index.district_keys_.emplace(DistrictKey(build.state, build.county),
+                                 district_index);
+    auto region = db.FindCounty(build.state, build.county);
+    if (region.ok()) {
+      for (const std::string& alias : db.region(*region).aliases) {
+        index.district_keys_.emplace(DistrictKey(build.state, alias),
+                                     district_index);
+      }
+    }
+    const char* hangul =
+        geo::AdminDb::HangulCountyName(build.state, build.county);
+    if (hangul != nullptr) {
+      index.district_keys_.emplace(DistrictKey(build.state, hangul),
+                                   district_index);
+    }
+  }
+  return index;
+}
+
+const UserEntry* StudyIndex::FindUser(twitter::UserId user) const {
+  auto it = user_ids_.find(user);
+  if (it == user_ids_.end()) return nullptr;
+  return &users_[it->second];
+}
+
+const DistrictEntry* StudyIndex::FindDistrict(std::string_view state,
+                                              std::string_view county) const {
+  auto it = district_keys_.find(DistrictKey(state, county));
+  if (it == district_keys_.end()) return nullptr;
+  return &districts_[it->second];
+}
+
+int64_t StudyIndex::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const std::string& name : names_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + name.capacity());
+  }
+  for (const auto& [key, unused] : district_keys_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + key.capacity() +
+                                  sizeof(uint32_t));
+  }
+  for (const auto& [key, unused] : name_ids_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + key.capacity() +
+                                  sizeof(NameId));
+  }
+  bytes += static_cast<int64_t>(users_.size() * sizeof(UserEntry));
+  bytes += static_cast<int64_t>(user_ids_.size() *
+                                (sizeof(twitter::UserId) + sizeof(uint32_t)));
+  bytes += static_cast<int64_t>(locations_.size() * sizeof(RankedLocation));
+  bytes += static_cast<int64_t>(districts_.size() * sizeof(DistrictEntry));
+  bytes += static_cast<int64_t>(postings_.size() * sizeof(twitter::UserId));
+  return bytes;
+}
+
+}  // namespace stir::serve

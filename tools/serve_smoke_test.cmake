@@ -1,0 +1,219 @@
+# End-to-end smoke test for the query-serving subsystem: generate a
+# corpus, extract a real final user from the study report, drive
+# stir_serve --stdio through every request type (plus one malformed
+# line), and validate the responses and the server_stats counter
+# invariants. DESIGN.md §10 documents the protocol under test.
+
+execute_process(
+  COMMAND ${CLI} generate --preset korean --scale 0.05
+          --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (${rc}): ${out} ${err}")
+endif()
+
+# The report's users.csv gives us a user id that is guaranteed to be in
+# the final sample, so lookup_user below must answer ok:true.
+file(MAKE_DIRECTORY ${WORK_DIR}/serve_report)
+execute_process(
+  COMMAND ${CLI} study --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv
+          --report-dir ${WORK_DIR}/serve_report
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "study failed (${rc}): ${out} ${err}")
+endif()
+file(STRINGS ${WORK_DIR}/serve_report/users.csv user_rows)
+list(GET user_rows 1 first_user_row)
+string(REGEX MATCH "^[0-9]+" final_user "${first_user_row}")
+if(final_user STREQUAL "")
+  message(FATAL_ERROR "could not extract a user id from: ${first_user_row}")
+endif()
+
+# One request per line: each protocol method, then a malformed line that
+# must produce a parse_error response (not a dropped line), then
+# server_stats — answered at admission, so its counters describe exactly
+# the four lines before it plus itself. "Seoul Gangnam-gu" is stable:
+# generation is seeded and the Korean preset always populates it.
+file(WRITE ${WORK_DIR}/serve_requests.txt
+"{\"v\":1,\"id\":1,\"method\":\"lookup_user\",\"params\":{\"user\":${final_user}}}
+{\"v\":1,\"id\":2,\"method\":\"lookup_district\",\"params\":{\"state\":\"Seoul\",\"county\":\"Gangnam-gu\"}}
+{\"v\":1,\"id\":3,\"method\":\"topk_summary\"}
+this line is not json
+{\"v\":1,\"id\":5,\"method\":\"server_stats\"}
+")
+
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv --stdio --workers 3
+          --metrics-out ${WORK_DIR}/serve_metrics.json
+  INPUT_FILE ${WORK_DIR}/serve_requests.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE serve_out ERROR_VARIABLE serve_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stir_serve failed (${rc}): ${serve_out} ${serve_err}")
+endif()
+if(NOT serve_err MATCHES "index ready")
+  message(FATAL_ERROR "missing index-ready notice: ${serve_err}")
+endif()
+if(NOT serve_err MATCHES "served 5 requests")
+  message(FATAL_ERROR "expected 5 served requests: ${serve_err}")
+endif()
+if(NOT serve_err MATCHES "metrics written to")
+  message(FATAL_ERROR "missing metrics export notice: ${serve_err}")
+endif()
+
+string(REGEX MATCHALL "[^\n]+" responses "${serve_out}")
+list(LENGTH responses response_count)
+if(NOT response_count EQUAL 5)
+  message(FATAL_ERROR "expected 5 response lines, got ${response_count}:\n${serve_out}")
+endif()
+
+# Responses come back in request order; the malformed line still gets a
+# well-formed error envelope.
+list(GET responses 0 r_user)
+list(GET responses 1 r_district)
+list(GET responses 2 r_topk)
+list(GET responses 3 r_malformed)
+list(GET responses 4 r_stats)
+foreach(pair "r_user;ok.:true" "r_district;ok.:true" "r_topk;ok.:true"
+        "r_malformed;code.:.parse_error" "r_stats;ok.:true")
+  list(GET pair 0 var)
+  list(GET pair 1 pattern)
+  if(NOT "${${var}}" MATCHES "\"${pattern}")
+    message(FATAL_ERROR "${var} does not match ${pattern}: ${${var}}")
+  endif()
+endforeach()
+
+# string(JSON) (CMake >= 3.19) lints every response and checks the
+# server_stats accounting invariant; older CMake still runs everything
+# above and the determinism / resume comparisons below.
+if(NOT CMAKE_VERSION VERSION_LESS 3.19)
+  string(JSON looked_up GET "${r_user}" result user)
+  if(NOT looked_up EQUAL final_user)
+    message(FATAL_ERROR "lookup_user echoed ${looked_up}, wanted ${final_user}")
+  endif()
+  string(JSON district GET "${r_district}" result district)
+  if(NOT district STREQUAL "Seoul Gangnam-gu")
+    message(FATAL_ERROR "lookup_district resolved '${district}'")
+  endif()
+  string(JSON topk_final GET "${r_topk}" result final_users)
+  if(topk_final LESS 1)
+    message(FATAL_ERROR "topk_summary final_users = ${topk_final}")
+  endif()
+  if(NOT r_malformed MATCHES "\"id\":null")
+    message(FATAL_ERROR "parse_error response must carry id:null: ${r_malformed}")
+  endif()
+
+  # The stats request was line 5 of 5, so the admission-time counters
+  # must describe the full stream: 3 admitted, 1 parse error, itself.
+  string(JSON received GET "${r_stats}" result counters received)
+  string(JSON admitted GET "${r_stats}" result counters admitted)
+  string(JSON stats_served GET "${r_stats}" result counters stats_served)
+  string(JSON parse_errors GET "${r_stats}" result counters parse_errors)
+  string(JSON rej_overload GET "${r_stats}" result counters rejected_overload)
+  string(JSON rej_shutdown GET "${r_stats}" result counters rejected_shutdown)
+  math(EXPR accounted
+       "${admitted} + ${stats_served} + ${parse_errors} + ${rej_overload} + ${rej_shutdown}")
+  if(NOT received EQUAL accounted)
+    message(FATAL_ERROR "server_stats does not balance: received ${received} "
+            "!= admitted ${admitted} + stats ${stats_served} + parse ${parse_errors} "
+            "+ overload ${rej_overload} + shutdown ${rej_shutdown}")
+  endif()
+  if(NOT received EQUAL 5 OR NOT admitted EQUAL 3 OR NOT parse_errors EQUAL 1)
+    message(FATAL_ERROR "unexpected counters: received=${received} "
+            "admitted=${admitted} parse_errors=${parse_errors}")
+  endif()
+  string(JSON m_user GET "${r_stats}" result methods lookup_user)
+  string(JSON m_district GET "${r_stats}" result methods lookup_district)
+  string(JSON m_topk GET "${r_stats}" result methods topk_summary)
+  string(JSON m_stats GET "${r_stats}" result methods server_stats)
+  math(EXPR method_sum "${m_user} + ${m_district} + ${m_topk} + ${m_stats}")
+  math(EXPR handled "${admitted} + ${stats_served}")
+  if(NOT method_sum EQUAL handled)
+    message(FATAL_ERROR "method counters sum ${method_sum} != "
+            "admitted + stats_served = ${handled}")
+  endif()
+
+  # The exported snapshot must mirror the in-band counters.
+  file(READ ${WORK_DIR}/serve_metrics.json metrics_json)
+  string(JSON metric_received GET "${metrics_json}" counters serve.requests.received)
+  if(NOT metric_received EQUAL received)
+    message(FATAL_ERROR "metrics serve.requests.received ${metric_received} "
+            "!= server_stats received ${received}")
+  endif()
+  string(JSON metric_responses GET "${metrics_json}" counters serve.responses)
+  if(NOT metric_responses EQUAL 5)
+    message(FATAL_ERROR "metrics serve.responses = ${metric_responses}, wanted 5")
+  endif()
+endif()
+
+# Determinism: the same request stream must serve byte-identically under
+# a different worker count.
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv --stdio --workers 1
+  INPUT_FILE ${WORK_DIR}/serve_requests.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE serial_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--workers 1 serve failed (${rc}): ${err}")
+endif()
+if(NOT serial_out STREQUAL serve_out)
+  message(FATAL_ERROR "--workers 1 responses differ from --workers 3:\n"
+          "=== workers 3 ===\n${serve_out}\n=== workers 1 ===\n${serial_out}")
+endif()
+
+# Index construction after checkpoint resume: a checkpointed run and a
+# resumed run over the same directory must both answer byte-identically
+# to the plain run.
+file(REMOVE_RECURSE ${WORK_DIR}/serve_ckpt)
+file(MAKE_DIRECTORY ${WORK_DIR}/serve_ckpt)
+foreach(extra_flag "" "--resume")
+  execute_process(
+    COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+            --tweets ${WORK_DIR}/serve_tweets.tsv --stdio
+            --checkpoint-dir ${WORK_DIR}/serve_ckpt ${extra_flag}
+    INPUT_FILE ${WORK_DIR}/serve_requests.txt
+    RESULT_VARIABLE rc OUTPUT_VARIABLE ckpt_out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "checkpointed serve '${extra_flag}' failed (${rc}): ${err}")
+  endif()
+  if(NOT ckpt_out STREQUAL serve_out)
+    message(FATAL_ERROR "checkpointed serve '${extra_flag}' perturbed responses:\n"
+            "=== baseline ===\n${serve_out}\n=== checkpointed ===\n${ckpt_out}")
+  endif()
+endforeach()
+if(NOT EXISTS ${WORK_DIR}/serve_ckpt/geocode.journal)
+  message(FATAL_ERROR "checkpointed serve left no geocode.journal")
+endif()
+
+# --- CLI contract ------------------------------------------------------
+
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "exactly one of --stdio / --port")
+  message(FATAL_ERROR "missing front-end was accepted (${rc}): ${err}")
+endif()
+
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv --stdio
+          --definitely-not-a-flag
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "unknown flag --definitely-not-a-flag")
+  message(FATAL_ERROR "unknown flag was accepted (${rc}): ${err}")
+endif()
+
+execute_process(
+  COMMAND ${SERVE} --help
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--help exited ${rc}: ${err}")
+endif()
+foreach(flag stdio port workers max-batch queue-capacity serve-fault-rate)
+  if(NOT err MATCHES "--${flag}")
+    message(FATAL_ERROR "--help missing --${flag}: ${err}")
+  endif()
+endforeach()

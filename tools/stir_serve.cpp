@@ -1,0 +1,427 @@
+// stir_serve — query-serving front end over a finished study. It runs
+// the pipeline once at startup (optionally resuming from a checkpoint
+// directory), freezes the result into an immutable StudyIndex, and then
+// serves the line-delimited JSON protocol (DESIGN.md §10):
+//
+//   stir_serve --users u.tsv --tweets t.tsv --stdio   < requests.jsonl
+//   stir_serve --users u.tsv --tweets t.tsv --port 7878
+//
+// --stdio reads requests from stdin and writes responses to stdout in
+// request order — deterministic, the smoke-test and scripting surface.
+// --port serves the same protocol over loopback TCP until SIGINT or
+// SIGTERM. Everything informational goes to stderr so stdout stays
+// protocol-pure.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/study.h"
+#include "core/study_config.h"
+#include "geo/admin_db.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/study_index.h"
+#include "twitter/dataset.h"
+
+namespace {
+
+using stir::geo::AdminDb;
+
+/// One command-line flag (same declarative shape as stir_cli): name,
+/// optional value placeholder (null marks a boolean), help line, binder.
+struct Flag {
+  const char* name;
+  const char* value_name;
+  const char* help;
+  std::function<bool(const std::string& value)> bind;
+};
+
+void PrintHelp(const std::vector<Flag>& flags) {
+  std::fprintf(stderr,
+               "usage: stir_serve [flags]\n"
+               "run the study once, then serve lookups over it "
+               "(line-delimited JSON)\n\nflags:\n");
+  size_t width = 0;
+  for (const Flag& flag : flags) {
+    size_t w = std::strlen(flag.name) +
+               (flag.value_name != nullptr ? std::strlen(flag.value_name) + 1
+                                           : 0);
+    width = std::max(width, w);
+  }
+  for (const Flag& flag : flags) {
+    std::string left = flag.name;
+    if (flag.value_name != nullptr) {
+      left += ' ';
+      left += flag.value_name;
+    }
+    std::fprintf(stderr, "  --%-*s  %s\n", static_cast<int>(width),
+                 left.c_str(), flag.help);
+  }
+  std::fprintf(stderr, "  --%-*s  %s\n", static_cast<int>(width), "help",
+               "show this message and exit");
+}
+
+int ParseArgs(int argc, char** argv, const std::vector<Flag>& flags,
+              bool* want_help) {
+  *want_help = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      *want_help = true;
+      return 0;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr,
+                   "stir_serve: unexpected argument '%s' (flags only; try "
+                   "--help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    const Flag* match = nullptr;
+    for (const Flag& flag : flags) {
+      if (name == flag.name) {
+        match = &flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "stir_serve: unknown flag --%s (try --help)\n",
+                   name.c_str());
+      return 2;
+    }
+    if (match->value_name == nullptr) {
+      if (has_inline_value) {
+        std::fprintf(stderr, "stir_serve: --%s takes no value\n",
+                     name.c_str());
+        return 2;
+      }
+    } else if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "stir_serve: --%s requires a value (%s)\n",
+                     name.c_str(), match->value_name);
+        return 2;
+      }
+      value = argv[++i];
+    }
+    if (!match->bind(value)) return 2;
+  }
+  return 0;
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseUInt64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool BadValue(const char* flag, const char* expect) {
+  std::fprintf(stderr, "stir_serve: --%s must be %s\n", flag, expect);
+  return false;
+}
+
+const AdminDb* GazetteerByName(const std::string& name) {
+  if (name == "world") return &AdminDb::WorldCities();
+  if (name == "korean") return &AdminDb::KoreanDistricts();
+  return nullptr;
+}
+
+/// Blocks until SIGINT or SIGTERM arrives (TCP mode's run-until-stopped).
+void WaitForShutdownSignal() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::fprintf(stderr, "stir_serve: received %s, draining\n",
+               sig == SIGINT ? "SIGINT" : "SIGTERM");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  stir::StudyConfig config;
+  std::string users_path;
+  std::string tweets_path;
+  std::string gazetteer = "korean";
+  bool lenient_load = false;
+  bool stdio_mode = false;
+  bool tcp_mode = false;
+  int64_t port = 0;
+  std::string metrics_out;
+  int64_t max_pipeline = 64;
+  stir::serve::ServeOptions serve_options;
+  stir::common::FaultInjectorOptions fault_options;
+
+  std::vector<Flag> flags = {
+      {"users", "FILE", "input users TSV (required)",
+       [&](const std::string& v) { users_path = v; return true; }},
+      {"tweets", "FILE", "input tweets TSV (required)",
+       [&](const std::string& v) { tweets_path = v; return true; }},
+      {"gazetteer", "NAME", "gazetteer: korean | world (default korean)",
+       [&](const std::string& v) {
+         if (GazetteerByName(v) == nullptr) {
+           return BadValue("gazetteer", "korean or world");
+         }
+         gazetteer = v;
+         return true;
+       }},
+      {"lenient-load", nullptr,
+       "quarantine malformed TSV rows instead of failing the load",
+       [&](const std::string&) { lenient_load = true; return true; }},
+      {"threads", "N", "study-build worker threads, >= 1 (default 1)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1) {
+           return BadValue("threads", ">= 1");
+         }
+         config.threads = static_cast<int>(n);
+         return true;
+       }},
+      {"checkpoint-dir", "DIR",
+       "durable geocode journal + study checkpoints in DIR",
+       [&](const std::string& v) {
+         config.durability.checkpoint_dir = v;
+         return true;
+       }},
+      {"resume", nullptr,
+       "resume from the checkpoint in --checkpoint-dir (fresh run if none)",
+       [&](const std::string&) {
+         config.durability.resume = true;
+         return true;
+       }},
+      {"stdio", nullptr,
+       "serve stdin -> stdout, one request per line (deterministic)",
+       [&](const std::string&) { stdio_mode = true; return true; }},
+      {"port", "N",
+       "serve loopback TCP on port N (0 picks one) until SIGINT/SIGTERM",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &port) || port < 0 || port > 65535) {
+           return BadValue("port", "in [0, 65535]");
+         }
+         tcp_mode = true;
+         return true;
+       }},
+      {"workers", "N", "serving worker threads, >= 1 (default 4)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1) {
+           return BadValue("workers", ">= 1");
+         }
+         serve_options.workers = static_cast<int>(n);
+         return true;
+       }},
+      {"max-batch", "N", "max requests per micro-batch, >= 1 (default 16)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1) {
+           return BadValue("max-batch", ">= 1");
+         }
+         serve_options.max_batch_size = static_cast<int>(n);
+         return true;
+       }},
+      {"batch-linger-us", "US",
+       "wait up to US microseconds for a fuller batch (default 0)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 0) {
+           return BadValue("batch-linger-us", ">= 0");
+         }
+         serve_options.batch_linger_us = n;
+         return true;
+       }},
+      {"queue-capacity", "N",
+       "admission queue bound; beyond it requests get 'overloaded' "
+       "(default 1024)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1) {
+           return BadValue("queue-capacity", ">= 1");
+         }
+         serve_options.queue_capacity = static_cast<int>(n);
+         return true;
+       }},
+      {"max-request-bytes", "N",
+       "reject request lines longer than N bytes (default 65536)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1) {
+           return BadValue("max-request-bytes", ">= 1");
+         }
+         serve_options.max_request_bytes = static_cast<size_t>(n);
+         return true;
+       }},
+      {"max-pipeline", "N",
+       "per-TCP-connection pipelining window, >= 1 (default 64)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &max_pipeline) || max_pipeline < 1) {
+           return BadValue("max-pipeline", ">= 1");
+         }
+         return true;
+       }},
+      {"serve-fault-rate", "P",
+       "injected per-request 'unavailable' probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &fault_options.error_rate) ||
+             fault_options.error_rate < 0.0 ||
+             fault_options.error_rate > 1.0) {
+           return BadValue("serve-fault-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"serve-fault-seed", "N", "serving fault schedule seed",
+       [&](const std::string& v) {
+         if (!ParseUInt64(v, &fault_options.seed)) {
+           return BadValue("serve-fault-seed", "a non-negative integer");
+         }
+         return true;
+       }},
+      {"metrics-out", "FILE",
+       "write a serve.* metrics JSON snapshot to FILE at shutdown",
+       [&](const std::string& v) { metrics_out = v; return true; }},
+  };
+
+  bool want_help = false;
+  int rc = ParseArgs(argc, argv, flags, &want_help);
+  if (rc != 0) return rc;
+  if (want_help) {
+    PrintHelp(flags);
+    return 0;
+  }
+  if (users_path.empty() || tweets_path.empty()) {
+    std::fprintf(stderr, "stir_serve: --users and --tweets are required\n");
+    return 2;
+  }
+  if (stdio_mode == tcp_mode) {
+    std::fprintf(stderr,
+                 "stir_serve: exactly one of --stdio / --port is required\n");
+    return 2;
+  }
+  if (config.durability.resume && config.durability.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "stir_serve: --resume requires --checkpoint-dir\n");
+    return 2;
+  }
+
+  // Load + run the study once; the index freezes the result.
+  const AdminDb& db = *GazetteerByName(gazetteer);
+  stir::twitter::Dataset::TsvLoadOptions load_options;
+  load_options.strict = !lenient_load;
+  stir::twitter::Dataset::TsvLoadStats load_stats;
+  auto dataset = stir::twitter::Dataset::LoadTsv(users_path, tweets_path,
+                                                 load_options, &load_stats);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "stir_serve: load failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  if (load_stats.quarantined() > 0) {
+    std::fprintf(stderr, "stir_serve: lenient load quarantined %lld rows\n",
+                 static_cast<long long>(load_stats.quarantined()));
+  }
+  stir::core::CorrelationStudy study(&db, config);
+  stir::core::StudyResult result = study.Run(*dataset);
+  if (result.incomplete) {
+    std::fprintf(stderr,
+                 "stir_serve: study did not complete; refusing to serve\n");
+    return 1;
+  }
+  stir::serve::StudyIndex index = stir::serve::StudyIndex::Build(result, db);
+  std::fprintf(stderr,
+               "stir_serve: index ready — %zu users, %zu districts, "
+               "%lld bytes\n",
+               index.user_count(), index.district_count(),
+               static_cast<long long>(index.MemoryBytes()));
+
+  stir::obs::MetricsRegistry metrics;
+  serve_options.metrics = &metrics;
+  stir::common::FaultInjector fault_injector(fault_options);
+  if (fault_injector.enabled()) {
+    serve_options.fault_injector = &fault_injector;
+  }
+
+  int exit_code = 0;
+  {
+    stir::serve::Server server(&index, serve_options);
+    if (stdio_mode) {
+      int64_t served = server.ServeStream(std::cin, std::cout);
+      server.Drain();
+      std::fprintf(stderr, "stir_serve: served %lld requests\n",
+                   static_cast<long long>(served));
+    } else {
+      stir::serve::TcpServer tcp(&server,
+                                 static_cast<int>(max_pipeline));
+      stir::Status status = tcp.Start(static_cast<uint16_t>(port));
+      if (!status.ok()) {
+        std::fprintf(stderr, "stir_serve: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      // The port line is the startup handshake — scripts wait for it.
+      std::fprintf(stderr, "stir_serve: listening on 127.0.0.1:%u\n",
+                   tcp.port());
+      WaitForShutdownSignal();
+      tcp.Stop();
+      server.Drain();
+      std::fprintf(stderr,
+                   "stir_serve: drained after %lld connections\n",
+                   static_cast<long long>(tcp.connections_accepted()));
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (out) {
+        out << metrics.Snapshot().ToJson() << '\n';
+      }
+      if (!out) {
+        std::fprintf(stderr, "stir_serve: cannot write %s\n",
+                     metrics_out.c_str());
+        exit_code = 1;
+      } else {
+        std::fprintf(stderr, "stir_serve: metrics written to %s\n",
+                     metrics_out.c_str());
+      }
+    }
+  }
+  return exit_code;
+}
