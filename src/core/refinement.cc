@@ -91,6 +91,50 @@ geo::RegionId RefinementPipeline::TextFallbackRegion(
   return geo::kInvalidRegion;
 }
 
+TweetFold RefinementPipeline::FoldTweet(const twitter::Tweet& tweet,
+                                        int64_t fault_index,
+                                        geo::RegionId profile_region) const {
+  TweetFold fold;
+  // Retry/backoff charges are attributed per fold by sampling this
+  // thread's cumulative geocoder counters around the lookup (a fold runs
+  // entirely on one thread). Fold deltas sum to the same totals whether
+  // they are sampled per tweet, per user, or per run, so checkpoints and
+  // streaming epochs all carry exact counters.
+  geo::ReverseGeocoder::ThreadRetryStats retry_before =
+      geo::ReverseGeocoder::CurrentThreadRetryStats();
+  auto region = Geocode(*tweet.gps, fault_index);
+  if (region.ok()) {
+    fold.region = *region;
+  } else if (IsTransientServiceFault(region.status())) {
+    fold.faulted = true;
+    if (options_.degraded_text_fallback) {
+      geo::RegionId fallback = TextFallbackRegion(tweet.text, profile_region);
+      if (fallback != geo::kInvalidRegion) {
+        fold.degraded = true;
+        fold.region = fallback;
+      }
+    }
+  }
+  geo::ReverseGeocoder::ThreadRetryStats retry_after =
+      geo::ReverseGeocoder::CurrentThreadRetryStats();
+  fold.retries = retry_after.retries - retry_before.retries;
+  fold.backoff_ms = retry_after.backoff_ms - retry_before.backoff_ms;
+  return fold;
+}
+
+void RefinementPipeline::ApplyFold(const TweetFold& fold, FunnelStats* stats,
+                                   std::vector<geo::RegionId>* regions) {
+  if (fold.faulted) ++stats->geocode_faulted;
+  if (fold.degraded) ++stats->geocode_degraded;
+  stats->geocode_retried += fold.retries;
+  stats->backoff_ms += fold.backoff_ms;
+  if (fold.region == geo::kInvalidRegion) {
+    ++stats->geocode_failures;
+  } else {
+    regions->push_back(fold.region);
+  }
+}
+
 bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
                                     const twitter::User& user,
                                     FunnelStats& stats,
@@ -111,13 +155,6 @@ bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
   if (stage_geocode_us_ != nullptr) {
     geocode_t0 = std::chrono::steady_clock::now();
   }
-  // Retry/backoff charges are attributed per user by sampling this
-  // thread's cumulative geocoder counters around the tweet loop (each
-  // user is refined entirely on one thread). Per-user attribution is what
-  // lets a checkpoint carry exact counters for completed users only — an
-  // in-flight user's retries recur deterministically on resume.
-  geo::ReverseGeocoder::ThreadRetryStats retry_before =
-      geo::ReverseGeocoder::CurrentThreadRetryStats();
   out->user = user.id;
   out->profile_region = parsed.region;
   out->total_tweets = user.total_tweets;
@@ -125,32 +162,13 @@ bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
   for (size_t index : dataset.TweetIndicesOf(user.id)) {
     const twitter::Tweet& tweet = dataset.tweets()[index];
     if (!tweet.gps.has_value()) continue;
-    auto region = Geocode(*tweet.gps, static_cast<int64_t>(index));
-    if (!region.ok()) {
-      if (IsTransientServiceFault(region.status())) {
-        ++stats.geocode_faulted;
-        if (options_.degraded_text_fallback) {
-          geo::RegionId fallback =
-              TextFallbackRegion(tweet.text, parsed.region);
-          if (fallback != geo::kInvalidRegion) {
-            ++stats.geocode_degraded;
-            out->tweet_regions.push_back(fallback);
-            continue;
-          }
-        }
-      }
-      ++stats.geocode_failures;
-      continue;
-    }
-    out->tweet_regions.push_back(*region);
+    TweetFold fold =
+        FoldTweet(tweet, static_cast<int64_t>(index), parsed.region);
+    ApplyFold(fold, &stats, &out->tweet_regions);
   }
   if (stage_geocode_us_ != nullptr) {
     stage_geocode_us_->Increment(ElapsedUs(geocode_t0));
   }
-  geo::ReverseGeocoder::ThreadRetryStats retry_after =
-      geo::ReverseGeocoder::CurrentThreadRetryStats();
-  stats.geocode_retried += retry_after.retries - retry_before.retries;
-  stats.backoff_ms += retry_after.backoff_ms - retry_before.backoff_ms;
   if (out->tweet_regions.empty()) return false;
   ++stats.final_users;
   return true;

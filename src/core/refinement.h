@@ -87,6 +87,24 @@ struct RefinementOptions {
   bool degraded_text_fallback = true;
 };
 
+/// The outcome of folding one GPS tweet through the geocode + salvage
+/// step, with the retry charges it incurred. A fold is a pure function of
+/// (tweet, fault_index, profile_region) for a given geocoder
+/// configuration, so the streaming engine caches folds and replays them
+/// without re-consulting the geocoder — re-geocoding would double-charge
+/// the fault injector, whose decisions fire before the cache.
+struct TweetFold {
+  /// Resolved district; kInvalidRegion means the tweet was dropped.
+  geo::RegionId region = geo::kInvalidRegion;
+  /// Final status was an injected transient service fault.
+  bool faulted = false;
+  /// Faulted but salvaged by the degraded text-fallback path.
+  bool degraded = false;
+  /// Retry attempts and simulated backoff charged by this fold.
+  int64_t retries = 0;
+  int64_t backoff_ms = 0;
+};
+
 /// The §III.B refinement pipeline: parse profile locations, drop vague /
 /// insufficient / ambiguous ones, reverse-geocode GPS tweets, keep users
 /// with at least one geocoded tweet.
@@ -127,6 +145,21 @@ class RefinementPipeline {
                                FunnelStats* funnel,
                                common::ThreadPool* pool = nullptr,
                                StudyCheckpointer* checkpointer = nullptr) const;
+
+  /// Folds one GPS tweet: geocode (with `fault_index` as the stable fault
+  /// key), degraded-mode salvage against `profile_region`, and the retry /
+  /// backoff delta sampled from this thread's geocoder counters. Both the
+  /// batch RefineUser loop and the incremental stream engine are sums of
+  /// these folds, which is what makes them byte-equivalent.
+  TweetFold FoldTweet(const twitter::Tweet& tweet, int64_t fault_index,
+                      geo::RegionId profile_region) const;
+
+  /// Applies one fold's accounting: bumps the funnel's fault / retry /
+  /// failure counters and appends the resolved region to `regions` (when
+  /// the tweet survived). Commutative across folds except for the region
+  /// append, which preserves call order.
+  static void ApplyFold(const TweetFold& fold, FunnelStats* stats,
+                        std::vector<geo::RegionId>* regions);
 
  private:
   /// `fault_index` is the tweet's global dataset index — a stable,

@@ -64,6 +64,43 @@ std::string StudyResult::FunnelString() const {
   return out;
 }
 
+void AggregateGroups(StudyResult* result) {
+  for (int g = 0; g < kNumTopKGroups; ++g) result->groups[g] = GroupStats{};
+  result->final_users = static_cast<int64_t>(result->groupings.size());
+  int64_t total_gps = 0;
+  double location_sum_all = 0.0;
+  double location_sum[kNumTopKGroups] = {};
+  for (const UserGrouping& grouping : result->groupings) {
+    GroupStats& stats = result->groups[static_cast<int>(grouping.group)];
+    ++stats.users;
+    stats.gps_tweets += grouping.gps_tweet_count;
+    total_gps += grouping.gps_tweet_count;
+    location_sum[static_cast<int>(grouping.group)] +=
+        static_cast<double>(grouping.distinct_tweet_locations());
+    location_sum_all +=
+        static_cast<double>(grouping.distinct_tweet_locations());
+  }
+  for (int g = 0; g < kNumTopKGroups; ++g) {
+    GroupStats& stats = result->groups[g];
+    if (result->final_users > 0) {
+      stats.user_share = static_cast<double>(stats.users) /
+                         static_cast<double>(result->final_users);
+    }
+    if (total_gps > 0) {
+      stats.tweet_share = static_cast<double>(stats.gps_tweets) /
+                          static_cast<double>(total_gps);
+    }
+    if (stats.users > 0) {
+      stats.avg_tweet_locations =
+          location_sum[g] / static_cast<double>(stats.users);
+    }
+  }
+  result->overall_avg_locations =
+      result->final_users > 0
+          ? location_sum_all / static_cast<double>(result->final_users)
+          : 0.0;
+}
+
 StudyConfig CorrelationStudyOptions::ToConfig() const {
   StudyConfig config;
   config.threads = threads;
@@ -258,41 +295,8 @@ void CorrelationStudy::RunStages(const twitter::Dataset& dataset,
     result->groupings =
         GroupUsers(result->refined, *db_, cfg.tie_break, pool.get());
   }
-  result->final_users = static_cast<int64_t>(result->groupings.size());
-
   obs::Tracer::ScopedSpan aggregate_span(cfg.obs.tracer, "aggregate");
-  int64_t total_gps = 0;
-  double location_sum_all = 0.0;
-  double location_sum[kNumTopKGroups] = {};
-  for (const UserGrouping& grouping : result->groupings) {
-    GroupStats& stats = result->groups[static_cast<int>(grouping.group)];
-    ++stats.users;
-    stats.gps_tweets += grouping.gps_tweet_count;
-    total_gps += grouping.gps_tweet_count;
-    location_sum[static_cast<int>(grouping.group)] +=
-        static_cast<double>(grouping.distinct_tweet_locations());
-    location_sum_all +=
-        static_cast<double>(grouping.distinct_tweet_locations());
-  }
-  for (int g = 0; g < kNumTopKGroups; ++g) {
-    GroupStats& stats = result->groups[g];
-    if (result->final_users > 0) {
-      stats.user_share = static_cast<double>(stats.users) /
-                         static_cast<double>(result->final_users);
-    }
-    if (total_gps > 0) {
-      stats.tweet_share = static_cast<double>(stats.gps_tweets) /
-                          static_cast<double>(total_gps);
-    }
-    if (stats.users > 0) {
-      stats.avg_tweet_locations =
-          location_sum[g] / static_cast<double>(stats.users);
-    }
-  }
-  if (result->final_users > 0) {
-    result->overall_avg_locations =
-        location_sum_all / static_cast<double>(result->final_users);
-  }
+  AggregateGroups(result);
 }
 
 }  // namespace stir::core

@@ -62,6 +62,14 @@ struct StudyResult {
   std::string FunnelString() const;
 };
 
+/// Recomputes `result->groups`, `overall_avg_locations` and
+/// `final_users` from `result->groupings`. Summation runs in groupings
+/// order (= dataset user order), so the floating-point aggregates are
+/// byte-stable for a fixed user order — the batch pipeline and the
+/// incremental stream engine share this exact code path, which is part of
+/// the streaming determinism contract (DESIGN.md §12).
+void AggregateGroups(StudyResult* result);
+
 /// Deprecated shim: the pre-StudyConfig flat options struct. Kept so
 /// existing call sites compile unchanged; internally converted via
 /// ToConfig(). New code should build a stir::StudyConfig directly.

@@ -10,6 +10,8 @@
 
 namespace stir::serve {
 
+class StreamBackend;
+
 /// Knobs for the query-serving layer (DESIGN.md §10). The defaults give a
 /// small multi-threaded server with micro-batching on and a bounded
 /// admission queue; every pointer is optional and not owned.
@@ -55,6 +57,13 @@ struct ServeOptions {
   /// should treat it exactly like `overloaded` — retryable with
   /// common::RetryPolicy backoff (DESIGN.md §10 documents the contract).
   common::FaultInjector* fault_injector = nullptr;
+
+  /// Streaming ingest hook (not owned; null on a batch server). When set,
+  /// append_tweets requests are forwarded to it at admission — after all
+  /// previously admitted requests have executed — and the backend may
+  /// swap new index generations into the scheduler (DESIGN.md §12).
+  /// Without it, append_tweets fails with `bad_request`.
+  StreamBackend* stream = nullptr;
 };
 
 }  // namespace stir::serve

@@ -227,6 +227,194 @@ bool RequireString(const JsonValue& value, const char* what, std::string* out,
   return true;
 }
 
+/// Validates one append_tweets user record:
+///   {"id":900,"handle":"h","location":"Seoul Mapo-gu","total_tweets":3}
+/// Only "id" is required; unknown keys are rejected like everywhere else.
+bool ParseAppendUser(const JsonValue& value, size_t position,
+                     twitter::User* user, ParseOutcome* outcome, int64_t id) {
+  if (!value.IsObject()) {
+    *outcome = Failure(ErrorCode::kBadRequest,
+                       StrFormat("users[%zu] must be an object", position),
+                       true, id);
+    return false;
+  }
+  for (const auto& [key, unused] : value.members) {
+    if (key != "id" && key != "handle" && key != "location" &&
+        key != "total_tweets") {
+      *outcome = Failure(
+          ErrorCode::kBadRequest,
+          StrFormat("users[%zu]: unknown key '%s'", position, key.c_str()),
+          true, id);
+      return false;
+    }
+  }
+  const JsonValue* user_id = value.Find("id");
+  if (user_id == nullptr) {
+    *outcome = Failure(ErrorCode::kBadRequest,
+                       StrFormat("users[%zu]: missing 'id'", position), true,
+                       id);
+    return false;
+  }
+  int64_t parsed_id = -1;
+  if (!RequireInt(*user_id, "users[].id", &parsed_id, outcome, true, id)) {
+    return false;
+  }
+  if (parsed_id < 0) {
+    *outcome = Failure(ErrorCode::kBadRequest,
+                       StrFormat("users[%zu]: 'id' must be >= 0", position),
+                       true, id);
+    return false;
+  }
+  user->id = parsed_id;
+  if (const JsonValue* handle = value.Find("handle"); handle != nullptr) {
+    if (handle->kind != JsonValue::Kind::kString) {
+      *outcome = Failure(
+          ErrorCode::kBadRequest,
+          StrFormat("users[%zu]: 'handle' must be a string", position), true,
+          id);
+      return false;
+    }
+    user->handle = handle->string;
+  }
+  if (const JsonValue* location = value.Find("location");
+      location != nullptr) {
+    if (location->kind != JsonValue::Kind::kString ||
+        location->string.size() > twitter::kMaxProfileLocationLength) {
+      *outcome = Failure(
+          ErrorCode::kBadRequest,
+          StrFormat("users[%zu]: 'location' must be a string of at most "
+                    "%zu characters",
+                    position, twitter::kMaxProfileLocationLength),
+          true, id);
+      return false;
+    }
+    user->profile_location = location->string;
+  }
+  if (const JsonValue* total = value.Find("total_tweets"); total != nullptr) {
+    if (!RequireInt(*total, "users[].total_tweets", &user->total_tweets,
+                    outcome, true, id)) {
+      return false;
+    }
+    if (user->total_tweets < 0) {
+      *outcome = Failure(
+          ErrorCode::kBadRequest,
+          StrFormat("users[%zu]: 'total_tweets' must be >= 0", position),
+          true, id);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Validates one append_tweets tweet record:
+///   {"id":9000,"user":900,"time":50,"lat":37.5,"lng":126.9,"text":"..."}
+/// "id", "user" and "time" are required; "lat"/"lng" come as a pair.
+bool ParseAppendTweet(const JsonValue& value, size_t position,
+                      twitter::Tweet* tweet, ParseOutcome* outcome,
+                      int64_t id) {
+  if (!value.IsObject()) {
+    *outcome = Failure(ErrorCode::kBadRequest,
+                       StrFormat("tweets[%zu] must be an object", position),
+                       true, id);
+    return false;
+  }
+  for (const auto& [key, unused] : value.members) {
+    if (key != "id" && key != "user" && key != "time" && key != "lat" &&
+        key != "lng" && key != "text") {
+      *outcome = Failure(
+          ErrorCode::kBadRequest,
+          StrFormat("tweets[%zu]: unknown key '%s'", position, key.c_str()),
+          true, id);
+      return false;
+    }
+  }
+  const JsonValue* tweet_id = value.Find("id");
+  const JsonValue* user = value.Find("user");
+  const JsonValue* time = value.Find("time");
+  if (tweet_id == nullptr || user == nullptr || time == nullptr) {
+    *outcome = Failure(
+        ErrorCode::kBadRequest,
+        StrFormat("tweets[%zu]: 'id', 'user' and 'time' are required",
+                  position),
+        true, id);
+    return false;
+  }
+  if (!RequireInt(*tweet_id, "tweets[].id", &tweet->id, outcome, true, id) ||
+      !RequireInt(*user, "tweets[].user", &tweet->user, outcome, true, id) ||
+      !RequireInt(*time, "tweets[].time", &tweet->time, outcome, true, id)) {
+    return false;
+  }
+  if (tweet->id < 0 || tweet->user < 0) {
+    *outcome = Failure(
+        ErrorCode::kBadRequest,
+        StrFormat("tweets[%zu]: 'id' and 'user' must be >= 0", position),
+        true, id);
+    return false;
+  }
+  const JsonValue* lat = value.Find("lat");
+  const JsonValue* lng = value.Find("lng");
+  if ((lat == nullptr) != (lng == nullptr)) {
+    *outcome = Failure(
+        ErrorCode::kBadRequest,
+        StrFormat("tweets[%zu]: 'lat' and 'lng' come as a pair", position),
+        true, id);
+    return false;
+  }
+  if (lat != nullptr) {
+    if (lat->kind != JsonValue::Kind::kNumber ||
+        lng->kind != JsonValue::Kind::kNumber) {
+      *outcome = Failure(
+          ErrorCode::kBadRequest,
+          StrFormat("tweets[%zu]: 'lat'/'lng' must be numbers", position),
+          true, id);
+      return false;
+    }
+    if (lat->number < -90.0 || lat->number > 90.0 || lng->number < -180.0 ||
+        lng->number > 180.0) {
+      *outcome = Failure(
+          ErrorCode::kBadRequest,
+          StrFormat("tweets[%zu]: 'lat'/'lng' out of range", position), true,
+          id);
+      return false;
+    }
+    tweet->gps = geo::LatLng{lat->number, lng->number};
+  }
+  if (const JsonValue* text = value.Find("text"); text != nullptr) {
+    if (text->kind != JsonValue::Kind::kString) {
+      *outcome = Failure(
+          ErrorCode::kBadRequest,
+          StrFormat("tweets[%zu]: 'text' must be a string", position), true,
+          id);
+      return false;
+    }
+    tweet->text = text->string;
+  }
+  return true;
+}
+
+std::string IndexInfo(const StudyIndex& index, const Request& request,
+                      int64_t generation, bool streaming) {
+  JsonWriter w;
+  BeginResponse(&w, request.id, true, true);
+  w.Key("result");
+  w.BeginObject();
+  w.Key("generation");
+  w.Int(generation);
+  w.Key("streaming");
+  w.Bool(streaming);
+  w.Key("users");
+  w.Int(static_cast<int64_t>(index.user_count()));
+  w.Key("districts");
+  w.Int(static_cast<int64_t>(index.district_count()));
+  w.Key("final_users");
+  w.Int(index.final_users());
+  w.Key("memory_bytes");
+  w.Int(index.MemoryBytes());
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
 }  // namespace
 
 const char* MethodToString(Method method) {
@@ -235,6 +423,8 @@ const char* MethodToString(Method method) {
     case Method::kLookupDistrict: return "lookup_district";
     case Method::kTopkSummary: return "topk_summary";
     case Method::kServerStats: return "server_stats";
+    case Method::kAppendTweets: return "append_tweets";
+    case Method::kIndexInfo: return "index_info";
   }
   return "unknown";
 }
@@ -349,6 +539,10 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {
     request.method = Method::kTopkSummary;
   } else if (method == "server_stats") {
     request.method = Method::kServerStats;
+  } else if (method == "append_tweets") {
+    request.method = Method::kAppendTweets;
+  } else if (method == "index_info") {
+    request.method = Method::kIndexInfo;
   } else {
     return Failure(ErrorCode::kUnknownMethod,
                    StrFormat("method '%s' is not served", method.c_str()),
@@ -436,7 +630,8 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {
       break;
     }
     case Method::kTopkSummary:
-    case Method::kServerStats: {
+    case Method::kServerStats:
+    case Method::kIndexInfo: {
       if (!p.members.empty()) {
         return Failure(
             ErrorCode::kBadRequest,
@@ -445,19 +640,79 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {
       }
       break;
     }
+    case Method::kAppendTweets: {
+      for (const auto& [key, unused] : p.members) {
+        if (key != "users" && key != "tweets") {
+          return Failure(ErrorCode::kBadRequest,
+                         StrFormat("unknown param '%s'", key.c_str()), true,
+                         id);
+        }
+      }
+      for (const char* array_key : {"users", "tweets"}) {
+        const JsonValue* array = p.Find(array_key);
+        if (array == nullptr) continue;
+        if (array->kind != JsonValue::Kind::kArray) {
+          return Failure(ErrorCode::kBadRequest,
+                         StrFormat("'%s' must be an array", array_key), true,
+                         id);
+        }
+        if (static_cast<int64_t>(array->elements.size()) >
+            kMaxAppendRecords) {
+          return Failure(
+              ErrorCode::kBadRequest,
+              StrFormat("'%s' exceeds %lld records", array_key,
+                        static_cast<long long>(kMaxAppendRecords)),
+              true, id);
+        }
+      }
+      if (const JsonValue* users = p.Find("users"); users != nullptr) {
+        request.users.reserve(users->elements.size());
+        for (size_t i = 0; i < users->elements.size(); ++i) {
+          twitter::User user;
+          if (!ParseAppendUser(users->elements[i], i, &user, &outcome, id)) {
+            return outcome;
+          }
+          request.users.push_back(std::move(user));
+        }
+      }
+      if (const JsonValue* tweets = p.Find("tweets"); tweets != nullptr) {
+        request.tweets.reserve(tweets->elements.size());
+        for (size_t i = 0; i < tweets->elements.size(); ++i) {
+          twitter::Tweet tweet;
+          if (!ParseAppendTweet(tweets->elements[i], i, &tweet, &outcome,
+                                id)) {
+            return outcome;
+          }
+          request.tweets.push_back(std::move(tweet));
+        }
+      }
+      break;
+    }
   }
   return outcome;
 }
 
-std::string ExecuteOnIndex(const StudyIndex& index, const Request& request) {
+std::string ExecuteOnIndex(const StudyIndex& index, const Request& request,
+                           int64_t generation, bool streaming) {
   switch (request.method) {
     case Method::kLookupUser: return LookupUser(index, request);
     case Method::kLookupDistrict: return LookupDistrict(index, request);
     case Method::kTopkSummary: return TopkSummary(index, request);
-    case Method::kServerStats: break;
+    case Method::kIndexInfo:
+      return IndexInfo(index, request, generation, streaming);
+    case Method::kServerStats:
+    case Method::kAppendTweets:
+      break;
   }
-  return ErrorResponse(true, request.id, ErrorCode::kInternal,
-                       "server_stats reached the index executor");
+  return ErrorResponse(
+      true, request.id, ErrorCode::kInternal,
+      StrFormat("method '%s' reached the index executor",
+                MethodToString(request.method)));
+}
+
+std::string ExecuteOnIndex(const StudyIndex& index, const Request& request) {
+  return ExecuteOnIndex(index, request, /*generation=*/0,
+                        /*streaming=*/false);
 }
 
 }  // namespace stir::serve

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "serve/study_index.h"
 #include "twitter/model.h"
@@ -20,26 +21,41 @@ inline constexpr int kProtocolVersion = 1;
 inline constexpr int64_t kDefaultDistrictLimit = 100;
 inline constexpr int64_t kMaxDistrictLimit = 10'000;
 
-/// The four request methods (DESIGN.md §10 has the schema):
+/// The request methods (DESIGN.md §10 has the schema):
 ///
 ///   {"v":1,"id":7,"method":"lookup_user","params":{"user":123}}
 ///   {"v":1,"id":8,"method":"lookup_district",
 ///    "params":{"state":"Seoul","county":"Mapo-gu","limit":10,"offset":0}}
 ///   {"v":1,"id":9,"method":"topk_summary"}
 ///   {"v":1,"id":10,"method":"server_stats"}
+///   {"v":1,"id":11,"method":"index_info"}
+///   {"v":1,"id":12,"method":"append_tweets","params":{
+///    "users":[{"id":900,"location":"Seoul Mapo-gu","total_tweets":3}],
+///    "tweets":[{"id":9000,"user":900,"time":50,
+///               "lat":37.55,"lng":126.9,"text":"..."}]}}
 ///
 /// One request per line (line-delimited JSON); responses echo the id:
 ///
 ///   {"v":1,"id":7,"ok":true,"result":{...}}
 ///   {"v":1,"id":7,"ok":false,"error":{"code":"not_found","message":"..."}}
+///
+/// append_tweets is served only by a streaming server (stir_serve
+/// --stream); elsewhere it fails with `bad_request`. index_info is always
+/// served and reports the live index generation (0 on a batch server).
 enum class Method : int {
   kLookupUser = 0,
   kLookupDistrict = 1,
   kTopkSummary = 2,
   kServerStats = 3,
+  kAppendTweets = 4,
+  kIndexInfo = 5,
 };
-inline constexpr int kNumMethods = 4;
+inline constexpr int kNumMethods = 6;
 const char* MethodToString(Method method);
+
+/// Per-array record cap for append_tweets (schema guard, not a resource
+/// limit — the admission queue and max_request_bytes bound the rest).
+inline constexpr int64_t kMaxAppendRecords = 10'000;
 
 /// Error codes carried in `error.code`. The retry contract for clients
 /// (documented in DESIGN.md §10): `overloaded` and `unavailable` are
@@ -71,6 +87,9 @@ struct Request {
   std::string county;
   int64_t limit = kDefaultDistrictLimit;
   int64_t offset = 0;
+  // append_tweets (validated records, ready for the stream backend)
+  std::vector<twitter::User> users;
+  std::vector<twitter::Tweet> tweets;
 };
 
 /// Outcome of parsing one request line: a Request, or the error response
@@ -95,11 +114,17 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes);
 std::string ErrorResponse(bool has_id, int64_t id, ErrorCode code,
                           std::string_view message);
 
-/// Executes a lookup_user / lookup_district / topk_summary request
-/// against the immutable index and renders the response line. Pure:
-/// identical (index, request) pairs yield identical bytes, on any
-/// thread. server_stats is answered by the scheduler (it owns the
-/// counters) and must not be passed here.
+/// Executes a lookup_user / lookup_district / topk_summary / index_info
+/// request against the immutable index and renders the response line.
+/// Pure: identical (index, request, generation, streaming) tuples yield
+/// identical bytes, on any thread. server_stats and append_tweets are
+/// answered by the scheduler (they touch scheduler-owned state) and must
+/// not be passed here. `generation` and `streaming` feed index_info; a
+/// batch server reports generation 0.
+std::string ExecuteOnIndex(const StudyIndex& index, const Request& request,
+                           int64_t generation, bool streaming);
+
+/// Batch-server shim: generation 0, not streaming.
 std::string ExecuteOnIndex(const StudyIndex& index, const Request& request);
 
 }  // namespace stir::serve

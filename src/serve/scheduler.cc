@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/json.h"
+#include "serve/stream_backend.h"
 
 namespace stir::serve {
 
@@ -26,8 +27,17 @@ int64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
 
 RequestScheduler::RequestScheduler(const StudyIndex* index,
                                    const ServeOptions& options)
-    : index_(index),
-      options_(options),
+    : RequestScheduler(
+          // Non-owning alias: the caller keeps the index alive.
+          std::shared_ptr<const StudyIndex>(std::shared_ptr<void>(), index),
+          /*generation=*/0, options) {}
+
+RequestScheduler::RequestScheduler(std::shared_ptr<const StudyIndex> index,
+                                   int64_t generation,
+                                   const ServeOptions& options)
+    : options_(options),
+      index_(std::move(index)),
+      generation_(generation),
       pool_(std::max(1, options.workers), options.metrics) {
   options_.workers = std::max(1, options_.workers);
   options_.max_batch_size = std::max(1, options_.max_batch_size);
@@ -57,6 +67,20 @@ RequestScheduler::RequestScheduler(const StudyIndex* index,
 
 RequestScheduler::~RequestScheduler() { Drain(); }
 
+void RequestScheduler::SwapIndex(std::shared_ptr<const StudyIndex> index,
+                                 int64_t generation) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  index_ = std::move(index);
+  generation_ = generation;
+}
+
+std::shared_ptr<const StudyIndex> RequestScheduler::PinIndex(
+    int64_t* generation) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (generation != nullptr) *generation = generation_;
+  return index_;
+}
+
 bool RequestScheduler::draining() const {
   std::lock_guard<std::mutex> lock(mu_);
   return draining_;
@@ -68,6 +92,7 @@ SchedulerStats RequestScheduler::stats() const {
 }
 
 std::string RequestScheduler::StatsResponseLocked(int64_t id) const {
+  std::shared_ptr<const StudyIndex> pinned = PinIndex();
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("v");
@@ -81,13 +106,13 @@ std::string RequestScheduler::StatsResponseLocked(int64_t id) const {
   w.Key("index");
   w.BeginObject();
   w.Key("users");
-  w.Int(static_cast<int64_t>(index_->user_count()));
+  w.Int(static_cast<int64_t>(pinned->user_count()));
   w.Key("districts");
-  w.Int(static_cast<int64_t>(index_->district_count()));
+  w.Int(static_cast<int64_t>(pinned->district_count()));
   w.Key("final_users");
-  w.Int(index_->final_users());
+  w.Int(pinned->final_users());
   w.Key("memory_bytes");
-  w.Int(index_->MemoryBytes());
+  w.Int(pinned->MemoryBytes());
   w.EndObject();
   // Config echo deliberately omits the worker count: responses must be
   // byte-identical under any worker count, and this is the one field
@@ -143,6 +168,11 @@ std::future<std::string> RequestScheduler::SubmitLine(std::string_view line) {
     return ReadyResponse(ErrorResponse(outcome.has_id, outcome.id,
                                        outcome.code, outcome.message));
   }
+  // Append fence: while an append_tweets is between its execution barrier
+  // and its index swap, hold later submissions back so they pin the new
+  // generation. Appends are short (one epoch at most); waiters re-check
+  // draining_ below after waking.
+  admission_cv_.wait(lock, [&] { return appends_in_flight_ == 0; });
   if (draining_) {
     ++stats_.rejected_shutdown;
     obs::IncrementCounter(m_rejected_shutdown_);
@@ -158,6 +188,18 @@ std::future<std::string> RequestScheduler::SubmitLine(std::string_view line) {
         m_method_[static_cast<int>(Method::kServerStats)]);
     obs::IncrementCounter(m_responses_);
     return ReadyResponse(StatsResponseLocked(outcome.id));
+  }
+  if (outcome.request.method == Method::kAppendTweets) {
+    // Executed in stream order at admission (no queue slot consumed):
+    // counts as admitted, like any answered method.
+    ++stats_.admitted;
+    ++stats_.method_counts[static_cast<int>(Method::kAppendTweets)];
+    obs::IncrementCounter(m_admitted_);
+    obs::IncrementCounter(
+        m_method_[static_cast<int>(Method::kAppendTweets)]);
+    std::string response = AppendLocked(lock, outcome.request);
+    obs::IncrementCounter(m_responses_);
+    return ReadyResponse(std::move(response));
   }
   if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
     ++stats_.rejected_overload;
@@ -194,6 +236,52 @@ std::future<std::string> RequestScheduler::SubmitLine(std::string_view line) {
     pool_.Submit([this] { DrainLoop(); });
   }
   return future;
+}
+
+std::string RequestScheduler::AppendLocked(
+    std::unique_lock<std::mutex>& lock, const Request& request) {
+  if (options_.stream == nullptr) {
+    return ErrorResponse(true, request.id, ErrorCode::kBadRequest,
+                         "server is not in streaming mode");
+  }
+  // Barrier: every previously admitted request must have executed (and
+  // pinned its generation) before the backend may swap in a new one. The
+  // fence counter keeps later submissions out while we wait, so the
+  // predicate's next_seq_ is frozen. The wait releases mu_, letting
+  // drainers finish in-flight batches and bump executed_.
+  ++appends_in_flight_;
+  executed_cv_.wait(lock, [&] { return executed_ == next_seq_; });
+  AppendOutcome out =
+      options_.stream->Append(request.users, request.tweets);
+  --appends_in_flight_;
+  admission_cv_.notify_all();
+  if (!out.ok) {
+    return ErrorResponse(true, request.id, ErrorCode::kBadRequest,
+                         out.error);
+  }
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("v");
+  w.Int(kProtocolVersion);
+  w.Key("id");
+  w.Int(request.id);
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("result");
+  w.BeginObject();
+  w.Key("appended_users");
+  w.Int(out.users_appended);
+  w.Key("appended_tweets");
+  w.Int(out.tweets_appended);
+  w.Key("epochs_sealed");
+  w.Int(out.epochs_sealed);
+  w.Key("generation");
+  w.Int(out.generation);
+  w.Key("pending");
+  w.Int(out.pending_tweets);
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
 }
 
 void RequestScheduler::DrainLoop() {
@@ -233,6 +321,12 @@ void RequestScheduler::DrainLoop() {
 
 void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
   obs::RecordSample(m_batch_size_, static_cast<int64_t>(batch.size()));
+  // Pin one generation for the whole batch: every request in it answers
+  // from the same consistent snapshot, and the shared_ptr keeps that
+  // snapshot alive across any concurrent SwapIndex.
+  int64_t generation = 0;
+  std::shared_ptr<const StudyIndex> pinned = PinIndex(&generation);
+  const bool streaming = options_.stream != nullptr;
   int64_t batch_span = obs::Tracer::kNoSpan;
   if (options_.tracer != nullptr) {
     batch_span = options_.tracer->BeginSpan("serve.batch");
@@ -255,7 +349,8 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
                                ErrorCode::kUnavailable,
                                "injected service fault; retry with backoff");
     } else {
-      response = ExecuteOnIndex(*index_, pending.request);
+      response = ExecuteOnIndex(*pinned, pending.request, generation,
+                                streaming);
     }
     if (options_.tracer != nullptr && options_.trace_requests) {
       options_.tracer->EndSpan(request_span);
@@ -269,6 +364,11 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
   if (options_.tracer != nullptr) {
     options_.tracer->EndSpan(batch_span);
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    executed_ += static_cast<int64_t>(batch.size());
+  }
+  executed_cv_.notify_all();
 }
 
 void RequestScheduler::Drain() {

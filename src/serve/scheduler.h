@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -30,7 +31,9 @@ namespace stir::serve {
 /// under any worker count — the serving determinism guarantee.
 struct SchedulerStats {
   int64_t received = 0;
-  int64_t admitted = 0;      ///< Queued for batch execution.
+  /// Queued for batch execution, or (append_tweets) executed in stream
+  /// order at admission.
+  int64_t admitted = 0;
   int64_t stats_served = 0;  ///< server_stats answered at admission.
   int64_t parse_errors = 0;  ///< Includes oversized lines.
   int64_t rejected_overload = 0;
@@ -53,11 +56,25 @@ struct SchedulerStats {
 /// the admission mutex, from the admission-ordered SchedulerStats — the
 /// one method whose result depends on history rather than the index
 /// alone, pinned to stream order so it stays deterministic.
+///
+/// The index is held as a generation: a shared_ptr<const StudyIndex>
+/// plus a monotonically increasing generation number, swappable at any
+/// time via SwapIndex (RCU-style). Readers never block a swap: each
+/// batch pins the current generation with a shared_ptr copy and executes
+/// every request in the batch against that one consistent snapshot; a
+/// retired generation is destroyed when the last pinned batch drops it.
+/// SwapIndex itself only takes the (uncontended) index mutex — it never
+/// waits for in-flight batches.
 class RequestScheduler {
  public:
-  /// `index` must outlive the scheduler. Worker threads start
-  /// immediately; the pool and all queues are owned.
+  /// `index` must outlive the scheduler (non-owning; generation 0).
+  /// Worker threads start immediately; the pool and all queues are owned.
   RequestScheduler(const StudyIndex* index, const ServeOptions& options);
+
+  /// Generation-aware constructor: the scheduler co-owns the index and
+  /// serves `generation` until the first SwapIndex.
+  RequestScheduler(std::shared_ptr<const StudyIndex> index,
+                   int64_t generation, const ServeOptions& options);
   ~RequestScheduler();
 
   RequestScheduler(const RequestScheduler&) = delete;
@@ -67,6 +84,17 @@ class RequestScheduler {
   /// becomes ready with exactly one response line (success, error, or
   /// rejection — never an exception), even across Drain().
   std::future<std::string> SubmitLine(std::string_view line);
+
+  /// Atomically publishes a new index generation. In-flight batches keep
+  /// answering from the generation they pinned; later batches pin the new
+  /// one. Never blocks on readers. `generation` must increase.
+  void SwapIndex(std::shared_ptr<const StudyIndex> index,
+                 int64_t generation);
+
+  /// Pins the live generation: the returned shared_ptr keeps it alive
+  /// for as long as the caller holds it, across any number of swaps.
+  std::shared_ptr<const StudyIndex> PinIndex(
+      int64_t* generation = nullptr) const;
 
   /// Graceful shutdown: stops admitting, flushes lingering partial
   /// batches, and blocks until every admitted request has been answered.
@@ -93,19 +121,43 @@ class RequestScheduler {
   /// queue is empty, lingering up to batch_linger_us for fuller ones.
   void DrainLoop();
   void ProcessBatch(std::vector<Pending> batch);
-  /// Renders the server_stats response. mu_ must be held.
+  /// Renders the server_stats response. mu_ must be held (takes
+  /// index_mu_ inside — lock order mu_ -> index_mu_).
   std::string StatsResponseLocked(int64_t id) const;
+  /// Forwards an append_tweets request to the stream backend after every
+  /// previously admitted request has executed. mu_ must be held; released
+  /// while waiting and during the backend call, then re-taken.
+  std::string AppendLocked(std::unique_lock<std::mutex>& lock,
+                           const Request& request);
 
-  const StudyIndex* index_;
   ServeOptions options_;
+
+  /// The live index generation. Guarded by its own mutex, acquired after
+  /// mu_ when both are needed (mu_ -> index_mu_); SwapIndex takes only
+  /// index_mu_, so publication never contends with admission.
+  mutable std::mutex index_mu_;
+  std::shared_ptr<const StudyIndex> index_;
+  int64_t generation_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable batch_cv_;    ///< Wakes lingering drainers.
   std::condition_variable drained_cv_;  ///< Signals Drain completion.
+  std::condition_variable executed_cv_;  ///< Signals per-request completion.
+  /// Wakes submitters held back by an in-flight append fence.
+  std::condition_variable admission_cv_;
   std::deque<Pending> queue_;
   int active_drainers_ = 0;
+  /// Appends between fence entry and backend return. While nonzero,
+  /// admission stalls on admission_cv_, so no request submitted after an
+  /// append can execute before its index swap — the fence that makes a
+  /// pipelined client's stream fully ordered under any worker count.
+  int appends_in_flight_ = 0;
   bool draining_ = false;
   int64_t next_seq_ = 0;
+  /// Admitted requests fully executed (responses set). executed_ ==
+  /// next_seq_ means the queue and all in-flight batches are drained —
+  /// the barrier append_tweets waits on.
+  int64_t executed_ = 0;
   SchedulerStats stats_;
 
   // Observability (null when no registry is attached).

@@ -16,7 +16,11 @@
 namespace stir::serve {
 
 Server::Server(const StudyIndex* index, const ServeOptions& options)
-    : index_(index), scheduler_(index, options) {}
+    : scheduler_(index, options) {}
+
+Server::Server(std::shared_ptr<const StudyIndex> index, int64_t generation,
+               const ServeOptions& options)
+    : scheduler_(std::move(index), generation, options) {}
 
 std::future<std::string> Server::SubmitLine(std::string_view line) {
   return scheduler_.SubmitLine(line);

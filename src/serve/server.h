@@ -27,8 +27,14 @@ namespace stir::serve {
 /// under any worker count.
 class Server {
  public:
-  /// `index` must outlive the server.
+  /// `index` must outlive the server (non-owning; generation 0).
   Server(const StudyIndex* index, const ServeOptions& options);
+
+  /// Generation-aware constructor for streaming servers: the scheduler
+  /// co-owns `index` and serves it as `generation` until the stream
+  /// backend swaps in a successor.
+  Server(std::shared_ptr<const StudyIndex> index, int64_t generation,
+         const ServeOptions& options);
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -50,10 +56,11 @@ class Server {
 
   SchedulerStats stats() const { return scheduler_.stats(); }
   RequestScheduler& scheduler() { return scheduler_; }
-  const StudyIndex& index() const { return *index_; }
+  /// The live index. On a streaming server the reference is only stable
+  /// until the next swap — pin via scheduler().PinIndex() to hold it.
+  const StudyIndex& index() const { return *scheduler_.PinIndex(); }
 
  private:
-  const StudyIndex* index_;
   RequestScheduler scheduler_;
 };
 

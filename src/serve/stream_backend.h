@@ -1,0 +1,46 @@
+#ifndef STIR_SERVE_STREAM_BACKEND_H_
+#define STIR_SERVE_STREAM_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "twitter/model.h"
+
+namespace stir::serve {
+
+/// Result of one append_tweets batch against the streaming engine.
+struct AppendOutcome {
+  /// False when validation rejected the batch (duplicate user, tweet for
+  /// an unknown user, ...). A rejected batch is applied not at all —
+  /// validation runs before any record is ingested.
+  bool ok = true;
+  std::string error;
+  int64_t users_appended = 0;
+  int64_t tweets_appended = 0;
+  /// Epochs sealed by this append (auto-seal crossings).
+  int64_t epochs_sealed = 0;
+  /// Live index generation after the append.
+  int64_t generation = 0;
+  /// Tweets ingested but not yet folded into a sealed epoch.
+  int64_t pending_tweets = 0;
+};
+
+/// The scheduler's hook into an incremental study engine. Implemented by
+/// stir::stream::StreamEngine; kept abstract here so serve/ does not
+/// depend on stream/ (stream/ already depends on serve/ for StudyIndex).
+///
+/// Append() may seal epochs and swap a new index generation into the
+/// scheduler; the scheduler calls it only after every previously admitted
+/// request has executed, so a single pipelined client sees strictly
+/// ordered read-your-writes semantics (DESIGN.md §12).
+class StreamBackend {
+ public:
+  virtual ~StreamBackend() = default;
+  virtual AppendOutcome Append(const std::vector<twitter::User>& users,
+                               const std::vector<twitter::Tweet>& tweets) = 0;
+};
+
+}  // namespace stir::serve
+
+#endif  // STIR_SERVE_STREAM_BACKEND_H_

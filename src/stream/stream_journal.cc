@@ -1,0 +1,120 @@
+#include "stream/stream_journal.h"
+
+#include <utility>
+
+#include "io/serialize.h"
+
+namespace stir::stream {
+
+namespace {
+
+constexpr uint32_t kKindUser = 0;
+constexpr uint32_t kKindTweet = 1;
+constexpr uint32_t kKindEpochSeal = 2;
+
+}  // namespace
+
+std::string StreamJournal::EncodeUser(const twitter::User& user) {
+  io::BinaryWriter w;
+  w.U32(kKindUser);
+  w.I64(user.id);
+  w.I64(user.total_tweets);
+  w.String(user.handle);
+  w.String(user.profile_location);
+  return w.Take();
+}
+
+std::string StreamJournal::EncodeTweet(const twitter::Tweet& tweet,
+                                       int64_t fault_key) {
+  io::BinaryWriter w;
+  w.U32(kKindTweet);
+  w.I64(tweet.id);
+  w.I64(tweet.user);
+  w.I64(tweet.time);
+  w.I64(fault_key);
+  w.Bool(tweet.gps.has_value());
+  if (tweet.gps.has_value()) {
+    w.Double(tweet.gps->lat);
+    w.Double(tweet.gps->lng);
+  }
+  w.String(tweet.text);
+  return w.Take();
+}
+
+std::string StreamJournal::EncodeEpochSeal(int64_t epoch) {
+  io::BinaryWriter w;
+  w.U32(kKindEpochSeal);
+  w.I64(epoch);
+  return w.Take();
+}
+
+bool StreamJournal::DecodeRecord(std::string_view payload, StreamRecord* out) {
+  io::BinaryReader r(payload);
+  uint32_t kind = 0;
+  if (!r.U32(&kind)) return false;
+  StreamRecord record;
+  switch (kind) {
+    case kKindUser: {
+      record.kind = StreamRecord::Kind::kUser;
+      if (!r.I64(&record.user.id) || !r.I64(&record.user.total_tweets) ||
+          !r.String(&record.user.handle) ||
+          !r.String(&record.user.profile_location) || !r.Done()) {
+        return false;
+      }
+      break;
+    }
+    case kKindTweet: {
+      record.kind = StreamRecord::Kind::kTweet;
+      bool has_gps = false;
+      if (!r.I64(&record.tweet.id) || !r.I64(&record.tweet.user) ||
+          !r.I64(&record.tweet.time) || !r.I64(&record.fault_key) ||
+          !r.Bool(&has_gps)) {
+        return false;
+      }
+      if (has_gps) {
+        geo::LatLng point;
+        if (!r.Double(&point.lat) || !r.Double(&point.lng)) return false;
+        record.tweet.gps = point;
+      }
+      if (!r.String(&record.tweet.text) || !r.Done()) return false;
+      break;
+    }
+    case kKindEpochSeal: {
+      record.kind = StreamRecord::Kind::kEpochSeal;
+      if (!r.I64(&record.epoch) || !r.Done()) return false;
+      break;
+    }
+    default:
+      return false;
+  }
+  *out = std::move(record);
+  return true;
+}
+
+StreamJournalReplay StreamJournal::Replay(const std::string& path) {
+  StreamJournalReplay replay;
+  int64_t decode_failures = 0;
+  auto stats_or =
+      io::ReplayJournal(path, kMagic, [&](std::string_view payload) {
+        StreamRecord record;
+        if (StreamJournal::DecodeRecord(payload, &record)) {
+          replay.records.push_back(std::move(record));
+        } else {
+          ++decode_failures;
+        }
+      });
+  if (!stats_or.ok()) {
+    replay.usable = false;
+    replay.error = stats_or.status().message();
+    replay.records.clear();
+    return replay;
+  }
+  replay.stats = *stats_or;
+  // A frame whose payload decodes to garbage is as corrupt as one whose
+  // CRC failed; fold both into the quarantine count.
+  replay.stats.quarantined += decode_failures;
+  replay.stats.records -= decode_failures;
+  return replay;
+}
+
+}  // namespace stir::stream

@@ -1,0 +1,89 @@
+#ifndef STIR_STREAM_STREAM_JOURNAL_H_
+#define STIR_STREAM_STREAM_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/journal.h"
+#include "twitter/model.h"
+
+namespace stir::stream {
+
+/// One replayed stream-journal record. The journal is the stream engine's
+/// write-ahead log (DESIGN.md §12): every ingested user and tweet is
+/// appended before it is applied, and every sealed epoch leaves a marker
+/// *after* its index generation was built and published. Replay therefore
+/// reconstructs exactly the ingest sequence, and the marker count tells a
+/// resuming engine which generation was last served.
+struct StreamRecord {
+  enum class Kind : int {
+    kUser = 0,
+    kTweet = 1,
+    kEpochSeal = 2,
+  };
+  Kind kind = Kind::kUser;
+  twitter::User user;    ///< kUser
+  twitter::Tweet tweet;  ///< kTweet
+  /// kTweet: the fold's fault-schedule key (the CLI passes the tweet's
+  /// dataset index; serve-path appends get monotonic engine sequence
+  /// numbers). Journaled so a resumed run replays the exact same fault
+  /// decisions.
+  int64_t fault_key = -1;
+  int64_t epoch = 0;  ///< kEpochSeal: epochs_sealed after the seal.
+};
+
+/// Outcome of replaying a stream journal. Structural problems (bad magic,
+/// unusable header) surface as `usable == false` with the reason in
+/// `error` — never as an abort; the caller logs it and starts fresh.
+struct StreamJournalReplay {
+  bool usable = true;
+  std::string error;
+  std::vector<StreamRecord> records;
+  io::JournalReplayStats stats;  ///< quarantined includes decode failures.
+};
+
+/// The stream engine's ingest journal (magic "STIRSTRM"), framed by
+/// io::JournalWriter: a crash can only tear the tail, which replay
+/// truncates, so resume always restarts from a record boundary.
+class StreamJournal {
+ public:
+  static constexpr std::string_view kMagic = "STIRSTRM";
+
+  /// Decodes every intact record at `path`, in append order. Records
+  /// whose payload fails to decode are counted into `stats.quarantined`.
+  static StreamJournalReplay Replay(const std::string& path);
+
+  /// Serialization of one record (exposed for tests).
+  static std::string EncodeUser(const twitter::User& user);
+  static std::string EncodeTweet(const twitter::Tweet& tweet,
+                                 int64_t fault_key);
+  static std::string EncodeEpochSeal(int64_t epoch);
+  static bool DecodeRecord(std::string_view payload, StreamRecord* out);
+
+  Status OpenFresh(const std::string& path, bool fsync = true) {
+    return writer_.OpenFresh(path, kMagic, fsync);
+  }
+  Status OpenForResume(const std::string& path, int64_t valid_bytes,
+                       bool fsync = true) {
+    return writer_.OpenForResume(path, kMagic, valid_bytes, fsync);
+  }
+
+  /// Appends one pre-encoded record. Errors are returned, not fatal: the
+  /// engine treats a failed append as "journal lost", logs once, and
+  /// keeps ingesting in memory.
+  Status Append(std::string_view payload) { return writer_.Append(payload); }
+
+  bool is_open() const { return writer_.is_open(); }
+  int64_t appended() const { return writer_.appended(); }
+  void Close() { writer_.Close(); }
+
+ private:
+  io::JournalWriter writer_;
+};
+
+}  // namespace stir::stream
+
+#endif  // STIR_STREAM_STREAM_JOURNAL_H_

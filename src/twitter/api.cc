@@ -131,6 +131,17 @@ int64_t StreamingApi::Filter(const std::string& keyword,
   return delivered;
 }
 
+int64_t StreamingApi::Replay(const IndexedCallback& callback) const {
+  int64_t delivered = 0;
+  int64_t position = 0;
+  for (size_t index : by_time_asc_) {
+    if (!ShouldDeliver(position++)) continue;
+    callback(index, dataset_->tweets()[index]);
+    ++delivered;
+  }
+  return delivered;
+}
+
 int64_t StreamingApi::Sample(double rate, Rng& rng,
                              const Callback& callback) const {
   int64_t delivered = 0;

@@ -104,6 +104,8 @@ class SearchApi {
 class StreamingApi {
  public:
   using Callback = std::function<void(const Tweet&)>;
+  using IndexedCallback = std::function<void(size_t dataset_index,
+                                             const Tweet&)>;
 
   /// `dataset` (and `fault_injector`, when given) must outlive the API.
   explicit StreamingApi(const Dataset* dataset,
@@ -112,6 +114,15 @@ class StreamingApi {
   /// Delivers every tweet containing `keyword` (case-insensitive);
   /// returns the number delivered.
   int64_t Filter(const std::string& keyword, const Callback& callback) const;
+
+  /// Replays every materialized tweet in time order, delivering the
+  /// tweet together with its *dataset* index. The index is the stable,
+  /// replay-order-independent key the incremental study engine feeds the
+  /// fault scheduler, so a streamed run charges the exact fault/retry
+  /// schedule of the batch study over the same dataset. Injected stream
+  /// faults still drop deliveries (keyed on replay position, like
+  /// Filter/Sample).
+  int64_t Replay(const IndexedCallback& callback) const;
 
   /// Delivers each tweet with probability `rate`; returns count.
   int64_t Sample(double rate, Rng& rng, const Callback& callback) const;

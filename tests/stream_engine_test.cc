@@ -1,0 +1,358 @@
+// StreamEngine unit coverage: journal record round-trips, the epoch /
+// generation bookkeeping, ingest validation and append atomicity,
+// crash-resume from the stream journal (including mid-epoch tails and
+// torn bytes), and the stream.* metrics surface. The differential
+// batch-equivalence proof lives in stream_equivalence_test.cc.
+
+#include "stream/engine.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "geo/admin_db.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "serve/study_index.h"
+#include "stream/stream_journal.h"
+#include "twitter/generator.h"
+
+namespace stir::stream {
+namespace {
+
+using geo::AdminDb;
+
+class StreamEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = &AdminDb::KoreanDistricts();
+    twitter::DatasetGenerator generator(
+        db_, twitter::DatasetGenerator::KoreanConfig(0.01));
+    data_ = new twitter::GeneratedData(generator.Generate());
+    ASSERT_GT(data_->dataset.tweets().size(), 20u);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  /// A fresh per-test scratch directory under the gtest temp root.
+  static std::string ScratchDir(const std::string& name) {
+    std::string dir = testing::TempDir() + "/stream_engine_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  static void AddAllUsers(StreamEngine* engine) {
+    for (const twitter::User& user : data_->dataset.users()) {
+      ASSERT_TRUE(engine->AddUser(user).ok());
+    }
+  }
+
+  /// Ingests dataset tweets [first, last) with dataset-index fault keys.
+  static void AddTweetRange(StreamEngine* engine, size_t first,
+                            size_t last) {
+    const std::vector<twitter::Tweet>& tweets = data_->dataset.tweets();
+    for (size_t i = first; i < last && i < tweets.size(); ++i) {
+      ASSERT_TRUE(
+          engine->AddTweet(tweets[i], static_cast<int64_t>(i)).ok());
+    }
+  }
+
+  /// Byte-compares two indexes through every user lookup + the summary.
+  static void ExpectSameAnswers(const serve::StudyIndex& lhs,
+                                const serve::StudyIndex& rhs) {
+    ASSERT_EQ(lhs.user_count(), rhs.user_count());
+    serve::Request topk;
+    topk.id = 1;
+    topk.method = serve::Method::kTopkSummary;
+    EXPECT_EQ(serve::ExecuteOnIndex(lhs, topk),
+              serve::ExecuteOnIndex(rhs, topk));
+    for (const serve::UserEntry& entry : lhs.users()) {
+      serve::Request request;
+      request.id = 2;
+      request.method = serve::Method::kLookupUser;
+      request.user = entry.user;
+      EXPECT_EQ(serve::ExecuteOnIndex(lhs, request),
+                serve::ExecuteOnIndex(rhs, request));
+      if (HasFailure()) return;
+    }
+  }
+
+  static const AdminDb* db_;
+  static twitter::GeneratedData* data_;
+};
+
+const AdminDb* StreamEngineTest::db_ = nullptr;
+twitter::GeneratedData* StreamEngineTest::data_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Journal records
+
+TEST(StreamJournalTest, UserRecordRoundTrips) {
+  twitter::User user;
+  user.id = 42;
+  user.total_tweets = 7;
+  user.handle = "mapo_dweller";
+  user.profile_location = "Seoul Mapo-gu";
+  StreamRecord record;
+  ASSERT_TRUE(
+      StreamJournal::DecodeRecord(StreamJournal::EncodeUser(user), &record));
+  EXPECT_EQ(record.kind, StreamRecord::Kind::kUser);
+  EXPECT_EQ(record.user.id, 42);
+  EXPECT_EQ(record.user.total_tweets, 7);
+  EXPECT_EQ(record.user.handle, "mapo_dweller");
+  EXPECT_EQ(record.user.profile_location, "Seoul Mapo-gu");
+}
+
+TEST(StreamJournalTest, TweetRecordRoundTripsWithAndWithoutGps) {
+  twitter::Tweet tweet;
+  tweet.id = 9000;
+  tweet.user = 42;
+  tweet.time = 1234;
+  tweet.text = "afternoon in 망원동";
+  tweet.gps = geo::LatLng{37.5556, 126.9017};
+  StreamRecord record;
+  ASSERT_TRUE(StreamJournal::DecodeRecord(
+      StreamJournal::EncodeTweet(tweet, /*fault_key=*/17), &record));
+  EXPECT_EQ(record.kind, StreamRecord::Kind::kTweet);
+  EXPECT_EQ(record.tweet.id, 9000);
+  EXPECT_EQ(record.tweet.user, 42);
+  EXPECT_EQ(record.tweet.time, 1234);
+  EXPECT_EQ(record.fault_key, 17);
+  ASSERT_TRUE(record.tweet.gps.has_value());
+  EXPECT_DOUBLE_EQ(record.tweet.gps->lat, 37.5556);
+  EXPECT_DOUBLE_EQ(record.tweet.gps->lng, 126.9017);
+  EXPECT_EQ(record.tweet.text, tweet.text);
+
+  tweet.gps.reset();
+  ASSERT_TRUE(StreamJournal::DecodeRecord(
+      StreamJournal::EncodeTweet(tweet, /*fault_key=*/-1), &record));
+  EXPECT_FALSE(record.tweet.gps.has_value());
+  EXPECT_EQ(record.fault_key, -1);
+}
+
+TEST(StreamJournalTest, EpochSealRoundTripsAndGarbageIsRejected) {
+  StreamRecord record;
+  ASSERT_TRUE(StreamJournal::DecodeRecord(
+      StreamJournal::EncodeEpochSeal(12), &record));
+  EXPECT_EQ(record.kind, StreamRecord::Kind::kEpochSeal);
+  EXPECT_EQ(record.epoch, 12);
+
+  // Truncated, trailing-garbage, and unknown-kind payloads all fail.
+  std::string seal = StreamJournal::EncodeEpochSeal(12);
+  EXPECT_FALSE(StreamJournal::DecodeRecord(
+      std::string_view(seal).substr(0, seal.size() - 1), &record));
+  EXPECT_FALSE(StreamJournal::DecodeRecord(seal + "x", &record));
+  EXPECT_FALSE(StreamJournal::DecodeRecord("\xff\xff\xff\xff", &record));
+  EXPECT_FALSE(StreamJournal::DecodeRecord("", &record));
+}
+
+// ---------------------------------------------------------------------------
+// Engine basics
+
+TEST_F(StreamEngineTest, StartsAtGenerationZeroWithAnEmptyIndex) {
+  StreamEngine engine(db_, StudyConfig{}, StreamOptions{});
+  ASSERT_TRUE(engine.Open().ok());
+  EXPECT_EQ(engine.generation(), 0);
+  EXPECT_EQ(engine.epochs_sealed(), 0);
+  std::shared_ptr<const serve::StudyIndex> index = engine.CurrentIndex();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->user_count(), 0u);
+  // Sealing with nothing ingested is a no-op, not a new generation.
+  EXPECT_EQ(engine.SealEpoch(), index);
+  EXPECT_EQ(engine.generation(), 0);
+}
+
+TEST_F(StreamEngineTest, OpenTwiceIsRejected) {
+  StreamEngine engine(db_, StudyConfig{}, StreamOptions{});
+  ASSERT_TRUE(engine.Open().ok());
+  EXPECT_FALSE(engine.Open().ok());
+}
+
+TEST_F(StreamEngineTest, ValidatesIngest) {
+  StreamEngine engine(db_, StudyConfig{}, StreamOptions{});
+  ASSERT_TRUE(engine.Open().ok());
+  twitter::User user;
+  user.id = 5;
+  ASSERT_TRUE(engine.AddUser(user).ok());
+  EXPECT_TRUE(engine.HasUser(5));
+  EXPECT_FALSE(engine.AddUser(user).ok());  // Duplicate.
+  user.id = -1;
+  EXPECT_FALSE(engine.AddUser(user).ok());  // Negative.
+  twitter::Tweet tweet;
+  tweet.id = 1;
+  tweet.user = 999;  // Unknown user.
+  EXPECT_FALSE(engine.AddTweet(tweet).ok());
+  tweet.user = 5;
+  EXPECT_TRUE(engine.AddTweet(tweet).ok());
+  EXPECT_EQ(engine.ingested_tweets(), 1);
+}
+
+TEST_F(StreamEngineTest, AppendIsAtomic) {
+  StreamEngine engine(db_, StudyConfig{}, StreamOptions{});
+  ASSERT_TRUE(engine.Open().ok());
+  std::vector<twitter::User> users(1);
+  users[0].id = 10;
+  std::vector<twitter::Tweet> tweets(2);
+  tweets[0].id = 100;
+  tweets[0].user = 10;
+  tweets[1].id = 101;
+  tweets[1].user = 777;  // Unknown — poisons the whole batch.
+  serve::AppendOutcome outcome = engine.Append(users, tweets);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.users_appended, 0);
+  EXPECT_EQ(outcome.tweets_appended, 0);
+  EXPECT_FALSE(engine.HasUser(10));
+  EXPECT_EQ(engine.ingested_tweets(), 0);
+
+  tweets[1].user = 10;
+  outcome = engine.Append(users, tweets);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.users_appended, 1);
+  EXPECT_EQ(outcome.tweets_appended, 2);
+  EXPECT_EQ(outcome.pending_tweets, 2);
+  EXPECT_EQ(outcome.epochs_sealed, 0);
+}
+
+TEST_F(StreamEngineTest, AutoSealCountsEveryTweetAgainstTheEpoch) {
+  StreamOptions options;
+  options.epoch_size = 4;
+  StreamEngine engine(db_, StudyConfig{}, options);
+  ASSERT_TRUE(engine.Open().ok());
+  AddAllUsers(&engine);
+  AddTweetRange(&engine, 0, 10);
+  // 10 tweets at epoch 4: seals at 4 and 8, two pending.
+  EXPECT_EQ(engine.epochs_sealed(), 2);
+  EXPECT_EQ(engine.generation(), 2);
+  EXPECT_EQ(engine.pending_tweets(), 2);
+  engine.SealEpoch();
+  EXPECT_EQ(engine.epochs_sealed(), 3);
+  EXPECT_EQ(engine.pending_tweets(), 0);
+}
+
+TEST_F(StreamEngineTest, ExportsStreamMetrics) {
+  obs::MetricsRegistry metrics;
+  StudyConfig config;
+  config.obs.metrics = &metrics;
+  StreamOptions options;
+  options.epoch_size = 4;
+  {
+    StreamEngine engine(db_, config, options);
+    ASSERT_TRUE(engine.Open().ok());
+    AddAllUsers(&engine);
+    AddTweetRange(&engine, 0, 10);
+    engine.SealEpoch();
+    EXPECT_EQ(metrics.GetCounter("stream.epochs_sealed")->value(), 3);
+    EXPECT_EQ(metrics.GetCounter("stream.ingested_users")->value(),
+              static_cast<int64_t>(data_->dataset.users().size()));
+    EXPECT_EQ(metrics.GetCounter("stream.ingested_tweets")->value(), 10);
+    // Generations: the initial empty one plus three seals, all live or
+    // retired; the engine itself still pins the latest.
+    EXPECT_EQ(metrics.GetGauge("stream.generations_live")->value() +
+                  metrics.GetCounter("stream.generations_retired")->value(),
+              4);
+  }
+  // Engine destruction drops the last pin: everything retires.
+  EXPECT_EQ(metrics.GetGauge("stream.generations_live")->value(), 0);
+  EXPECT_EQ(metrics.GetCounter("stream.generations_retired")->value(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-resume
+
+TEST_F(StreamEngineTest, ResumeContinuesMidEpochAtTheSameBoundaries) {
+  std::string dir = ScratchDir("mid_epoch");
+  StreamOptions options;
+  options.epoch_size = 5;
+  options.durable_dir = dir;
+
+  // "Crash" after 7 tweets: one sealed epoch (5), two pending.
+  {
+    StreamEngine engine(db_, StudyConfig{}, options);
+    ASSERT_TRUE(engine.Open().ok());
+    AddAllUsers(&engine);
+    AddTweetRange(&engine, 0, 7);
+    EXPECT_EQ(engine.epochs_sealed(), 1);
+    EXPECT_EQ(engine.pending_tweets(), 2);
+  }
+
+  // Resume replays the journal (1 marker + 2 pending tails) and the
+  // remaining ingest auto-seals at the uninterrupted run's boundaries.
+  options.resume = true;
+  StreamEngine resumed(db_, StudyConfig{}, options);
+  ASSERT_TRUE(resumed.Open().ok());
+  EXPECT_EQ(resumed.epochs_sealed(), 1);
+  EXPECT_EQ(resumed.generation(), 1);
+  EXPECT_EQ(resumed.pending_tweets(), 2);
+  EXPECT_EQ(resumed.ingested_tweets(), 7);
+  AddTweetRange(&resumed, 7, 12);
+  EXPECT_EQ(resumed.epochs_sealed(), 2);  // Sealed at tweet 10.
+  resumed.SealEpoch();
+
+  // Uninterrupted reference over the same 12 tweets.
+  StreamOptions memory_only;
+  memory_only.epoch_size = 5;
+  StreamEngine reference(db_, StudyConfig{}, memory_only);
+  ASSERT_TRUE(reference.Open().ok());
+  AddAllUsers(&reference);
+  AddTweetRange(&reference, 0, 12);
+  reference.SealEpoch();
+  EXPECT_EQ(resumed.epochs_sealed(), reference.epochs_sealed());
+  EXPECT_EQ(resumed.generation(), reference.generation());
+  ExpectSameAnswers(*resumed.CurrentIndex(), *reference.CurrentIndex());
+}
+
+TEST_F(StreamEngineTest, ResumeSurvivesATornTail) {
+  std::string dir = ScratchDir("torn_tail");
+  StreamOptions options;
+  options.epoch_size = 3;
+  options.durable_dir = dir;
+  {
+    StreamEngine engine(db_, StudyConfig{}, options);
+    ASSERT_TRUE(engine.Open().ok());
+    AddAllUsers(&engine);
+    AddTweetRange(&engine, 0, 8);
+  }
+  // A crash mid-write tears the journal tail; replay must truncate it
+  // and resume from the last intact record.
+  {
+    std::ofstream out(dir + "/stream.journal",
+                      std::ios::binary | std::ios::app);
+    out << "torn-frame-garbage";
+  }
+  options.resume = true;
+  StreamEngine resumed(db_, StudyConfig{}, options);
+  ASSERT_TRUE(resumed.Open().ok());
+  EXPECT_EQ(resumed.ingested_tweets(), 8);
+  EXPECT_EQ(resumed.epochs_sealed(), 2);
+  EXPECT_EQ(resumed.pending_tweets(), 2);
+  // And the journal is writable again: new ingest extends it.
+  AddTweetRange(&resumed, 8, 9);
+  EXPECT_EQ(resumed.epochs_sealed(), 3);
+}
+
+TEST_F(StreamEngineTest, FreshOpenTruncatesAnOldJournal) {
+  std::string dir = ScratchDir("fresh");
+  StreamOptions options;
+  options.epoch_size = 3;
+  options.durable_dir = dir;
+  {
+    StreamEngine engine(db_, StudyConfig{}, options);
+    ASSERT_TRUE(engine.Open().ok());
+    AddAllUsers(&engine);
+    AddTweetRange(&engine, 0, 6);
+  }
+  // Without --resume the directory restarts from scratch.
+  StreamEngine fresh(db_, StudyConfig{}, options);
+  ASSERT_TRUE(fresh.Open().ok());
+  EXPECT_EQ(fresh.ingested_tweets(), 0);
+  EXPECT_EQ(fresh.generation(), 0);
+}
+
+}  // namespace
+}  // namespace stir::stream

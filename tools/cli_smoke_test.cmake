@@ -246,7 +246,8 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "study --help exited ${rc}: ${err}")
 endif()
-foreach(flag metrics-out trace-out report-schema threads fault-rate)
+foreach(flag metrics-out trace-out report-schema threads fault-rate
+        stream epoch-size)
   if(NOT err MATCHES "--${flag}")
     message(FATAL_ERROR "study --help missing --${flag}: ${err}")
   endif()

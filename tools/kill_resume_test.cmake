@@ -204,4 +204,62 @@ endif()
 expect_same_report("corrupt durable state"
                    ${CLEAN_REPORT} ${WORK_DIR}/${name}_report/report.json)
 
+# --- Streaming: clean run equals batch ---------------------------------
+# The incremental engine folds the same log through epoch-sized deltas;
+# its final report must be byte-identical to the one-shot batch report.
+file(REMOVE_RECURSE ${WORK_DIR}/kr_stream_clean_report)
+file(MAKE_DIRECTORY ${WORK_DIR}/kr_stream_clean_report)
+run_cli(rc out err ${STUDY} --stream --epoch-size 13
+        --report-dir ${WORK_DIR}/kr_stream_clean_report)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "streaming clean run failed (${rc}): ${err}")
+endif()
+expect_same_report("streaming clean vs batch"
+                   ${CLEAN_REPORT}
+                   ${WORK_DIR}/kr_stream_clean_report/report.json)
+
+# --- Streaming crash/resume --------------------------------------------
+# Kill the streaming ingest mid-log, then resume against the stream
+# journal: replay re-seals the journaled epochs at the same boundaries
+# and the tail re-ingests live, so the report is again byte-identical.
+set(name kr_stream_crash)
+prepare_dirs(${name})
+run_cli(rc out err ${STUDY} --stream --epoch-size 13
+        --checkpoint-dir ${WORK_DIR}/${name}_ckpt
+        --crash-after 300)
+if(NOT rc EQUAL ${CRASH_EXIT})
+  message(FATAL_ERROR "streaming crash run exited ${rc}, "
+          "expected ${CRASH_EXIT}: ${out} ${err}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/${name}_ckpt/stream.journal)
+  message(FATAL_ERROR "streaming crash left no stream journal")
+endif()
+run_cli(rc out err ${STUDY} --stream --epoch-size 13
+        --checkpoint-dir ${WORK_DIR}/${name}_ckpt --resume
+        --report-dir ${WORK_DIR}/${name}_report)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "streaming resume failed (${rc}): ${err}")
+endif()
+expect_same_report("streaming crash/resume"
+                   ${CLEAN_REPORT} ${WORK_DIR}/${name}_report/report.json)
+
+# --- Streaming torn stream-journal tail --------------------------------
+set(name kr_stream_torn)
+prepare_dirs(${name})
+run_cli(rc out err ${STUDY} --stream --epoch-size 13
+        --checkpoint-dir ${WORK_DIR}/${name}_ckpt
+        --crash-after 300)
+if(NOT rc EQUAL ${CRASH_EXIT})
+  message(FATAL_ERROR "streaming torn-tail crash exited ${rc}: ${out} ${err}")
+endif()
+file(APPEND ${WORK_DIR}/${name}_ckpt/stream.journal "TORNTAILBYTES")
+run_cli(rc out err ${STUDY} --stream --epoch-size 13
+        --checkpoint-dir ${WORK_DIR}/${name}_ckpt --resume
+        --report-dir ${WORK_DIR}/${name}_report)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "streaming torn-tail resume failed (${rc}): ${err}")
+endif()
+expect_same_report("streaming torn stream-journal tail"
+                   ${CLEAN_REPORT} ${WORK_DIR}/${name}_report/report.json)
+
 message(STATUS "kill-resume harness passed")

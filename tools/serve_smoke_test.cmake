@@ -187,6 +187,95 @@ if(NOT EXISTS ${WORK_DIR}/serve_ckpt/geocode.journal)
   message(FATAL_ERROR "checkpointed serve left no geocode.journal")
 endif()
 
+# --- Streaming serve ---------------------------------------------------
+# The incremental engine must answer the same request stream with the
+# same bytes as the batch-built index it is proven equivalent to.
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv --stdio --workers 3
+          --stream
+  INPUT_FILE ${WORK_DIR}/serve_requests.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE stream_out ERROR_VARIABLE stream_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--stream serve failed (${rc}): ${stream_err}")
+endif()
+if(NOT stream_err MATCHES "streaming index ready")
+  message(FATAL_ERROR "missing streaming-index-ready notice: ${stream_err}")
+endif()
+if(NOT stream_out STREQUAL serve_out)
+  message(FATAL_ERROR "--stream responses differ from batch:\n"
+          "=== batch ===\n${serve_out}\n=== stream ===\n${stream_out}")
+endif()
+
+# Live appends: index_info before and after an append_tweets request
+# must show the generation advancing (epoch size 1 seals per tweet) and
+# the appended user becoming visible — read-your-writes end to end.
+file(WRITE ${WORK_DIR}/serve_append_requests.txt
+"{\"v\":1,\"id\":1,\"method\":\"index_info\"}
+{\"v\":1,\"id\":2,\"method\":\"append_tweets\",\"params\":{\"users\":[{\"id\":987654,\"location\":\"Seoul Mapo-gu\",\"total_tweets\":1}],\"tweets\":[{\"id\":987001,\"user\":987654,\"time\":1,\"lat\":37.55,\"lng\":126.94,\"text\":\"smoke\"}]}}
+{\"v\":1,\"id\":3,\"method\":\"index_info\"}
+{\"v\":1,\"id\":4,\"method\":\"lookup_user\",\"params\":{\"user\":987654}}
+")
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv --stdio
+          --stream --epoch-size 1
+  INPUT_FILE ${WORK_DIR}/serve_append_requests.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE append_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "append smoke serve failed (${rc}): ${err}")
+endif()
+string(REGEX MATCHALL "[^\n]+" append_responses "${append_out}")
+list(LENGTH append_responses append_count)
+if(NOT append_count EQUAL 4)
+  message(FATAL_ERROR "expected 4 append-smoke responses:\n${append_out}")
+endif()
+list(GET append_responses 0 r_info_before)
+list(GET append_responses 1 r_append)
+list(GET append_responses 2 r_info_after)
+list(GET append_responses 3 r_appended_user)
+foreach(var r_info_before r_append r_info_after r_appended_user)
+  if(NOT "${${var}}" MATCHES "\"ok\":true")
+    message(FATAL_ERROR "${var} not ok: ${${var}}")
+  endif()
+endforeach()
+if(NOT CMAKE_VERSION VERSION_LESS 3.19)
+  string(JSON gen_before GET "${r_info_before}" result generation)
+  string(JSON gen_after GET "${r_info_after}" result generation)
+  if(NOT gen_after GREATER gen_before)
+    message(FATAL_ERROR "append did not advance the generation: "
+            "${gen_before} -> ${gen_after}")
+  endif()
+  string(JSON is_streaming GET "${r_info_before}" result streaming)
+  if(NOT is_streaming STREQUAL "ON")
+    message(FATAL_ERROR "index_info streaming flag: ${is_streaming}")
+  endif()
+  string(JSON appended GET "${r_append}" result appended_tweets)
+  if(NOT appended EQUAL 1)
+    message(FATAL_ERROR "append_tweets appended ${appended} tweets, wanted 1")
+  endif()
+  string(JSON echoed GET "${r_appended_user}" result user)
+  if(NOT echoed EQUAL 987654)
+    message(FATAL_ERROR "appended user lookup echoed ${echoed}")
+  endif()
+endif()
+
+# A batch server must refuse live appends.
+file(WRITE ${WORK_DIR}/serve_append_reject.txt
+"{\"v\":1,\"id\":1,\"method\":\"append_tweets\",\"params\":{}}
+")
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv --stdio
+  INPUT_FILE ${WORK_DIR}/serve_append_reject.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE reject_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "batch append-reject serve failed (${rc}): ${err}")
+endif()
+if(NOT reject_out MATCHES "not in streaming mode")
+  message(FATAL_ERROR "batch server accepted append_tweets: ${reject_out}")
+endif()
+
 # --- CLI contract ------------------------------------------------------
 
 execute_process(
@@ -212,7 +301,8 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "--help exited ${rc}: ${err}")
 endif()
-foreach(flag stdio port workers max-batch queue-capacity serve-fault-rate)
+foreach(flag stdio port workers max-batch queue-capacity serve-fault-rate
+        stream epoch-size)
   if(NOT err MATCHES "--${flag}")
     message(FATAL_ERROR "--help missing --${flag}: ${err}")
   endif()

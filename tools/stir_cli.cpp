@@ -34,7 +34,9 @@
 #include "core/study_config.h"
 #include "geo/admin_db.h"
 #include "obs/metrics.h"
+#include "stream/engine.h"
 #include "text/location_parser.h"
+#include "twitter/api.h"
 #include "twitter/generator.h"
 
 namespace {
@@ -299,6 +301,8 @@ int RunStudy(int argc, char** argv) {
 
   const char* cmd = "study";
   bool lenient_load = false;
+  bool stream_mode = false;
+  int64_t epoch_size = 0;
   std::vector<Flag> flags = {
       {"users", "FILE", "input users TSV (required)",
        [&](const std::string& v) { users_path = v; return true; }},
@@ -461,6 +465,22 @@ int RunStudy(int argc, char** argv) {
          lenient_load = true;
          return true;
        }},
+      {"stream", nullptr,
+       "run the study through the incremental stream engine instead of "
+       "the batch pipeline (byte-identical output; DESIGN.md §12)",
+       [&](const std::string&) {
+         stream_mode = true;
+         return true;
+       }},
+      {"epoch-size", "N",
+       "streaming auto-seal threshold in tweets; 0 seals once at the end "
+       "(default 0; requires --stream)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &epoch_size) || epoch_size < 0) {
+           return BadValue(cmd, "epoch-size", ">= 0");
+         }
+         return true;
+       }},
   };
 
   bool want_help = false;
@@ -477,6 +497,11 @@ int RunStudy(int argc, char** argv) {
   }
   if (config.durability.resume && config.durability.checkpoint_dir.empty()) {
     std::fprintf(stderr, "stir_cli %s: --resume requires --checkpoint-dir\n",
+                 cmd);
+    return 2;
+  }
+  if (epoch_size != 0 && !stream_mode) {
+    std::fprintf(stderr, "stir_cli %s: --epoch-size requires --stream\n",
                  cmd);
     return 2;
   }
@@ -511,8 +536,68 @@ int RunStudy(int argc, char** argv) {
         ->Increment(load_stats.quarantined());
   }
 
-  stir::core::CorrelationStudy study(&db, config);
-  stir::core::StudyResult result = study.Run(*dataset);
+  stir::core::StudyResult result;
+  if (stream_mode) {
+    // Incremental path: ingest the corpus through the stream engine (users
+    // in dataset order, tweets in time order with dataset-index fault
+    // keys), then snapshot through the same grouping/aggregation stages
+    // the batch pipeline runs — byte-identical stdout and reports.
+    stir::obs::Tracer cli_tracer;
+    if (config.obs.enable_trace && config.obs.tracer == nullptr) {
+      config.obs.tracer = &cli_tracer;
+    }
+    stir::stream::StreamOptions stream_options;
+    stream_options.epoch_size = epoch_size;
+    stream_options.durable_dir = config.durability.checkpoint_dir;
+    stream_options.resume = config.durability.resume;
+    stream_options.fsync = config.durability.fsync;
+    stir::stream::StreamEngine engine(&db, config, stream_options);
+    stir::Status status = engine.Open();
+    if (!status.ok()) {
+      std::fprintf(stderr, "stream engine open failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    const int64_t skip_tweets = engine.ingested_tweets();
+    for (const stir::twitter::User& user : dataset->users()) {
+      if (engine.HasUser(user.id)) continue;
+      status = engine.AddUser(user);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) {
+      stir::twitter::StreamingApi api(&*dataset);
+      int64_t delivered = 0;
+      api.Replay(
+          [&](size_t dataset_index, const stir::twitter::Tweet& tweet) {
+            if (!status.ok() || delivered++ < skip_tweets) return;
+            status =
+                engine.AddTweet(tweet, static_cast<int64_t>(dataset_index));
+          });
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "stream ingest failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    engine.SealEpoch();
+    std::fprintf(stderr,
+                 "streamed %lld users, %lld tweets in %lld epochs "
+                 "(generation %lld)\n",
+                 static_cast<long long>(engine.ingested_users()),
+                 static_cast<long long>(engine.ingested_tweets()),
+                 static_cast<long long>(engine.epochs_sealed()),
+                 static_cast<long long>(engine.generation()));
+    result = engine.SnapshotResult();
+    if (config.obs.metrics != nullptr) {
+      result.metrics = config.obs.metrics->Snapshot();
+    }
+    if (config.obs.tracer != nullptr) {
+      result.trace = config.obs.tracer->Snapshot();
+    }
+  } else {
+    stir::core::CorrelationStudy study(&db, config);
+    result = study.Run(*dataset);
+  }
   std::printf("%s\n%s\n%s", result.FunnelString().c_str(),
               result.GroupTableString().c_str(),
               stir::core::RenderGpsTweetHistogram(result).c_str());

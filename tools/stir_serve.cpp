@@ -20,6 +20,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@
 #include "obs/metrics.h"
 #include "serve/server.h"
 #include "serve/study_index.h"
+#include "stream/engine.h"
+#include "twitter/api.h"
 #include "twitter/dataset.h"
 
 namespace {
@@ -193,6 +196,8 @@ int main(int argc, char** argv) {
   int64_t port = 0;
   std::string metrics_out;
   int64_t max_pipeline = 64;
+  bool stream_mode = false;
+  int64_t epoch_size = 0;
   stir::serve::ServeOptions serve_options;
   stir::common::FaultInjectorOptions fault_options;
 
@@ -231,6 +236,19 @@ int main(int argc, char** argv) {
        "resume from the checkpoint in --checkpoint-dir (fresh run if none)",
        [&](const std::string&) {
          config.durability.resume = true;
+         return true;
+       }},
+      {"stream", nullptr,
+       "incremental streaming mode: ingest the corpus through the stream "
+       "engine and serve append_tweets (DESIGN.md §12)",
+       [&](const std::string&) { stream_mode = true; return true; }},
+      {"epoch-size", "N",
+       "streaming auto-seal threshold in tweets; 0 = one seal at startup "
+       "(default 0; requires --stream)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &epoch_size) || epoch_size < 0) {
+           return BadValue("epoch-size", ">= 0");
+         }
          return true;
        }},
       {"stdio", nullptr,
@@ -344,6 +362,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "stir_serve: --resume requires --checkpoint-dir\n");
     return 2;
   }
+  if (epoch_size != 0 && !stream_mode) {
+    std::fprintf(stderr, "stir_serve: --epoch-size requires --stream\n");
+    return 2;
+  }
 
   // Load + run the study once; the index freezes the result.
   const AdminDb& db = *GazetteerByName(gazetteer);
@@ -361,22 +383,82 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "stir_serve: lenient load quarantined %lld rows\n",
                  static_cast<long long>(load_stats.quarantined()));
   }
-  stir::core::CorrelationStudy study(&db, config);
-  stir::core::StudyResult result = study.Run(*dataset);
-  if (result.incomplete) {
-    std::fprintf(stderr,
-                 "stir_serve: study did not complete; refusing to serve\n");
-    return 1;
-  }
-  stir::serve::StudyIndex index = stir::serve::StudyIndex::Build(result, db);
-  std::fprintf(stderr,
-               "stir_serve: index ready — %zu users, %zu districts, "
-               "%lld bytes\n",
-               index.user_count(), index.district_count(),
-               static_cast<long long>(index.MemoryBytes()));
-
   stir::obs::MetricsRegistry metrics;
   serve_options.metrics = &metrics;
+
+  std::unique_ptr<stir::stream::StreamEngine> engine;
+  stir::serve::StudyIndex batch_index;
+  std::shared_ptr<const stir::serve::StudyIndex> stream_index;
+  int64_t stream_generation = 0;
+  if (stream_mode) {
+    stir::stream::StreamOptions stream_options;
+    stream_options.epoch_size = epoch_size;
+    stream_options.durable_dir = config.durability.checkpoint_dir;
+    stream_options.resume = config.durability.resume;
+    stream_options.fsync = config.durability.fsync;
+    // The engine shares the serve registry so stream.* counters land in
+    // the --metrics-out snapshot alongside serve.*.
+    config.obs.metrics = &metrics;
+    engine = std::make_unique<stir::stream::StreamEngine>(&db, config,
+                                                          stream_options);
+    stir::Status status = engine->Open();
+    if (!status.ok()) {
+      std::fprintf(stderr, "stir_serve: stream engine open failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    // Pre-ingest the corpus in stream order: users in dataset order, then
+    // tweets in time order carrying their dataset indices as fault keys,
+    // so every sealed generation is byte-identical to a batch study over
+    // the same prefix. A resumed engine skips whatever its journal
+    // already replayed.
+    const int64_t skip_tweets = engine->ingested_tweets();
+    for (const stir::twitter::User& user : dataset->users()) {
+      if (engine->HasUser(user.id)) continue;
+      status = engine->AddUser(user);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) {
+      stir::twitter::StreamingApi api(&*dataset);
+      int64_t delivered = 0;
+      api.Replay(
+          [&](size_t dataset_index, const stir::twitter::Tweet& tweet) {
+            if (!status.ok() || delivered++ < skip_tweets) return;
+            status =
+                engine->AddTweet(tweet, static_cast<int64_t>(dataset_index));
+          });
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "stir_serve: stream ingest failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    engine->SealEpoch();
+    stream_index = engine->CurrentIndex();
+    stream_generation = engine->generation();
+    serve_options.stream = engine.get();
+    std::fprintf(stderr,
+                 "stir_serve: streaming index ready — generation %lld, "
+                 "%zu users, %zu districts, %lld bytes\n",
+                 static_cast<long long>(stream_generation),
+                 stream_index->user_count(), stream_index->district_count(),
+                 static_cast<long long>(stream_index->MemoryBytes()));
+  } else {
+    stir::core::CorrelationStudy study(&db, config);
+    stir::core::StudyResult result = study.Run(*dataset);
+    if (result.incomplete) {
+      std::fprintf(stderr,
+                   "stir_serve: study did not complete; refusing to serve\n");
+      return 1;
+    }
+    batch_index = stir::serve::StudyIndex::Build(result, db);
+    std::fprintf(stderr,
+                 "stir_serve: index ready — %zu users, %zu districts, "
+                 "%lld bytes\n",
+                 batch_index.user_count(), batch_index.district_count(),
+                 static_cast<long long>(batch_index.MemoryBytes()));
+  }
+
   stir::common::FaultInjector fault_injector(fault_options);
   if (fault_injector.enabled()) {
     serve_options.fault_injector = &fault_injector;
@@ -384,14 +466,22 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   {
-    stir::serve::Server server(&index, serve_options);
+    std::unique_ptr<stir::serve::Server> server;
+    if (stream_mode) {
+      server = std::make_unique<stir::serve::Server>(
+          stream_index, stream_generation, serve_options);
+      engine->AttachScheduler(&server->scheduler());
+    } else {
+      server = std::make_unique<stir::serve::Server>(&batch_index,
+                                                     serve_options);
+    }
     if (stdio_mode) {
-      int64_t served = server.ServeStream(std::cin, std::cout);
-      server.Drain();
+      int64_t served = server->ServeStream(std::cin, std::cout);
+      server->Drain();
       std::fprintf(stderr, "stir_serve: served %lld requests\n",
                    static_cast<long long>(served));
     } else {
-      stir::serve::TcpServer tcp(&server,
+      stir::serve::TcpServer tcp(server.get(),
                                  static_cast<int>(max_pipeline));
       stir::Status status = tcp.Start(static_cast<uint16_t>(port));
       if (!status.ok()) {
@@ -403,7 +493,7 @@ int main(int argc, char** argv) {
                    tcp.port());
       WaitForShutdownSignal();
       tcp.Stop();
-      server.Drain();
+      server->Drain();
       std::fprintf(stderr,
                    "stir_serve: drained after %lld connections\n",
                    static_cast<long long>(tcp.connections_accepted()));
