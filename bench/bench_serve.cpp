@@ -7,14 +7,29 @@
 // A final scenario shrinks the admission queue to force overload and
 // verifies the contract: explicit `overloaded` rejections, never a hang.
 //
-// Usage: bench_serve [scale] [--json <path>] [--clients N] [--requests N]
+// The --net-json section drives the net::EpollServer TCP front end
+// (DESIGN.md §13) with a single-threaded epoll client fleet (default
+// 500 connections): a baseline pass, then a 2x-overload pass whose
+// offered concurrency doubles past the admission queue, verifying that
+// tiered shedding keeps p99 flat instead of letting latency collapse.
 //
-// --json writes the machine-readable shape shared with bench_perf:
-//   {"benchmarks":[{"name","iterations","ns_per_op",...}]}
+// Usage: bench_serve [scale] [--json <path>] [--clients N] [--requests N]
+//                    [--conns N] [--net-requests N] [--net-json <path>]
+//
+// --json / --net-json write the machine-readable shape shared with
+// bench_perf:  {"benchmarks":[{"name","iterations","ns_per_op",...}]}
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +41,7 @@
 
 #include "bench_util.h"
 #include "common/string_util.h"
+#include "net/epoll_server.h"
 #include "obs/json.h"
 #include "serve/server.h"
 #include "serve/study_index.h"
@@ -38,6 +54,9 @@ struct Args {
   std::string json_path;
   int clients = 8;
   int requests_per_client = 4000;
+  std::string net_json_path;
+  int conns = 500;
+  int requests_per_conn = 40;
 };
 
 bool ParseBenchArgs(int argc, char** argv, Args* args) {
@@ -58,6 +77,18 @@ bool ParseBenchArgs(int argc, char** argv, Args* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->requests_per_client = std::max(1, std::atoi(value));
+    } else if (arg == "--net-json") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->net_json_path = value;
+    } else if (arg == "--conns") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->conns = std::max(1, std::atoi(value));
+    } else if (arg == "--net-requests") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->requests_per_conn = std::max(1, std::atoi(value));
     } else if (!arg.empty() && arg[0] != '-') {
       double scale = std::atof(argv[i]);
       if (scale > 0.0) args->scale = scale;
@@ -231,12 +262,305 @@ bool RunOverloadScenario(const serve::StudyIndex& index) {
   return ok;
 }
 
+// --- TCP front-end load (DESIGN.md §13) --------------------------------
+
+struct NetLoadResult {
+  double seconds = 0.0;
+  int64_t requests = 0;   ///< Lines sent.
+  int64_t responses = 0;  ///< Lines received (must equal requests).
+  int64_t shed = 0;       ///< `overloaded` envelopes (expected under 2x).
+  int64_t errors = 0;     ///< Anything that is neither ok nor overloaded.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// One nonblocking loopback connection of the client fleet.
+struct NetConn {
+  int fd = -1;
+  const std::vector<std::string>* script = nullptr;
+  size_t next = 0;  ///< Next script line to send.
+  std::deque<std::chrono::steady_clock::time_point> inflight;
+  std::string in_buf;
+  std::string out_buf;
+  size_t out_off = 0;
+  bool want_write = true;  ///< Current epoll interest includes EPOLLOUT.
+  bool dead = false;
+};
+
+/// Drives all `scripts` connections from a single epoll loop, each
+/// keeping up to `window` requests in flight, and measures per-request
+/// latency from enqueue to response line. Closed-loop: offered
+/// concurrency is conns * window.
+NetLoadResult RunNetLoad(uint16_t port,
+                         const std::vector<std::vector<std::string>>& scripts,
+                         size_t window) {
+  using Clock = std::chrono::steady_clock;
+  NetLoadResult result;
+  const size_t n = scripts.size();
+  std::vector<NetConn> conns(n);
+  std::vector<int64_t> latencies;
+  latencies.reserve(n * (scripts.empty() ? 0 : scripts[0].size()));
+
+  const int ep = ::epoll_create1(0);
+  if (ep < 0) {
+    result.errors = static_cast<int64_t>(n);
+    return result;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  size_t live = 0;
+  const auto start = Clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    NetConn& conn = conns[i];
+    conn.script = &scripts[i];
+    conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (conn.fd < 0 ||
+        (::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) < 0 &&
+         errno != EINPROGRESS)) {
+      ++result.errors;
+      conn.dead = true;
+      if (conn.fd >= 0) ::close(conn.fd);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.u64 = i;
+    ::epoll_ctl(ep, EPOLL_CTL_ADD, conn.fd, &ev);
+    ++live;
+  }
+
+  auto top_up = [&](NetConn& conn) {
+    while (conn.inflight.size() < window &&
+           conn.next < conn.script->size()) {
+      conn.out_buf += (*conn.script)[conn.next++];
+      conn.out_buf += '\n';
+      conn.inflight.push_back(Clock::now());
+      ++result.requests;
+    }
+  };
+  auto flush = [&](NetConn& conn) {
+    while (conn.out_off < conn.out_buf.size()) {
+      ssize_t written =
+          ::send(conn.fd, conn.out_buf.data() + conn.out_off,
+                 conn.out_buf.size() - conn.out_off, MSG_NOSIGNAL);
+      if (written > 0) {
+        conn.out_off += static_cast<size_t>(written);
+      } else if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else {
+        conn.dead = true;
+        return;
+      }
+    }
+    if (conn.out_off == conn.out_buf.size()) {
+      conn.out_buf.clear();
+      conn.out_off = 0;
+    }
+  };
+  auto update_interest = [&](size_t i, NetConn& conn) {
+    const bool wants = conn.out_off < conn.out_buf.size();
+    if (wants == conn.want_write) return;
+    conn.want_write = wants;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (wants ? EPOLLOUT : 0u);
+    ev.data.u64 = i;
+    ::epoll_ctl(ep, EPOLL_CTL_MOD, conn.fd, &ev);
+  };
+  auto retire = [&](NetConn& conn) {
+    ::epoll_ctl(ep, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conn.fd = -1;
+    --live;
+  };
+
+  std::vector<epoll_event> events(256);
+  while (live > 0) {
+    const int ready =
+        ::epoll_wait(ep, events.data(), static_cast<int>(events.size()),
+                     /*timeout_ms=*/10'000);
+    if (ready <= 0) break;  // A stall here fails the response-count check.
+    for (int e = 0; e < ready; ++e) {
+      NetConn& conn = conns[events[e].data.u64];
+      if (conn.fd < 0) continue;
+      if (events[e].events & EPOLLIN) {
+        char buf[16 * 1024];
+        for (;;) {
+          ssize_t got = ::recv(conn.fd, buf, sizeof(buf), 0);
+          if (got > 0) {
+            conn.in_buf.append(buf, static_cast<size_t>(got));
+          } else if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            conn.dead = true;  // EOF before all responses: counted below.
+            break;
+          }
+        }
+        size_t line_start = 0;
+        for (size_t pos;
+             (pos = conn.in_buf.find('\n', line_start)) != std::string::npos;
+             line_start = pos + 1) {
+          std::string_view line(conn.in_buf.data() + line_start,
+                                pos - line_start);
+          if (!conn.inflight.empty()) {
+            latencies.push_back(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - conn.inflight.front())
+                    .count());
+            conn.inflight.pop_front();
+          }
+          ++result.responses;
+          if (line.find("\"code\":\"overloaded\"") != std::string_view::npos) {
+            ++result.shed;
+          } else if (line.find("\"ok\":true") == std::string_view::npos) {
+            ++result.errors;
+          }
+        }
+        conn.in_buf.erase(0, line_start);
+      }
+      if (conn.dead) {
+        ++result.errors;
+        retire(conn);
+        continue;
+      }
+      top_up(conn);
+      flush(conn);
+      if (conn.dead) {
+        ++result.errors;
+        retire(conn);
+        continue;
+      }
+      if (conn.next == conn.script->size() && conn.inflight.empty() &&
+          conn.out_buf.empty()) {
+        retire(conn);  // Script done, every response in: clean close.
+        continue;
+      }
+      update_interest(events[e].data.u64, conn);
+    }
+  }
+  result.seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                       Clock::now() - start)
+                       .count();
+  for (NetConn& conn : conns) {
+    if (conn.fd >= 0) retire(conn);
+  }
+  ::close(ep);
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    result.p50_us = static_cast<double>(latencies[latencies.size() / 2]);
+    result.p99_us =
+        static_cast<double>(latencies[(latencies.size() * 99) / 100]);
+  }
+  return result;
+}
+
+/// The flat-p99-under-overload scenario: one EpollServer, a baseline
+/// pass at window 1 (offered concurrency = conns, inside the admission
+/// queue) and an overload pass at window 4 (offered concurrency = 2x
+/// the queue), expecting explicit shedding and a p99 that stays within
+/// an order of magnitude of the baseline instead of growing with the
+/// offered load.
+bool RunNetScenario(const serve::StudyIndex& index, const Args& args,
+                    std::vector<BenchJsonEntry>* net_entries) {
+  std::signal(SIGPIPE, SIG_IGN);
+  serve::ServeOptions options;
+  options.workers = 4;
+  options.max_batch_size = 16;
+  options.batch_linger_us = 200;
+  options.queue_capacity = 1024;
+  options.tier1_fill_limit = 0.9;
+  options.tier2_fill_limit = 0.5;
+  serve::Server server(&index, options);
+  net::NetOptions net_options;
+  net_options.max_pipeline = 64;
+  net_options.max_connections = args.conns + 16;
+  net::EpollServer net(&server, net_options);
+  if (!net.Listen(0).ok() || !net.Start().ok()) {
+    std::printf("  FAILED to start the TCP front end\n");
+    return false;
+  }
+
+  std::vector<std::vector<std::string>> scripts;
+  for (int c = 0; c < args.conns; ++c) {
+    scripts.push_back(BuildScript(index, c, args.requests_per_conn));
+  }
+  const int64_t expected = static_cast<int64_t>(args.conns) *
+                           static_cast<int64_t>(args.requests_per_conn);
+
+  std::printf("%-14s %10s %12s %8s %12s %12s\n", "load", "responses",
+              "req/s", "shed", "p50_us", "p99_us");
+  struct Phase {
+    const char* label;
+    size_t window;
+  };
+  const Phase kPhases[] = {{"1x", 1}, {"2x(overload)", 4}};
+  NetLoadResult results[2];
+  bool ok = true;
+  for (int p = 0; p < 2; ++p) {
+    results[p] = RunNetLoad(net.port(), scripts, kPhases[p].window);
+    const NetLoadResult& r = results[p];
+    std::printf("%-14s %10lld %12.0f %8lld %12.0f %12.0f\n",
+                kPhases[p].label, static_cast<long long>(r.responses),
+                static_cast<double>(r.responses) / r.seconds,
+                static_cast<long long>(r.shed), r.p50_us, r.p99_us);
+    ok &= Check(r.responses == expected && r.requests == expected,
+                StrFormat("%s: every request got exactly one response",
+                          kPhases[p].label)
+                    .c_str());
+    ok &= Check(r.errors == 0,
+                StrFormat("%s: no malformed or failed responses",
+                          kPhases[p].label)
+                    .c_str());
+    BenchJsonEntry entry;
+    entry.name = StrFormat("net/qps/conns:%d/load:%s", args.conns,
+                           p == 0 ? "1x" : "2x");
+    entry.iterations = r.responses;
+    entry.ns_per_op = r.seconds * 1e9 / static_cast<double>(r.responses);
+    entry.extra = {{"requests_per_second",
+                    static_cast<double>(r.responses) / r.seconds},
+                   {"p50_us", r.p50_us},
+                   {"p99_us", r.p99_us},
+                   {"shed", static_cast<double>(r.shed)}};
+    net_entries->push_back(std::move(entry));
+  }
+  net.Stop();
+
+  ok &= Check(results[1].shed > 0,
+              "2x overload engaged the admission control (shed > 0)");
+  // "Flat" allows for noise but not for queueing collapse: unbounded
+  // admission would let p99 scale with the offered load.
+  const double floor_us = 1'000.0;
+  ok &= Check(results[1].p99_us <=
+                  10.0 * std::max(results[0].p99_us, floor_us),
+              "p99 under 2x overload stays within 10x of baseline");
+  const serve::SchedulerStats sched = server.stats();
+  const net::NetStats netstats = net.stats();
+  int64_t shed_by_tier_total = 0;
+  for (int t = 0; t < serve::kNumShedTiers; ++t) {
+    shed_by_tier_total += sched.rejected_by_tier[t];
+    ok &= Check(netstats.shed_by_tier[t] == sched.rejected_by_tier[t],
+                StrFormat("net.shed.tier%d reconciles with the scheduler", t)
+                    .c_str());
+  }
+  ok &= Check(results[0].shed + results[1].shed == shed_by_tier_total &&
+                  shed_by_tier_total == sched.rejected_overload,
+              "client-observed sheds reconcile exactly with serve counters");
+  ok &= Check(netstats.accepted == 2 * args.conns &&
+                  netstats.live == 0,
+              "every connection was accepted and cleanly closed");
+  return ok;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   if (!ParseBenchArgs(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: bench_serve [scale] [--json <path>] "
-                 "[--clients N] [--requests N]\n");
+                 "[--clients N] [--requests N] [--conns N] "
+                 "[--net-requests N] [--net-json <path>]\n");
     return 2;
   }
   PrintHeader("bench_serve — query-serving throughput vs micro-batch size",
@@ -310,9 +634,21 @@ int Main(int argc, char** argv) {
   std::printf("\noverload scenario:\n");
   ok &= RunOverloadScenario(index);
 
+  std::printf("\nTCP front end (%d connections, %d requests each):\n",
+              args.conns, args.requests_per_conn);
+  std::vector<BenchJsonEntry> net_entries;
+  ok &= RunNetScenario(index, args, &net_entries);
+
   if (!args.json_path.empty()) {
     if (WriteBenchJson(args.json_path, json_entries)) {
       std::printf("\nwrote %s\n", args.json_path.c_str());
+    } else {
+      ok = false;
+    }
+  }
+  if (!args.net_json_path.empty()) {
+    if (WriteBenchJson(args.net_json_path, net_entries)) {
+      std::printf("wrote %s\n", args.net_json_path.c_str());
     } else {
       ok = false;
     }

@@ -36,6 +36,17 @@ struct ServeOptions {
   /// with an `oversized` error without being parsed.
   size_t max_request_bytes = 64 * 1024;
 
+  /// Tiered admission control (DESIGN.md §13). Each shed tier may fill
+  /// the admission queue only up to `queue_capacity * limit`: once the
+  /// queue is fuller than a tier's limit, requests of that tier are
+  /// rejected with the retryable `overloaded` envelope while
+  /// higher-value tiers keep getting through. Tier 0 (`server_stats`)
+  /// always has the full queue; 1.0 — the default — collapses the tiers
+  /// back into the single blanket cutoff at `queue_capacity`.
+  /// Invariant enforced at construction: tier2 <= tier1 <= 1.
+  double tier1_fill_limit = 1.0;  ///< lookup_* / topk_summary / index_info.
+  double tier2_fill_limit = 1.0;  ///< append_tweets.
+
   /// Metrics sink (not owned). Populates the `serve.*` namespace:
   /// counters `serve.requests.received/admitted/parse_errors`,
   /// `serve.rejected.overload/shutdown`, `serve.responses`,

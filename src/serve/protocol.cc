@@ -429,6 +429,21 @@ const char* MethodToString(Method method) {
   return "unknown";
 }
 
+int ShedTier(Method method) {
+  switch (method) {
+    case Method::kServerStats:
+      return 0;
+    case Method::kLookupUser:
+    case Method::kLookupDistrict:
+    case Method::kTopkSummary:
+    case Method::kIndexInfo:
+      return 1;
+    case Method::kAppendTweets:
+      return 2;
+  }
+  return 1;
+}
+
 const char* ErrorCodeToString(ErrorCode code) {
   switch (code) {
     case ErrorCode::kParseError: return "parse_error";
@@ -458,6 +473,13 @@ std::string ErrorResponse(bool has_id, int64_t id, ErrorCode code,
   w.EndObject();
   w.EndObject();
   return w.TakeString();
+}
+
+std::string OversizedResponse(size_t line_bytes, size_t max_bytes) {
+  return ErrorResponse(
+      false, -1, ErrorCode::kOversized,
+      StrFormat("request of %zu bytes exceeds the %zu-byte cap", line_bytes,
+                max_bytes));
 }
 
 ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {

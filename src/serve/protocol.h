@@ -53,6 +53,15 @@ enum class Method : int {
 inline constexpr int kNumMethods = 6;
 const char* MethodToString(Method method);
 
+/// Admission shed tiers (DESIGN.md §13). Under overload the scheduler
+/// rejects the *lowest-value* request class first instead of applying a
+/// blanket cutoff: tier 2 (`append_tweets` — expensive, fences the whole
+/// pipeline) sheds before tier 1 (the index lookups), and tier 0
+/// (`server_stats` — the control plane an operator uses to diagnose the
+/// overload) is never shed at all. Lower tier number == higher value.
+inline constexpr int kNumShedTiers = 3;
+int ShedTier(Method method);
+
 /// Per-array record cap for append_tweets (schema guard, not a resource
 /// limit — the admission queue and max_request_bytes bound the rest).
 inline constexpr int64_t kMaxAppendRecords = 10'000;
@@ -113,6 +122,12 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes);
 /// Renders the error-response line (no trailing newline).
 std::string ErrorResponse(bool has_id, int64_t id, ErrorCode code,
                           std::string_view message);
+
+/// The `oversized` rejection for a line of `line_bytes` against a
+/// `max_bytes` cap — one formatter shared by ParseRequest and the network
+/// framer, so a line rejected while still split across socket reads is
+/// byte-identical to the same line rejected whole over stdio.
+std::string OversizedResponse(size_t line_bytes, size_t max_bytes);
 
 /// Executes a lookup_user / lookup_district / topk_summary / index_info
 /// request against the immutable index and renders the response line.

@@ -10,13 +10,6 @@ namespace stir::serve {
 
 namespace {
 
-std::future<std::string> ReadyResponse(std::string response) {
-  std::promise<std::string> promise;
-  std::future<std::string> future = promise.get_future();
-  promise.set_value(std::move(response));
-  return future;
-}
-
 int64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - since)
@@ -42,12 +35,29 @@ RequestScheduler::RequestScheduler(std::shared_ptr<const StudyIndex> index,
   options_.workers = std::max(1, options_.workers);
   options_.max_batch_size = std::max(1, options_.max_batch_size);
   options_.queue_capacity = std::max(1, options_.queue_capacity);
+  // Tier thresholds: non-increasing, each at least 1 so every tier makes
+  // progress on an idle server, tier 0 always the full queue.
+  options_.tier1_fill_limit =
+      std::clamp(options_.tier1_fill_limit, 0.0, 1.0);
+  options_.tier2_fill_limit =
+      std::clamp(options_.tier2_fill_limit, 0.0, options_.tier1_fill_limit);
+  const auto threshold = [&](double limit) {
+    const double scaled = limit * static_cast<double>(options_.queue_capacity);
+    return std::clamp(static_cast<int>(scaled), 1, options_.queue_capacity);
+  };
+  tier_thresholds_[0] = options_.queue_capacity;
+  tier_thresholds_[1] = threshold(options_.tier1_fill_limit);
+  tier_thresholds_[2] = threshold(options_.tier2_fill_limit);
   if (obs::MetricsRegistry* m = options_.metrics; m != nullptr) {
     m_received_ = m->GetCounter("serve.requests.received");
     m_admitted_ = m->GetCounter("serve.requests.admitted");
     m_parse_errors_ = m->GetCounter("serve.requests.parse_errors");
     m_rejected_overload_ = m->GetCounter("serve.rejected.overload");
     m_rejected_shutdown_ = m->GetCounter("serve.rejected.shutdown");
+    for (int t = 0; t < kNumShedTiers; ++t) {
+      m_shed_tier_[t] =
+          m->GetCounter("serve.shed.tier" + std::to_string(t));
+    }
     m_responses_ = m->GetCounter("serve.responses");
     m_faults_injected_ = m->GetCounter("serve.faults_injected");
     for (int i = 0; i < kNumMethods; ++i) {
@@ -140,6 +150,13 @@ std::string RequestScheduler::StatsResponseLocked(int64_t id) const {
   w.Int(stats_.rejected_overload);
   w.Key("rejected_shutdown");
   w.Int(stats_.rejected_shutdown);
+  w.Key("shed");
+  w.BeginObject();
+  for (int t = 0; t < kNumShedTiers; ++t) {
+    w.Key("tier" + std::to_string(t));
+    w.Int(stats_.rejected_by_tier[t]);
+  }
+  w.EndObject();
   w.EndObject();
   w.Key("methods");
   w.BeginObject();
@@ -153,89 +170,125 @@ std::string RequestScheduler::StatsResponseLocked(int64_t id) const {
   return w.TakeString();
 }
 
+int RequestScheduler::TierThreshold(int tier) const {
+  if (tier < 0) tier = 0;
+  if (tier >= kNumShedTiers) tier = kNumShedTiers - 1;
+  return tier_thresholds_[tier];
+}
+
+int RequestScheduler::GuaranteedAdmissionWindow() const {
+  return tier_thresholds_[kNumShedTiers - 1];
+}
+
 std::future<std::string> RequestScheduler::SubmitLine(std::string_view line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  SubmitLineWith(line,
+                 [promise](std::string response, const ResponseMeta&) {
+                   promise->set_value(std::move(response));
+                 });
+  return future;
+}
+
+void RequestScheduler::SubmitLineWith(std::string_view line,
+                                      ResponseCallback done) {
   // Parsing is pure; keep it outside the admission lock.
   ParseOutcome outcome = ParseRequest(line, options_.max_request_bytes);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  ++stats_.received;
-  obs::IncrementCounter(m_received_);
+  // Synchronous outcomes are rendered under the lock (admission order)
+  // but delivered after releasing it, so the callback may take its own
+  // locks without ordering against mu_.
+  std::string response;
+  ResponseMeta meta;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.received;
+    obs::IncrementCounter(m_received_);
 
-  if (!outcome.ok) {
-    ++stats_.parse_errors;
-    obs::IncrementCounter(m_parse_errors_);
-    obs::IncrementCounter(m_responses_);
-    return ReadyResponse(ErrorResponse(outcome.has_id, outcome.id,
-                                       outcome.code, outcome.message));
-  }
-  // Append fence: while an append_tweets is between its execution barrier
-  // and its index swap, hold later submissions back so they pin the new
-  // generation. Appends are short (one epoch at most); waiters re-check
-  // draining_ below after waking.
-  admission_cv_.wait(lock, [&] { return appends_in_flight_ == 0; });
-  if (draining_) {
-    ++stats_.rejected_shutdown;
-    obs::IncrementCounter(m_rejected_shutdown_);
-    obs::IncrementCounter(m_responses_);
-    return ReadyResponse(ErrorResponse(true, outcome.id,
-                                       ErrorCode::kShuttingDown,
-                                       "server is draining"));
-  }
-  if (outcome.request.method == Method::kServerStats) {
-    ++stats_.stats_served;
-    ++stats_.method_counts[static_cast<int>(Method::kServerStats)];
-    obs::IncrementCounter(
-        m_method_[static_cast<int>(Method::kServerStats)]);
-    obs::IncrementCounter(m_responses_);
-    return ReadyResponse(StatsResponseLocked(outcome.id));
-  }
-  if (outcome.request.method == Method::kAppendTweets) {
-    // Executed in stream order at admission (no queue slot consumed):
-    // counts as admitted, like any answered method.
-    ++stats_.admitted;
-    ++stats_.method_counts[static_cast<int>(Method::kAppendTweets)];
-    obs::IncrementCounter(m_admitted_);
-    obs::IncrementCounter(
-        m_method_[static_cast<int>(Method::kAppendTweets)]);
-    std::string response = AppendLocked(lock, outcome.request);
-    obs::IncrementCounter(m_responses_);
-    return ReadyResponse(std::move(response));
-  }
-  if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
-    ++stats_.rejected_overload;
-    obs::IncrementCounter(m_rejected_overload_);
-    obs::IncrementCounter(m_responses_);
-    return ReadyResponse(ErrorResponse(
-        true, outcome.id, ErrorCode::kOverloaded,
-        "admission queue is full; retry with backoff"));
-  }
+    if (!outcome.ok) {
+      ++stats_.parse_errors;
+      obs::IncrementCounter(m_parse_errors_);
+      obs::IncrementCounter(m_responses_);
+      response = ErrorResponse(outcome.has_id, outcome.id, outcome.code,
+                               outcome.message);
+    } else {
+      meta.tier = ShedTier(outcome.request.method);
+      // Append fence: while an append_tweets is between its execution
+      // barrier and its index swap, hold later submissions back so they
+      // pin the new generation. Appends are short (one epoch at most);
+      // waiters re-check draining_ below after waking.
+      admission_cv_.wait(lock, [&] { return appends_in_flight_ == 0; });
+      if (draining_) {
+        ++stats_.rejected_shutdown;
+        obs::IncrementCounter(m_rejected_shutdown_);
+        obs::IncrementCounter(m_responses_);
+        response = ErrorResponse(true, outcome.id, ErrorCode::kShuttingDown,
+                                 "server is draining");
+      } else if (outcome.request.method == Method::kServerStats) {
+        ++stats_.stats_served;
+        ++stats_.method_counts[static_cast<int>(Method::kServerStats)];
+        obs::IncrementCounter(
+            m_method_[static_cast<int>(Method::kServerStats)]);
+        obs::IncrementCounter(m_responses_);
+        response = StatsResponseLocked(outcome.id);
+      } else if (queue_.size() >=
+                 static_cast<size_t>(tier_thresholds_[meta.tier])) {
+        // Tiered admission: the queue is fuller than this request
+        // class's fill limit. Lower-value tiers hit their (smaller)
+        // thresholds first, so under overload append_tweets sheds before
+        // the lookups, and server_stats (answered above, no queue slot)
+        // is never shed at all.
+        meta.shed = true;
+        ++stats_.rejected_overload;
+        ++stats_.rejected_by_tier[meta.tier];
+        obs::IncrementCounter(m_rejected_overload_);
+        obs::IncrementCounter(m_shed_tier_[meta.tier]);
+        obs::IncrementCounter(m_responses_);
+        response = ErrorResponse(
+            true, outcome.id, ErrorCode::kOverloaded,
+            "admission queue is full; retry with backoff");
+      } else if (outcome.request.method == Method::kAppendTweets) {
+        // Executed in stream order at admission (no queue slot
+        // consumed): counts as admitted, like any answered method.
+        ++stats_.admitted;
+        ++stats_.method_counts[static_cast<int>(Method::kAppendTweets)];
+        obs::IncrementCounter(m_admitted_);
+        obs::IncrementCounter(
+            m_method_[static_cast<int>(Method::kAppendTweets)]);
+        response = AppendLocked(lock, outcome.request);
+        obs::IncrementCounter(m_responses_);
+      } else {
+        ++stats_.admitted;
+        ++stats_.method_counts[static_cast<int>(outcome.request.method)];
+        obs::IncrementCounter(m_admitted_);
+        obs::IncrementCounter(
+            m_method_[static_cast<int>(outcome.request.method)]);
 
-  ++stats_.admitted;
-  ++stats_.method_counts[static_cast<int>(outcome.request.method)];
-  obs::IncrementCounter(m_admitted_);
-  obs::IncrementCounter(m_method_[static_cast<int>(outcome.request.method)]);
-
-  Pending pending;
-  pending.request = std::move(outcome.request);
-  pending.seq = next_seq_++;
-  if (m_latency_us_ != nullptr) {
-    pending.enqueued = std::chrono::steady_clock::now();
+        Pending pending;
+        pending.request = std::move(outcome.request);
+        pending.done = std::move(done);
+        pending.seq = next_seq_++;
+        if (m_latency_us_ != nullptr) {
+          pending.enqueued = std::chrono::steady_clock::now();
+        }
+        queue_.push_back(std::move(pending));
+        if (m_queue_depth_ != nullptr) {
+          m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+          m_queue_depth_max_->SetMax(static_cast<int64_t>(queue_.size()));
+        }
+        if (queue_.size() >= static_cast<size_t>(options_.max_batch_size)) {
+          batch_cv_.notify_one();
+        }
+        if (active_drainers_ < options_.workers) {
+          ++active_drainers_;
+          lock.unlock();
+          pool_.Submit([this] { DrainLoop(); });
+        }
+        return;  // Asynchronous: a worker invokes the callback.
+      }
+    }
   }
-  std::future<std::string> future = pending.promise.get_future();
-  queue_.push_back(std::move(pending));
-  if (m_queue_depth_ != nullptr) {
-    m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
-    m_queue_depth_max_->SetMax(static_cast<int64_t>(queue_.size()));
-  }
-  if (queue_.size() >= static_cast<size_t>(options_.max_batch_size)) {
-    batch_cv_.notify_one();
-  }
-  if (active_drainers_ < options_.workers) {
-    ++active_drainers_;
-    lock.unlock();
-    pool_.Submit([this] { DrainLoop(); });
-  }
-  return future;
+  done(std::move(response), meta);
 }
 
 std::string RequestScheduler::AppendLocked(
@@ -359,7 +412,9 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
       m_latency_us_->Record(ElapsedMicros(pending.enqueued));
     }
     obs::IncrementCounter(m_responses_);
-    pending.promise.set_value(std::move(response));
+    ResponseMeta meta;
+    meta.tier = ShedTier(pending.request.method);
+    pending.done(std::move(response), meta);
   }
   if (options_.tracer != nullptr) {
     options_.tracer->EndSpan(batch_span);
@@ -369,6 +424,12 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
     executed_ += static_cast<int64_t>(batch.size());
   }
   executed_cv_.notify_all();
+}
+
+void RequestScheduler::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  batch_cv_.notify_all();
 }
 
 void RequestScheduler::Drain() {

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -39,7 +40,32 @@ struct SchedulerStats {
   int64_t rejected_overload = 0;
   int64_t rejected_shutdown = 0;
   int64_t method_counts[kNumMethods] = {};
+  /// Per-tier breakdown of rejected_overload (tiered admission,
+  /// DESIGN.md §13): rejected_overload == sum(rejected_by_tier).
+  int64_t rejected_by_tier[kNumShedTiers] = {};
 };
+
+/// Admission-time facts about a response, delivered alongside the
+/// rendered line so network front-ends can account for shedding without
+/// re-parsing the response they are about to forward.
+struct ResponseMeta {
+  /// True when the request was rejected by (tiered) admission control
+  /// with the retryable `overloaded` envelope.
+  bool shed = false;
+  /// Shed tier of the request's method (meaningful whether or not the
+  /// request was shed); kNumShedTiers for unparseable lines.
+  int tier = kNumShedTiers;
+};
+
+/// Completion hook for SubmitLineWith: invoked exactly once per submitted
+/// line with the response and its admission metadata. Synchronously
+/// answered requests (parse errors, rejections, server_stats,
+/// append_tweets) invoke it on the submitting thread before
+/// SubmitLineWith returns; batch-executed requests invoke it on a worker
+/// thread. The callback must be thread-safe against the submitter and
+/// must not call back into the scheduler.
+using ResponseCallback =
+    std::function<void(std::string response, const ResponseMeta& meta)>;
 
 /// Micro-batching request scheduler: a bounded admission queue feeding
 /// the common::ThreadPool, where up to `workers` drain tasks each take up
@@ -85,6 +111,12 @@ class RequestScheduler {
   /// rejection — never an exception), even across Drain().
   std::future<std::string> SubmitLine(std::string_view line);
 
+  /// Callback flavor of SubmitLine for event-loop front-ends: `done` is
+  /// invoked exactly once with the response (see ResponseCallback for the
+  /// threading contract). Never blocks the submitter, except for the
+  /// documented append_tweets execution barrier.
+  void SubmitLineWith(std::string_view line, ResponseCallback done);
+
   /// Atomically publishes a new index generation. In-flight batches keep
   /// answering from the generation they pinned; later batches pin the new
   /// one. Never blocks on readers. `generation` must increase.
@@ -101,7 +133,26 @@ class RequestScheduler {
   /// Idempotent; also run by the destructor.
   void Drain();
 
+  /// Non-blocking half of Drain: stops admitting (later submissions get
+  /// `shutting_down`) and wakes lingering workers, but returns without
+  /// waiting. An event loop calls this first, keeps routing its buffered
+  /// lines through the scheduler (so they are rejected with exactly the
+  /// envelopes a draining server owes them), and calls Drain() once its
+  /// connections are flushed.
+  void BeginDrain();
+
   bool draining() const;
+
+  /// Queue depth up to which a request of `tier` is admitted; requests
+  /// arriving at depth >= the threshold are shed (DESIGN.md §13).
+  /// Monotonically non-increasing in `tier`; tier 0 gets the full queue.
+  int TierThreshold(int tier) const;
+
+  /// The deepest pipelining window a single well-behaved client may use
+  /// without ever being shed: the smallest tier threshold. ServeStream
+  /// and the stdio front-end bound their in-flight windows by this, which
+  /// keeps single-client streams deterministic under any fill limits.
+  int GuaranteedAdmissionWindow() const;
 
   /// Admission-ordered counters (test + server_stats surface).
   SchedulerStats stats() const;
@@ -111,7 +162,7 @@ class RequestScheduler {
  private:
   struct Pending {
     Request request;
-    std::promise<std::string> promise;
+    ResponseCallback done;  ///< Invoked exactly once by a drain worker.
     int64_t seq = 0;  ///< Admission order; keys the fault schedule.
     /// Sampled only when metrics are attached (serve.latency_us).
     std::chrono::steady_clock::time_point enqueued;
@@ -131,6 +182,9 @@ class RequestScheduler {
                            const Request& request);
 
   ServeOptions options_;
+  /// Queue-depth admission cutoffs per shed tier, precomputed from the
+  /// fill limits at construction (non-increasing, tier 0 == capacity).
+  int tier_thresholds_[kNumShedTiers] = {};
 
   /// The live index generation. Guarded by its own mutex, acquired after
   /// mu_ when both are needed (mu_ -> index_mu_); SwapIndex takes only
@@ -166,6 +220,7 @@ class RequestScheduler {
   obs::Counter* m_parse_errors_ = nullptr;
   obs::Counter* m_rejected_overload_ = nullptr;
   obs::Counter* m_rejected_shutdown_ = nullptr;
+  obs::Counter* m_shed_tier_[kNumShedTiers] = {};
   obs::Counter* m_responses_ = nullptr;
   obs::Counter* m_faults_injected_ = nullptr;
   obs::Counter* m_method_[kNumMethods] = {};

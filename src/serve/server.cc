@@ -1,17 +1,8 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
 #include <deque>
 #include <utility>
-
-#include "common/string_util.h"
 
 namespace stir::serve {
 
@@ -26,9 +17,13 @@ std::future<std::string> Server::SubmitLine(std::string_view line) {
   return scheduler_.SubmitLine(line);
 }
 
+void Server::SubmitLineWith(std::string_view line, ResponseCallback done) {
+  scheduler_.SubmitLineWith(line, std::move(done));
+}
+
 int64_t Server::ServeStream(std::istream& in, std::ostream& out) {
   const size_t window =
-      static_cast<size_t>(scheduler_.options().queue_capacity);
+      static_cast<size_t>(scheduler_.GuaranteedAdmissionWindow());
   std::deque<std::future<std::string>> inflight;
   int64_t served = 0;
   std::string line;
@@ -53,165 +48,6 @@ int64_t Server::ServeStream(std::istream& in, std::ostream& out) {
 
 void Server::Drain() { scheduler_.Drain(); }
 
-TcpServer::TcpServer(Server* server, int max_pipeline)
-    : server_(server), max_pipeline_(std::max(1, max_pipeline)) {}
-
-TcpServer::~TcpServer() { Stop(); }
-
-Status TcpServer::Start(uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IOError(
-        StrFormat("socket(): %s", std::strerror(errno)));
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    Status status = Status::IOError(
-        StrFormat("bind(127.0.0.1:%d): %s", static_cast<int>(port),
-                  std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, 64) < 0) {
-    Status status = Status::IOError(
-        StrFormat("listen(): %s", std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  } else {
-    port_ = port;
-  }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
-}
-
-void TcpServer::AcceptLoop() {
-  for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // Listener shut down (or fatal) — stop accepting.
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
-  }
-}
-
-void TcpServer::HandleConnection(int fd) {
-  const size_t window = static_cast<size_t>(max_pipeline_);
-  std::deque<std::future<std::string>> inflight;
-  std::string pending;  // Bytes read but not yet newline-terminated.
-  char buf[4096];
-
-  auto flush_one = [&]() -> bool {
-    std::string response = inflight.front().get();
-    inflight.pop_front();
-    response.push_back('\n');
-    size_t sent = 0;
-    while (sent < response.size()) {
-      ssize_t n = ::send(fd, response.data() + sent, response.size() - sent,
-                         MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;  // Peer went away; drop remaining responses.
-      }
-      sent += static_cast<size_t>(n);
-    }
-    return true;
-  };
-
-  bool writable = true;
-  for (;;) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error (including shutdown via Stop()).
-    pending.append(buf, static_cast<size_t>(n));
-    size_t start = 0;
-    for (;;) {
-      size_t newline = pending.find('\n', start);
-      if (newline == std::string::npos) break;
-      std::string_view line(pending.data() + start, newline - start);
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      start = newline + 1;
-      if (line.empty()) continue;
-      if (inflight.size() >= window && writable) {
-        writable = flush_one();
-      }
-      inflight.push_back(server_->SubmitLine(line));
-    }
-    pending.erase(0, start);
-    // Flush everything before blocking in recv() again: a client that
-    // sends one request and waits must get its response now, not when
-    // the window fills. Requests that arrived together still share
-    // batches — they were all submitted before this drain.
-    while (!inflight.empty() && writable) {
-      writable = flush_one();
-    }
-  }
-  // A trailing unterminated line still gets an answer — the client is
-  // gone half the time, but send() just fails and we fall through.
-  if (!pending.empty()) inflight.push_back(server_->SubmitLine(pending));
-  while (!inflight.empty()) {
-    if (writable) {
-      writable = flush_one();
-    } else {
-      inflight.front().wait();
-      inflight.pop_front();
-    }
-  }
-  // Signal EOF to a client draining responses. Stop() owns close(fd) —
-  // closing here would let the kernel reuse the descriptor number while
-  // Stop() still holds it in conn_fds_ — but shutdown() keeps the number
-  // allocated, so it is safe from this thread.
-  ::shutdown(fd, SHUT_RDWR);
-}
-
-void TcpServer::Stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    return;
-  }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  std::vector<int> fds;
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    fds.swap(conn_fds_);
-    threads.swap(conn_threads_);
-  }
-  for (int fd : fds) {
-    ::shutdown(fd, SHUT_RD);  // Wakes the handler's recv().
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  for (int fd : fds) {
-    ::close(fd);
-  }
-}
+void Server::BeginDrain() { scheduler_.BeginDrain(); }
 
 }  // namespace stir::serve

@@ -1,17 +1,13 @@
 #ifndef STIR_SERVE_SERVER_H_
 #define STIR_SERVE_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <future>
 #include <istream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
-#include <thread>
-#include <vector>
 
 #include "common/status.h"
 #include "serve/options.h"
@@ -25,6 +21,9 @@ namespace stir::serve {
 /// the submission order, and ServeStream writes responses in request
 /// order, so an identical request stream produces byte-identical output
 /// under any worker count.
+///
+/// Network serving lives in stir::net (DESIGN.md §13): net::EpollServer
+/// multiplexes many connections over this same Server via SubmitLineWith.
 class Server {
  public:
   /// `index` must outlive the server (non-owning; generation 0).
@@ -43,16 +42,22 @@ class Server {
   /// ready, never throws).
   std::future<std::string> SubmitLine(std::string_view line);
 
+  /// Callback flavor for event-loop front-ends; see
+  /// RequestScheduler::SubmitLineWith for the threading contract.
+  void SubmitLineWith(std::string_view line, ResponseCallback done);
+
   /// Serves line-delimited requests from `in`, writing one response line
   /// per request to `out` in request order. Pipelines up to the
-  /// scheduler's queue capacity so batching engages, but never more — a
-  /// single streamed client can therefore never trip the overload
-  /// rejection, keeping its output deterministic. Returns the number of
-  /// requests served.
+  /// scheduler's guaranteed-admission window so batching engages but a
+  /// single streamed client can never trip overload rejection (not even
+  /// a tiered one), keeping its output deterministic. Returns the number
+  /// of requests served.
   int64_t ServeStream(std::istream& in, std::ostream& out);
 
-  /// Graceful drain (idempotent; also run by the destructor).
+  /// Graceful drain (idempotent; also run by the destructor). BeginDrain
+  /// is the non-blocking half — see RequestScheduler::BeginDrain.
   void Drain();
+  void BeginDrain();
 
   SchedulerStats stats() const { return scheduler_.stats(); }
   RequestScheduler& scheduler() { return scheduler_; }
@@ -62,50 +67,6 @@ class Server {
 
  private:
   RequestScheduler scheduler_;
-};
-
-/// Blocking TCP front-end: one listener thread accepting loopback
-/// connections, one handler thread per connection speaking the
-/// line-delimited protocol. Responses go back in request order per
-/// connection; concurrent connections share the scheduler's admission
-/// queue (and can therefore observe `overloaded` under load — that is the
-/// backpressure contract, not a bug).
-class TcpServer {
- public:
-  /// `server` must outlive the TcpServer.
-  TcpServer(Server* server, int max_pipeline);
-  ~TcpServer();
-
-  TcpServer(const TcpServer&) = delete;
-  TcpServer& operator=(const TcpServer&) = delete;
-
-  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back
-  /// with port()) and starts the accept loop.
-  Status Start(uint16_t port);
-
-  /// Stops accepting, shuts down live connections, joins all threads.
-  /// Idempotent. Does NOT drain the scheduler — the owner decides when.
-  void Stop();
-
-  uint16_t port() const { return port_; }
-  int64_t connections_accepted() const {
-    return connections_accepted_.load(std::memory_order_relaxed);
-  }
-
- private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-
-  Server* server_;
-  int max_pipeline_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::atomic<int64_t> connections_accepted_{0};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
 };
 
 }  // namespace stir::serve

@@ -21,6 +21,7 @@
 #include "core/study.h"
 #include "geo/admin_db.h"
 #include "gtest/gtest.h"
+#include "net/epoll_server.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
@@ -315,15 +316,19 @@ TEST_F(ServeSchedulerTest, StatsRequestIsAnsweredAtAdmission) {
 }
 
 // ---------------------------------------------------------------------------
-// TCP front-end: multi-connection round trip over loopback.
+// TCP front-end: multi-connection round trip over loopback (the epoll
+// event loop; the full adversarial battery lives in net_server_test).
 
 TEST_F(ServeSchedulerTest, TcpMultiClientRoundTrip) {
   ServeOptions options;
   options.workers = 4;
   Server server(index_, options);
-  TcpServer tcp(&server, /*max_pipeline=*/16);
-  ASSERT_TRUE(tcp.Start(0).ok()) << "cannot bind loopback";
+  net::NetOptions net_options;
+  net_options.max_pipeline = 16;
+  net::EpollServer tcp(&server, net_options);
+  ASSERT_TRUE(tcp.Listen(0).ok()) << "cannot bind loopback";
   ASSERT_GT(tcp.port(), 0);
+  ASSERT_TRUE(tcp.Start().ok());
 
   constexpr int kClients = 4;
   constexpr int64_t kPerClient = 50;
@@ -390,9 +395,8 @@ TEST_F(ServeSchedulerTest, TcpMultiClientRoundTrip) {
   }
   for (std::thread& t : clients) t.join();
   tcp.Stop();
-  server.Drain();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(tcp.connections_accepted(), kClients);
+  EXPECT_EQ(tcp.stats().accepted, kClients);
   EXPECT_EQ(server.stats().received, kClients * kPerClient);
 }
 

@@ -163,6 +163,50 @@ if(NOT serial_out STREQUAL serve_out)
           "=== workers 3 ===\n${serve_out}\n=== workers 1 ===\n${serial_out}")
 endif()
 
+# --- Graceful drain (mode symmetry, DESIGN.md §13) ---------------------
+# Both front ends run the same net::EpollServer drain state machine;
+# --drain-after N triggers it deterministically after the Nth framed
+# line. Admitted lines are still answered, buffered lines get typed
+# shutting_down envelopes echoing their ids, and a buffered malformed
+# line still gets its parse_error (parsing precedes the draining
+# check). The TCP half of the symmetry is byte-proven in
+# tests/net_server_test.cc; here the stdio mode must show the same
+# envelope sequence.
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv --stdio --workers 3
+          --drain-after 2
+  INPUT_FILE ${WORK_DIR}/serve_requests.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE drain_out ERROR_VARIABLE drain_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--drain-after serve failed (${rc}): ${drain_err}")
+endif()
+if(NOT drain_err MATCHES "graceful drain took")
+  message(FATAL_ERROR "missing drain latency notice: ${drain_err}")
+endif()
+string(REGEX MATCHALL "[^\n]+" drain_responses "${drain_out}")
+list(LENGTH drain_responses drain_count)
+if(NOT drain_count EQUAL 5)
+  message(FATAL_ERROR "drain run must answer all 5 lines, got ${drain_count}:\n${drain_out}")
+endif()
+list(GET drain_responses 0 d_first)
+list(GET drain_responses 1 d_second)
+list(GET drain_responses 2 d_third)
+list(GET drain_responses 3 d_malformed)
+list(GET drain_responses 4 d_stats)
+foreach(pair "d_first;ok.:true" "d_second;ok.:true"
+        "d_third;code.:.shutting_down" "d_malformed;code.:.parse_error"
+        "d_stats;code.:.shutting_down")
+  list(GET pair 0 var)
+  list(GET pair 1 pattern)
+  if(NOT "${${var}}" MATCHES "\"${pattern}")
+    message(FATAL_ERROR "${var} does not match ${pattern}: ${${var}}")
+  endif()
+endforeach()
+if(NOT d_third MATCHES "\"id\":3" OR NOT d_stats MATCHES "\"id\":5")
+  message(FATAL_ERROR "shutting_down envelopes must echo request ids:\n${drain_out}")
+endif()
+
 # Index construction after checkpoint resume: a checkpointed run and a
 # resumed run over the same directory must both answer byte-identically
 # to the plain run.
@@ -302,7 +346,8 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "--help exited ${rc}: ${err}")
 endif()
 foreach(flag stdio port workers max-batch queue-capacity serve-fault-rate
-        stream epoch-size)
+        stream epoch-size max-pipeline max-connections tier1-fill tier2-fill
+        drain-after)
   if(NOT err MATCHES "--${flag}")
     message(FATAL_ERROR "--help missing --${flag}: ${err}")
   endif()

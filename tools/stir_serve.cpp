@@ -9,8 +9,10 @@
 // --stdio reads requests from stdin and writes responses to stdout in
 // request order — deterministic, the smoke-test and scripting surface.
 // --port serves the same protocol over loopback TCP until SIGINT or
-// SIGTERM. Everything informational goes to stderr so stdout stays
-// protocol-pure.
+// SIGTERM. Both modes run through the same net::EpollServer event loop
+// (DESIGN.md §13) — stdio is just an adopted connection — so pipelining,
+// tiered admission control, and graceful drain behave identically.
+// Everything informational goes to stderr so stdout stays protocol-pure.
 
 #include <csignal>
 #include <cstdint>
@@ -28,6 +30,7 @@
 #include "core/study.h"
 #include "core/study_config.h"
 #include "geo/admin_db.h"
+#include "net/epoll_server.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
 #include "serve/study_index.h"
@@ -170,17 +173,24 @@ const AdminDb* GazetteerByName(const std::string& name) {
   return nullptr;
 }
 
-/// Blocks until SIGINT or SIGTERM arrives (TCP mode's run-until-stopped).
-void WaitForShutdownSignal() {
-  sigset_t set;
-  sigemptyset(&set);
-  sigaddset(&set, SIGINT);
-  sigaddset(&set, SIGTERM);
-  pthread_sigmask(SIG_BLOCK, &set, nullptr);
-  int sig = 0;
-  sigwait(&set, &sig);
-  std::fprintf(stderr, "stir_serve: received %s, draining\n",
-               sig == SIGINT ? "SIGINT" : "SIGTERM");
+/// Signal-to-drain plumbing: SIGINT/SIGTERM call RequestDrain, which is
+/// async-signal-safe (atomic store + eventfd write). The handlers are
+/// restored to SIG_DFL once the loop exits, so a second signal during a
+/// stuck shutdown force-kills the process.
+stir::net::EpollServer* g_drain_target = nullptr;
+
+void HandleShutdownSignal(int) {
+  if (g_drain_target != nullptr) g_drain_target->RequestDrain();
+}
+
+void InstallDrainHandlers(stir::net::EpollServer* target) {
+  g_drain_target = target;
+  struct sigaction action{};
+  action.sa_handler = target != nullptr ? HandleShutdownSignal : SIG_DFL;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  if (target == nullptr) g_drain_target = nullptr;
 }
 
 }  // namespace
@@ -196,6 +206,8 @@ int main(int argc, char** argv) {
   int64_t port = 0;
   std::string metrics_out;
   int64_t max_pipeline = 64;
+  int64_t max_connections = 4096;
+  int64_t drain_after = 0;
   bool stream_mode = false;
   int64_t epoch_size = 0;
   stir::serve::ServeOptions serve_options;
@@ -313,10 +325,46 @@ int main(int argc, char** argv) {
          return true;
        }},
       {"max-pipeline", "N",
-       "per-TCP-connection pipelining window, >= 1 (default 64)",
+       "per-connection pipelining window, >= 1 (default 64)",
        [&](const std::string& v) {
          if (!ParseInt64(v, &max_pipeline) || max_pipeline < 1) {
            return BadValue("max-pipeline", ">= 1");
+         }
+         return true;
+       }},
+      {"max-connections", "N",
+       "accept at most N concurrent connections (default 4096)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &max_connections) || max_connections < 1) {
+           return BadValue("max-connections", ">= 1");
+         }
+         return true;
+       }},
+      {"tier1-fill", "P",
+       "shed lookups/topk once the queue is P full, (0, 1] (default 1)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &serve_options.tier1_fill_limit) ||
+             serve_options.tier1_fill_limit <= 0.0 ||
+             serve_options.tier1_fill_limit > 1.0) {
+           return BadValue("tier1-fill", "in (0, 1]");
+         }
+         return true;
+       }},
+      {"tier2-fill", "P",
+       "shed append_tweets once the queue is P full, (0, 1] (default 1)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &serve_options.tier2_fill_limit) ||
+             serve_options.tier2_fill_limit <= 0.0 ||
+             serve_options.tier2_fill_limit > 1.0) {
+           return BadValue("tier2-fill", "in (0, 1]");
+         }
+         return true;
+       }},
+      {"drain-after", "N",
+       "begin a graceful drain after the Nth request line (testing hook)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &drain_after) || drain_after < 0) {
+           return BadValue("drain-after", ">= 0");
          }
          return true;
        }},
@@ -475,28 +523,44 @@ int main(int argc, char** argv) {
       server = std::make_unique<stir::serve::Server>(&batch_index,
                                                      serve_options);
     }
+    std::signal(SIGPIPE, SIG_IGN);  // Broken peers surface as EPIPE.
+    stir::net::NetOptions net_options;
+    net_options.max_pipeline = static_cast<int>(max_pipeline);
+    net_options.max_connections = static_cast<int>(max_connections);
+    net_options.max_line_bytes = serve_options.max_request_bytes;
+    net_options.drain_after_lines = drain_after;
+    net_options.metrics = &metrics;
+    stir::net::EpollServer net(server.get(), net_options);
     if (stdio_mode) {
-      int64_t served = server->ServeStream(std::cin, std::cout);
-      server->Drain();
-      std::fprintf(stderr, "stir_serve: served %lld requests\n",
-                   static_cast<long long>(served));
+      stir::Status status = net.AdoptStdio();
+      if (!status.ok()) {
+        std::fprintf(stderr, "stir_serve: %s\n", status.ToString().c_str());
+        return 1;
+      }
     } else {
-      stir::serve::TcpServer tcp(server.get(),
-                                 static_cast<int>(max_pipeline));
-      stir::Status status = tcp.Start(static_cast<uint16_t>(port));
+      stir::Status status = net.Listen(static_cast<uint16_t>(port));
       if (!status.ok()) {
         std::fprintf(stderr, "stir_serve: %s\n", status.ToString().c_str());
         return 1;
       }
       // The port line is the startup handshake — scripts wait for it.
       std::fprintf(stderr, "stir_serve: listening on 127.0.0.1:%u\n",
-                   tcp.port());
-      WaitForShutdownSignal();
-      tcp.Stop();
-      server->Drain();
-      std::fprintf(stderr,
-                   "stir_serve: drained after %lld connections\n",
-                   static_cast<long long>(tcp.connections_accepted()));
+                   net.port());
+    }
+    InstallDrainHandlers(&net);
+    net.Run();  // Returns once every connection is flushed and closed.
+    InstallDrainHandlers(nullptr);
+    const stir::net::NetStats net_stats = net.stats();
+    if (stdio_mode) {
+      std::fprintf(stderr, "stir_serve: served %lld requests\n",
+                   static_cast<long long>(net_stats.responses_out));
+    } else {
+      std::fprintf(stderr, "stir_serve: drained after %lld connections\n",
+                   static_cast<long long>(net_stats.accepted));
+    }
+    if (net_stats.drain_micros >= 0) {
+      std::fprintf(stderr, "stir_serve: graceful drain took %lld us\n",
+                   static_cast<long long>(net_stats.drain_micros));
     }
     if (!metrics_out.empty()) {
       std::ofstream out(metrics_out);
