@@ -17,9 +17,9 @@ int main(int argc, char** argv) {
       &db, twitter::DatasetGenerator::KoreanConfig(scale));
   twitter::GeneratedData data = generator.Generate();
 
-  core::CorrelationStudyOptions lex_options;
+  StudyConfig lex_options;
   lex_options.tie_break = core::TieBreak::kLexicographic;
-  core::CorrelationStudyOptions rev_options;
+  StudyConfig rev_options;
   rev_options.tie_break = core::TieBreak::kReverseLexicographic;
   core::StudyResult lex =
       core::CorrelationStudy(&db, lex_options).Run(data.dataset);

@@ -10,17 +10,6 @@
 
 namespace {
 
-double MeasureStudyMs(const stir::twitter::Dataset& dataset,
-                      const stir::geo::AdminDb& db,
-                      const stir::core::CorrelationStudyOptions& options,
-                      stir::core::StudyResult* result) {
-  stir::core::CorrelationStudy study(&db, options);
-  auto start = std::chrono::steady_clock::now();
-  *result = study.Run(dataset);
-  auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count();
-}
-
 double MeasureConfigMs(const stir::twitter::Dataset& dataset,
                        const stir::geo::AdminDb& db,
                        const stir::StudyConfig& config,
@@ -45,9 +34,9 @@ int main(int argc, char** argv) {
       &db, twitter::DatasetGenerator::KoreanConfig(scale));
   twitter::GeneratedData data = generator.Generate();
 
-  core::CorrelationStudyOptions base;
+  StudyConfig base;
   core::StudyResult clean;
-  double clean_ms = MeasureStudyMs(data.dataset, db, base, &clean);
+  double clean_ms = MeasureConfigMs(data.dataset, db, base, &clean);
 
   std::printf("%-26s %9s %9s %9s %9s %9s %8s\n", "configuration", "ms",
               "faulted", "retried", "degraded", "failures", "users");
@@ -59,11 +48,11 @@ int main(int argc, char** argv) {
   core::StudyResult faulty;
   double faulty_ms = 0.0;
   for (double rate : {0.05, 0.20}) {
-    core::CorrelationStudyOptions options;
+    StudyConfig options;
     options.fault.error_rate = rate;
     options.fault.seed = 20120401;
     options.retry.max_attempts = 3;
-    faulty_ms = MeasureStudyMs(data.dataset, db, options, &faulty);
+    faulty_ms = MeasureConfigMs(data.dataset, db, options, &faulty);
     std::printf("fault-rate %.2f, retry 3    %9.1f %9lld %9lld %9lld %9lld "
                 "%8lld\n",
                 rate, faulty_ms,

@@ -6,6 +6,8 @@
 // values (where legible in the source text) next to measured ones, with a
 // PASS/CHECK verdict on the qualitative shape.
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +19,15 @@
 #include "twitter/generator.h"
 
 namespace stir::bench {
+
+/// High-water-mark resident set of this process in bytes (ru_maxrss is
+/// kilobytes on Linux). The out-of-core acceptance gate compares this
+/// against the on-disk corpus size.
+inline int64_t CurrentPeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+}
 
 /// Scale for dataset generation: 1.0 = the paper's 52,200-user crawl.
 /// Benches default to full scale (about a second of generation) and
@@ -74,11 +85,15 @@ struct BenchJsonEntry {
   std::vector<std::pair<std::string, double>> extra;
 };
 
-/// Writes `{"benchmarks":[{"name":...,"iterations":...,"ns_per_op":...}]}`
-/// to `path`. Returns false (with a message on stderr) when the file
-/// cannot be written.
+/// Writes `{"benchmarks":[{"name":...,"iterations":...,"ns_per_op":...}],
+/// "process":{"peak_rss_bytes":...,"mapped_bytes_peak":...}}` to `path`.
+/// `mapped_bytes_peak` is the caller's high-water mark of mmapped corpus
+/// bytes (CorpusView::bytes_mapped; 0 for benches that never map one).
+/// Returns false (with a message on stderr) when the file cannot be
+/// written.
 inline bool WriteBenchJson(const std::string& path,
-                           const std::vector<BenchJsonEntry>& entries) {
+                           const std::vector<BenchJsonEntry>& entries,
+                           int64_t mapped_bytes_peak = 0) {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("benchmarks");
@@ -98,6 +113,13 @@ inline bool WriteBenchJson(const std::string& path,
     w.EndObject();
   }
   w.EndArray();
+  w.Key("process");
+  w.BeginObject();
+  w.Key("peak_rss_bytes");
+  w.Int(CurrentPeakRssBytes());
+  w.Key("mapped_bytes_peak");
+  w.Int(mapped_bytes_peak);
+  w.EndObject();
   w.EndObject();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

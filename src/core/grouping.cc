@@ -1,5 +1,7 @@
 #include "core/grouping.h"
 
+#include <algorithm>
+
 namespace stir::core {
 
 const char* TopKGroupToString(TopKGroup group) {
@@ -30,30 +32,72 @@ TopKGroup GroupForRank(int rank) {
 
 UserGrouping GroupUser(const RefinedUser& user, const geo::AdminDb& db,
                        TieBreak tie_break) {
-  const geo::Region& profile = db.region(user.profile_region);
+  // Integer merge over precomputed name keys instead of rendering a
+  // Table I string per GPS tweet and merging through a std::map. The
+  // string path keys the map on "user#pstate#pcounty#tstate#tcounty";
+  // within one user the "user#pstate#pcounty#" prefix is constant, so
+  // (a) two records collide exactly when their tweet (state, county)
+  // names coincide — i.e. when they share a DistrictNameTable key — and
+  // (b) the map's byte-wise order is the byte-wise order of
+  // "tstate#tcounty", which is each key's lex_rank. Counting per key
+  // and sorting by (count desc, lex_rank) therefore reproduces
+  // MergeAndOrder bit for bit while never hashing a string.
+  const geo::DistrictNameTable& names = db.district_names();
+  const uint32_t profile_key = names.key_of_region[
+      static_cast<size_t>(user.profile_region)];
 
-  std::vector<LocationRecord> records;
-  records.reserve(user.tweet_regions.size());
+  struct Merged {
+    uint32_t key;
+    int64_t count;
+  };
+  // First-seen linear vector: users tweet from a handful of districts,
+  // so a scan beats any hash map at this size.
+  std::vector<Merged> merged;
   for (geo::RegionId tweet_region : user.tweet_regions) {
-    const geo::Region& region = db.region(tweet_region);
-    LocationRecord record;
-    record.user = user.user;
-    record.profile_state = profile.state;
-    record.profile_county = profile.county;
-    record.tweet_state = region.state;
-    record.tweet_county = region.county;
-    records.push_back(std::move(record));
+    const uint32_t key = names.key_of_region[static_cast<size_t>(tweet_region)];
+    auto it = std::find_if(merged.begin(), merged.end(),
+                           [key](const Merged& m) { return m.key == key; });
+    if (it == merged.end()) {
+      merged.push_back(Merged{key, 1});
+    } else {
+      ++it->count;
+    }
   }
+
+  // Count descending; ties by the rank of "tstate#tcounty" — ascending
+  // for the default policy, descending for the reverse ablation (the
+  // string path reverses its lexicographically-ascending merge output
+  // before the stable count sort). Distinct keys have distinct ranks,
+  // so the comparator is a strict weak ordering and std::sort is
+  // deterministic here.
+  std::sort(merged.begin(), merged.end(),
+            [&](const Merged& a, const Merged& b) {
+              if (a.count != b.count) return a.count > b.count;
+              const uint32_t ra = names.names[a.key].lex_rank;
+              const uint32_t rb = names.names[b.key].lex_rank;
+              return tie_break == TieBreak::kLexicographic ? ra < rb : ra > rb;
+            });
 
   UserGrouping grouping;
   grouping.user = user.user;
-  grouping.gps_tweet_count = static_cast<int64_t>(records.size());
-  grouping.ordered = MergeAndOrder(records, tie_break);
-  for (size_t i = 0; i < grouping.ordered.size(); ++i) {
-    if (grouping.ordered[i].record.IsMatched()) {
+  grouping.profile_name_key = profile_key;
+  grouping.gps_tweet_count = static_cast<int64_t>(user.tweet_regions.size());
+  const geo::DistrictNameTable::Name& profile = names.names[profile_key];
+  grouping.ordered.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const geo::DistrictNameTable::Name& tweet = names.names[merged[i].key];
+    MergedLocationString row;
+    row.record.user = user.user;
+    row.record.profile_state = profile.state;
+    row.record.profile_county = profile.county;
+    row.record.tweet_state = tweet.state;
+    row.record.tweet_county = tweet.county;
+    row.count = merged[i].count;
+    row.name_key = merged[i].key;
+    grouping.ordered.push_back(std::move(row));
+    if (merged[i].key == profile_key && grouping.match_rank < 0) {
       grouping.match_rank = static_cast<int>(i) + 1;
-      grouping.matched_tweet_count = grouping.ordered[i].count;
-      break;
+      grouping.matched_tweet_count = merged[i].count;
     }
   }
   grouping.group = GroupForRank(grouping.match_rank);

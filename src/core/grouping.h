@@ -49,6 +49,10 @@ struct UserGrouping {
   int64_t distinct_tweet_locations() const {
     return static_cast<int64_t>(ordered.size());
   }
+  /// Dense geo::DistrictNameTable key of the profile (state, county)
+  /// pair; kInvalidNameKey only for groupings assembled outside
+  /// GroupUser (hand-built test fixtures).
+  uint32_t profile_name_key = kInvalidNameKey;
 };
 
 /// Builds the text-based grouping for one refined user: renders each GPS

@@ -1,6 +1,7 @@
 #ifndef STIR_CORE_LOCATION_STRING_H_
 #define STIR_CORE_LOCATION_STRING_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,11 +34,21 @@ struct LocationRecord {
 
 bool operator==(const LocationRecord& a, const LocationRecord& b);
 
+/// Sentinel for MergedLocationString::name_key: entry was produced by a
+/// string-path merge and carries no gazetteer name key.
+inline constexpr uint32_t kInvalidNameKey = 0xFFFFFFFFu;
+
 /// A merged row of the paper's Table II: a distinct record with its
 /// multiplicity, e.g. "123#Seoul#...#Yangcheon-gu (4)".
 struct MergedLocationString {
   LocationRecord record;
   int64_t count = 0;
+  /// Dense geo::DistrictNameTable key of the tweet (state, county) pair,
+  /// set by the integer grouping pass in GroupUser; kInvalidNameKey when
+  /// the row came from a plain MergeAndOrder over parsed records.
+  /// Consumers (serve::StudyIndex) use it to intern district names once
+  /// instead of re-deriving them per row.
+  uint32_t name_key = kInvalidNameKey;
 
   std::string ToString() const;
 };

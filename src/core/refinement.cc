@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "core/checkpoint.h"
 #include "core/study_config.h"
+#include "io/corpus.h"
 
 namespace stir::core {
 
@@ -75,7 +76,7 @@ StatusOr<geo::RegionId> RefinementPipeline::Geocode(
 }
 
 geo::RegionId RefinementPipeline::TextFallbackRegion(
-    const std::string& text, geo::RegionId profile_region) const {
+    std::string_view text, geo::RegionId profile_region) const {
   text::ParsedLocation parsed = parser_->Parse(text);
   if (parsed.quality == text::LocationQuality::kWellDefined) {
     return parsed.region;
@@ -94,6 +95,13 @@ geo::RegionId RefinementPipeline::TextFallbackRegion(
 TweetFold RefinementPipeline::FoldTweet(const twitter::Tweet& tweet,
                                         int64_t fault_index,
                                         geo::RegionId profile_region) const {
+  return FoldTweet(*tweet.gps, tweet.text, fault_index, profile_region);
+}
+
+TweetFold RefinementPipeline::FoldTweet(const geo::LatLng& gps,
+                                        std::string_view text,
+                                        int64_t fault_index,
+                                        geo::RegionId profile_region) const {
   TweetFold fold;
   // Retry/backoff charges are attributed per fold by sampling this
   // thread's cumulative geocoder counters around the lookup (a fold runs
@@ -102,13 +110,13 @@ TweetFold RefinementPipeline::FoldTweet(const twitter::Tweet& tweet,
   // streaming epochs all carry exact counters.
   geo::ReverseGeocoder::ThreadRetryStats retry_before =
       geo::ReverseGeocoder::CurrentThreadRetryStats();
-  auto region = Geocode(*tweet.gps, fault_index);
+  auto region = Geocode(gps, fault_index);
   if (region.ok()) {
     fold.region = *region;
   } else if (IsTransientServiceFault(region.status())) {
     fold.faulted = true;
     if (options_.degraded_text_fallback) {
-      geo::RegionId fallback = TextFallbackRegion(tweet.text, profile_region);
+      geo::RegionId fallback = TextFallbackRegion(text, profile_region);
       if (fallback != geo::kInvalidRegion) {
         fold.degraded = true;
         fold.region = fallback;
@@ -164,6 +172,58 @@ bool RefinementPipeline::RefineUser(const twitter::Dataset& dataset,
     if (!tweet.gps.has_value()) continue;
     TweetFold fold =
         FoldTweet(tweet, static_cast<int64_t>(index), parsed.region);
+    ApplyFold(fold, &stats, &out->tweet_regions);
+  }
+  if (stage_geocode_us_ != nullptr) {
+    stage_geocode_us_->Increment(ElapsedUs(geocode_t0));
+  }
+  if (out->tweet_regions.empty()) return false;
+  ++stats.final_users;
+  return true;
+}
+
+bool RefinementPipeline::RefineUser(
+    const io::CorpusView& corpus, size_t user_row, FunnelStats& stats,
+    RefinedUser* out,
+    std::unordered_map<uint32_t, text::ParsedLocation>* parse_memo) const {
+  // The arena interns profile strings, so equal strings share a ref and
+  // the memo collapses them to one parse per shard.
+  const uint32_t profile_ref = corpus.user_profile_ref(user_row);
+  const text::ParsedLocation* parsed = nullptr;
+  std::chrono::steady_clock::time_point t0;
+  if (stage_parse_us_ != nullptr) t0 = std::chrono::steady_clock::now();
+  auto it = parse_memo->find(profile_ref);
+  if (it == parse_memo->end()) {
+    it = parse_memo
+             ->emplace(profile_ref,
+                       parser_->Parse(corpus.user_profile_location(user_row)))
+             .first;
+  }
+  parsed = &it->second;
+  if (stage_parse_us_ != nullptr) stage_parse_us_->Increment(ElapsedUs(t0));
+  ++stats.quality_counts[static_cast<int>(parsed->quality)];
+  if (parsed->quality != text::LocationQuality::kWellDefined) return false;
+  ++stats.well_defined_users;
+
+  std::chrono::steady_clock::time_point geocode_t0;
+  if (stage_geocode_us_ != nullptr) {
+    geocode_t0 = std::chrono::steady_clock::now();
+  }
+  out->user = corpus.user_id(user_row);
+  out->profile_region = parsed->region;
+  out->total_tweets = corpus.user_total_tweets(user_row);
+  out->tweet_regions.clear();
+  const uint64_t begin = corpus.user_tweet_begin(user_row);
+  const uint64_t end = corpus.user_tweet_end(user_row);
+  for (uint64_t pos = begin; pos < end; ++pos) {
+    const size_t row = corpus.user_tweet_row(pos);
+    if (!corpus.tweet_has_gps(row)) continue;
+    // The tweet row doubles as the fault key: for a corpus written in
+    // dataset order it equals the tweet's dataset index, so the fault
+    // schedule — and with it every downstream byte — matches the
+    // Dataset overload.
+    TweetFold fold = FoldTweet(corpus.tweet_gps(row), corpus.tweet_text(row),
+                               static_cast<int64_t>(row), parsed->region);
     ApplyFold(fold, &stats, &out->tweet_regions);
   }
   if (stage_geocode_us_ != nullptr) {
@@ -309,6 +369,100 @@ std::vector<RefinedUser> RefinementPipeline::Run(
   // Retry/backoff totals are accumulated per user inside RefineUser (see
   // the thread-local sampling there); for a fresh geocoder they equal its
   // num_retries()/simulated_backoff_ms() totals.
+  stats.fault_injection_enabled = geocoder_->fault_injection_enabled();
+  if (metrics_ != nullptr) PublishFunnelMetrics(stats);
+  return refined;
+}
+
+std::vector<RefinedUser> RefinementPipeline::Run(const io::CorpusView& corpus,
+                                                 FunnelStats* funnel,
+                                                 common::ThreadPool* pool) const {
+  obs::Tracer::ScopedSpan refinement_span(tracer_, "refinement");
+  FunnelStats local;
+  FunnelStats& stats = funnel != nullptr ? *funnel : local;
+  stats = FunnelStats{};
+  stats.crawled_users = static_cast<int64_t>(corpus.user_count());
+  stats.total_tweets = corpus.total_tweet_count();
+  stats.gps_tweets = corpus.gps_tweet_count();
+
+  const size_t user_count = corpus.user_count();
+  size_t shards = common::NumShards(pool, user_count);
+  std::vector<RefinedUser> refined;
+  // Page-release policy: a grouped corpus stores one user's tweets
+  // contiguously, so a contiguous user range maps to a contiguous tweet
+  // byte range we can hand back to the kernel as soon as the range is
+  // refined. Ungrouped corpora scatter rows, so no release is attempted
+  // (the kernel still evicts under pressure; only the bound is weaker).
+  if (shards <= 1) {
+    // Serial: release consumed tweet pages every watermark's worth of
+    // users so a single-threaded out-of-core scan stays flat too.
+    constexpr size_t kReleaseUserStride = 1u << 16;
+    size_t released_row = 0;
+    RefinedUser candidate;
+    std::unordered_map<uint32_t, text::ParsedLocation> parse_memo;
+    for (size_t i = 0; i < user_count; ++i) {
+      if (RefineUser(corpus, i, stats, &candidate, &parse_memo)) {
+        refined.push_back(std::move(candidate));
+        candidate = RefinedUser{};
+      }
+      if (corpus.grouped() && (i + 1) % kReleaseUserStride == 0) {
+        size_t consumed = static_cast<size_t>(corpus.user_tweet_begin(i + 1));
+        corpus.ReleaseTweetRows(released_row, consumed);
+        released_row = consumed;
+      }
+    }
+    if (corpus.grouped()) {
+      corpus.ReleaseTweetRows(released_row, corpus.tweet_count());
+    }
+  } else {
+    // Contiguous user shards, merged in shard order — bit-identical to
+    // the serial scan for any thread count, same as the Dataset path.
+    std::vector<FunnelStats> shard_stats(shards);
+    std::vector<std::vector<RefinedUser>> shard_refined(shards);
+    int64_t parent_span = refinement_span.id();
+    common::ParallelForShards(
+        pool, user_count, [&](size_t shard, size_t begin, size_t end) {
+          int64_t span = tracer_ != nullptr
+                             ? tracer_->BeginSpanUnder("refine.shard",
+                                                       parent_span)
+                             : obs::Tracer::kNoSpan;
+          if (tracer_ != nullptr) {
+            tracer_->AddAttribute(span, "shard",
+                                  static_cast<int64_t>(shard));
+            tracer_->AddAttribute(span, "users",
+                                  static_cast<int64_t>(end - begin));
+          }
+          RefinedUser candidate;
+          std::unordered_map<uint32_t, text::ParsedLocation> parse_memo;
+          for (size_t i = begin; i < end; ++i) {
+            if (RefineUser(corpus, i, shard_stats[shard], &candidate,
+                           &parse_memo)) {
+              shard_refined[shard].push_back(std::move(candidate));
+              candidate = RefinedUser{};
+            }
+          }
+          if (corpus.grouped()) {
+            corpus.ReleaseTweetRows(
+                static_cast<size_t>(corpus.user_tweet_begin(begin)),
+                static_cast<size_t>(corpus.user_tweet_begin(end)));
+          }
+          if (tracer_ != nullptr) tracer_->EndSpan(span);
+        });
+
+    obs::Tracer::ScopedSpan merge_span(tracer_, "refine.merge");
+    size_t total = 0;
+    for (const std::vector<RefinedUser>& part : shard_refined) {
+      total += part.size();
+    }
+    refined.reserve(total);
+    for (size_t shard = 0; shard < shards; ++shard) {
+      stats.AccumulateUserCounts(shard_stats[shard]);
+      for (RefinedUser& user : shard_refined[shard]) {
+        refined.push_back(std::move(user));
+      }
+    }
+  }
+
   stats.fault_injection_enabled = geocoder_->fault_injection_enabled();
   if (metrics_ != nullptr) PublishFunnelMetrics(stats);
   return refined;

@@ -2,6 +2,8 @@
 #define STIR_CORE_REFINEMENT_H_
 
 #include <cstdint>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -14,6 +16,10 @@
 
 namespace stir {
 struct StudyConfig;
+}
+
+namespace stir::io {
+class CorpusView;
 }
 
 namespace stir::core {
@@ -146,6 +152,21 @@ class RefinementPipeline {
                                common::ThreadPool* pool = nullptr,
                                StudyCheckpointer* checkpointer = nullptr) const;
 
+  /// Columnar overload: runs the same funnel over a zero-copy arena
+  /// corpus (io::CorpusView) without materializing users or tweets. The
+  /// fault key of tweet row `r` is `r` itself, which equals the tweet's
+  /// dataset index for a corpus written in dataset order — so refined
+  /// output, funnel counters, and every fault/retry charge are
+  /// byte-identical to the Dataset overload on the same corpus. Each
+  /// shard advises its consumed tweet pages away (madvise) once refined,
+  /// keeping the resident set bounded by the shard working set rather
+  /// than the file. Checkpointing is a Dataset-path feature; the view
+  /// path is for out-of-core scale where re-running a shard is cheaper
+  /// than journaling it.
+  std::vector<RefinedUser> Run(const io::CorpusView& corpus,
+                               FunnelStats* funnel,
+                               common::ThreadPool* pool = nullptr) const;
+
   /// Folds one GPS tweet: geocode (with `fault_index` as the stable fault
   /// key), degraded-mode salvage against `profile_region`, and the retry /
   /// backoff delta sampled from this thread's geocoder counters. Both the
@@ -153,6 +174,13 @@ class RefinementPipeline {
   /// these folds, which is what makes them byte-equivalent.
   TweetFold FoldTweet(const twitter::Tweet& tweet, int64_t fault_index,
                       geo::RegionId profile_region) const;
+
+  /// Field overload of FoldTweet for columnar callers: `gps` and `text`
+  /// are the tweet's GPS fix and body (the only fields a fold reads), so
+  /// the view path folds straight out of the mapped columns. The Tweet
+  /// overload delegates here.
+  TweetFold FoldTweet(const geo::LatLng& gps, std::string_view text,
+                      int64_t fault_index, geo::RegionId profile_region) const;
 
   /// Applies one fold's accounting: bumps the funnel's fault / retry /
   /// failure counters and appends the resolved region to `regions` (when
@@ -170,13 +198,23 @@ class RefinementPipeline {
   /// Degraded-mode salvage: district named in the tweet text, if any
   /// (see RefinementOptions::degraded_text_fallback). kInvalidRegion
   /// when the text does not resolve.
-  geo::RegionId TextFallbackRegion(const std::string& text,
+  geo::RegionId TextFallbackRegion(std::string_view text,
                                    geo::RegionId profile_region) const;
 
   /// Refines one user into `out`, updating `stats`' per-user counters.
   /// Returns true when the user survives both gates.
   bool RefineUser(const twitter::Dataset& dataset, const twitter::User& user,
                   FunnelStats& stats, RefinedUser* out) const;
+
+  /// Columnar twin of RefineUser: reads user row `user_row` and its CSR
+  /// tweet range straight from the mapped columns. `parse_memo` caches
+  /// parses keyed by the arena string ref — interning makes duplicate
+  /// profile strings share a ref, so each unique string parses once per
+  /// shard. Parsing is pure, so the memo cannot change any output byte.
+  bool RefineUser(const io::CorpusView& corpus, size_t user_row,
+                  FunnelStats& stats, RefinedUser* out,
+                  std::unordered_map<uint32_t, text::ParsedLocation>*
+                      parse_memo) const;
 
   /// Publishes the merged funnel accounting as per-stage drop counters
   /// (`funnel.drop.*`, `funnel.users.*`, `funnel.tweets.*`) — the

@@ -8,6 +8,7 @@
 #include "core/checkpoint.h"
 #include "geo/geocode_journal.h"
 #include "io/atomic_file.h"
+#include "io/corpus.h"
 
 namespace stir::core {
 
@@ -101,26 +102,13 @@ void AggregateGroups(StudyResult* result) {
           : 0.0;
 }
 
-StudyConfig CorrelationStudyOptions::ToConfig() const {
-  StudyConfig config;
-  config.threads = threads;
-  config.tie_break = tie_break;
-  config.refinement = refinement;
-  config.geocoder = geocoder;
-  config.fault = fault;
-  config.retry = retry;
-  return config;
-}
-
 CorrelationStudy::CorrelationStudy(const geo::AdminDb* db,
                                    const StudyConfig& config)
     : db_(db), config_(config), parser_(db) {}
 
-CorrelationStudy::CorrelationStudy(const geo::AdminDb* db,
-                                   CorrelationStudyOptions options)
-    : CorrelationStudy(db, options.ToConfig()) {}
-
-StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
+StudyResult CorrelationStudy::RunWithEffectiveConfig(
+    const std::function<void(const StudyConfig&, StudyResult*)>& stages)
+    const {
   StudyResult result;
 
   // Resolve the effective observability sinks: a caller-owned instance
@@ -145,9 +133,9 @@ StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
     cfg.obs.tracer = run_tracer.get();
   }
 
-  // RunStages closes the "study" root span on return, so the snapshots
+  // The stages close the "study" root span on return, so the snapshots
   // below see every span complete.
-  RunStages(dataset, cfg, &result);
+  stages(cfg, &result);
 
   if (cfg.obs.metrics != nullptr) {
     result.metrics = cfg.obs.metrics->Snapshot();
@@ -156,6 +144,20 @@ StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
     result.trace = cfg.obs.tracer->Snapshot();
   }
   return result;
+}
+
+StudyResult CorrelationStudy::Run(const twitter::Dataset& dataset) const {
+  return RunWithEffectiveConfig(
+      [&](const StudyConfig& cfg, StudyResult* result) {
+        RunStages(dataset, cfg, result);
+      });
+}
+
+StudyResult CorrelationStudy::Run(const io::CorpusView& corpus) const {
+  return RunWithEffectiveConfig(
+      [&](const StudyConfig& cfg, StudyResult* result) {
+        RunStages(corpus, cfg, result);
+      });
 }
 
 void CorrelationStudy::RunStages(const twitter::Dataset& dataset,
@@ -290,6 +292,52 @@ void CorrelationStudy::RunStages(const twitter::Dataset& dataset,
     }
   }
   publish_io_metrics();
+  {
+    obs::Tracer::ScopedSpan grouping_span(cfg.obs.tracer, "grouping");
+    result->groupings =
+        GroupUsers(result->refined, *db_, cfg.tie_break, pool.get());
+  }
+  obs::Tracer::ScopedSpan aggregate_span(cfg.obs.tracer, "aggregate");
+  AggregateGroups(result);
+}
+
+void CorrelationStudy::RunStages(const io::CorpusView& corpus,
+                                 const StudyConfig& cfg,
+                                 StudyResult* result) const {
+  obs::Tracer::ScopedSpan study_span(cfg.obs.tracer, "study");
+
+  // Same geocoder / fault wiring as the Dataset path — the fault
+  // schedule is keyed on tweet rows, which equal dataset indices for a
+  // corpus written in dataset order, so faulty runs stay byte-identical
+  // across the two paths too.
+  geo::ReverseGeocoderOptions geocoder_options = cfg.geocoder;
+  common::FaultInjector injector(cfg.fault);
+  if (geocoder_options.fault_injector == nullptr &&
+      (injector.enabled() || injector.crash_enabled())) {
+    geocoder_options.fault_injector = &injector;
+    geocoder_options.retry = cfg.retry;
+  }
+  if (geocoder_options.metrics == nullptr) {
+    geocoder_options.metrics = cfg.obs.metrics;
+  }
+  if (geocoder_options.tracer == nullptr) {
+    geocoder_options.tracer = cfg.obs.tracer;
+    geocoder_options.trace_lookups = cfg.obs.trace_geocode_calls;
+  }
+  if (!cfg.durability.checkpoint_dir.empty()) {
+    STIR_LOG(Warning) << "checkpoint_dir is set but the columnar corpus "
+                         "path does not checkpoint; running without "
+                         "durability (re-running a mapped shard is cheaper "
+                         "than journaling it)";
+  }
+
+  geo::ReverseGeocoder geocoder(db_, geocoder_options);
+  RefinementPipeline pipeline(&parser_, &geocoder, cfg);
+  std::unique_ptr<common::ThreadPool> pool;
+  if (cfg.threads > 1) {
+    pool = std::make_unique<common::ThreadPool>(cfg.threads, cfg.obs.metrics);
+  }
+  result->refined = pipeline.Run(corpus, &result->funnel, pool.get());
   {
     obs::Tracer::ScopedSpan grouping_span(cfg.obs.tracer, "grouping");
     result->groupings =

@@ -1,6 +1,7 @@
 #ifndef STIR_CORE_STUDY_H_
 #define STIR_CORE_STUDY_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,48 +71,27 @@ struct StudyResult {
 /// the streaming determinism contract (DESIGN.md §12).
 void AggregateGroups(StudyResult* result);
 
-/// Deprecated shim: the pre-StudyConfig flat options struct. Kept so
-/// existing call sites compile unchanged; internally converted via
-/// ToConfig(). New code should build a stir::StudyConfig directly.
-struct CorrelationStudyOptions {
-  RefinementOptions refinement;
-  geo::ReverseGeocoderOptions geocoder;
-  /// Tie rule for equal string multiplicities (ablation knob; the
-  /// paper's results must not depend on it).
-  TieBreak tie_break = TieBreak::kLexicographic;
-  /// Worker threads for refinement and grouping; <= 1 runs serially.
-  /// Results are bit-identical across thread counts (sharded execution
-  /// with ordered merges) as long as the geocoder quota is unlimited.
-  int threads = 1;
-  /// Fault schedule injected into the reverse geocoder (CLI --fault-rate
-  /// and friends). All knobs off — the default — leaves the fault layer
-  /// disengaged and the output byte-identical to a fault-free build.
-  /// Faults are keyed on tweet dataset indices, so a faulty run is also
-  /// bit-identical across thread counts.
-  common::FaultInjectorOptions fault;
-  /// Retry schedule for injected faults (forwarded to the geocoder).
-  common::RetryPolicyOptions retry;
-
-  /// Field-for-field mapping onto the unified config (DESIGN.md §8 has
-  /// the full migration table). Observability stays at its defaults —
-  /// the legacy surface never had it.
-  StudyConfig ToConfig() const;
-};
-
 /// The paper's end-to-end analysis: refinement funnel -> text-based
 /// grouping -> Top-k classification -> group aggregates. Deterministic
 /// for a given dataset and gazetteer, and for any `config.threads`
 /// setting.
 class CorrelationStudy {
  public:
-  /// `db` must outlive the study. The config is copied.
-  CorrelationStudy(const geo::AdminDb* db, const StudyConfig& config);
-
-  /// Deprecated shim: accepts the legacy flat options struct.
+  /// `db` must outlive the study. The config is copied. (The former
+  /// CorrelationStudyOptions shim is gone — DESIGN.md §8 maps its
+  /// fields onto StudyConfig.)
   explicit CorrelationStudy(const geo::AdminDb* db,
-                            CorrelationStudyOptions options = {});
+                            const StudyConfig& config = StudyConfig());
 
   StudyResult Run(const twitter::Dataset& dataset) const;
+
+  /// Columnar overload: runs the study straight off a mapped arena
+  /// corpus (io::CorpusView) — no Dataset materialization, resident set
+  /// bounded by the refinement working set. Output is byte-identical to
+  /// Run(Dataset) on the same corpus. Durability is the one Dataset-path
+  /// feature the columnar path does not carry: a configured
+  /// checkpoint_dir logs a warning and the run proceeds without it.
+  StudyResult Run(const io::CorpusView& corpus) const;
 
   const geo::AdminDb& db() const { return *db_; }
   const text::LocationParser& parser() const { return parser_; }
@@ -124,6 +104,14 @@ class CorrelationStudy {
   /// snapshots the sinks into the result.
   void RunStages(const twitter::Dataset& dataset, const StudyConfig& cfg,
                  StudyResult* result) const;
+  void RunStages(const io::CorpusView& corpus, const StudyConfig& cfg,
+                 StudyResult* result) const;
+
+  /// Shared Run scaffolding: resolves the effective observability sinks,
+  /// invokes `stages`, then snapshots metrics/trace into the result.
+  StudyResult RunWithEffectiveConfig(
+      const std::function<void(const StudyConfig&, StudyResult*)>& stages)
+      const;
 
   const geo::AdminDb* db_;
   StudyConfig config_;

@@ -64,6 +64,37 @@ AdminDb::AdminDb(std::vector<Region> regions, double coverage_slack_km)
     double safe = std::isfinite(nearest) ? nearest * 0.45 : r.radius_km;
     r.safe_radius_km = std::min(r.radius_km, std::max(0.3, safe));
   }
+
+  // Intern-once name table: dedupe (state, county) pairs into dense
+  // keys, then rank each key by its "state#county" bytes — the exact
+  // comparison a string-keyed Table II merge performs between two of
+  // one user's records (their "user#pstate#pcounty#" prefix is shared).
+  std::unordered_map<std::string, uint32_t> key_ids;
+  district_names_.key_of_region.reserve(regions_.size());
+  for (const Region& r : regions_) {
+    std::string suffix = r.state + "#" + r.county;
+    auto [it, inserted] = key_ids.emplace(
+        std::move(suffix), static_cast<uint32_t>(district_names_.names.size()));
+    if (inserted) {
+      DistrictNameTable::Name name;
+      name.state = r.state;
+      name.county = r.county;
+      name.display = r.state + " " + r.county;
+      district_names_.names.push_back(std::move(name));
+    }
+    district_names_.key_of_region.push_back(it->second);
+  }
+  std::vector<uint32_t> by_suffix(district_names_.names.size());
+  for (uint32_t k = 0; k < by_suffix.size(); ++k) by_suffix[k] = k;
+  std::sort(by_suffix.begin(), by_suffix.end(),
+            [this](uint32_t a, uint32_t b) {
+              const DistrictNameTable::Name& na = district_names_.names[a];
+              const DistrictNameTable::Name& nb = district_names_.names[b];
+              return na.state + "#" + na.county < nb.state + "#" + nb.county;
+            });
+  for (uint32_t rank = 0; rank < by_suffix.size(); ++rank) {
+    district_names_.names[by_suffix[rank]].lex_rank = rank;
+  }
 }
 
 const Region& AdminDb::region(RegionId id) const {

@@ -38,6 +38,32 @@ struct Region {
   std::string FullName() const { return state + " " + county; }
 };
 
+/// Intern-once district name table, precomputed by every AdminDb
+/// (DESIGN.md §14). Each region resolves to a dense *name key*; regions
+/// whose (state, county) names coincide share a key, exactly the way
+/// string-keyed merges collapse them. Each key carries its display
+/// strings plus the byte-wise lexicographic rank of its "state#county"
+/// rendering, so the grouping pass can merge and order per-tweet
+/// districts as an integer-column operation — no per-tweet string
+/// building, no re-hashing — and still reproduce the string pipeline's
+/// order bit for bit. serve::StudyIndex reuses the same display names.
+struct DistrictNameTable {
+  struct Name {
+    std::string state;
+    std::string county;
+    /// "State County" — the serving/display rendering.
+    std::string display;
+    /// Rank of "state#county" among all distinct keys, byte-wise
+    /// ascending (the order a std::map over Table I record strings
+    /// yields for one user's records).
+    uint32_t lex_rank = 0;
+  };
+  /// RegionId -> name key (dense, size() == region count).
+  std::vector<uint32_t> key_of_region;
+  /// Name key -> names (size() == distinct (state, county) pairs).
+  std::vector<Name> names;
+};
+
 /// In-memory gazetteer of administrative districts with reverse-geocoding
 /// support (grid-accelerated nearest-centroid assignment — a Voronoi
 /// approximation of district polygons) and deterministic point sampling
@@ -88,6 +114,9 @@ class AdminDb {
   /// Bounding box of all centroids.
   BoundingBox Coverage() const { return coverage_; }
 
+  /// The precomputed intern-once name table (see DistrictNameTable).
+  const DistrictNameTable& district_names() const { return district_names_; }
+
   /// Hangul spelling of a Korean first-level division ("서울" for
   /// "Seoul"), or nullptr when unknown. Static lookup, valid for any
   /// gazetteer.
@@ -106,6 +135,7 @@ class AdminDb {
   GridIndex index_;
   BoundingBox coverage_;
   double coverage_slack_km_;
+  DistrictNameTable district_names_;
 };
 
 namespace internal_admin_data {

@@ -1,0 +1,161 @@
+#include "io/corpus_reader.h"
+
+#include <cstdio>
+#include <string_view>
+
+#include "twitter/column_store.h"
+
+namespace stir::io {
+
+namespace {
+
+constexpr std::string_view kColumnV1Magic = "STIRCOL1";
+constexpr std::string_view kColumnV2Magic = "STIRCOL2";
+
+}  // namespace
+
+const char* CorpusFormatName(CorpusFormat format) {
+  switch (format) {
+    case CorpusFormat::kTsv:
+      return "tsv";
+    case CorpusFormat::kColumnV2:
+      return "column-v2";
+    case CorpusFormat::kArenaV3:
+      return "arena-v3";
+  }
+  return "unknown";
+}
+
+StatusOr<CorpusFormat> CorpusReader::SniffFormat(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  char magic[8] = {0};
+  size_t got = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  std::string_view head(magic, got);
+  if (head == kCorpusMagic) return CorpusFormat::kArenaV3;
+  if (head == kColumnV1Magic || head == kColumnV2Magic) {
+    return CorpusFormat::kColumnV2;
+  }
+  return CorpusFormat::kTsv;
+}
+
+StatusOr<CorpusReader> CorpusReader::Open(const CorpusSpec& spec) {
+  CorpusReader reader;
+  reader.tsv_options_ = spec.tsv;
+
+  if (!spec.corpus_path.empty()) {
+    if (!spec.users_path.empty() || !spec.tweets_path.empty()) {
+      return Status::InvalidArgument(
+          "pass either corpus_path or users_path+tweets_path, not both");
+    }
+    STIR_ASSIGN_OR_RETURN(CorpusFormat format,
+                          SniffFormat(spec.corpus_path));
+    if (format != CorpusFormat::kArenaV3) {
+      return Status::InvalidArgument(
+          spec.corpus_path + " is " + CorpusFormatName(format) +
+          ", not a self-contained arena corpus; pass it as users/tweets");
+    }
+    STIR_ASSIGN_OR_RETURN(CorpusView view,
+                          CorpusView::Open(spec.corpus_path, spec.view));
+    reader.format_ = CorpusFormat::kArenaV3;
+    reader.view_ = std::move(view);
+    return reader;
+  }
+
+  if (spec.users_path.empty() || spec.tweets_path.empty()) {
+    return Status::InvalidArgument(
+        "CorpusSpec needs corpus_path or users_path+tweets_path");
+  }
+  STIR_ASSIGN_OR_RETURN(CorpusFormat format, SniffFormat(spec.tweets_path));
+  switch (format) {
+    case CorpusFormat::kArenaV3:
+      return Status::InvalidArgument(
+          spec.tweets_path +
+          " is a self-contained arena corpus; pass it as corpus_path "
+          "(it already carries the user table)");
+    case CorpusFormat::kTsv: {
+      STIR_ASSIGN_OR_RETURN(
+          twitter::Dataset dataset,
+          twitter::Dataset::LoadTsv(spec.users_path, spec.tweets_path,
+                                    spec.tsv, &reader.tsv_stats_));
+      reader.format_ = CorpusFormat::kTsv;
+      reader.dataset_ = std::move(dataset);
+      return reader;
+    }
+    case CorpusFormat::kColumnV2: {
+      STIR_ASSIGN_OR_RETURN(
+          twitter::Dataset dataset,
+          twitter::Dataset::LoadUsersTsv(spec.users_path, spec.tsv,
+                                         &reader.tsv_stats_));
+      STIR_ASSIGN_OR_RETURN(twitter::TweetColumnStore store,
+                            twitter::TweetColumnStore::Load(spec.tweets_path));
+      for (size_t i = 0; i < store.size(); ++i) {
+        twitter::TweetView row = store.Get(i);
+        twitter::Tweet tweet;
+        tweet.id = row.id;
+        tweet.user = row.user;
+        tweet.time = row.time;
+        tweet.gps = row.gps;
+        tweet.text = std::string(row.text);
+        if (dataset.FindUser(tweet.user) == nullptr) {
+          if (spec.tsv.strict) {
+            return Status::InvalidArgument(
+                "column row " + std::to_string(i) + ": tweet " +
+                std::to_string(tweet.id) + " from unknown user " +
+                std::to_string(tweet.user));
+          }
+          ++reader.tsv_stats_.quarantined_tweet_rows;
+          continue;
+        }
+        dataset.AddTweet(std::move(tweet));
+      }
+      reader.format_ = CorpusFormat::kColumnV2;
+      reader.dataset_ = std::move(dataset);
+      return reader;
+    }
+  }
+  return Status::Internal("unreachable corpus format");
+}
+
+StatusOr<const twitter::Dataset*> CorpusReader::Materialize() {
+  if (!dataset_) {
+    if (!view_) return Status::FailedPrecondition("reader holds no corpus");
+    STIR_ASSIGN_OR_RETURN(twitter::Dataset dataset,
+                          MaterializeDataset(*view_));
+    dataset_ = std::move(dataset);
+  }
+  return &*dataset_;
+}
+
+StatusOr<twitter::Dataset> CorpusReader::TakeDataset() {
+  STIR_RETURN_IF_ERROR(Materialize().status());
+  twitter::Dataset out = std::move(*dataset_);
+  dataset_.reset();
+  return out;
+}
+
+StatusOr<twitter::Dataset> MaterializeDataset(const CorpusView& view) {
+  twitter::Dataset dataset;
+  for (size_t row = 0; row < view.user_count(); ++row) {
+    twitter::User user;
+    user.id = view.user_id(row);
+    user.handle = std::string(view.user_handle(row));
+    user.profile_location = std::string(view.user_profile_location(row));
+    user.total_tweets = view.user_total_tweets(row);
+    if (dataset.FindUser(user.id) != nullptr) {
+      return Status::InvalidArgument("corpus " + view.path() +
+                                     ": duplicate user id " +
+                                     std::to_string(user.id));
+    }
+    dataset.AddUser(std::move(user));
+  }
+  for (size_t row = 0; row < view.tweet_count(); ++row) {
+    dataset.AddTweet(view.MaterializeTweet(row));
+  }
+  return dataset;
+}
+
+}  // namespace stir::io

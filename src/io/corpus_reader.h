@@ -1,0 +1,92 @@
+#ifndef STIR_IO_CORPUS_READER_H_
+#define STIR_IO_CORPUS_READER_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "io/corpus.h"
+#include "twitter/dataset.h"
+
+namespace stir::io {
+
+/// The three corpus encodings the tree has accumulated, oldest first.
+enum class CorpusFormat {
+  kTsv,       // users TSV + tweets TSV (the original interchange format)
+  kColumnV2,  // users TSV + STIRCOL1/2 tweet column snapshot
+  kArenaV3,   // self-contained STIRARN3 arena corpus (users + tweets)
+};
+
+const char* CorpusFormatName(CorpusFormat format);
+
+/// What to open. Either `corpus_path` names a self-contained v3 file, or
+/// `users_path` + `tweets_path` name the legacy pair — where the tweets
+/// file may be TSV or a binary column snapshot; the reader sniffs file
+/// contents (magic bytes, never extensions) and picks the decoder.
+struct CorpusSpec {
+  std::string corpus_path;
+  std::string users_path;
+  std::string tweets_path;
+  /// Malformed-row handling for the TSV decoders (strict by default).
+  twitter::Dataset::TsvLoadOptions tsv;
+  /// v3 open options (CRC verification on by default).
+  CorpusViewOptions view;
+};
+
+/// One façade over every corpus load path (DESIGN.md §14). Legacy
+/// formats are decoded into a row-oriented twitter::Dataset at Open; a
+/// v3 corpus is opened as a zero-copy CorpusView and only materialized
+/// into a Dataset on demand (the columnar study path never needs it).
+///
+///   STIR_ASSIGN_OR_RETURN(auto reader, CorpusReader::Open(spec));
+///   if (reader.has_view()) RunColumnar(reader.view());
+///   else                   RunBatch(*reader.dataset());
+class CorpusReader {
+ public:
+  /// Sniffs the on-disk format of `path` from its leading bytes.
+  /// IOError when unreadable; a file with no known magic is TSV.
+  static StatusOr<CorpusFormat> SniffFormat(const std::string& path);
+
+  static StatusOr<CorpusReader> Open(const CorpusSpec& spec);
+
+  CorpusFormat format() const { return format_; }
+
+  /// True when a zero-copy view is available (v3 corpora).
+  bool has_view() const { return view_.has_value(); }
+  const CorpusView& view() const { return *view_; }
+
+  /// The materialized dataset, or nullptr for a v3 corpus that has not
+  /// been materialized yet.
+  const twitter::Dataset* dataset() const {
+    return dataset_ ? &*dataset_ : nullptr;
+  }
+
+  /// Materializes (for v3) and returns the row-oriented dataset.
+  StatusOr<const twitter::Dataset*> Materialize();
+
+  /// Moves the dataset out (single-use CLI loads); materializes first
+  /// when needed.
+  StatusOr<twitter::Dataset> TakeDataset();
+
+  /// Quarantine counts from the TSV decoders (zero for v3).
+  const twitter::Dataset::TsvLoadStats& tsv_stats() const {
+    return tsv_stats_;
+  }
+
+ private:
+  CorpusFormat format_ = CorpusFormat::kTsv;
+  std::optional<CorpusView> view_;
+  std::optional<twitter::Dataset> dataset_;
+  twitter::Dataset::TsvLoadOptions tsv_options_;
+  twitter::Dataset::TsvLoadStats tsv_stats_;
+};
+
+/// Decodes a v3 view into a row-oriented Dataset (field-identical to the
+/// corpus the writer ingested, in the same order). InvalidArgument on
+/// referential corruption a crafted file could smuggle past structural
+/// checks (duplicate user ids).
+StatusOr<twitter::Dataset> MaterializeDataset(const CorpusView& view);
+
+}  // namespace stir::io
+
+#endif  // STIR_IO_CORPUS_READER_H_

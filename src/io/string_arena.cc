@@ -1,0 +1,20 @@
+#include "io/string_arena.h"
+
+namespace stir::io {
+
+StringArena::StringArena() {
+  offsets_ = {0, 0};  // id 0: the empty string
+  ids_.emplace(std::string(), 0);
+}
+
+uint32_t StringArena::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(size());
+  blob_.append(s.data(), s.size());
+  offsets_.push_back(blob_.size());
+  ids_.emplace(std::string(s), id);
+  return id;
+}
+
+}  // namespace stir::io

@@ -62,8 +62,45 @@ StudyIndex StudyIndex::Build(const core::StudyResult& result,
             });
 
   // District accumulation keyed by the display name, which sorts the
-  // district table deterministically.
-  std::map<std::string, DistrictBuild> district_builds;
+  // district table deterministically. The transparent comparator lets
+  // the keyed fast path probe with the gazetteer's display string_view
+  // without building a key string per location row.
+  std::map<std::string, DistrictBuild, std::less<>> district_builds;
+
+  // Intern-once fast path: groupings produced by core::GroupUser carry
+  // gazetteer name keys, so the display string for a district is built
+  // (and hashed into the intern pool) once per distinct key, not once
+  // per location row. The caches are lazy — the first row touching a
+  // key interns/creates at exactly the point the string path would, so
+  // the names_ pool and the district map are byte-identical to the
+  // string path's. Rows without keys (hand-assembled groupings) fall
+  // back to the original string rendering below.
+  const geo::DistrictNameTable& names = db.district_names();
+  std::vector<NameId> name_id_of_key(names.names.size(), kInvalidName);
+  std::vector<DistrictBuild*> build_of_key(names.names.size(), nullptr);
+  auto interned_display = [&](uint32_t key) -> NameId {
+    NameId& cached = name_id_of_key[key];
+    if (cached == kInvalidName) cached = index.Intern(names.names[key].display);
+    return cached;
+  };
+  // std::map nodes are pointer-stable, so the per-key cache can hold the
+  // accumulator directly. Distinct keys whose displays collide (rare but
+  // possible: "A B"+"C" vs "A"+"B C") resolve to the same entry, exactly
+  // as the string keying merges them.
+  auto district_build_of = [&](uint32_t key) -> DistrictBuild& {
+    DistrictBuild*& cached = build_of_key[key];
+    if (cached == nullptr) {
+      const geo::DistrictNameTable::Name& name = names.names[key];
+      auto it = district_builds.find(std::string_view(name.display));
+      if (it == district_builds.end()) {
+        it = district_builds.emplace(name.display, DistrictBuild{}).first;
+        it->second.state = name.state;
+        it->second.county = name.county;
+      }
+      cached = &it->second;
+    }
+    return *cached;
+  };
 
   index.users_.reserve(ordered.size());
   for (const core::UserGrouping* grouping : ordered) {
@@ -76,38 +113,54 @@ StudyIndex StudyIndex::Build(const core::StudyResult& result,
     entry.first_location = static_cast<uint32_t>(index.locations_.size());
     entry.num_locations = static_cast<uint32_t>(grouping->ordered.size());
     entry.concentration = core::ComputeConcentration(*grouping);
+    const bool keyed = grouping->profile_name_key != core::kInvalidNameKey;
     if (!grouping->ordered.empty()) {
-      const core::LocationRecord& first = grouping->ordered.front().record;
-      entry.profile_district =
-          index.Intern(first.profile_state + " " + first.profile_county);
+      if (keyed) {
+        entry.profile_district = interned_display(grouping->profile_name_key);
+      } else {
+        const core::LocationRecord& first = grouping->ordered.front().record;
+        entry.profile_district =
+            index.Intern(first.profile_state + " " + first.profile_county);
+      }
     }
     for (const core::MergedLocationString& merged : grouping->ordered) {
-      const core::LocationRecord& record = merged.record;
-      std::string name = record.tweet_state + " " + record.tweet_county;
       RankedLocation location;
-      location.district = index.Intern(name);
       location.count = merged.count;
-      location.matched = record.IsMatched();
-      index.locations_.push_back(location);
-
-      DistrictBuild& build = district_builds[name];
-      if (build.users.empty() && build.profile_users == 0) {
-        build.state = record.tweet_state;
-        build.county = record.tweet_county;
+      DistrictBuild* build;
+      if (merged.name_key != core::kInvalidNameKey) {
+        location.district = interned_display(merged.name_key);
+        location.matched = merged.name_key == grouping->profile_name_key;
+        build = &district_build_of(merged.name_key);
+      } else {
+        const core::LocationRecord& record = merged.record;
+        std::string name = record.tweet_state + " " + record.tweet_county;
+        location.district = index.Intern(name);
+        location.matched = record.IsMatched();
+        DistrictBuild& slow = district_builds[name];
+        if (slow.users.empty() && slow.profile_users == 0) {
+          slow.state = record.tweet_state;
+          slow.county = record.tweet_county;
+        }
+        build = &slow;
       }
-      build.users.push_back(grouping->user);
-      build.gps_tweets += merged.count;
+      index.locations_.push_back(location);
+      build->users.push_back(grouping->user);
+      build->gps_tweets += merged.count;
     }
     if (!grouping->ordered.empty()) {
-      const core::LocationRecord& first = grouping->ordered.front().record;
-      std::string profile_name =
-          first.profile_state + " " + first.profile_county;
-      DistrictBuild& build = district_builds[profile_name];
-      if (build.users.empty() && build.profile_users == 0) {
-        build.state = first.profile_state;
-        build.county = first.profile_county;
+      if (keyed) {
+        ++district_build_of(grouping->profile_name_key).profile_users;
+      } else {
+        const core::LocationRecord& first = grouping->ordered.front().record;
+        std::string profile_name =
+            first.profile_state + " " + first.profile_county;
+        DistrictBuild& build = district_builds[profile_name];
+        if (build.users.empty() && build.profile_users == 0) {
+          build.state = first.profile_state;
+          build.county = first.profile_county;
+        }
+        ++build.profile_users;
       }
-      ++build.profile_users;
     }
     index.user_ids_.emplace(entry.user,
                             static_cast<uint32_t>(index.users_.size()));

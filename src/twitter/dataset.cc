@@ -75,10 +75,9 @@ StatusOr<Dataset> Dataset::LoadTsv(const std::string& users_path,
   return LoadTsv(users_path, tweets_path, TsvLoadOptions{});
 }
 
-StatusOr<Dataset> Dataset::LoadTsv(const std::string& users_path,
-                                   const std::string& tweets_path,
-                                   const TsvLoadOptions& options,
-                                   TsvLoadStats* stats) {
+StatusOr<Dataset> Dataset::LoadUsersTsv(const std::string& users_path,
+                                        const TsvLoadOptions& options,
+                                        TsvLoadStats* stats) {
   CsvOptions tsv;
   tsv.delimiter = '\t';
   Dataset dataset;
@@ -120,6 +119,19 @@ StatusOr<Dataset> Dataset::LoadTsv(const std::string& users_path,
     }
     dataset.AddUser(std::move(user));
   }
+  return dataset;
+}
+
+StatusOr<Dataset> Dataset::LoadTsv(const std::string& users_path,
+                                   const std::string& tweets_path,
+                                   const TsvLoadOptions& options,
+                                   TsvLoadStats* stats) {
+  CsvOptions tsv;
+  tsv.delimiter = '\t';
+  TsvLoadStats local_stats;
+  TsvLoadStats& counts = stats != nullptr ? *stats : local_stats;
+  STIR_ASSIGN_OR_RETURN(Dataset dataset,
+                        LoadUsersTsv(users_path, options, &counts));
 
   STIR_ASSIGN_OR_RETURN(auto tweet_rows, ReadCsvFile(tweets_path, tsv));
   for (size_t i = 1; i < tweet_rows.size(); ++i) {

@@ -75,6 +75,13 @@ class Dataset {
                                    const TsvLoadOptions& options,
                                    TsvLoadStats* stats = nullptr);
 
+  /// Loads only the users file (same format and strict/lenient rules as
+  /// LoadTsv) into a dataset with no tweets. io::CorpusReader uses this
+  /// to pair a users TSV with a binary tweet column snapshot.
+  static StatusOr<Dataset> LoadUsersTsv(const std::string& users_path,
+                                        const TsvLoadOptions& options,
+                                        TsvLoadStats* stats = nullptr);
+
  private:
   std::vector<User> users_;
   std::vector<Tweet> tweets_;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "io/corpus.h"
 
 namespace stir::twitter {
 
@@ -45,9 +46,11 @@ SimTime DatasetGenerator::SampleTimestamp(Rng& rng) const {
          second_of_hour;
 }
 
-GeneratedData DatasetGenerator::Generate() const {
+template <typename UserSink, typename TweetSink>
+Status DatasetGenerator::Synthesize(UserSink&& on_user, TweetSink&& on_tweet,
+                                    GroundTruth* truth,
+                                    CorpusStreamInfo* info) const {
   Rng master(options_.seed);
-  GeneratedData out;
 
   // --- User sample -----------------------------------------------------
   // Either crawl a synthetic follower graph from its best-connected seed
@@ -69,16 +72,20 @@ GeneratedData DatasetGenerator::Generate() const {
     auto crawl = crawler.Crawl(graph.MostFollowedUser());
     STIR_CHECK(crawl.ok()) << crawl.status().ToString();
     user_ids = crawl->users;
-    out.crawl_requests = crawl->requests_issued;
-    out.crawl_elapsed_seconds = crawl->elapsed_seconds;
+    info->crawl_requests = crawl->requests_issued;
+    info->crawl_elapsed_seconds = crawl->elapsed_seconds;
     // A sparse graph component can run out before the target; top up with
-    // unvisited ids so the corpus size is deterministic.
-    for (UserId u = 0;
-         static_cast<int64_t>(user_ids.size()) < options_.num_users &&
-         u < graph.num_users();
-         ++u) {
-      if (std::find(user_ids.begin(), user_ids.end(), u) == user_ids.end()) {
-        user_ids.push_back(u);
+    // unvisited ids (ascending, same as the historical linear scan, but
+    // via a visited bitmap — O(graph) instead of O(graph * crawled)) so
+    // the corpus size is deterministic.
+    if (static_cast<int64_t>(user_ids.size()) < options_.num_users) {
+      std::vector<bool> visited(static_cast<size_t>(graph.num_users()), false);
+      for (UserId u : user_ids) visited[static_cast<size_t>(u)] = true;
+      for (UserId u = 0;
+           static_cast<int64_t>(user_ids.size()) < options_.num_users &&
+           u < graph.num_users();
+           ++u) {
+        if (!visited[static_cast<size_t>(u)]) user_ids.push_back(u);
       }
     }
   } else {
@@ -109,9 +116,11 @@ GeneratedData DatasetGenerator::Generate() const {
     user.total_tweets =
         std::clamp<int64_t>(total, 1, options_.max_tweets_per_user);
 
-    out.dataset.AddUser(user);
-    out.truth.mobility.emplace(uid, mobility);
-    out.truth.profile_style.emplace(uid, profile.style);
+    STIR_RETURN_IF_ERROR(on_user(user));
+    if (truth != nullptr) {
+      truth->mobility.emplace(uid, mobility);
+      truth->profile_style.emplace(uid, profile.style);
+    }
 
     if (is_geotagger) {
       // Full per-tweet walk: region, geotag decision, materialize GPS
@@ -126,7 +135,7 @@ GeneratedData DatasetGenerator::Generate() const {
         tweet.time = SampleTimestamp(rng);
         if (geotag) tweet.gps = db_->SamplePointIn(region, rng);
         tweet.text = tweet_generator_.Generate(region, rng);
-        out.dataset.AddTweet(std::move(tweet));
+        STIR_RETURN_IF_ERROR(on_tweet(std::move(tweet)));
       }
     } else if (options_.plain_tweet_sample > 0.0) {
       // No GPS ever: materialize only the sampled plain tweets, skipping
@@ -142,11 +151,41 @@ GeneratedData DatasetGenerator::Generate() const {
         tweet.user = uid;
         tweet.time = SampleTimestamp(rng);
         tweet.text = tweet_generator_.Generate(region, rng);
-        out.dataset.AddTweet(std::move(tweet));
+        STIR_RETURN_IF_ERROR(on_tweet(std::move(tweet)));
       }
     }
   }
+  return Status::OK();
+}
+
+GeneratedData DatasetGenerator::Generate() const {
+  GeneratedData out;
+  CorpusStreamInfo info;
+  Status status = Synthesize(
+      [&](const User& user) {
+        out.dataset.AddUser(user);
+        return Status::OK();
+      },
+      [&](Tweet tweet) {
+        out.dataset.AddTweet(std::move(tweet));
+        return Status::OK();
+      },
+      &out.truth, &info);
+  STIR_CHECK(status.ok()) << status.ToString();
+  out.crawl_requests = info.crawl_requests;
+  out.crawl_elapsed_seconds = info.crawl_elapsed_seconds;
   return out;
+}
+
+StatusOr<CorpusStreamInfo> DatasetGenerator::GenerateToCorpus(
+    io::CorpusWriter* writer) const {
+  STIR_CHECK(writer != nullptr);
+  CorpusStreamInfo info;
+  STIR_RETURN_IF_ERROR(Synthesize(
+      [&](const User& user) { return writer->AddUser(user); },
+      [&](Tweet tweet) { return writer->AddTweet(tweet); },
+      /*truth=*/nullptr, &info));
+  return info;
 }
 
 DatasetGeneratorOptions DatasetGenerator::KoreanConfig(double scale) {

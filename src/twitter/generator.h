@@ -13,6 +13,10 @@
 #include "twitter/social_graph.h"
 #include "twitter/tweet_text.h"
 
+namespace stir::io {
+class CorpusWriter;
+}
+
 namespace stir::twitter {
 
 /// Everything needed to synthesize one corpus. The two presets mirror the
@@ -70,6 +74,13 @@ struct GeneratedData {
   SimTime crawl_elapsed_seconds = 0;
 };
 
+/// Accounting from a streamed generation (GenerateToCorpus): the crawl
+/// numbers GeneratedData would carry, without the dataset.
+struct CorpusStreamInfo {
+  int64_t crawl_requests = 0;
+  SimTime crawl_elapsed_seconds = 0;
+};
+
 /// Deterministic corpus synthesizer over an AdminDb.
 class DatasetGenerator {
  public:
@@ -77,6 +88,17 @@ class DatasetGenerator {
   DatasetGenerator(const geo::AdminDb* db, DatasetGeneratorOptions options);
 
   GeneratedData Generate() const;
+
+  /// Streams the synthesized corpus straight into a v3 arena corpus
+  /// writer without ever holding a Dataset or GroundTruth in memory —
+  /// generator memory stays O(users) while the writer spills tweet
+  /// columns to disk, so corpora far beyond RAM are producible. Users
+  /// and their tweets are emitted in exactly Generate()'s order and the
+  /// shared synthesis core draws from the same seeded streams, so the
+  /// written corpus is field-identical to
+  /// CorpusWriter::WriteDataset(Generate().dataset). The caller owns
+  /// `writer` and calls Finish() on it afterwards.
+  StatusOr<CorpusStreamInfo> GenerateToCorpus(io::CorpusWriter* writer) const;
 
   /// The Korean dataset preset at `scale` (1.0 = the paper's 52,200
   /// crawled users / ~11M tweets; default 0.1 runs in seconds).
@@ -89,6 +111,15 @@ class DatasetGenerator {
 
  private:
   SimTime SampleTimestamp(Rng& rng) const;
+
+  /// The shared synthesis core: samples the user population (graph crawl
+  /// or enumeration) and walks every user's timeline, handing each User
+  /// and Tweet to the sinks in a single deterministic order. `truth` is
+  /// optional (the streaming path drops ground truth). A sink returning
+  /// a non-OK status aborts the walk.
+  template <typename UserSink, typename TweetSink>
+  Status Synthesize(UserSink&& on_user, TweetSink&& on_tweet,
+                    GroundTruth* truth, CorpusStreamInfo* info) const;
 
   const geo::AdminDb* db_;
   DatasetGeneratorOptions options_;

@@ -30,7 +30,7 @@ class ParallelStudyTest : public ::testing::Test {
   }
 
   StudyResult RunWithThreads(const twitter::Dataset& dataset, int threads) {
-    CorrelationStudyOptions options;
+    StudyConfig options;
     options.threads = threads;
     CorrelationStudy study(&db_, options);
     return study.Run(dataset);
@@ -117,7 +117,7 @@ TEST_F(ParallelStudyTest, GoldenEquivalenceAcrossThreadCounts) {
 // the tweet's dataset index, not on arrival order.
 TEST_F(ParallelStudyTest, FaultyRunsAreBitIdenticalAcrossThreadCounts) {
   twitter::GeneratedData data = Generate(0.05);
-  CorrelationStudyOptions options;
+  StudyConfig options;
   options.fault.error_rate = 0.25;
   options.fault.seed = 13;
   options.retry.max_attempts = 2;
@@ -147,7 +147,7 @@ TEST_F(ParallelStudyTest, FaultyRunsAreBitIdenticalAcrossThreadCounts) {
 
 TEST_F(ParallelStudyTest, FaithfulXmlPipelineIsAlsoEquivalent) {
   twitter::GeneratedData data = Generate(0.02);
-  CorrelationStudyOptions options;
+  StudyConfig options;
   options.refinement.faithful_xml_pipeline = true;
   CorrelationStudy serial_study(&db_, options);
   StudyResult serial = serial_study.Run(data.dataset);

@@ -153,7 +153,7 @@ TEST(FailureInjectionTest, QuotaLimitedGeocoderDegradesGracefully) {
 
   // A quota far below the number of distinct GPS cells: the pipeline
   // must complete, count the failures, and keep a subset of users.
-  core::CorrelationStudyOptions starved_options;
+  StudyConfig starved_options;
   starved_options.geocoder.quota = 200;
   core::CorrelationStudy starved_study(&db, starved_options);
   core::StudyResult starved = starved_study.Run(data.dataset);

@@ -142,23 +142,25 @@ TEST_F(StudyTest, GroupAccessorMatchesArray) {
   EXPECT_EQ(result.group(TopKGroup::kNone).users, result.groups[6].users);
 }
 
-TEST_F(StudyTest, LegacyOptionsShimMatchesStudyConfig) {
+TEST_F(StudyTest, StudyConfigCarriesFaultAndRetryKnobs) {
+  // StudyConfig is the one options surface (the CorrelationStudyOptions
+  // shim is gone): its fault/retry knobs must reach the geocoder, and a
+  // copied config must reproduce the run byte for byte.
   twitter::GeneratedData data = Generate(0.02);
-  CorrelationStudyOptions options;
-  options.threads = 2;
-  options.fault.error_rate = 0.1;
-  options.retry.max_attempts = 2;
-  StudyConfig config = options.ToConfig();
-  EXPECT_EQ(config.threads, 2);
-  EXPECT_DOUBLE_EQ(config.fault.error_rate, 0.1);
-  EXPECT_EQ(config.retry.max_attempts, 2);
+  StudyConfig config;
+  config.threads = 2;
+  config.fault.error_rate = 0.1;
+  config.retry.max_attempts = 2;
   EXPECT_FALSE(config.obs.metrics_enabled());
 
-  StudyResult via_options =
-      CorrelationStudy(&db_, options).Run(data.dataset);
-  StudyResult via_config = CorrelationStudy(&db_, config).Run(data.dataset);
-  EXPECT_EQ(via_options.FunnelString(), via_config.FunnelString());
-  EXPECT_EQ(via_options.GroupTableString(), via_config.GroupTableString());
+  StudyResult result = CorrelationStudy(&db_, config).Run(data.dataset);
+  EXPECT_TRUE(result.funnel.fault_injection_enabled);
+  EXPECT_GT(result.funnel.geocode_faulted, 0);
+
+  StudyConfig copy = config;
+  StudyResult again = CorrelationStudy(&db_, copy).Run(data.dataset);
+  EXPECT_EQ(result.FunnelString(), again.FunnelString());
+  EXPECT_EQ(result.GroupTableString(), again.GroupTableString());
 }
 
 TEST_F(StudyTest, ObservabilityDoesNotPerturbResults) {

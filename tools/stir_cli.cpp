@@ -33,6 +33,8 @@
 #include "core/study.h"
 #include "core/study_config.h"
 #include "geo/admin_db.h"
+#include "io/corpus.h"
+#include "io/corpus_reader.h"
 #include "obs/metrics.h"
 #include "stream/engine.h"
 #include "text/location_parser.h"
@@ -217,6 +219,7 @@ int RunGenerate(int argc, char** argv) {
   uint64_t seed = 0;
   std::string users_path;
   std::string tweets_path;
+  std::string corpus_path;
 
   const char* cmd = "generate";
   std::vector<Flag> flags = {
@@ -243,22 +246,37 @@ int RunGenerate(int argc, char** argv) {
          has_seed = true;
          return true;
        }},
-      {"users", "FILE", "output TSV for users (required)",
+      {"users", "FILE", "output TSV for users",
        [&](const std::string& v) { users_path = v; return true; }},
-      {"tweets", "FILE", "output TSV for tweets (required)",
+      {"tweets", "FILE", "output TSV for tweets",
        [&](const std::string& v) { tweets_path = v; return true; }},
+      {"corpus", "FILE",
+       "output a self-contained v3 arena corpus instead of TSV (streamed: "
+       "generator memory stays O(users))",
+       [&](const std::string& v) { corpus_path = v; return true; }},
   };
 
   bool want_help = false;
   int rc = ParseArgs(argc, argv, 2, flags, cmd, &want_help);
   if (rc != 0) return rc;
   if (want_help) {
-    PrintHelp(cmd, "synthesize a study corpus and persist it as TSV", flags);
+    PrintHelp(cmd,
+              "synthesize a study corpus and persist it as TSV or a v3 "
+              "arena corpus",
+              flags);
     return 0;
   }
-  if (users_path.empty() || tweets_path.empty()) {
-    std::fprintf(stderr, "stir_cli %s: --users and --tweets are required\n",
+  const bool tsv_out = !users_path.empty() || !tweets_path.empty();
+  if (corpus_path.empty() == !tsv_out) {
+    std::fprintf(stderr,
+                 "stir_cli %s: exactly one output form is required: "
+                 "--corpus FILE, or --users FILE with --tweets FILE\n",
                  cmd);
+    return 2;
+  }
+  if (tsv_out && (users_path.empty() || tweets_path.empty())) {
+    std::fprintf(stderr,
+                 "stir_cli %s: --users and --tweets go together\n", cmd);
     return 2;
   }
 
@@ -270,6 +288,30 @@ int RunGenerate(int argc, char** argv) {
           : stir::twitter::DatasetGenerator::KoreanConfig(scale);
   if (has_seed) options.seed = seed;
   stir::twitter::DatasetGenerator generator(&db, options);
+  if (!corpus_path.empty()) {
+    // Out-of-core path: users and tweets stream straight into the arena
+    // writer, which spills tweet columns to disk as it goes.
+    stir::io::CorpusWriter writer(corpus_path);
+    auto info = generator.GenerateToCorpus(&writer);
+    stir::StatusOr<stir::io::CorpusWriteStats> stats =
+        info.ok() ? writer.Finish()
+                  : stir::StatusOr<stir::io::CorpusWriteStats>(info.status());
+    if (!stats.ok()) {
+      std::fprintf(stderr, "corpus write failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %lld users (%lld tweets, %lld materialized, %lld GPS) "
+                "to %s (%lld bytes%s)\n",
+                static_cast<long long>(stats->users),
+                static_cast<long long>(stats->total_tweets),
+                static_cast<long long>(stats->tweets),
+                static_cast<long long>(stats->gps_tweets),
+                corpus_path.c_str(),
+                static_cast<long long>(stats->file_bytes),
+                stats->grouped ? ", grouped" : "");
+    return 0;
+  }
   stir::twitter::GeneratedData data = generator.Generate();
   stir::Status status = data.dataset.SaveTsv(users_path, tweets_path);
   if (!status.ok()) {
@@ -293,6 +335,7 @@ int RunStudy(int argc, char** argv) {
   stir::StudyConfig config;
   std::string users_path;
   std::string tweets_path;
+  std::string corpus_path;
   std::string gazetteer = "korean";
   std::string report_dir;
   int report_schema = stir::core::kReportSchemaVersion;
@@ -304,10 +347,14 @@ int RunStudy(int argc, char** argv) {
   bool stream_mode = false;
   int64_t epoch_size = 0;
   std::vector<Flag> flags = {
-      {"users", "FILE", "input users TSV (required)",
+      {"users", "FILE", "input users TSV",
        [&](const std::string& v) { users_path = v; return true; }},
-      {"tweets", "FILE", "input tweets TSV (required)",
+      {"tweets", "FILE", "input tweets TSV or column snapshot",
        [&](const std::string& v) { tweets_path = v; return true; }},
+      {"corpus", "FILE",
+       "input self-contained v3 arena corpus (alternative to "
+       "--users/--tweets; format is sniffed from magic bytes)",
+       [&](const std::string& v) { corpus_path = v; return true; }},
       {"gazetteer", "NAME", "gazetteer: korean | world (default korean)",
        [&](const std::string& v) {
          if (GazetteerByName(v) == nullptr) {
@@ -487,11 +534,19 @@ int RunStudy(int argc, char** argv) {
   int rc = ParseArgs(argc, argv, 2, flags, cmd, &want_help);
   if (rc != 0) return rc;
   if (want_help) {
-    PrintHelp(cmd, "run the paper's full pipeline on a TSV corpus", flags);
+    PrintHelp(cmd, "run the paper's full pipeline on a corpus", flags);
     return 0;
   }
-  if (users_path.empty() || tweets_path.empty()) {
-    std::fprintf(stderr, "stir_cli %s: --users and --tweets are required\n",
+  const bool tsv_in = !users_path.empty() || !tweets_path.empty();
+  if (corpus_path.empty() == !tsv_in) {
+    std::fprintf(stderr,
+                 "stir_cli %s: exactly one input form is required: "
+                 "--corpus FILE, or --users FILE with --tweets FILE\n",
+                 cmd);
+    return 2;
+  }
+  if (tsv_in && (users_path.empty() || tweets_path.empty())) {
+    std::fprintf(stderr, "stir_cli %s: --users and --tweets go together\n",
                  cmd);
     return 2;
   }
@@ -513,16 +568,19 @@ int RunStudy(int argc, char** argv) {
   if (config.obs.enable_metrics) config.obs.metrics = &cli_metrics;
 
   const AdminDb& db = *GazetteerByName(gazetteer);
-  stir::twitter::Dataset::TsvLoadOptions load_options;
-  load_options.strict = !lenient_load;
-  stir::twitter::Dataset::TsvLoadStats load_stats;
-  auto dataset = stir::twitter::Dataset::LoadTsv(users_path, tweets_path,
-                                                 load_options, &load_stats);
-  if (!dataset.ok()) {
+  stir::io::CorpusSpec spec;
+  spec.corpus_path = corpus_path;
+  spec.users_path = users_path;
+  spec.tweets_path = tweets_path;
+  spec.tsv.strict = !lenient_load;
+  auto reader = stir::io::CorpusReader::Open(spec);
+  if (!reader.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
-                 dataset.status().ToString().c_str());
+                 reader.status().ToString().c_str());
     return 1;
   }
+  const stir::twitter::Dataset::TsvLoadStats& load_stats =
+      reader->tsv_stats();
   if (load_stats.quarantined() > 0) {
     std::fprintf(stderr,
                  "lenient load quarantined %lld malformed rows "
@@ -534,6 +592,18 @@ int RunStudy(int argc, char** argv) {
   if (config.obs.metrics != nullptr) {
     config.obs.metrics->GetCounter("io.dataset.quarantined")
         ->Increment(load_stats.quarantined());
+  }
+  // The stream engine ingests row-oriented tweets; everything else can
+  // run zero-copy off a v3 view.
+  const stir::twitter::Dataset* dataset = nullptr;
+  if (stream_mode || !reader->has_view()) {
+    auto materialized = reader->Materialize();
+    if (!materialized.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   materialized.status().ToString().c_str());
+      return 1;
+    }
+    dataset = *materialized;
   }
 
   stir::core::StudyResult result;
@@ -565,7 +635,7 @@ int RunStudy(int argc, char** argv) {
       if (!status.ok()) break;
     }
     if (status.ok()) {
-      stir::twitter::StreamingApi api(&*dataset);
+      stir::twitter::StreamingApi api(dataset);
       int64_t delivered = 0;
       api.Replay(
           [&](size_t dataset_index, const stir::twitter::Tweet& tweet) {
@@ -596,7 +666,8 @@ int RunStudy(int argc, char** argv) {
     }
   } else {
     stir::core::CorrelationStudy study(&db, config);
-    result = study.Run(*dataset);
+    result = reader->has_view() ? study.Run(reader->view())
+                                : study.Run(*dataset);
   }
   std::printf("%s\n%s\n%s", result.FunnelString().c_str(),
               result.GroupTableString().c_str(),

@@ -30,6 +30,7 @@
 #include "core/study.h"
 #include "core/study_config.h"
 #include "geo/admin_db.h"
+#include "io/corpus_reader.h"
 #include "net/epoll_server.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
@@ -199,6 +200,7 @@ int main(int argc, char** argv) {
   stir::StudyConfig config;
   std::string users_path;
   std::string tweets_path;
+  std::string corpus_path;
   std::string gazetteer = "korean";
   bool lenient_load = false;
   bool stdio_mode = false;
@@ -214,10 +216,14 @@ int main(int argc, char** argv) {
   stir::common::FaultInjectorOptions fault_options;
 
   std::vector<Flag> flags = {
-      {"users", "FILE", "input users TSV (required)",
+      {"users", "FILE", "input users TSV",
        [&](const std::string& v) { users_path = v; return true; }},
-      {"tweets", "FILE", "input tweets TSV (required)",
+      {"tweets", "FILE", "input tweets TSV or column snapshot",
        [&](const std::string& v) { tweets_path = v; return true; }},
+      {"corpus", "FILE",
+       "input self-contained v3 arena corpus (alternative to "
+       "--users/--tweets; format is sniffed from magic bytes)",
+       [&](const std::string& v) { corpus_path = v; return true; }},
       {"gazetteer", "NAME", "gazetteer: korean | world (default korean)",
        [&](const std::string& v) {
          if (GazetteerByName(v) == nullptr) {
@@ -397,8 +403,15 @@ int main(int argc, char** argv) {
     PrintHelp(flags);
     return 0;
   }
-  if (users_path.empty() || tweets_path.empty()) {
-    std::fprintf(stderr, "stir_serve: --users and --tweets are required\n");
+  const bool tsv_in = !users_path.empty() || !tweets_path.empty();
+  if (corpus_path.empty() == !tsv_in) {
+    std::fprintf(stderr,
+                 "stir_serve: exactly one input form is required: "
+                 "--corpus FILE, or --users FILE with --tweets FILE\n");
+    return 2;
+  }
+  if (tsv_in && (users_path.empty() || tweets_path.empty())) {
+    std::fprintf(stderr, "stir_serve: --users and --tweets go together\n");
     return 2;
   }
   if (stdio_mode == tcp_mode) {
@@ -417,19 +430,32 @@ int main(int argc, char** argv) {
 
   // Load + run the study once; the index freezes the result.
   const AdminDb& db = *GazetteerByName(gazetteer);
-  stir::twitter::Dataset::TsvLoadOptions load_options;
-  load_options.strict = !lenient_load;
-  stir::twitter::Dataset::TsvLoadStats load_stats;
-  auto dataset = stir::twitter::Dataset::LoadTsv(users_path, tweets_path,
-                                                 load_options, &load_stats);
-  if (!dataset.ok()) {
+  stir::io::CorpusSpec spec;
+  spec.corpus_path = corpus_path;
+  spec.users_path = users_path;
+  spec.tweets_path = tweets_path;
+  spec.tsv.strict = !lenient_load;
+  auto reader = stir::io::CorpusReader::Open(spec);
+  if (!reader.ok()) {
     std::fprintf(stderr, "stir_serve: load failed: %s\n",
-                 dataset.status().ToString().c_str());
+                 reader.status().ToString().c_str());
     return 1;
   }
-  if (load_stats.quarantined() > 0) {
+  if (reader->tsv_stats().quarantined() > 0) {
     std::fprintf(stderr, "stir_serve: lenient load quarantined %lld rows\n",
-                 static_cast<long long>(load_stats.quarantined()));
+                 static_cast<long long>(reader->tsv_stats().quarantined()));
+  }
+  // The stream engine ingests row-oriented tweets; the batch study runs
+  // zero-copy off a v3 view.
+  const stir::twitter::Dataset* dataset = nullptr;
+  if (stream_mode || !reader->has_view()) {
+    auto materialized = reader->Materialize();
+    if (!materialized.ok()) {
+      std::fprintf(stderr, "stir_serve: load failed: %s\n",
+                   materialized.status().ToString().c_str());
+      return 1;
+    }
+    dataset = *materialized;
   }
   stir::obs::MetricsRegistry metrics;
   serve_options.metrics = &metrics;
@@ -467,7 +493,7 @@ int main(int argc, char** argv) {
       if (!status.ok()) break;
     }
     if (status.ok()) {
-      stir::twitter::StreamingApi api(&*dataset);
+      stir::twitter::StreamingApi api(dataset);
       int64_t delivered = 0;
       api.Replay(
           [&](size_t dataset_index, const stir::twitter::Tweet& tweet) {
@@ -493,7 +519,9 @@ int main(int argc, char** argv) {
                  static_cast<long long>(stream_index->MemoryBytes()));
   } else {
     stir::core::CorrelationStudy study(&db, config);
-    stir::core::StudyResult result = study.Run(*dataset);
+    stir::core::StudyResult result = reader->has_view()
+                                         ? study.Run(reader->view())
+                                         : study.Run(*dataset);
     if (result.incomplete) {
       std::fprintf(stderr,
                    "stir_serve: study did not complete; refusing to serve\n");
