@@ -13,11 +13,21 @@
 // offered concurrency doubles past the admission queue, verifying that
 // tiered shedding keeps p99 flat instead of letting latency collapse.
 //
+// A deadline sweep drives the same load with per-request "deadline_ms"
+// budgets (tight -> 10x -> none) and verifies the contract from
+// DESIGN.md §15: expired requests get the typed retryable
+// `deadline_exceeded` envelope instead of a late answer, the counts
+// reconcile exactly with the scheduler, and the p99 of the *surviving*
+// requests stays flat instead of inheriting the queueing delay the
+// expired ones would have eaten.
+//
 // Usage: bench_serve [scale] [--json <path>] [--clients N] [--requests N]
 //                    [--conns N] [--net-requests N] [--net-json <path>]
+//                    [--deadline-ms N]
 //
 // --json / --net-json write the machine-readable shape shared with
 // bench_perf:  {"benchmarks":[{"name","iterations","ns_per_op",...}]}
+// --deadline-ms sets the tightest budget of the sweep (default 1).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -57,6 +67,7 @@ struct Args {
   std::string net_json_path;
   int conns = 500;
   int requests_per_conn = 40;
+  int64_t deadline_ms = 1;  ///< Tightest budget of the deadline sweep.
 };
 
 bool ParseBenchArgs(int argc, char** argv, Args* args) {
@@ -89,6 +100,10 @@ bool ParseBenchArgs(int argc, char** argv, Args* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->requests_per_conn = std::max(1, std::atoi(value));
+    } else if (arg == "--deadline-ms") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->deadline_ms = std::max<int64_t>(1, std::atoll(value));
     } else if (!arg.empty() && arg[0] != '-') {
       double scale = std::atof(argv[i]);
       if (scale > 0.0) args->scale = scale;
@@ -259,6 +274,174 @@ bool RunOverloadScenario(const serve::StudyIndex& index) {
               "overflow rejected explicitly with `overloaded`");
   ok &= Check(answered == stats.admitted,
               "every admitted request was answered through Drain()");
+  return ok;
+}
+
+// --- Deadline sweep (DESIGN.md §15) ------------------------------------
+
+struct DeadlineLoadResult {
+  double seconds = 0.0;
+  int64_t requests = 0;
+  int64_t served = 0;   ///< "ok":true responses.
+  int64_t expired = 0;  ///< Typed `deadline_exceeded` envelopes.
+  int64_t errors = 0;   ///< Anything else (should be zero).
+  double survivor_p50_us = 0.0;
+  double survivor_p99_us = 0.0;  ///< Latency of served requests only.
+};
+
+/// RunLoad with response classification: expired requests are counted
+/// separately and excluded from the latency sample, which is the point —
+/// the sweep's claim is about what the *survivors* pay.
+DeadlineLoadResult RunDeadlineLoad(
+    serve::Server& server, const std::vector<std::vector<std::string>>& scripts,
+    size_t window) {
+  using Clock = std::chrono::steady_clock;
+  struct Inflight {
+    std::future<std::string> future;
+    Clock::time_point submitted;
+  };
+  const size_t clients = scripts.size();
+  std::vector<std::vector<int64_t>> latencies(clients);
+  std::vector<int64_t> served(clients, 0);
+  std::vector<int64_t> expired(clients, 0);
+  std::vector<int64_t> errors(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto start = Clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& mine = latencies[c];
+      mine.reserve(scripts[c].size());
+      std::deque<Inflight> inflight;
+      auto drain_one = [&] {
+        std::string response = inflight.front().future.get();
+        if (response.find("\"code\":\"deadline_exceeded\"") !=
+            std::string::npos) {
+          ++expired[c];
+        } else if (response.find("\"ok\":true") != std::string::npos) {
+          ++served[c];
+          mine.push_back(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - inflight.front().submitted)
+                  .count());
+        } else {
+          ++errors[c];
+        }
+        inflight.pop_front();
+      };
+      for (const std::string& line : scripts[c]) {
+        if (inflight.size() >= window) drain_one();
+        inflight.push_back({server.SubmitLine(line), Clock::now()});
+      }
+      while (!inflight.empty()) drain_one();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  DeadlineLoadResult result;
+  result.seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                       Clock::now() - start)
+                       .count();
+  std::vector<int64_t> all;
+  for (size_t c = 0; c < clients; ++c) {
+    result.requests += static_cast<int64_t>(scripts[c].size());
+    result.served += served[c];
+    result.expired += expired[c];
+    result.errors += errors[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    result.survivor_p50_us = static_cast<double>(all[all.size() / 2]);
+    result.survivor_p99_us =
+        static_cast<double>(all[(all.size() * 99) / 100]);
+  }
+  return result;
+}
+
+/// Sweeps per-request budgets tight -> 10x -> none over the same scripts
+/// against a lingering batcher (so queueing delay is real and a tight
+/// budget actually expires). Fresh server per phase: the scheduler's
+/// deadline_exceeded counter must reconcile exactly with the envelopes
+/// this side observed.
+bool RunDeadlineSweep(const serve::StudyIndex& index, const Args& args,
+                      std::vector<BenchJsonEntry>* json_entries) {
+  std::vector<std::vector<std::string>> base_scripts;
+  for (int c = 0; c < args.clients; ++c) {
+    base_scripts.push_back(
+        BuildScript(index, c, std::min(args.requests_per_client, 1000)));
+  }
+  const int64_t budgets[] = {args.deadline_ms, args.deadline_ms * 10, 0};
+  DeadlineLoadResult results[3];
+  std::printf("%-14s %10s %10s %10s %14s %14s\n", "deadline_ms", "requests",
+              "served", "expired", "survivor_p50", "survivor_p99");
+  bool ok = true;
+  for (int p = 0; p < 3; ++p) {
+    std::vector<std::vector<std::string>> scripts = base_scripts;
+    if (budgets[p] > 0) {
+      // "deadline_ms" is a top-level request key: splice it in after '{'.
+      const std::string field =
+          StrFormat("\"deadline_ms\":%lld,",
+                    static_cast<long long>(budgets[p]));
+      for (auto& script : scripts) {
+        for (std::string& line : script) line.insert(1, field);
+      }
+    }
+    serve::ServeOptions options;
+    options.workers = 2;
+    options.max_batch_size = 16;
+    // A 2 ms linger makes queueing delay real: a 1 ms budget expires in
+    // the queue while a generous one rides it out.
+    options.batch_linger_us = 2'000;
+    options.queue_capacity = 4096;
+    serve::Server server(&index, options);
+    results[p] = RunDeadlineLoad(server, scripts, /*window=*/64);
+    server.Drain();
+    const DeadlineLoadResult& r = results[p];
+    std::printf("%-14s %10lld %10lld %10lld %14.0f %14.0f\n",
+                budgets[p] > 0
+                    ? StrFormat("%lld", static_cast<long long>(budgets[p]))
+                          .c_str()
+                    : "none",
+                static_cast<long long>(r.requests),
+                static_cast<long long>(r.served),
+                static_cast<long long>(r.expired), r.survivor_p50_us,
+                r.survivor_p99_us);
+    const char* label = p == 0 ? "tight" : (p == 1 ? "10x" : "none");
+    ok &= Check(r.served + r.expired == r.requests && r.errors == 0,
+                StrFormat("deadline %s: every response is ok or the typed "
+                          "deadline_exceeded envelope",
+                          label)
+                    .c_str());
+    const serve::SchedulerStats stats = server.stats();
+    ok &= Check(stats.deadline_exceeded == r.expired,
+                StrFormat("deadline %s: client-observed expiries reconcile "
+                          "with the scheduler",
+                          label)
+                    .c_str());
+    BenchJsonEntry entry;
+    entry.name = StrFormat("serve/deadline/ms:%lld",
+                           static_cast<long long>(budgets[p]));
+    entry.iterations = r.requests;
+    entry.ns_per_op = r.seconds * 1e9 / static_cast<double>(r.requests);
+    entry.extra = {
+        {"expired", static_cast<double>(r.expired)},
+        {"expired_fraction",
+         static_cast<double>(r.expired) / static_cast<double>(r.requests)},
+        {"survivor_p50_us", r.survivor_p50_us},
+        {"survivor_p99_us", r.survivor_p99_us}};
+    json_entries->push_back(std::move(entry));
+  }
+  ok &= Check(results[0].expired > 0,
+              "the tight budget actually sheds load as deadline_exceeded");
+  ok &= Check(results[2].expired == 0,
+              "no budget, no expiry (the deadline path stays inert)");
+  // Flatness: survivors never pay for the queueing the expired requests
+  // escaped — their p99 stays within 10x of the no-deadline baseline.
+  const double floor_us = 1'000.0;
+  ok &= Check(results[0].survivor_p99_us <=
+                  10.0 * std::max(results[2].survivor_p99_us, floor_us),
+              "survivor p99 under the tight budget stays flat");
   return ok;
 }
 
@@ -560,7 +743,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_serve [scale] [--json <path>] "
                  "[--clients N] [--requests N] [--conns N] "
-                 "[--net-requests N] [--net-json <path>]\n");
+                 "[--net-requests N] [--net-json <path>] "
+                 "[--deadline-ms N]\n");
     return 2;
   }
   PrintHeader("bench_serve — query-serving throughput vs micro-batch size",
@@ -633,6 +817,10 @@ int Main(int argc, char** argv) {
 
   std::printf("\noverload scenario:\n");
   ok &= RunOverloadScenario(index);
+
+  std::printf("\ndeadline sweep (tightest budget %lld ms):\n",
+              static_cast<long long>(args.deadline_ms));
+  ok &= RunDeadlineSweep(index, args, &json_entries);
 
   std::printf("\nTCP front end (%d connections, %d requests each):\n",
               args.conns, args.requests_per_conn);

@@ -12,17 +12,17 @@ namespace {
 constexpr uint64_t kErrorSalt = 0x9E2F6E15A4C1D3B7ULL;
 constexpr uint64_t kLatencySalt = 0x51D7A3E94B8C6F21ULL;
 
-/// Uniform double in [0, 1) from (seed, salt, index, attempt); the same
-/// construction as splitmix64-seeded draws in common/random, so the
-/// stream is stable across platforms.
-double UniformAt(uint64_t seed, uint64_t salt, int64_t index, int attempt) {
+}  // namespace
+
+/// The same construction as splitmix64-seeded draws in common/random, so
+/// the stream is stable across platforms.
+double FaultUniformAt(uint64_t seed, uint64_t salt, int64_t index,
+                      int attempt) {
   uint64_t h = Mix64(seed ^ salt);
   h = Mix64(HashCombine(h, static_cast<uint64_t>(index)));
   h = Mix64(HashCombine(h, static_cast<uint64_t>(attempt)));
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
-
-}  // namespace
 
 FaultInjector::FaultInjector(FaultInjectorOptions options)
     : options_(options) {}
@@ -38,7 +38,7 @@ FaultDecision FaultInjector::Decide(int64_t index, int attempt) const {
   FaultDecision decision;
 
   if (options_.latency_spike_rate > 0.0 &&
-      UniformAt(options_.seed, kLatencySalt, index, attempt) <
+      FaultUniformAt(options_.seed, kLatencySalt, index, attempt) <
           options_.latency_spike_rate) {
     decision.latency_ms = options_.latency_spike_ms;
     latency_spikes_.fetch_add(1, std::memory_order_relaxed);
@@ -68,7 +68,7 @@ FaultDecision FaultInjector::Decide(int64_t index, int attempt) const {
     }
   }
   if (options_.error_rate > 0.0 &&
-      UniformAt(options_.seed, kErrorSalt, index, attempt) <
+      FaultUniformAt(options_.seed, kErrorSalt, index, attempt) <
           options_.error_rate) {
     decision.status = Status::Unavailable(
         "injected transient fault at call " + std::to_string(index) +

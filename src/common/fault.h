@@ -47,6 +47,13 @@ struct FaultInjectorOptions {
   int64_t crash_after = -1;
 };
 
+/// Uniform double in [0, 1) from (seed, salt, index, attempt): the shared
+/// deterministic draw behind every fault schedule in the tree, from the
+/// simulated-service injector below down to io::FaultFs at the syscall
+/// boundary. Identical inputs yield identical draws on every platform.
+double FaultUniformAt(uint64_t seed, uint64_t salt, int64_t index,
+                      int attempt);
+
 /// Outcome of one fault decision: an injected error (or OK) plus the
 /// simulated latency charged to the attempt.
 struct FaultDecision {

@@ -7,6 +7,7 @@
 #include "core/checkpoint.h"
 #include "core/study_config.h"
 #include "io/corpus.h"
+#include "io/fault_fs.h"
 
 namespace stir::core {
 
@@ -31,6 +32,7 @@ void FunnelStats::AccumulateUserCounts(const FunnelStats& other) {
   for (int q = 0; q < 5; ++q) quality_counts[q] += other.quality_counts[q];
   well_defined_users += other.well_defined_users;
   geocode_failures += other.geocode_failures;
+  corrupt_window_users += other.corrupt_window_users;
   final_users += other.final_users;
   geocode_faulted += other.geocode_faulted;
   geocode_retried += other.geocode_retried;
@@ -186,6 +188,30 @@ bool RefinementPipeline::RefineUser(
     const io::CorpusView& corpus, size_t user_row, FunnelStats& stats,
     RefinedUser* out,
     std::unordered_map<uint32_t, text::ParsedLocation>* parse_memo) const {
+  // Quarantine gate: a user whose tweet rows touch a CRC-failed window
+  // is dropped whole rather than folded from suspect bytes — partial
+  // folds would make the report depend on *which* bytes rotted. The
+  // check is O(1) when nothing is quarantined (the common case), so the
+  // fault-free path stays byte-identical.
+  if (corpus.quarantined_windows() > 0) {
+    const uint64_t begin = corpus.user_tweet_begin(user_row);
+    const uint64_t end = corpus.user_tweet_end(user_row);
+    bool hit = false;
+    if (corpus.grouped()) {
+      hit = corpus.TweetRowsQuarantined(static_cast<size_t>(begin),
+                                        static_cast<size_t>(end));
+    } else {
+      // Ungrouped corpora scatter rows; probe each row's window.
+      for (uint64_t pos = begin; pos < end && !hit; ++pos) {
+        const size_t row = corpus.user_tweet_row(pos);
+        hit = corpus.TweetRowsQuarantined(row, row + 1);
+      }
+    }
+    if (hit) {
+      ++stats.corrupt_window_users;
+      return false;
+    }
+  }
   // The arena interns profile strings, so equal strings share a ref and
   // the memo collapses them to one parse per shard.
   const uint32_t profile_ref = corpus.user_profile_ref(user_row);
@@ -249,6 +275,11 @@ void RefinementPipeline::PublishFunnelMetrics(const FunnelStats& stats) const {
   m->GetCounter("funnel.tweets.gps")->Increment(stats.gps_tweets);
   m->GetCounter("funnel.drop.geocode_failure")
       ->Increment(stats.geocode_failures);
+  if (stats.corrupt_window_users > 0) {
+    // Gated on nonzero so fault-free metric dumps stay byte-identical.
+    m->GetCounter("funnel.drop.corrupt_window")
+        ->Increment(stats.corrupt_window_users);
+  }
   m->GetCounter("funnel.drop.no_geocoded_tweets")
       ->Increment(stats.well_defined_users - stats.final_users);
   m->GetCounter("funnel.users.final")->Increment(stats.final_users);
@@ -378,6 +409,18 @@ std::vector<RefinedUser> RefinementPipeline::Run(const io::CorpusView& corpus,
                                                  FunnelStats* funnel,
                                                  common::ThreadPool* pool) const {
   obs::Tracer::ScopedSpan refinement_span(tracer_, "refinement");
+  // Re-verify windows up front when storage faults that can rot pages
+  // are armed (or corruption was already found), so every shard sees the
+  // same quarantine set and the shard merge stays deterministic. Without
+  // page-flip faults this is skipped entirely — no extra page touches.
+  {
+    io::FaultFs& fs = io::FaultFs::Instance();
+    if (corpus.window_count() > 0 &&
+        ((fs.enabled() && fs.options().page_flip_rate > 0.0) ||
+         corpus.quarantined_windows() > 0)) {
+      corpus.ReverifyAllWindows();
+    }
+  }
   FunnelStats local;
   FunnelStats& stats = funnel != nullptr ? *funnel : local;
   stats = FunnelStats{};

@@ -51,6 +51,12 @@ struct FunnelStats {
   /// were dropped (outside coverage, spent quota, or an unsalvageable
   /// service fault).
   int64_t geocode_failures = 0;
+  /// Users dropped before any gate because their tweet rows land in a
+  /// quarantined (CRC-failed) corpus window — see io::CorpusView's window
+  /// quarantine. Zero unless storage corruption was detected, so the
+  /// funnel invariant crawled == sum(quality_counts) only bends when data
+  /// was actually lost (crawled == sum(quality) + corrupt_window then).
+  int64_t corrupt_window_users = 0;
   /// Well-defined users with >= 1 geocoded GPS tweet — the final sample.
   int64_t final_users = 0;
 

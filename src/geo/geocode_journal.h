@@ -65,7 +65,9 @@ class GeocodeJournal {
 
   bool is_open() const { return writer_.is_open(); }
   int64_t appended() const { return writer_.appended(); }
-  void Close() { writer_.Close(); }
+  /// Final fsync + close; a failed barrier surfaces here (see
+  /// io::JournalWriter::Close).
+  Status Close() { return writer_.Close(); }
 
  private:
   io::JournalWriter writer_;

@@ -10,6 +10,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "io/fault_fs.h"
+
 namespace stir::io {
 
 namespace {
@@ -37,14 +39,18 @@ Status SyncParentDir(const std::string& path) {
 
 Status AtomicWriteFile(const std::string& path, std::string_view contents,
                        bool fsync) {
+  FaultFs& fs = FaultFs::Instance();
   std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  int fd;
+  do {
+    fd = fs.Open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return Errno("open", tmp);
 
   size_t written = 0;
   while (written < contents.size()) {
-    ssize_t n = ::write(fd, contents.data() + written,
-                        contents.size() - written);
+    ssize_t n = fs.Write(fd, contents.data() + written,
+                         contents.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
@@ -53,7 +59,7 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
     }
     written += static_cast<size_t>(n);
   }
-  if (fsync && ::fsync(fd) != 0) {
+  if (fsync && fs.Fsync(fd) != 0) {
     ::close(fd);
     ::unlink(tmp.c_str());
     return Errno("fsync", tmp);

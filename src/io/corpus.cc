@@ -12,6 +12,9 @@
 #include <limits>
 
 #include "common/crc32c.h"
+#include "common/hash.h"
+#include "io/fault_fs.h"
+#include "io/sigbus_guard.h"
 #include "twitter/dataset.h"
 
 namespace stir::io {
@@ -51,7 +54,8 @@ class CrcWriter {
       : file_(file), path_(std::move(path)) {}
 
   Status Write(const void* data, size_t bytes) {
-    if (bytes > 0 && std::fwrite(data, 1, bytes, file_) != bytes) {
+    if (bytes > 0 &&
+        FaultFs::Instance().Fwrite(data, 1, bytes, file_) != bytes) {
       return Errno("write", path_);
     }
     if (tracking_) {
@@ -143,7 +147,7 @@ Status CorpusWriter::Spill(SpillColumn* column, const void* data,
     column->file = std::fopen(column->path.c_str(), "wb");
     if (column->file == nullptr) return Errno("open", column->path);
   }
-  if (std::fwrite(data, 1, bytes, column->file) != bytes) {
+  if (FaultFs::Instance().Fwrite(data, 1, bytes, column->file) != bytes) {
     return Errno("write", column->path);
   }
   column->bytes += bytes;
@@ -416,12 +420,14 @@ StatusOr<CorpusWriteStats> CorpusWriter::Finish() {
     PutU32(&header, grouped_ ? kCorpusFlagGrouped : 0);
     PutU32(&header, static_cast<uint32_t>(plan.size()));
     if (std::fflush(out) != 0 || std::fseek(out, 0, SEEK_SET) != 0 ||
-        std::fwrite(header.data(), 1, header.size(), out) != header.size() ||
+        FaultFs::Instance().Fwrite(header.data(), 1, header.size(), out) !=
+            header.size() ||
         std::fflush(out) != 0) {
       status = Errno("write(header)", tmp);
     }
   }
-  if (status.ok() && options_.fsync && ::fsync(::fileno(out)) != 0) {
+  if (status.ok() && options_.fsync &&
+      FaultFs::Instance().Fsync(::fileno(out)) != 0) {
     status = Errno("fsync", tmp);
   }
   if (std::fclose(out) != 0 && status.ok()) status = Errno("close", tmp);
@@ -507,19 +513,41 @@ StatusOr<CorpusView> CorpusView::Open(const std::string& path,
   const uint64_t table_end = kCorpusHeaderSize + uint64_t{section_count} * 24;
   if (table_end > size) return Corrupt(path, "section table truncated");
 
+  view.file_salt_ = Fnv1a64(path);
   if (options.verify_crc) {
     // Windowed so the verification pass itself does not drag the whole
-    // file into the resident set: extend, release, repeat.
-    constexpr size_t kWindow = 16u << 20;
+    // file into the resident set: extend, release, repeat. The running
+    // CRC at each window boundary is recorded so released windows can be
+    // re-verified after a later re-fault from a disk gone bad (see
+    // ReverifyWindow). The whole pass runs under a SIGBUS guard: a file
+    // truncated under the map turns into a typed error, not a crash.
+    constexpr size_t kWindow = kCorpusVerifyWindow;
     uint32_t crc = kCrc32cInit;
-    for (size_t off = kCorpusHeaderSize; off < size; off += kWindow) {
-      size_t n = std::min(kWindow, size - off);
-      crc = Crc32cExtend(crc, std::string_view(base + off, n));
-      file.ReleaseRange(off, n);
+    // Reserved up front: no allocation happens inside the guarded region.
+    view.window_crc_boundaries_.reserve((size - kCorpusHeaderSize) / kWindow +
+                                        2);
+    view.window_crc_boundaries_.push_back(crc);
+    bool completed = RunSigbusProtected([&] {
+      for (size_t off = kCorpusHeaderSize; off < size; off += kWindow) {
+        size_t n = std::min(kWindow, size - off);
+        crc = Crc32cExtend(crc, std::string_view(base + off, n));
+        view.window_crc_boundaries_.push_back(crc);
+        file.ReleaseRange(off, n);
+      }
+    });
+    if (!completed) {
+      return Corrupt(path,
+                     "SIGBUS during verify (file truncated or page lost "
+                     "under the map)");
     }
     if (Crc32cFinish(crc) != want_crc) {
       return Corrupt(path, "CRC mismatch (corrupt payload)");
     }
+    view.window_count_ =
+        static_cast<int64_t>(view.window_crc_boundaries_.size()) - 1;
+    view.quarantine_ = std::make_shared<QuarantineState>();
+    view.quarantine_->flags = std::make_unique<std::atomic<uint8_t>[]>(
+        static_cast<size_t>(view.window_count_));
   }
 
   SectionRef sections[17];
@@ -700,8 +728,101 @@ StatusOr<CorpusView> CorpusView::Open(const std::string& path,
   view.sec_tweet_fixed_[5] =
       sections[static_cast<uint32_t>(CorpusSection::kTweetTextOffsets)];
   view.sec_tweet_text_ = text_sec;
+  view.sec_gps_bitmap_ =
+      sections[static_cast<uint32_t>(CorpusSection::kTweetGpsBitmap)];
   view.file_ = std::move(file);
   return view;
+}
+
+bool CorpusView::ReverifyWindow(int64_t w) const {
+  if (quarantine_ == nullptr || w < 0 || w >= window_count_) return true;
+  QuarantineState& q = *quarantine_;
+  std::lock_guard<std::mutex> lock(q.mu);
+  std::atomic<uint8_t>& flag = q.flags[static_cast<size_t>(w)];
+  if (flag.load(std::memory_order_relaxed) == 2) return false;
+  bool bad = false;
+  if (FaultFs::Instance().FlipWindow(file_salt_, w)) {
+    // Injected flip: FaultFs already accounted it as quarantined.
+    bad = true;
+  } else {
+    const size_t off =
+        kCorpusHeaderSize + static_cast<size_t>(w) * kCorpusVerifyWindow;
+    const size_t n = std::min(kCorpusVerifyWindow, file_.size() - off);
+    uint32_t crc = window_crc_boundaries_[static_cast<size_t>(w)];
+    bool completed = RunSigbusProtected([&] {
+      crc = Crc32cExtend(crc, std::string_view(file_.data() + off, n));
+    });
+    if (!completed ||
+        crc != window_crc_boundaries_[static_cast<size_t>(w) + 1]) {
+      bad = true;
+      FaultFs::Instance().NoteExternalQuarantine(1);
+    }
+  }
+  if (bad) {
+    flag.store(2, std::memory_order_relaxed);
+    q.quarantined.fetch_add(1, std::memory_order_release);
+  }
+  return !bad;
+}
+
+int64_t CorpusView::ReverifyAllWindows() const {
+  for (int64_t w = 0; w < window_count_; ++w) ReverifyWindow(w);
+  return quarantined_windows();
+}
+
+bool CorpusView::WindowQuarantined(int64_t w) const {
+  if (quarantine_ == nullptr || w < 0 || w >= window_count_) return false;
+  return quarantine_->flags[static_cast<size_t>(w)].load(
+             std::memory_order_relaxed) == 2;
+}
+
+int64_t CorpusView::quarantined_windows() const {
+  if (quarantine_ == nullptr) return 0;
+  return quarantine_->quarantined.load(std::memory_order_acquire);
+}
+
+bool CorpusView::ByteRangeQuarantined(uint64_t offset, uint64_t size) const {
+  if (size == 0 || offset < kCorpusHeaderSize) return false;
+  int64_t first = WindowOfByte(offset);
+  int64_t last = WindowOfByte(offset + size - 1);
+  for (int64_t w = first; w <= last && w < window_count_; ++w) {
+    if (quarantine_->flags[static_cast<size_t>(w)].load(
+            std::memory_order_relaxed) == 2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CorpusView::TweetRowsQuarantined(size_t begin_row,
+                                      size_t end_row) const {
+  if (quarantine_ == nullptr ||
+      quarantine_->quarantined.load(std::memory_order_acquire) == 0) {
+    return false;  // The byte-identical fast path: nothing quarantined.
+  }
+  if (begin_row >= end_row || end_row > tweet_count_) return false;
+  static constexpr uint64_t kWidths[6] = {8, 4, 8, 8, 8, 8};
+  for (int i = 0; i < 6; ++i) {
+    const SectionRef& sec = sec_tweet_fixed_[i];
+    if (!sec.present) continue;
+    if (ByteRangeQuarantined(sec.offset + begin_row * kWidths[i],
+                             (end_row - begin_row) * kWidths[i])) {
+      return true;
+    }
+  }
+  if (sec_gps_bitmap_.present) {
+    const uint64_t word_begin = begin_row / 64;
+    const uint64_t word_end = (end_row + 63) / 64;
+    if (ByteRangeQuarantined(sec_gps_bitmap_.offset + word_begin * 8,
+                             (word_end - word_begin) * 8)) {
+      return true;
+    }
+  }
+  const uint64_t text_begin = tweet_text_offsets_[begin_row];
+  const uint64_t text_end = tweet_text_offsets_[end_row];
+  return text_end > text_begin &&
+         ByteRangeQuarantined(sec_tweet_text_.offset + text_begin,
+                              text_end - text_begin);
 }
 
 twitter::Tweet CorpusView::MaterializeTweet(size_t row) const {

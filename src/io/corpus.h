@@ -1,8 +1,11 @@
 #ifndef STIR_IO_CORPUS_H_
 #define STIR_IO_CORPUS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -57,6 +60,12 @@ namespace stir::io {
 inline constexpr std::string_view kCorpusMagic = "STIRARN3";
 inline constexpr uint32_t kCorpusFormatVersion = 1;
 inline constexpr size_t kCorpusHeaderSize = 64;
+
+/// Granularity of the windowed CRC verify at open and of the runtime
+/// window quarantine: the payload [kCorpusHeaderSize, file_size) is
+/// checked (and, on storage faults, quarantined) in chunks of this many
+/// bytes.
+inline constexpr size_t kCorpusVerifyWindow = 16u << 20;
 
 /// Tweets were appended grouped by user, in user-row order: the CSR row
 /// array is the identity permutation and is omitted from the file — a
@@ -269,12 +278,61 @@ class CorpusView {
   /// by the shard working set even when the corpus exceeds RAM.
   void ReleaseTweetRows(size_t begin_row, size_t end_row) const;
 
+  // --- storage-fault quarantine (DESIGN.md §15) ------------------------
+  //
+  // The verify pass at Open records the running CRC at every
+  // kCorpusVerifyWindow boundary. Released windows are re-faulted from
+  // disk on the next touch, and a disk gone bad in the meantime hands
+  // back a flipped page (bad bytes) or a lost one (SIGBUS). Reverify*
+  // re-checks a window against the recorded boundary CRCs inside a
+  // SIGBUS guard — and consults the io::FaultFs page-flip schedule — and
+  // quarantines windows that fail, stickily. Readers that honor the
+  // quarantine (the refinement funnel, degraded serve) skip quarantined
+  // rows instead of trusting or crashing on them.
+
+  /// Number of verify windows over the payload (0 when opened with
+  /// verify_crc off, which also disables re-verification).
+  int64_t window_count() const { return window_count_; }
+
+  /// Re-verifies window `w`; returns false (and quarantines it) when the
+  /// window re-reads corrupt, SIGBUSes, or an injected page flip is
+  /// scheduled for it. Sticky: a quarantined window stays quarantined.
+  /// Thread-safe.
+  bool ReverifyWindow(int64_t w) const;
+
+  /// Re-verifies every window; returns the total now quarantined.
+  int64_t ReverifyAllWindows() const;
+
+  bool WindowQuarantined(int64_t w) const;
+  int64_t quarantined_windows() const;
+
+  /// True when any byte of any tweet column covering rows
+  /// [begin_row, end_row) lies in a quarantined window. O(1) when
+  /// nothing is quarantined (the byte-identical fast path).
+  bool TweetRowsQuarantined(size_t begin_row, size_t end_row) const;
+
  private:
   struct SectionRef {
     uint64_t offset = 0;
     uint64_t size = 0;
     bool present = false;
   };
+
+  /// Heap-held (movability) shared quarantine state. Flags are atomic so
+  /// shard readers can consult the quarantine lock-free while a
+  /// re-verification marks windows.
+  struct QuarantineState {
+    std::mutex mu;  ///< Serializes re-verification passes.
+    /// Per window: 0 = not quarantined, 2 = quarantined (sticky).
+    std::unique_ptr<std::atomic<uint8_t>[]> flags;
+    std::atomic<int64_t> quarantined{0};
+  };
+
+  int64_t WindowOfByte(uint64_t file_offset) const {
+    return static_cast<int64_t>((file_offset - kCorpusHeaderSize) /
+                                kCorpusVerifyWindow);
+  }
+  bool ByteRangeQuarantined(uint64_t offset, uint64_t size) const;
 
   MappedFile file_;
   size_t user_count_ = 0;
@@ -304,6 +362,15 @@ class CorpusView {
   // Byte extents of the per-tweet sections (for ReleaseTweetRows).
   SectionRef sec_tweet_fixed_[6];  // ids, user rows, times, lats, lngs, text offsets
   SectionRef sec_tweet_text_;
+  SectionRef sec_gps_bitmap_;
+
+  // Window re-verification state: running payload CRC at each window
+  // boundary (window_count_ + 1 entries; window w is intact iff
+  // Crc32cExtend(boundary[w], window bytes) == boundary[w + 1]).
+  int64_t window_count_ = 0;
+  std::vector<uint32_t> window_crc_boundaries_;
+  uint64_t file_salt_ = 0;  ///< Keys the FaultFs page-flip schedule.
+  std::shared_ptr<QuarantineState> quarantine_;
 };
 
 /// True when `path` begins with the v3 corpus magic.

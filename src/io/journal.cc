@@ -10,6 +10,7 @@
 #include "common/crc32c.h"
 #include "common/logging.h"
 #include "io/atomic_file.h"
+#include "io/fault_fs.h"
 #include "io/serialize.h"
 
 namespace stir::io {
@@ -23,9 +24,10 @@ Status Errno(const char* op, const std::string& path) {
 
 Status WriteAll(int fd, const char* data, size_t size,
                 const std::string& path) {
+  FaultFs& fs = FaultFs::Instance();
   size_t written = 0;
   while (written < size) {
-    ssize_t n = ::write(fd, data + written, size - written);
+    ssize_t n = fs.Write(fd, data + written, size - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("write", path);
@@ -33,6 +35,14 @@ Status WriteAll(int fd, const char* data, size_t size,
     written += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+int OpenRetryEintr(const char* path, int flags, mode_t mode) {
+  FaultFs& fs = FaultFs::Instance();
+  for (;;) {
+    int fd = fs.Open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
 }
 
 std::string MakeHeader(std::string_view magic) {
@@ -107,7 +117,7 @@ StatusOr<JournalReplayStats> ReplayJournal(
   return stats;
 }
 
-JournalWriter::~JournalWriter() { Close(); }
+JournalWriter::~JournalWriter() { (void)Close(); }
 
 Status JournalWriter::OpenFresh(const std::string& path,
                                 std::string_view magic,
@@ -131,7 +141,7 @@ Status JournalWriter::OpenInternal(const std::string& path,
   STIR_CHECK(fd_ < 0) << "JournalWriter already open";
   bool fresh = valid_bytes < static_cast<int64_t>(kJournalHeaderSize);
   int flags = O_WRONLY | O_CREAT;
-  int fd = ::open(path.c_str(), flags, 0644);
+  int fd = OpenRetryEintr(path.c_str(), flags, 0644);
   if (fd < 0) return Errno("open", path);
   // Drop the torn tail (or everything, for a fresh journal) so appends
   // land exactly at the end of the valid prefix.
@@ -151,7 +161,7 @@ Status JournalWriter::OpenInternal(const std::string& path,
       return s;
     }
   }
-  if (fsync_each_append && ::fsync(fd) != 0) {
+  if (fsync_each_append && FaultFs::Instance().Fsync(fd) != 0) {
     ::close(fd);
     return Errno("fsync", path);
   }
@@ -174,7 +184,9 @@ Status JournalWriter::Append(std::string_view payload) {
   // One write() per record: a crash tears at most the tail frame, which
   // replay then truncates.
   STIR_RETURN_IF_ERROR(WriteAll(fd_, record.data(), record.size(), path_));
-  if (fsync_each_append_ && ::fsync(fd_) != 0) return Errno("fsync", path_);
+  if (fsync_each_append_ && FaultFs::Instance().Fsync(fd_) != 0) {
+    return Errno("fsync", path_);
+  }
   ++appended_;
   return Status::OK();
 }
@@ -182,17 +194,21 @@ Status JournalWriter::Append(std::string_view payload) {
 Status JournalWriter::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("journal not open");
-  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  if (FaultFs::Instance().Fsync(fd_) != 0) return Errno("fsync", path_);
   return Status::OK();
 }
 
-void JournalWriter::Close() {
+Status JournalWriter::Close() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (fd_ >= 0) {
-    ::fsync(fd_);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  if (fd_ < 0) return Status::OK();
+  // The final fsync is a durability barrier like any other: a failure
+  // here means previously "appended" records may not have hit the disk,
+  // and silently swallowing it would turn that data loss invisible.
+  Status status;
+  if (FaultFs::Instance().Fsync(fd_) != 0) status = Errno("fsync", path_);
+  if (::close(fd_) != 0 && status.ok()) status = Errno("close", path_);
+  fd_ = -1;
+  return status;
 }
 
 int64_t JournalWriter::appended() const {

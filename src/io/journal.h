@@ -83,7 +83,11 @@ class JournalWriter {
   /// Flushes pending OS buffers to disk (no-op with fsync_each_append).
   Status Sync();
 
-  void Close();
+  /// Final fsync + close. The fsync result is propagated — a failed
+  /// barrier here means earlier appends may not be durable, which the
+  /// caller must hear about. Idempotent; the destructor calls it and
+  /// discards the status (it has no one to report to).
+  Status Close();
   bool is_open() const { return fd_ >= 0; }
   /// Records appended through this writer (not counting replayed ones).
   int64_t appended() const;

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "io/fault_fs.h"
+
 namespace stir::io {
 
 namespace {
@@ -31,7 +33,10 @@ size_t PageSize() {
 }  // namespace
 
 StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
+  int fd;
+  do {
+    fd = FaultFs::Instance().Open(path.c_str(), O_RDONLY, 0);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     return Status::IOError("open failed for " + path + ": " +
                            std::strerror(errno));

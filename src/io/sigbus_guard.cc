@@ -1,0 +1,63 @@
+#include "io/sigbus_guard.h"
+
+#include <csetjmp>
+#include <csignal>
+
+#include <atomic>
+#include <mutex>
+
+namespace stir::io {
+
+namespace {
+
+thread_local sigjmp_buf t_jump_buf;
+thread_local bool t_guard_active = false;
+
+std::atomic<int64_t> g_absorbed{0};
+
+void SigbusHandler(int signo) {
+  if (t_guard_active) {
+    t_guard_active = false;
+    g_absorbed.fetch_add(1, std::memory_order_relaxed);
+    siglongjmp(t_jump_buf, 1);
+  }
+  // Not ours: restore the default disposition and re-raise so the crash
+  // keeps its normal semantics (core dump, correct si_addr in the logs).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+void InstallHandlerOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action {};
+    action.sa_handler = &SigbusHandler;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESTART: a guarded region wants the signal surfaced, not a
+    // transparently restarted syscall. SA_NODEFER is unnecessary — the
+    // handler exits via siglongjmp, which restores the signal mask saved
+    // by sigsetjmp(.., 1).
+    action.sa_flags = 0;
+    ::sigaction(SIGBUS, &action, nullptr);
+  });
+}
+
+}  // namespace
+
+bool RunSigbusProtected(const std::function<void()>& fn) {
+  InstallHandlerOnce();
+  if (sigsetjmp(t_jump_buf, /*savemask=*/1) != 0) {
+    // Jumped here from the handler: the guarded load faulted.
+    return false;
+  }
+  t_guard_active = true;
+  fn();
+  t_guard_active = false;
+  return true;
+}
+
+int64_t SigbusAbsorbedCount() {
+  return g_absorbed.load(std::memory_order_relaxed);
+}
+
+}  // namespace stir::io

@@ -1,0 +1,28 @@
+#ifndef STIR_IO_SIGBUS_GUARD_H_
+#define STIR_IO_SIGBUS_GUARD_H_
+
+#include <functional>
+
+namespace stir::io {
+
+/// Runs `fn` with a SIGBUS trap armed for the calling thread and returns
+/// true when it completed normally, false when a SIGBUS fired inside it
+/// (the classic mmap hazard: a mapped file truncated or a page lost under
+/// the map turns an innocent load into a fatal signal). On the first call
+/// a process-wide SIGBUS handler is installed (thread-safe, installed
+/// once); the handler siglongjmps back out for threads that are inside a
+/// guarded region and re-raises the default disposition for any thread
+/// that is not, so unrelated SIGBUS crashes keep their normal core dump.
+///
+/// `fn` must be longjmp-safe: no objects with non-trivial destructors may
+/// be live across the faulting load (the corpus CRC loops qualify — they
+/// touch only PODs). Guards do not nest.
+bool RunSigbusProtected(const std::function<void()>& fn);
+
+/// Number of SIGBUS signals absorbed by guards since process start
+/// (exposed for tests and fault accounting).
+int64_t SigbusAbsorbedCount();
+
+}  // namespace stir::io
+
+#endif  // STIR_IO_SIGBUS_GUARD_H_

@@ -379,6 +379,17 @@ void EpollServer::ProcessCompletions() {
       }
       obs::IncrementCounter(m_shed_tier_[comp.meta.tier]);
     }
+    if (comp.meta.deadline_expired) {
+      {
+        std::lock_guard<std::mutex> g(stats_mu_);
+        ++stats_.deadline_expired;
+      }
+      if (m_deadline_expired_ == nullptr && options_.metrics != nullptr) {
+        m_deadline_expired_ = options_.metrics->GetCounter(
+            "net.deadline.expired");
+      }
+      obs::IncrementCounter(m_deadline_expired_);
+    }
   }
 }
 

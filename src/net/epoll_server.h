@@ -64,6 +64,10 @@ struct NetStats {
   int64_t responses_out = 0;  ///< Response lines queued for writing.
   int64_t oversized = 0;      ///< Lines rejected by the framer.
   int64_t shed_by_tier[serve::kNumShedTiers] = {};
+  /// Responses that were the retryable `deadline_exceeded` envelope —
+  /// reconciles with the scheduler's deadline_exceeded when all traffic
+  /// arrives through this front-end. Zero without deadlines.
+  int64_t deadline_expired = 0;
   int64_t drain_micros = -1;  ///< Drain-request-to-loop-exit; -1 = none.
 };
 
@@ -224,6 +228,9 @@ class EpollServer {
   obs::Counter* m_responses_out_ = nullptr;
   obs::Counter* m_oversized_ = nullptr;
   obs::Counter* m_shed_tier_[serve::kNumShedTiers] = {};
+  /// Registered lazily on the first expired deadline so deadline-free
+  /// runs leave the metric dump untouched (loop thread only).
+  obs::Counter* m_deadline_expired_ = nullptr;
   obs::Histogram* m_drain_us_ = nullptr;
 };
 

@@ -36,6 +36,26 @@ struct ServeOptions {
   /// with an `oversized` error without being parsed.
   size_t max_request_bytes = 64 * 1024;
 
+  /// Server-side deadline, in ms from admission, applied to requests
+  /// that carry no "deadline_ms" of their own. A request whose deadline
+  /// has expired by the time a worker dispatches its batch is answered
+  /// with the retryable `deadline_exceeded` envelope instead of being
+  /// executed late (the client has given up; the work is pure waste).
+  /// 0 — the default — imposes none, and with no per-request deadlines
+  /// either, the deadline path is completely inert: no clocks read, no
+  /// metrics registered, responses byte-identical to a deadline-free
+  /// build.
+  int64_t default_deadline_ms = 0;
+
+  /// Degraded-data mode for a server whose backing corpus failed
+  /// verification (CRC mismatch / SIGBUS at load). Data-plane methods
+  /// (lookup_*, topk_summary, append_tweets) are answered at admission
+  /// with the retryable `data_corrupt` envelope; the control plane
+  /// (server_stats, index_info) keeps working so an operator can
+  /// diagnose the outage. Off by default: a healthy server never emits
+  /// `data_corrupt`.
+  bool degraded_data = false;
+
   /// Tiered admission control (DESIGN.md §13). Each shed tier may fill
   /// the admission queue only up to `queue_capacity * limit`: once the
   /// queue is fuller than a tier's limit, requests of that tier are

@@ -456,6 +456,8 @@ const char* ErrorCodeToString(ErrorCode code) {
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kDataCorrupt: return "data_corrupt";
   }
   return "internal";
 }
@@ -508,7 +510,8 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {
   }
 
   for (const auto& [key, unused] : root.members) {
-    if (key != "v" && key != "id" && key != "method" && key != "params") {
+    if (key != "v" && key != "id" && key != "method" && key != "params" &&
+        key != "deadline_ms") {
       return Failure(ErrorCode::kBadRequest,
                      StrFormat("unknown key '%s'", key.c_str()), has_id, id);
     }
@@ -569,6 +572,16 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {
     return Failure(ErrorCode::kUnknownMethod,
                    StrFormat("method '%s' is not served", method.c_str()),
                    true, id);
+  }
+
+  const JsonValue* deadline = root.Find("deadline_ms");
+  if (deadline != nullptr) {
+    if (deadline->kind != JsonValue::Kind::kNumber || !deadline->is_int ||
+        deadline->integer <= 0) {
+      return Failure(ErrorCode::kBadRequest,
+                     "'deadline_ms' must be a positive integer", true, id);
+    }
+    request.deadline_ms = deadline->integer;
   }
 
   const JsonValue* params = root.Find("params");

@@ -34,6 +34,10 @@ inline constexpr int64_t kMaxDistrictLimit = 10'000;
 ///    "tweets":[{"id":9000,"user":900,"time":50,
 ///               "lat":37.55,"lng":126.9,"text":"..."}]}}
 ///
+/// Any request may carry an optional top-level "deadline_ms" (positive
+/// integer): the client's latency budget from admission, enforced at
+/// batch dispatch (see Request::deadline_ms).
+///
 /// One request per line (line-delimited JSON); responses echo the id:
 ///
 ///   {"v":1,"id":7,"ok":true,"result":{...}}
@@ -67,9 +71,11 @@ int ShedTier(Method method);
 inline constexpr int64_t kMaxAppendRecords = 10'000;
 
 /// Error codes carried in `error.code`. The retry contract for clients
-/// (documented in DESIGN.md §10): `overloaded` and `unavailable` are
-/// transient — retry with common::RetryPolicy semantics (exponential
-/// backoff, bounded attempts); everything else is terminal for the
+/// (documented in DESIGN.md §10): `overloaded`, `unavailable`,
+/// `deadline_exceeded`, and `data_corrupt` are transient — retry with
+/// common::RetryPolicy semantics (exponential backoff, bounded
+/// attempts; for `data_corrupt`, against a replica or after the
+/// operator restores the corpus); everything else is terminal for the
 /// request as written.
 enum class ErrorCode : int {
   kParseError = 0,     ///< Line is not valid JSON.
@@ -82,6 +88,8 @@ enum class ErrorCode : int {
   kShuttingDown = 7,   ///< Server draining; no new work accepted.
   kUnavailable = 8,    ///< Injected service fault — retryable.
   kInternal = 9,       ///< Handler invariant broke (never expected).
+  kDeadlineExceeded = 10,  ///< Request's deadline expired — retryable.
+  kDataCorrupt = 11,   ///< Backing data failed verification — retryable.
 };
 const char* ErrorCodeToString(ErrorCode code);
 
@@ -89,6 +97,12 @@ const char* ErrorCodeToString(ErrorCode code);
 struct Request {
   int64_t id = -1;
   Method method = Method::kTopkSummary;
+  /// Client budget from the optional top-level "deadline_ms" key: the
+  /// request is worthless to the sender this many milliseconds after
+  /// admission, so the scheduler answers `deadline_exceeded` instead of
+  /// executing it late. 0 (absent) defers to ServeOptions::
+  /// default_deadline_ms; both 0 means no deadline.
+  int64_t deadline_ms = 0;
   // lookup_user
   twitter::UserId user = twitter::kInvalidUser;
   // lookup_district

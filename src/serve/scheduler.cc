@@ -72,7 +72,17 @@ RequestScheduler::RequestScheduler(std::shared_ptr<const StudyIndex> index,
     m_latency_us_ = m->GetHistogram(
         "serve.latency_us", {50, 100, 250, 500, 1'000, 2'500, 5'000, 10'000,
                              25'000, 50'000, 100'000, 250'000, 1'000'000});
+    if (options_.default_deadline_ms > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      EnsureDeadlineMetricsLocked();
+    }
   }
+}
+
+void RequestScheduler::EnsureDeadlineMetricsLocked() {
+  if (m_deadline_exceeded_ != nullptr || options_.metrics == nullptr) return;
+  m_deadline_requests_ = options_.metrics->GetCounter("serve.deadline.requests");
+  m_deadline_exceeded_ = options_.metrics->GetCounter("serve.deadline.exceeded");
 }
 
 RequestScheduler::~RequestScheduler() { Drain(); }
@@ -135,6 +145,12 @@ std::string RequestScheduler::StatsResponseLocked(int64_t id) const {
   w.Int(options_.batch_linger_us);
   w.Key("queue_capacity");
   w.Int(options_.queue_capacity);
+  if (options_.default_deadline_ms > 0) {
+    // Config-gated so a deadline-free server's stats stay byte-identical
+    // to builds that predate deadlines.
+    w.Key("default_deadline_ms");
+    w.Int(options_.default_deadline_ms);
+  }
   w.EndObject();
   w.Key("counters");
   w.BeginObject();
@@ -150,6 +166,10 @@ std::string RequestScheduler::StatsResponseLocked(int64_t id) const {
   w.Int(stats_.rejected_overload);
   w.Key("rejected_shutdown");
   w.Int(stats_.rejected_shutdown);
+  if (options_.degraded_data) {
+    w.Key("rejected_corrupt");
+    w.Int(stats_.rejected_corrupt);
+  }
   w.Key("shed");
   w.BeginObject();
   for (int t = 0; t < kNumShedTiers; ++t) {
@@ -231,6 +251,18 @@ void RequestScheduler::SubmitLineWith(std::string_view line,
             m_method_[static_cast<int>(Method::kServerStats)]);
         obs::IncrementCounter(m_responses_);
         response = StatsResponseLocked(outcome.id);
+      } else if (options_.degraded_data &&
+                 outcome.request.method != Method::kIndexInfo) {
+        // Degraded-data mode: the backing corpus failed verification, so
+        // every data-plane answer would be built from suspect bytes.
+        // Reject at admission with the retryable `data_corrupt` envelope;
+        // server_stats (above) and index_info stay up as the control
+        // plane an operator diagnoses the outage with.
+        ++stats_.rejected_corrupt;
+        obs::IncrementCounter(m_responses_);
+        response = ErrorResponse(
+            true, outcome.id, ErrorCode::kDataCorrupt,
+            "backing corpus failed verification; serving degraded");
       } else if (queue_.size() >=
                  static_cast<size_t>(tier_thresholds_[meta.tier])) {
         // Tiered admission: the queue is fuller than this request
@@ -270,6 +302,18 @@ void RequestScheduler::SubmitLineWith(std::string_view line,
         pending.seq = next_seq_++;
         if (m_latency_us_ != nullptr) {
           pending.enqueued = std::chrono::steady_clock::now();
+        }
+        // Per-request deadline_ms wins over the server default; with
+        // neither, the clock is never consulted for this request.
+        const int64_t deadline_ms = pending.request.deadline_ms > 0
+                                        ? pending.request.deadline_ms
+                                        : options_.default_deadline_ms;
+        if (deadline_ms > 0) {
+          pending.has_deadline = true;
+          pending.deadline = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(deadline_ms);
+          EnsureDeadlineMetricsLocked();
+          obs::IncrementCounter(m_deadline_requests_);
         }
         queue_.push_back(std::move(pending));
         if (m_queue_depth_ != nullptr) {
@@ -386,6 +430,7 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
     options_.tracer->AddAttribute(batch_span, "requests",
                                   static_cast<int64_t>(batch.size()));
   }
+  int64_t deadlines_missed = 0;
   for (Pending& pending : batch) {
     int64_t request_span = obs::Tracer::kNoSpan;
     if (options_.tracer != nullptr && options_.trace_requests) {
@@ -394,9 +439,22 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
       options_.tracer->AddAttribute(request_span, "id", pending.request.id);
     }
     std::string response;
+    ResponseMeta meta;
+    meta.tier = ShedTier(pending.request.method);
     common::FaultInjector* injector = options_.fault_injector;
-    if (injector != nullptr && injector->enabled() &&
-        injector->Decide(pending.seq).injected()) {
+    if (pending.has_deadline &&
+        std::chrono::steady_clock::now() >= pending.deadline) {
+      // The client's budget expired while the request sat in the queue;
+      // executing it now would burn index time on an answer nobody is
+      // waiting for. Answer the retryable envelope instead.
+      ++deadlines_missed;
+      meta.deadline_expired = true;
+      obs::IncrementCounter(m_deadline_exceeded_);
+      response = ErrorResponse(
+          true, pending.request.id, ErrorCode::kDeadlineExceeded,
+          "deadline expired before execution; retry with backoff");
+    } else if (injector != nullptr && injector->enabled() &&
+               injector->Decide(pending.seq).injected()) {
       obs::IncrementCounter(m_faults_injected_);
       response = ErrorResponse(true, pending.request.id,
                                ErrorCode::kUnavailable,
@@ -412,8 +470,6 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
       m_latency_us_->Record(ElapsedMicros(pending.enqueued));
     }
     obs::IncrementCounter(m_responses_);
-    ResponseMeta meta;
-    meta.tier = ShedTier(pending.request.method);
     pending.done(std::move(response), meta);
   }
   if (options_.tracer != nullptr) {
@@ -422,6 +478,7 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     executed_ += static_cast<int64_t>(batch.size());
+    stats_.deadline_exceeded += deadlines_missed;
   }
   executed_cv_.notify_all();
 }

@@ -24,7 +24,7 @@ namespace stir::serve {
 /// `received` counts every submitted line; the others partition it:
 ///
 ///   received == admitted + stats_served + parse_errors
-///             + rejected_overload + rejected_shutdown
+///             + rejected_overload + rejected_shutdown + rejected_corrupt
 ///
 /// and sum(method_counts) == admitted + stats_served. Because the
 /// counters advance in stream order, a single client replaying the same
@@ -43,6 +43,15 @@ struct SchedulerStats {
   /// Per-tier breakdown of rejected_overload (tiered admission,
   /// DESIGN.md §13): rejected_overload == sum(rejected_by_tier).
   int64_t rejected_by_tier[kNumShedTiers] = {};
+  /// Data-plane requests answered `data_corrupt` at admission
+  /// (ServeOptions::degraded_data). Zero on a healthy server.
+  int64_t rejected_corrupt = 0;
+  /// Admitted requests answered `deadline_exceeded` at batch dispatch.
+  /// Advances in execution (not admission) order — deadline expiry is a
+  /// wall-clock fact — so it is surfaced here and in `serve.deadline.*`
+  /// metrics but deliberately NOT in the server_stats response, whose
+  /// counters must replay deterministically.
+  int64_t deadline_exceeded = 0;
 };
 
 /// Admission-time facts about a response, delivered alongside the
@@ -55,6 +64,9 @@ struct ResponseMeta {
   /// Shed tier of the request's method (meaningful whether or not the
   /// request was shed); kNumShedTiers for unparseable lines.
   int tier = kNumShedTiers;
+  /// True when the response is the retryable `deadline_exceeded`
+  /// envelope (the request expired before a worker dispatched it).
+  bool deadline_expired = false;
 };
 
 /// Completion hook for SubmitLineWith: invoked exactly once per submitted
@@ -166,6 +178,11 @@ class RequestScheduler {
     int64_t seq = 0;  ///< Admission order; keys the fault schedule.
     /// Sampled only when metrics are attached (serve.latency_us).
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute deadline (admission + effective deadline_ms), checked at
+    /// batch dispatch. `has_deadline` false means none — the clock was
+    /// never read for this request.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
   };
 
   /// Body of one pool drain task: repeatedly takes batches until the
@@ -175,6 +192,9 @@ class RequestScheduler {
   /// Renders the server_stats response. mu_ must be held (takes
   /// index_mu_ inside — lock order mu_ -> index_mu_).
   std::string StatsResponseLocked(int64_t id) const;
+  /// Registers the serve.deadline.* counters if a registry is attached
+  /// and they are not registered yet. mu_ must be held.
+  void EnsureDeadlineMetricsLocked();
   /// Forwards an append_tweets request to the stream backend after every
   /// previously admitted request has executed. mu_ must be held; released
   /// while waiting and during the backend call, then re-taken.
@@ -223,6 +243,11 @@ class RequestScheduler {
   obs::Counter* m_shed_tier_[kNumShedTiers] = {};
   obs::Counter* m_responses_ = nullptr;
   obs::Counter* m_faults_injected_ = nullptr;
+  /// serve.deadline.* — registered lazily on the first request that
+  /// actually carries a deadline (or eagerly when default_deadline_ms is
+  /// set), so deadline-free runs leave the metric dump untouched.
+  obs::Counter* m_deadline_requests_ = nullptr;
+  obs::Counter* m_deadline_exceeded_ = nullptr;
   obs::Counter* m_method_[kNumMethods] = {};
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_queue_depth_max_ = nullptr;

@@ -78,7 +78,9 @@ class StreamJournal {
 
   bool is_open() const { return writer_.is_open(); }
   int64_t appended() const { return writer_.appended(); }
-  void Close() { writer_.Close(); }
+  /// Final fsync + close; a failed barrier surfaces here (see
+  /// io::JournalWriter::Close).
+  Status Close() { return writer_.Close(); }
 
  private:
   io::JournalWriter writer_;

@@ -1,0 +1,283 @@
+// io::FaultFs — the seeded storage fault layer (DESIGN.md §15) — driven
+// through the write-ahead journal, its first hardened caller. The tests
+// pin down the layer's two contracts: recovered fault classes (short
+// writes, EINTR) leave the on-disk bytes identical to a fault-free run,
+// and surfaced classes (EIO, ENOSPC, fsync failure) come back as typed
+// Statuses with a clean, resumable valid prefix on disk. Plus the
+// accounting invariant every run must balance:
+//     injected == recovered + surfaced + quarantined.
+
+#include "io/fault_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/journal.h"
+
+namespace stir::io {
+namespace {
+
+constexpr std::string_view kMagic = "FAULTJN1";
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<std::string> Records(int n) {
+  std::vector<std::string> records;
+  records.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    records.push_back("record-" + std::to_string(i) +
+                      std::string(static_cast<size_t>(i % 7), 'x'));
+  }
+  return records;
+}
+
+std::vector<std::string> Replay(const std::string& path,
+                                JournalReplayStats* stats = nullptr) {
+  std::vector<std::string> payloads;
+  auto result = ReplayJournal(path, kMagic, [&](std::string_view payload) {
+    payloads.emplace_back(payload);
+  });
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (result.ok() && stats != nullptr) *stats = *result;
+  return payloads;
+}
+
+/// The layer is process-wide, so every test leaves it off.
+class FaultFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultFs::Instance().Reset(); }
+  void TearDown() override { FaultFs::Instance().Reset(); }
+};
+
+TEST_F(FaultFsTest, DisabledLayerIsPassThrough) {
+  EXPECT_FALSE(FaultFs::Instance().enabled());
+  const std::string path = TempPath("fault_fs_off.journal");
+  JournalWriter writer;
+  ASSERT_TRUE(writer.OpenFresh(path, kMagic).ok());
+  for (const std::string& record : Records(8)) {
+    ASSERT_TRUE(writer.Append(record).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  EXPECT_EQ(Replay(path).size(), 8u);
+  const FaultFsStats stats = FaultFs::Instance().stats();
+  EXPECT_EQ(stats.injected, 0);
+  EXPECT_EQ(stats.recovered, 0);
+  EXPECT_EQ(stats.surfaced, 0);
+  EXPECT_EQ(stats.quarantined, 0);
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultFsTest, RecoveredClassesLeaveBytesIdentical) {
+  // Fault-free reference file.
+  const std::string clean_path = TempPath("fault_fs_clean.journal");
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.OpenFresh(clean_path, kMagic).ok());
+    for (const std::string& record : Records(64)) {
+      ASSERT_TRUE(writer.Append(record).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
+  // Same appends under a heavy always-recovered schedule: every fault is
+  // absorbed by the writer's retry loop, no Status ever escapes, and the
+  // resulting bytes are identical.
+  FaultFsOptions options;
+  options.seed = 7;
+  options.short_write_rate = 0.4;
+  options.eintr_rate = 0.4;
+  FaultFs::Instance().Configure(options);
+  const std::string faulty_path = TempPath("fault_fs_faulty.journal");
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.OpenFresh(faulty_path, kMagic).ok());
+    for (const std::string& record : Records(64)) {
+      ASSERT_TRUE(writer.Append(record).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const FaultFsStats stats = FaultFs::Instance().stats();
+  FaultFs::Instance().Reset();
+
+  EXPECT_GT(stats.injected, 0);
+  EXPECT_EQ(stats.recovered, stats.injected);
+  EXPECT_EQ(stats.surfaced, 0);
+  EXPECT_EQ(stats.quarantined, 0);
+  EXPECT_EQ(stats.short_writes + stats.eintr, stats.injected);
+  EXPECT_EQ(ReadFileBytes(faulty_path), ReadFileBytes(clean_path));
+  std::filesystem::remove(clean_path);
+  std::filesystem::remove(faulty_path);
+}
+
+TEST_F(FaultFsTest, FaultScheduleIsDeterministic) {
+  // The same (seed, operation sequence) must fault the same calls: two
+  // identical runs land identical per-class counts and identical bytes.
+  FaultFsOptions options;
+  options.seed = 1234;
+  options.short_write_rate = 0.3;
+  options.eintr_rate = 0.2;
+  FaultFsStats first;
+  std::string first_bytes;
+  for (int run = 0; run < 2; ++run) {
+    FaultFs::Instance().Configure(options);  // Re-seeds and zeroes stats.
+    const std::string path =
+        TempPath("fault_fs_det_" + std::to_string(run) + ".journal");
+    JournalWriter writer;
+    ASSERT_TRUE(writer.OpenFresh(path, kMagic).ok());
+    for (const std::string& record : Records(48)) {
+      ASSERT_TRUE(writer.Append(record).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+    const FaultFsStats stats = FaultFs::Instance().stats();
+    if (run == 0) {
+      first = stats;
+      first_bytes = ReadFileBytes(path);
+      EXPECT_GT(stats.injected, 0);
+    } else {
+      EXPECT_EQ(stats.injected, first.injected);
+      EXPECT_EQ(stats.short_writes, first.short_writes);
+      EXPECT_EQ(stats.eintr, first.eintr);
+      EXPECT_EQ(ReadFileBytes(path), first_bytes);
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST_F(FaultFsTest, WriteErrorSurfacesTypedWithNoPartialFrame) {
+  const std::string path = TempPath("fault_fs_eio.journal");
+  JournalWriter writer;
+  ASSERT_TRUE(writer.OpenFresh(path, kMagic).ok());
+  ASSERT_TRUE(writer.Append("before the fault").ok());
+
+  FaultFsOptions options;
+  options.seed = 1;
+  options.write_error_rate = 1.0;
+  FaultFs::Instance().Configure(options);
+  Status status = writer.Append("doomed");
+  EXPECT_FALSE(status.ok());
+  const FaultFsStats stats = FaultFs::Instance().stats();
+  EXPECT_GT(stats.write_errors, 0);
+  EXPECT_EQ(stats.surfaced, stats.injected);
+  FaultFs::Instance().Reset();
+  ASSERT_TRUE(writer.Close().ok());
+
+  // The failed append left no partial frame: replay sees exactly the
+  // record written before the fault, with no quarantine or torn tail.
+  JournalReplayStats replay_stats;
+  std::vector<std::string> records = Replay(path, &replay_stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "before the fault");
+  EXPECT_EQ(replay_stats.quarantined, 0);
+  EXPECT_EQ(replay_stats.truncated_bytes, 0);
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultFsTest, EnospcSurfacesAndResumesClean) {
+  const std::string path = TempPath("fault_fs_enospc.journal");
+  FaultFsOptions options;
+  options.seed = 2;
+  options.enospc_after_bytes = 256;  // Tiny simulated disk.
+  FaultFs::Instance().Configure(options);
+
+  JournalWriter writer;
+  ASSERT_TRUE(writer.OpenFresh(path, kMagic).ok());
+  int64_t accepted = 0;
+  Status failure = Status::OK();
+  for (const std::string& record : Records(100)) {
+    failure = writer.Append(record);
+    if (!failure.ok()) break;
+    ++accepted;
+  }
+  ASSERT_FALSE(failure.ok()) << "a 256-byte disk accepted 100 records";
+  EXPECT_LT(accepted, 100);
+  const FaultFsStats stats = FaultFs::Instance().stats();
+  EXPECT_GT(stats.enospc, 0);
+  EXPECT_EQ(stats.surfaced, stats.injected);
+  FaultFs::Instance().Reset();
+  ASSERT_TRUE(writer.Close().ok());
+
+  // The valid prefix is exactly the accepted records; a resumed writer
+  // (disk space restored) appends after it without losing anything.
+  JournalReplayStats replay_stats;
+  std::vector<std::string> records = Replay(path, &replay_stats);
+  ASSERT_EQ(static_cast<int64_t>(records.size()), accepted);
+  EXPECT_EQ(replay_stats.quarantined, 0);
+
+  JournalWriter resumed;
+  ASSERT_TRUE(
+      resumed.OpenForResume(path, kMagic, replay_stats.valid_bytes).ok());
+  ASSERT_TRUE(resumed.Append("after the outage").ok());
+  ASSERT_TRUE(resumed.Close().ok());
+  records = Replay(path, nullptr);
+  ASSERT_EQ(static_cast<int64_t>(records.size()), accepted + 1);
+  EXPECT_EQ(records.back(), "after the outage");
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultFsTest, FsyncFailurePropagatesFromClose) {
+  const std::string path = TempPath("fault_fs_fsync.journal");
+  JournalWriter writer;
+  // No per-append fsync: the only durability barrier is Close's, whose
+  // failure the caller must hear about (earlier appends may be lost).
+  ASSERT_TRUE(writer.OpenFresh(path, kMagic,
+                               /*fsync_each_append=*/false).ok());
+  ASSERT_TRUE(writer.Append("maybe durable").ok());
+
+  FaultFsOptions options;
+  options.seed = 3;
+  options.fsync_error_rate = 1.0;
+  FaultFs::Instance().Configure(options);
+  EXPECT_FALSE(writer.Close().ok());
+  const FaultFsStats stats = FaultFs::Instance().stats();
+  EXPECT_GT(stats.fsync_failures, 0);
+  EXPECT_EQ(stats.surfaced, stats.injected);
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultFsTest, AccountingInvariantHoldsUnderMixedFaults) {
+  FaultFsOptions options;
+  options.seed = 99;
+  options.write_error_rate = 0.1;
+  options.short_write_rate = 0.2;
+  options.fsync_error_rate = 0.1;
+  options.eintr_rate = 0.2;
+  FaultFs::Instance().Configure(options);
+
+  const std::string path = TempPath("fault_fs_mixed.journal");
+  JournalWriter writer;
+  if (writer.OpenFresh(path, kMagic).ok()) {
+    for (const std::string& record : Records(200)) {
+      (void)writer.Append(record);
+    }
+    (void)writer.Close();
+  }
+  const FaultFsStats stats = FaultFs::Instance().stats();
+  FaultFs::Instance().Reset();
+
+  EXPECT_GT(stats.injected, 0);
+  EXPECT_EQ(stats.injected,
+            stats.recovered + stats.surfaced + stats.quarantined);
+  EXPECT_EQ(stats.injected,
+            stats.short_writes + stats.eintr + stats.write_errors +
+                stats.fsync_failures + stats.enospc + stats.page_flips);
+  EXPECT_EQ(stats.recovered, stats.short_writes + stats.eintr);
+  EXPECT_EQ(stats.surfaced,
+            stats.write_errors + stats.fsync_failures + stats.enospc);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace stir::io

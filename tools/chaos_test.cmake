@@ -1,0 +1,273 @@
+# Chaos battery (DESIGN.md §15): randomized kill/restart of the streaming
+# study and of the serving front end, under injected storage faults,
+# asserting journal-replay convergence to the byte-identical fault-free
+# output. Every kill is a deterministic --crash-after point (exit 42, a
+# std::_Exit with no cleanup — the moral equivalent of kill -9), every
+# disk fault comes from the seeded io::FaultFs schedule, and every
+# "randomized" choice is a seed in the loop below, so a failure replays
+# exactly.
+#
+# Opt-in lane: the battery runs only when STIR_CHAOS_TESTS=1 is set in
+# the environment (mirrors the scale lane's STIR_SCALE_TESTS), and is
+# labeled `chaos` so `ctest -L chaos` selects it.
+
+set(chaos_enabled "$ENV{STIR_CHAOS_TESTS}")
+if(NOT chaos_enabled)
+  message(STATUS "chaos battery skipped (set STIR_CHAOS_TESTS=1 to run)")
+  return()
+endif()
+
+set(CRASH_EXIT 42)
+
+function(run_cli out_rc out_stdout out_stderr)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+  set(${out_rc} "${rc}" PARENT_SCOPE)
+  set(${out_stdout} "${stdout}" PARENT_SCOPE)
+  set(${out_stderr} "${stderr}" PARENT_SCOPE)
+endfunction()
+
+function(run_serve out_rc out_stdout out_stderr input)
+  execute_process(
+    COMMAND ${SERVE} ${ARGN}
+    INPUT_FILE ${input}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+  set(${out_rc} "${rc}" PARENT_SCOPE)
+  set(${out_stdout} "${stdout}" PARENT_SCOPE)
+  set(${out_stderr} "${stderr}" PARENT_SCOPE)
+endfunction()
+
+function(expect_same_report label path_a path_b)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${path_a} ${path_b}
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    file(READ ${path_a} a)
+    file(READ ${path_b} b)
+    message(FATAL_ERROR "${label}: report.json differs\n"
+            "=== ${path_a} ===\n${a}\n=== ${path_b} ===\n${b}")
+  endif()
+endfunction()
+
+function(prepare_dirs name)
+  file(REMOVE_RECURSE ${WORK_DIR}/${name}_ckpt ${WORK_DIR}/${name}_report)
+  file(MAKE_DIRECTORY ${WORK_DIR}/${name}_ckpt ${WORK_DIR}/${name}_report)
+endfunction()
+
+# Only the always-recovered fault classes are enabled: short writes and
+# EINTR retry-loop the caller back to a byte-identical file, so a run
+# under this schedule must still converge to the fault-free output.
+# (EIO/ENOSPC/fsync faults surface typed errors by design — they are the
+# subject of the gtest fault suites, not of a convergence battery.)
+set(IO_FAULTS --io-fault-short-write-rate 0.05 --io-fault-eintr-rate 0.05)
+
+# ======================================================================
+# Leg 1: stir_cli streaming study — kill at randomized lookup counts
+# under disk faults, resume, byte-compare the report against a clean
+# fault-free batch run.
+# ======================================================================
+
+set(USERS ${WORK_DIR}/chaos_users.tsv)
+set(TWEETS ${WORK_DIR}/chaos_tweets.tsv)
+run_cli(rc out err generate --preset korean --scale 0.05
+        --users ${USERS} --tweets ${TWEETS})
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (${rc}): ${out} ${err}")
+endif()
+
+set(STUDY study --users ${USERS} --tweets ${TWEETS})
+
+file(REMOVE_RECURSE ${WORK_DIR}/chaos_clean_report)
+file(MAKE_DIRECTORY ${WORK_DIR}/chaos_clean_report)
+run_cli(rc out err ${STUDY} --report-dir ${WORK_DIR}/chaos_clean_report)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "clean baseline failed (${rc}): ${err}")
+endif()
+set(CLEAN_REPORT ${WORK_DIR}/chaos_clean_report/report.json)
+
+# Each (seed, crash point) pair is one independent chaos trial: the seed
+# drives the io::FaultFs schedule (different trials fault different
+# journal writes), the crash point kills the streaming ingest at a
+# different depth. The resumed run keeps the same fault schedule — the
+# replay path itself is exercised under faults — and must still land on
+# the clean report byte for byte.
+foreach(seed 3 11)
+  foreach(crash_at 40 300 700)
+    set(name chaos_cli_s${seed}_c${crash_at})
+    prepare_dirs(${name})
+    run_cli(rc out err ${STUDY} --stream --epoch-size 13
+            --checkpoint-dir ${WORK_DIR}/${name}_ckpt
+            --crash-after ${crash_at}
+            --io-fault-seed ${seed} ${IO_FAULTS})
+    if(NOT rc EQUAL ${CRASH_EXIT})
+      message(FATAL_ERROR "chaos cli seed ${seed} crash ${crash_at} exited "
+              "${rc}, expected ${CRASH_EXIT}: ${out} ${err}")
+    endif()
+    if(NOT EXISTS ${WORK_DIR}/${name}_ckpt/stream.journal)
+      message(FATAL_ERROR "chaos cli seed ${seed} crash ${crash_at} left no "
+              "stream journal")
+    endif()
+    run_cli(rc out err ${STUDY} --stream --epoch-size 13
+            --checkpoint-dir ${WORK_DIR}/${name}_ckpt --resume
+            --report-dir ${WORK_DIR}/${name}_report
+            --io-fault-seed ${seed} ${IO_FAULTS})
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "chaos cli seed ${seed} crash ${crash_at} resume "
+              "failed (${rc}): ${err}")
+    endif()
+    if(NOT err MATCHES "io faults: injected=")
+      message(FATAL_ERROR "resume is missing the io-fault accounting line: "
+              "${err}")
+    endif()
+    expect_same_report("chaos cli seed ${seed} crash ${crash_at}"
+                       ${CLEAN_REPORT}
+                       ${WORK_DIR}/${name}_report/report.json)
+  endforeach()
+endforeach()
+
+# ======================================================================
+# Leg 2: stir_serve — kill the server under live append_tweets load with
+# disk faults enabled, restart from its journals, and prove the surviving
+# state answers queries byte-identically to a never-killed server.
+#
+# The corpus is handcrafted so the geocode-lookup clock is exact: every
+# tweet is a GPS tweet on a well-defined user, so tweet N is lookup N.
+# That makes "kill mid-ingest" (lookup 2 of 4) and "kill mid-append"
+# (lookup 7 = third live append, after replay's 4 + appends 1-2)
+# deterministic crash points rather than races.
+#
+# Reference path:  R1 ingest + 8 appends, drain.  R2 resume, queries.
+# Chaos path:      C1 killed during base ingest.  C2 resume under faults,
+#                  killed during append 3 (journaled, never acked).
+#                  C3 resume, re-drive the unacknowledged tail (appends
+#                  4-8; append 3 is in the journal — at-least-once
+#                  clients would re-send it, this harness knows the
+#                  deterministic kill point spared it).  C4 resume,
+#                  queries.
+# Convergence:     C4 stdout == R2 stdout, byte for byte. The query set
+#                  deliberately excludes index_info and server_stats:
+#                  generation counts and admission history legitimately
+#                  differ across a kill/restart; the data plane must not.
+# ======================================================================
+
+set(SUSERS ${WORK_DIR}/chaos_serve_users.tsv)
+set(STWEETS ${WORK_DIR}/chaos_serve_tweets.tsv)
+file(WRITE ${SUSERS}
+"id\thandle\tprofile_location\ttotal_tweets
+900\tu900\tSeoul Mapo-gu\t2
+901\tu901\tSeoul Gangnam-gu\t2
+")
+file(WRITE ${STWEETS}
+"id\tuser\ttime\tlat\tlng\ttext
+9001\t900\t1\t37.556000\t126.945000\tbase one
+9002\t901\t2\t37.497000\t127.027000\tbase two
+9003\t900\t3\t37.556000\t126.945000\tbase three
+9004\t901\t4\t37.497000\t127.027000\tbase four
+")
+
+set(APPENDS ${WORK_DIR}/chaos_appends.jsonl)
+file(WRITE ${APPENDS} [[{"v":1,"id":11,"method":"append_tweets","params":{"tweets":[{"id":9101,"user":900,"time":101,"lat":37.556,"lng":126.945,"text":"chaos a1"}]}}
+{"v":1,"id":12,"method":"append_tweets","params":{"tweets":[{"id":9102,"user":901,"time":102,"lat":37.497,"lng":127.027,"text":"chaos a2"}]}}
+{"v":1,"id":13,"method":"append_tweets","params":{"tweets":[{"id":9103,"user":900,"time":103,"lat":37.556,"lng":126.945,"text":"chaos a3"}]}}
+{"v":1,"id":14,"method":"append_tweets","params":{"tweets":[{"id":9104,"user":901,"time":104,"lat":37.497,"lng":127.027,"text":"chaos a4"}]}}
+{"v":1,"id":15,"method":"append_tweets","params":{"tweets":[{"id":9105,"user":900,"time":105,"lat":37.556,"lng":126.945,"text":"chaos a5"}]}}
+{"v":1,"id":16,"method":"append_tweets","params":{"tweets":[{"id":9106,"user":901,"time":106,"lat":37.497,"lng":127.027,"text":"chaos a6"}]}}
+{"v":1,"id":17,"method":"append_tweets","params":{"tweets":[{"id":9107,"user":900,"time":107,"lat":37.556,"lng":126.945,"text":"chaos a7"}]}}
+{"v":1,"id":18,"method":"append_tweets","params":{"tweets":[{"id":9108,"user":901,"time":108,"lat":37.497,"lng":127.027,"text":"chaos a8"}]}}
+]])
+
+set(APPENDS_TAIL ${WORK_DIR}/chaos_appends_tail.jsonl)
+file(WRITE ${APPENDS_TAIL} [[{"v":1,"id":14,"method":"append_tweets","params":{"tweets":[{"id":9104,"user":901,"time":104,"lat":37.497,"lng":127.027,"text":"chaos a4"}]}}
+{"v":1,"id":15,"method":"append_tweets","params":{"tweets":[{"id":9105,"user":900,"time":105,"lat":37.556,"lng":126.945,"text":"chaos a5"}]}}
+{"v":1,"id":16,"method":"append_tweets","params":{"tweets":[{"id":9106,"user":901,"time":106,"lat":37.497,"lng":127.027,"text":"chaos a6"}]}}
+{"v":1,"id":17,"method":"append_tweets","params":{"tweets":[{"id":9107,"user":900,"time":107,"lat":37.556,"lng":126.945,"text":"chaos a7"}]}}
+{"v":1,"id":18,"method":"append_tweets","params":{"tweets":[{"id":9108,"user":901,"time":108,"lat":37.497,"lng":127.027,"text":"chaos a8"}]}}
+]])
+
+set(QUERIES ${WORK_DIR}/chaos_queries.jsonl)
+file(WRITE ${QUERIES} [[{"v":1,"id":1,"method":"lookup_user","params":{"user":900}}
+{"v":1,"id":2,"method":"lookup_user","params":{"user":901}}
+{"v":1,"id":3,"method":"lookup_district","params":{"state":"Seoul","county":"Mapo-gu"}}
+{"v":1,"id":4,"method":"lookup_district","params":{"state":"Seoul","county":"Gangnam-gu"}}
+{"v":1,"id":5,"method":"topk_summary"}
+]])
+
+set(EMPTY_INPUT ${WORK_DIR}/chaos_empty_input.txt)
+file(WRITE ${EMPTY_INPUT} "")
+
+# --workers 1 keeps append execution order equal to admission order, so
+# the lookup clock above is exact.
+set(SERVE_BASE --users ${SUSERS} --tweets ${STWEETS} --stdio --stream
+    --workers 1)
+set(SERVE_FAULTS --io-fault-seed 5 ${IO_FAULTS})
+
+# Reference: never killed, never faulted.
+file(REMOVE_RECURSE ${WORK_DIR}/chaos_ref_ckpt)
+file(MAKE_DIRECTORY ${WORK_DIR}/chaos_ref_ckpt)
+run_serve(rc out err ${APPENDS} ${SERVE_BASE}
+          --checkpoint-dir ${WORK_DIR}/chaos_ref_ckpt)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference ingest+appends failed (${rc}): ${err}")
+endif()
+if(NOT err MATCHES "served 8 requests")
+  message(FATAL_ERROR "reference run did not answer all appends: ${err}")
+endif()
+run_serve(rc ref_out err ${QUERIES} ${SERVE_BASE}
+          --checkpoint-dir ${WORK_DIR}/chaos_ref_ckpt --resume)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference query serve failed (${rc}): ${err}")
+endif()
+string(REGEX MATCHALL "[^\n]+" ref_lines "${ref_out}")
+list(LENGTH ref_lines ref_count)
+if(NOT ref_count EQUAL 5)
+  message(FATAL_ERROR "reference answered ${ref_count}/5 queries:\n${ref_out}")
+endif()
+
+# Chaos: kill during base ingest (lookup 2 of 4).
+file(REMOVE_RECURSE ${WORK_DIR}/chaos_srv_ckpt)
+file(MAKE_DIRECTORY ${WORK_DIR}/chaos_srv_ckpt)
+run_serve(rc out err ${EMPTY_INPUT} ${SERVE_BASE} ${SERVE_FAULTS}
+          --checkpoint-dir ${WORK_DIR}/chaos_srv_ckpt --crash-after 2)
+if(NOT rc EQUAL ${CRASH_EXIT})
+  message(FATAL_ERROR "ingest kill exited ${rc}, expected ${CRASH_EXIT}: "
+          "${out} ${err}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/chaos_srv_ckpt/stream.journal)
+  message(FATAL_ERROR "ingest kill left no stream journal")
+endif()
+
+# Kill again under live append load: replay re-folds tweets 1-2
+# (lookups 1-2), ingest finishes the base corpus (3-4), appends 1-2 land
+# (5-6), and lookup 7 — append 3, already journaled — dies mid-fold.
+run_serve(rc out err ${APPENDS} ${SERVE_BASE} ${SERVE_FAULTS}
+          --checkpoint-dir ${WORK_DIR}/chaos_srv_ckpt --resume
+          --crash-after 7)
+if(NOT rc EQUAL ${CRASH_EXIT})
+  message(FATAL_ERROR "append-load kill exited ${rc}, expected "
+          "${CRASH_EXIT}: ${out} ${err}")
+endif()
+
+# Restart, re-drive the unacknowledged appends, drain cleanly.
+run_serve(rc out err ${APPENDS_TAIL} ${SERVE_BASE} ${SERVE_FAULTS}
+          --checkpoint-dir ${WORK_DIR}/chaos_srv_ckpt --resume)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "post-kill append re-drive failed (${rc}): ${err}")
+endif()
+if(NOT err MATCHES "served 5 requests")
+  message(FATAL_ERROR "re-drive did not answer all 5 appends: ${err}")
+endif()
+
+# Converged state must answer the query set byte-identically to the
+# never-killed reference.
+run_serve(rc chaos_out err ${QUERIES} ${SERVE_BASE} ${SERVE_FAULTS}
+          --checkpoint-dir ${WORK_DIR}/chaos_srv_ckpt --resume)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "post-chaos query serve failed (${rc}): ${err}")
+endif()
+if(NOT chaos_out STREQUAL ref_out)
+  message(FATAL_ERROR "post-chaos responses diverged from the reference:\n"
+          "=== reference ===\n${ref_out}\n=== chaos ===\n${chaos_out}")
+endif()
+
+message(STATUS "chaos battery passed")

@@ -35,6 +35,7 @@
 #include "geo/admin_db.h"
 #include "io/corpus.h"
 #include "io/corpus_reader.h"
+#include "io/fault_fs.h"
 #include "obs/metrics.h"
 #include "stream/engine.h"
 #include "text/location_parser.h"
@@ -346,6 +347,7 @@ int RunStudy(int argc, char** argv) {
   bool lenient_load = false;
   bool stream_mode = false;
   int64_t epoch_size = 0;
+  stir::io::FaultFsOptions io_fault_options;
   std::vector<Flag> flags = {
       {"users", "FILE", "input users TSV",
        [&](const std::string& v) { users_path = v; return true; }},
@@ -528,6 +530,74 @@ int RunStudy(int argc, char** argv) {
          }
          return true;
        }},
+      {"io-fault-seed", "N", "storage fault schedule seed",
+       [&](const std::string& v) {
+         if (!ParseUInt64(v, &io_fault_options.seed)) {
+           return BadValue(cmd, "io-fault-seed", "a non-negative integer");
+         }
+         return true;
+       }},
+      {"io-fault-write-error-rate", "P",
+       "injected per-write EIO probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.write_error_rate) ||
+             io_fault_options.write_error_rate < 0.0 ||
+             io_fault_options.write_error_rate > 1.0) {
+           return BadValue(cmd, "io-fault-write-error-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"io-fault-short-write-rate", "P",
+       "injected per-write short-count probability, [0, 1] (always "
+       "recovered by the write-all loops; byte-identical output)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.short_write_rate) ||
+             io_fault_options.short_write_rate < 0.0 ||
+             io_fault_options.short_write_rate > 1.0) {
+           return BadValue(cmd, "io-fault-short-write-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"io-fault-fsync-error-rate", "P",
+       "injected per-fsync failure probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.fsync_error_rate) ||
+             io_fault_options.fsync_error_rate < 0.0 ||
+             io_fault_options.fsync_error_rate > 1.0) {
+           return BadValue(cmd, "io-fault-fsync-error-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"io-fault-eintr-rate", "P",
+       "injected per-syscall EINTR probability, [0, 1] (always recovered "
+       "by the retry loops; byte-identical output)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.eintr_rate) ||
+             io_fault_options.eintr_rate < 0.0 ||
+             io_fault_options.eintr_rate > 1.0) {
+           return BadValue(cmd, "io-fault-eintr-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"io-fault-enospc-after", "BYTES",
+       "simulated disk capacity: writes past BYTES fail ENOSPC (-1 = off)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &io_fault_options.enospc_after_bytes)) {
+           return BadValue(cmd, "io-fault-enospc-after", "an integer");
+         }
+         return true;
+       }},
+      {"io-fault-page-flip-rate", "P",
+       "injected per-window corpus corruption probability, [0, 1] "
+       "(affected users drop into funnel.drop.corrupt_window)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.page_flip_rate) ||
+             io_fault_options.page_flip_rate < 0.0 ||
+             io_fault_options.page_flip_rate > 1.0) {
+           return BadValue(cmd, "io-fault-page-flip-rate", "in [0, 1]");
+         }
+         return true;
+       }},
   };
 
   bool want_help = false;
@@ -566,6 +636,13 @@ int RunStudy(int argc, char** argv) {
   // io.dataset.quarantined land in the exported snapshot too.
   stir::obs::MetricsRegistry cli_metrics;
   if (config.obs.enable_metrics) config.obs.metrics = &cli_metrics;
+
+  // Arm the storage fault layer before the first byte is read or
+  // written, so the load and every journal/report write run under the
+  // schedule.
+  if (io_fault_options.enabled()) {
+    stir::io::FaultFs::Instance().Configure(io_fault_options);
+  }
 
   const AdminDb& db = *GazetteerByName(gazetteer);
   stir::io::CorpusSpec spec;
@@ -706,6 +783,19 @@ int RunStudy(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+  }
+  if (stir::io::FaultFs::Instance().enabled()) {
+    // Accounting line on stderr (stdout stays byte-identical): the chaos
+    // harness and operators read the invariant
+    // injected == recovered + surfaced + quarantined off this.
+    const stir::io::FaultFsStats fs = stir::io::FaultFs::Instance().stats();
+    std::fprintf(stderr,
+                 "io faults: injected=%lld recovered=%lld surfaced=%lld "
+                 "quarantined=%lld\n",
+                 static_cast<long long>(fs.injected),
+                 static_cast<long long>(fs.recovered),
+                 static_cast<long long>(fs.surfaced),
+                 static_cast<long long>(fs.quarantined));
   }
   return 0;
 }

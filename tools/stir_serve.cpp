@@ -31,6 +31,7 @@
 #include "core/study_config.h"
 #include "geo/admin_db.h"
 #include "io/corpus_reader.h"
+#include "io/fault_fs.h"
 #include "net/epoll_server.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
@@ -214,6 +215,8 @@ int main(int argc, char** argv) {
   int64_t epoch_size = 0;
   stir::serve::ServeOptions serve_options;
   stir::common::FaultInjectorOptions fault_options;
+  stir::io::FaultFsOptions io_fault_options;
+  bool degraded_on_corrupt = false;
 
   std::vector<Flag> flags = {
       {"users", "FILE", "input users TSV",
@@ -254,6 +257,15 @@ int main(int argc, char** argv) {
        "resume from the checkpoint in --checkpoint-dir (fresh run if none)",
        [&](const std::string&) {
          config.durability.resume = true;
+         return true;
+       }},
+      {"crash-after", "N",
+       "hard-exit (status 42) when the Nth geocode lookup starts (testing)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &config.fault.crash_after) ||
+             config.fault.crash_after < 1) {
+           return BadValue("crash-after", ">= 1");
+         }
          return true;
        }},
       {"stream", nullptr,
@@ -391,6 +403,88 @@ int main(int argc, char** argv) {
          }
          return true;
        }},
+      {"deadline-ms", "N",
+       "answer requests still queued N ms after admission with the "
+       "retryable 'deadline_exceeded' envelope; per-request deadline_ms "
+       "overrides (default 0 = none)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 0) {
+           return BadValue("deadline-ms", ">= 0");
+         }
+         serve_options.default_deadline_ms = n;
+         return true;
+       }},
+      {"degraded-on-corrupt", nullptr,
+       "if the corpus fails verification, serve anyway: data methods "
+       "answer the retryable 'data_corrupt' envelope, server_stats and "
+       "index_info stay up (default: refuse to start)",
+       [&](const std::string&) { degraded_on_corrupt = true; return true; }},
+      {"io-fault-seed", "N", "storage fault schedule seed",
+       [&](const std::string& v) {
+         if (!ParseUInt64(v, &io_fault_options.seed)) {
+           return BadValue("io-fault-seed", "a non-negative integer");
+         }
+         return true;
+       }},
+      {"io-fault-write-error-rate", "P",
+       "injected per-write EIO probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.write_error_rate) ||
+             io_fault_options.write_error_rate < 0.0 ||
+             io_fault_options.write_error_rate > 1.0) {
+           return BadValue("io-fault-write-error-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"io-fault-short-write-rate", "P",
+       "injected per-write short-count probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.short_write_rate) ||
+             io_fault_options.short_write_rate < 0.0 ||
+             io_fault_options.short_write_rate > 1.0) {
+           return BadValue("io-fault-short-write-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"io-fault-fsync-error-rate", "P",
+       "injected per-fsync failure probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.fsync_error_rate) ||
+             io_fault_options.fsync_error_rate < 0.0 ||
+             io_fault_options.fsync_error_rate > 1.0) {
+           return BadValue("io-fault-fsync-error-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"io-fault-eintr-rate", "P",
+       "injected per-syscall EINTR probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.eintr_rate) ||
+             io_fault_options.eintr_rate < 0.0 ||
+             io_fault_options.eintr_rate > 1.0) {
+           return BadValue("io-fault-eintr-rate", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"io-fault-enospc-after", "BYTES",
+       "simulated disk capacity: writes past BYTES fail ENOSPC (-1 = off)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &io_fault_options.enospc_after_bytes)) {
+           return BadValue("io-fault-enospc-after", "an integer");
+         }
+         return true;
+       }},
+      {"io-fault-page-flip-rate", "P",
+       "injected per-window corpus corruption probability, [0, 1]",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &io_fault_options.page_flip_rate) ||
+             io_fault_options.page_flip_rate < 0.0 ||
+             io_fault_options.page_flip_rate > 1.0) {
+           return BadValue("io-fault-page-flip-rate", "in [0, 1]");
+         }
+         return true;
+       }},
       {"metrics-out", "FILE",
        "write a serve.* metrics JSON snapshot to FILE at shutdown",
        [&](const std::string& v) { metrics_out = v; return true; }},
@@ -428,6 +522,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Arm the storage fault layer before the first byte is read or
+  // written, so the load itself runs under the schedule.
+  if (io_fault_options.enabled()) {
+    stir::io::FaultFs::Instance().Configure(io_fault_options);
+  }
+
   // Load + run the study once; the index freezes the result.
   const AdminDb& db = *GazetteerByName(gazetteer);
   stir::io::CorpusSpec spec;
@@ -436,19 +536,35 @@ int main(int argc, char** argv) {
   spec.tweets_path = tweets_path;
   spec.tsv.strict = !lenient_load;
   auto reader = stir::io::CorpusReader::Open(spec);
+  bool degraded = false;
   if (!reader.ok()) {
-    std::fprintf(stderr, "stir_serve: load failed: %s\n",
-                 reader.status().ToString().c_str());
-    return 1;
+    if (degraded_on_corrupt) {
+      // Quarantined start: the data plane is lost but the server comes
+      // up anyway — data methods answer the retryable `data_corrupt`
+      // envelope while server_stats/index_info give an operator a live
+      // diagnosis surface (DESIGN.md §15).
+      std::fprintf(stderr,
+                   "stir_serve: load failed: %s\n"
+                   "stir_serve: serving degraded — data methods answer "
+                   "'data_corrupt'\n",
+                   reader.status().ToString().c_str());
+      degraded = true;
+      stream_mode = false;
+      serve_options.degraded_data = true;
+    } else {
+      std::fprintf(stderr, "stir_serve: load failed: %s\n",
+                   reader.status().ToString().c_str());
+      return 1;
+    }
   }
-  if (reader->tsv_stats().quarantined() > 0) {
+  if (!degraded && reader->tsv_stats().quarantined() > 0) {
     std::fprintf(stderr, "stir_serve: lenient load quarantined %lld rows\n",
                  static_cast<long long>(reader->tsv_stats().quarantined()));
   }
   // The stream engine ingests row-oriented tweets; the batch study runs
   // zero-copy off a v3 view.
   const stir::twitter::Dataset* dataset = nullptr;
-  if (stream_mode || !reader->has_view()) {
+  if (!degraded && (stream_mode || !reader->has_view())) {
     auto materialized = reader->Materialize();
     if (!materialized.ok()) {
       std::fprintf(stderr, "stir_serve: load failed: %s\n",
@@ -517,6 +633,9 @@ int main(int argc, char** argv) {
                  static_cast<long long>(stream_generation),
                  stream_index->user_count(), stream_index->district_count(),
                  static_cast<long long>(stream_index->MemoryBytes()));
+  } else if (degraded) {
+    // batch_index stays empty; degraded_data answers the data plane.
+    std::fprintf(stderr, "stir_serve: degraded index — 0 users\n");
   } else {
     stir::core::CorrelationStudy study(&db, config);
     stir::core::StudyResult result = reader->has_view()
