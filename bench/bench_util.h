@@ -83,9 +83,15 @@ struct BenchJsonEntry {
   int64_t iterations = 0;
   double ns_per_op = 0.0;
   std::vector<std::pair<std::string, double>> extra;
+  /// Accuracy-style ratios (written as a nested `"accuracy"` object with
+  /// 4-decimal precision, so quality gates live in the same snapshot as
+  /// the latency numbers — BENCH_infer.json pairs p99 with
+  /// accuracy@district this way).
+  std::vector<std::pair<std::string, double>> accuracy;
 };
 
-/// Writes `{"benchmarks":[{"name":...,"iterations":...,"ns_per_op":...}],
+/// Writes `{"benchmarks":[{"name":...,"iterations":...,"ns_per_op":...,
+/// "accuracy":{...}?}],
 /// "process":{"peak_rss_bytes":...,"mapped_bytes_peak":...}}` to `path`.
 /// `mapped_bytes_peak` is the caller's high-water mark of mmapped corpus
 /// bytes (CorpusView::bytes_mapped; 0 for benches that never map one).
@@ -109,6 +115,15 @@ inline bool WriteBenchJson(const std::string& path,
     for (const auto& [key, value] : entry.extra) {
       w.Key(key);
       w.FixedDouble(value, 3);
+    }
+    if (!entry.accuracy.empty()) {
+      w.Key("accuracy");
+      w.BeginObject();
+      for (const auto& [key, value] : entry.accuracy) {
+        w.Key(key);
+        w.FixedDouble(value, 4);
+      }
+      w.EndObject();
     }
     w.EndObject();
   }

@@ -35,6 +35,19 @@ inline int HourOfDay(SimTime t) {
   return static_cast<int>(s / kSecondsPerHour);
 }
 
+/// The shared night window [kNightStartHour, 24) ∪ [0, kNightEndHour):
+/// the hours when people overwhelmingly post from home rather than from
+/// work or leisure spots. One definition used by both the synthetic
+/// mobility model (twitter::MobilityModelOptions::night_home_bias) and
+/// the diurnal home inferrer (stir::infer), so the generator's signal
+/// and the estimator's prior can never silently disagree.
+inline constexpr int kNightStartHour = 21;
+inline constexpr int kNightEndHour = 6;
+
+inline constexpr bool IsNightHour(int hour) {
+  return hour >= kNightStartHour || hour < kNightEndHour;
+}
+
 /// Day index since the epoch (floor division).
 inline int64_t DayIndex(SimTime t) {
   return t >= 0 ? t / kSecondsPerDay : (t - kSecondsPerDay + 1) / kSecondsPerDay;

@@ -1,0 +1,72 @@
+#ifndef STIR_INFER_EVAL_H_
+#define STIR_INFER_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "infer/home_inferrer.h"
+#include "infer/inference_index.h"
+#include "io/truth_sidecar.h"
+
+namespace stir::infer {
+
+/// One misprediction pattern: the inferrer said `predicted` for users
+/// whose true home was `actual`, `count` times. Keys are display strings
+/// ("State/County") so reports read without a gazetteer in hand.
+struct ConfusionPair {
+  std::string actual;
+  std::string predicted;
+  int64_t count = 0;
+};
+
+/// Scorecard for one strategy against generator ground truth. "GPS-rich"
+/// is the slice with at least `min_gps` located GPS tweets — the
+/// population the paper's spatial attributes exist for, and the slice
+/// the accuracy gates in BENCH_infer.json are defined over.
+struct StrategyEval {
+  Strategy strategy = Strategy::kSpatial;
+  int64_t min_gps = 0;
+
+  int64_t users = 0;     ///< Users present in both evidence and truth.
+  int64_t decided = 0;   ///< Predictions above the abstain threshold.
+  int64_t abstained = 0;
+  int64_t correct_district = 0;  ///< Decided & exact (state, county) match.
+  int64_t correct_province = 0;  ///< Decided & state matches.
+
+  int64_t gps_rich_users = 0;
+  int64_t gps_rich_decided = 0;
+  int64_t gps_rich_correct_district = 0;
+  int64_t gps_rich_correct_province = 0;
+
+  /// Top mispredictions among decided-but-wrong users, descending by
+  /// count (ties: lexicographic), capped at a report-sized handful.
+  std::vector<ConfusionPair> confusion;
+
+  /// Accuracy over decided predictions (0 when none decided).
+  double AccuracyDistrict() const;
+  double AccuracyProvince() const;
+  double GpsRichAccuracyDistrict() const;
+  double GpsRichAccuracyProvince() const;
+  /// Fraction of evaluated users the strategy abstained on.
+  double AbstainRate() const;
+};
+
+/// Scores `strategy` over every user that appears in both the evidence
+/// index and the truth sidecar (truth rows without evidence are skipped:
+/// the index legitimately never saw users whose tweets were all
+/// unsampled). Predicted districts are resolved to (state, county)
+/// display names through the index's own gazetteer and compared against
+/// the truth strings, so evaluation works across AdminDb instances.
+StrategyEval EvaluateStrategy(const InferenceIndex& index,
+                              const std::vector<io::TruthRecord>& truth,
+                              Strategy strategy, const InferParams& params,
+                              int64_t min_gps = 5,
+                              int64_t max_confusion_pairs = 8);
+
+/// Human-readable multi-strategy report (the `stir_cli infer` output).
+std::string RenderEvalReport(const std::vector<StrategyEval>& evals);
+
+}  // namespace stir::infer
+
+#endif  // STIR_INFER_EVAL_H_

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <string_view>
 
+#include "io/atomic_file.h"
+#include "io/truth_sidecar.h"
 #include "twitter/column_store.h"
 
 namespace stir::io {
@@ -11,6 +13,12 @@ namespace {
 
 constexpr std::string_view kColumnV1Magic = "STIRCOL1";
 constexpr std::string_view kColumnV2Magic = "STIRCOL2";
+
+/// The sidecar path when one exists next to `data_path`, else "".
+std::string DetectTruthSidecar(const std::string& data_path) {
+  std::string candidate = TruthSidecarPath(data_path);
+  return PathExists(candidate) ? candidate : std::string();
+}
 
 }  // namespace
 
@@ -62,6 +70,7 @@ StatusOr<CorpusReader> CorpusReader::Open(const CorpusSpec& spec) {
                           CorpusView::Open(spec.corpus_path, spec.view));
     reader.format_ = CorpusFormat::kArenaV3;
     reader.view_ = std::move(view);
+    reader.truth_path_ = DetectTruthSidecar(spec.corpus_path);
     return reader;
   }
 
@@ -69,6 +78,7 @@ StatusOr<CorpusReader> CorpusReader::Open(const CorpusSpec& spec) {
     return Status::InvalidArgument(
         "CorpusSpec needs corpus_path or users_path+tweets_path");
   }
+  reader.truth_path_ = DetectTruthSidecar(spec.tweets_path);
   STIR_ASSIGN_OR_RETURN(CorpusFormat format, SniffFormat(spec.tweets_path));
   switch (format) {
     case CorpusFormat::kArenaV3:

@@ -73,12 +73,21 @@ class CorpusReader {
     return tsv_stats_;
   }
 
+  /// True when a ground-truth sidecar (truth_sidecar.h) sits next to the
+  /// opened corpus — `<corpus>.truth`, or `<tweets>.truth` for a legacy
+  /// pair. Surfaced so evaluation tooling (`stir_cli infer`) can score
+  /// predictions without regenerating; the serving and inference layers
+  /// never read it.
+  bool has_truth() const { return !truth_path_.empty(); }
+  const std::string& truth_path() const { return truth_path_; }
+
  private:
   CorpusFormat format_ = CorpusFormat::kTsv;
   std::optional<CorpusView> view_;
   std::optional<twitter::Dataset> dataset_;
   twitter::Dataset::TsvLoadOptions tsv_options_;
   twitter::Dataset::TsvLoadStats tsv_stats_;
+  std::string truth_path_;  ///< Empty when no sidecar was found.
 };
 
 /// Decodes a v3 view into a row-oriented Dataset (field-identical to the

@@ -1,0 +1,76 @@
+#ifndef STIR_IO_TRUTH_SIDECAR_H_
+#define STIR_IO_TRUTH_SIDECAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stir::io {
+
+/// ---------------------------------------------------------------------
+/// Ground-truth sidecar ("STIRTRU1") — DESIGN.md §16.
+///
+/// DatasetGenerator::GenerateToCorpus streams a corpus to disk without
+/// ever holding GroundTruth in memory, which used to mean the truth was
+/// simply dropped: scoring an inference run against an on-disk corpus
+/// required regenerating the whole dataset. The sidecar persists the
+/// evaluation-relevant slice of the truth — one record per user — next
+/// to the corpus, as a self-describing TSV with a magic header line.
+///
+/// Region identities are stored as (state, county) NAME pairs, not
+/// geo::RegionId values, so a sidecar stays meaningful across AdminDb
+/// instances and gazetteer revisions.
+///
+/// The sidecar is evaluation-only input. The inference pipeline itself
+/// (src/infer) never opens it — enforced by a test that corrupts the
+/// file and observes byte-identical predictions.
+/// ---------------------------------------------------------------------
+
+inline constexpr std::string_view kTruthSidecarMagic = "STIRTRU1";
+
+/// Ground truth for one user, in portable (name-keyed) form.
+struct TruthRecord {
+  int64_t user = -1;
+  /// twitter::ArchetypeToString value ("homebody", "commuter", ...).
+  std::string archetype;
+  /// Actual residence district.
+  std::string home_state;
+  std::string home_county;
+  /// District the profile claims (== home except for relocated users).
+  std::string claimed_state;
+  std::string claimed_county;
+};
+
+/// The conventional sidecar location for a corpus: `<corpus>.truth`.
+std::string TruthSidecarPath(const std::string& corpus_path);
+
+/// Accumulates records and atomically writes the sidecar at Finish
+/// (temp sibling + rename, like every durable artifact in the tree).
+class TruthSidecarWriter {
+ public:
+  explicit TruthSidecarWriter(std::string path, bool fsync = true);
+
+  void Add(const TruthRecord& record);
+
+  /// Writes the file. The writer is spent afterwards.
+  Status Finish();
+
+  int64_t record_count() const { return records_; }
+
+ private:
+  std::string path_;
+  bool fsync_;
+  bool finished_ = false;
+  int64_t records_ = 0;
+  std::string body_;
+};
+
+/// Reads a sidecar back. InvalidArgument on a missing magic, a malformed
+/// row, or an unparsable user id; IOError when the file cannot be read.
+StatusOr<std::vector<TruthRecord>> ReadTruthSidecar(const std::string& path);
+
+}  // namespace stir::io
+
+#endif  // STIR_IO_TRUTH_SIDECAR_H_

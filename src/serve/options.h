@@ -5,8 +5,13 @@
 #include <cstdint>
 
 #include "common/fault.h"
+#include "infer/home_inferrer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+
+namespace stir::infer {
+class InferenceIndex;
+}
 
 namespace stir::serve {
 
@@ -63,9 +68,12 @@ struct ServeOptions {
   /// higher-value tiers keep getting through. Tier 0 (`server_stats`)
   /// always has the full queue; 1.0 — the default — collapses the tiers
   /// back into the single blanket cutoff at `queue_capacity`.
-  /// Invariant enforced at construction: tier2 <= tier1 <= 1.
-  double tier1_fill_limit = 1.0;  ///< lookup_* / topk_summary / index_info.
-  double tier2_fill_limit = 1.0;  ///< append_tweets.
+  /// Invariant enforced at construction:
+  /// tier3 <= tier2 <= infer <= 1.
+  double infer_fill_limit = 1.0;  ///< infer_user (shed tier 1).
+  double tier1_fill_limit = 1.0;  ///< lookup_* / topk_summary / index_info
+                                  ///< (shed tier 2; name predates infer).
+  double tier2_fill_limit = 1.0;  ///< append_tweets (shed tier 3).
 
   /// Metrics sink (not owned). Populates the `serve.*` namespace:
   /// counters `serve.requests.received/admitted/parse_errors`,
@@ -95,6 +103,16 @@ struct ServeOptions {
   /// swap new index generations into the scheduler (DESIGN.md §12).
   /// Without it, append_tweets fails with `bad_request`.
   StreamBackend* stream = nullptr;
+
+  /// Evidence index for infer_user (not owned; null disables inference —
+  /// infer_user then answers `bad_request`). A streaming backend may
+  /// swap newer generations in via RequestScheduler::SwapInferIndex.
+  /// Adds `infer.requests/decided/abstained/not_found` counters to the
+  /// metrics namespace when serving.
+  const infer::InferenceIndex* infer_index = nullptr;
+  /// Strategy knobs for infer_user (default strategy, night weight,
+  /// abstain threshold).
+  infer::InferParams infer;
 };
 
 }  // namespace stir::serve

@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/string_util.h"
@@ -425,6 +426,7 @@ const char* MethodToString(Method method) {
     case Method::kServerStats: return "server_stats";
     case Method::kAppendTweets: return "append_tweets";
     case Method::kIndexInfo: return "index_info";
+    case Method::kInferUser: return "infer_user";
   }
   return "unknown";
 }
@@ -433,15 +435,17 @@ int ShedTier(Method method) {
   switch (method) {
     case Method::kServerStats:
       return 0;
+    case Method::kInferUser:
+      return 1;
     case Method::kLookupUser:
     case Method::kLookupDistrict:
     case Method::kTopkSummary:
     case Method::kIndexInfo:
-      return 1;
-    case Method::kAppendTweets:
       return 2;
+    case Method::kAppendTweets:
+      return 3;
   }
-  return 1;
+  return 2;
 }
 
 const char* ErrorCodeToString(ErrorCode code) {
@@ -458,6 +462,7 @@ const char* ErrorCodeToString(ErrorCode code) {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kDataCorrupt: return "data_corrupt";
+    case ErrorCode::kLowConfidence: return "low_confidence";
   }
   return "internal";
 }
@@ -568,6 +573,8 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {
     request.method = Method::kAppendTweets;
   } else if (method == "index_info") {
     request.method = Method::kIndexInfo;
+  } else if (method == "infer_user") {
+    request.method = Method::kInferUser;
   } else {
     return Failure(ErrorCode::kUnknownMethod,
                    StrFormat("method '%s' is not served", method.c_str()),
@@ -597,9 +604,11 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {
   const JsonValue& p = params != nullptr ? *params : kEmptyParams;
 
   switch (request.method) {
-    case Method::kLookupUser: {
+    case Method::kLookupUser:
+    case Method::kInferUser: {
+      const bool infer = request.method == Method::kInferUser;
       for (const auto& [key, unused] : p.members) {
-        if (key != "user") {
+        if (key != "user" && !(infer && key == "strategy")) {
           return Failure(ErrorCode::kBadRequest,
                          StrFormat("unknown param '%s'", key.c_str()), true,
                          id);
@@ -619,6 +628,21 @@ ParseOutcome ParseRequest(std::string_view line, size_t max_bytes) {
                        id);
       }
       request.user = user_id;
+      if (const JsonValue* strategy = p.Find("strategy");
+          strategy != nullptr) {
+        if (!RequireString(*strategy, "strategy", &request.strategy, &outcome,
+                           id)) {
+          return outcome;
+        }
+        infer::Strategy unused_strategy;
+        if (!infer::StrategyFromString(request.strategy, &unused_strategy)) {
+          return Failure(
+              ErrorCode::kBadRequest,
+              StrFormat("unknown strategy '%s' (spatial | diurnal | text)",
+                        request.strategy.c_str()),
+              true, id);
+        }
+      }
       break;
     }
     case Method::kLookupDistrict: {
@@ -737,6 +761,7 @@ std::string ExecuteOnIndex(const StudyIndex& index, const Request& request,
       return IndexInfo(index, request, generation, streaming);
     case Method::kServerStats:
     case Method::kAppendTweets:
+    case Method::kInferUser:  // executes against the inference index
       break;
   }
   return ErrorResponse(
@@ -748,6 +773,82 @@ std::string ExecuteOnIndex(const StudyIndex& index, const Request& request,
 std::string ExecuteOnIndex(const StudyIndex& index, const Request& request) {
   return ExecuteOnIndex(index, request, /*generation=*/0,
                         /*streaming=*/false);
+}
+
+std::string ExecuteInferUser(const infer::InferenceIndex* index,
+                             const infer::InferParams& params,
+                             const Request& request, InferOutcome* outcome) {
+  InferOutcome resolved = InferOutcome::kRejected;
+  std::string response;
+  if (index == nullptr || index->db() == nullptr) {
+    response = ErrorResponse(true, request.id, ErrorCode::kBadRequest,
+                             "inference is not enabled on this server");
+  } else {
+    infer::Strategy strategy = params.default_strategy;
+    if (!request.strategy.empty()) {
+      // ParseRequest validated the name; re-check so a hand-built Request
+      // cannot smuggle an unmapped strategy past the factory.
+      if (!infer::StrategyFromString(request.strategy, &strategy)) {
+        if (outcome != nullptr) *outcome = InferOutcome::kRejected;
+        return ErrorResponse(
+            true, request.id, ErrorCode::kBadRequest,
+            StrFormat("unknown strategy '%s' (spatial | diurnal | text)",
+                      request.strategy.c_str()));
+      }
+    }
+    const infer::UserEvidence* evidence = index->FindUser(request.user);
+    if (evidence == nullptr) {
+      resolved = InferOutcome::kNotFound;
+      response = NotFoundResponse(
+          request.id,
+          StrFormat("user %lld has no evidence in the inference index",
+                    static_cast<long long>(request.user)));
+    } else {
+      std::unique_ptr<infer::HomeInferrer> inferrer =
+          infer::MakeInferrer(strategy, params);
+      infer::Inference inference = inferrer->Infer(*evidence);
+      if (!inference.decided) {
+        resolved = InferOutcome::kAbstained;
+        response = ErrorResponse(
+            true, request.id, ErrorCode::kLowConfidence,
+            StrFormat("%s abstained at confidence %.4f (threshold %.4f, "
+                      "evidence %lld)",
+                      inferrer->name(), inference.confidence,
+                      params.abstain_threshold,
+                      static_cast<long long>(inference.evidence)));
+      } else {
+        resolved = InferOutcome::kDecided;
+        const geo::Region& district = index->db()->region(inference.district);
+        JsonWriter w;
+        BeginResponse(&w, request.id, true, true);
+        w.Key("result");
+        w.BeginObject();
+        w.Key("user");
+        w.Int(evidence->user);
+        w.Key("strategy");
+        w.String(inferrer->name());
+        w.Key("state");
+        w.String(district.state);
+        w.Key("county");
+        w.String(district.county);
+        w.Key("confidence");
+        w.FixedDouble(inference.confidence, 6);
+        w.Key("evidence");
+        w.Int(inference.evidence);
+        w.Key("night_evidence");
+        w.Int(inference.night_evidence);
+        w.Key("gps_tweets");
+        w.Int(evidence->gps_tweets);
+        w.Key("text_votes");
+        w.Int(evidence->text_votes);
+        w.EndObject();
+        w.EndObject();
+        response = w.TakeString();
+      }
+    }
+  }
+  if (outcome != nullptr) *outcome = resolved;
+  return response;
 }
 
 }  // namespace stir::serve

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "infer/home_inferrer.h"
 #include "serve/study_index.h"
 #include "twitter/model.h"
 
@@ -33,6 +34,8 @@ inline constexpr int64_t kMaxDistrictLimit = 10'000;
 ///    "users":[{"id":900,"location":"Seoul Mapo-gu","total_tweets":3}],
 ///    "tweets":[{"id":9000,"user":900,"time":50,
 ///               "lat":37.55,"lng":126.9,"text":"..."}]}}
+///   {"v":1,"id":13,"method":"infer_user",
+///    "params":{"user":123,"strategy":"diurnal"}}
 ///
 /// Any request may carry an optional top-level "deadline_ms" (positive
 /// integer): the client's latency budget from admission, enforced at
@@ -46,6 +49,12 @@ inline constexpr int64_t kMaxDistrictLimit = 10'000;
 /// append_tweets is served only by a streaming server (stir_serve
 /// --stream); elsewhere it fails with `bad_request`. index_info is always
 /// served and reports the live index generation (0 on a batch server).
+/// infer_user (DESIGN.md §16) requires an inference index
+/// (ServeOptions::infer_index); without one it fails with `bad_request`.
+/// Its optional "strategy" param names a stir::infer strategy ("spatial"
+/// | "diurnal" | "text"; absent means the server default), and a
+/// prediction below the abstain threshold answers the typed
+/// `low_confidence` envelope rather than a made-up district.
 enum class Method : int {
   kLookupUser = 0,
   kLookupDistrict = 1,
@@ -53,17 +62,20 @@ enum class Method : int {
   kServerStats = 3,
   kAppendTweets = 4,
   kIndexInfo = 5,
+  kInferUser = 6,
 };
-inline constexpr int kNumMethods = 6;
+inline constexpr int kNumMethods = 7;
 const char* MethodToString(Method method);
 
 /// Admission shed tiers (DESIGN.md §13). Under overload the scheduler
 /// rejects the *lowest-value* request class first instead of applying a
-/// blanket cutoff: tier 2 (`append_tweets` — expensive, fences the whole
-/// pipeline) sheds before tier 1 (the index lookups), and tier 0
-/// (`server_stats` — the control plane an operator uses to diagnose the
-/// overload) is never shed at all. Lower tier number == higher value.
-inline constexpr int kNumShedTiers = 3;
+/// blanket cutoff: tier 3 (`append_tweets` — expensive, fences the whole
+/// pipeline) sheds before tier 2 (the index lookups), which sheds before
+/// tier 1 (`infer_user` — a point read that downstream personalization
+/// depends on), and tier 0 (`server_stats` — the control plane an
+/// operator uses to diagnose the overload) is never shed at all. Lower
+/// tier number == higher value.
+inline constexpr int kNumShedTiers = 4;
 int ShedTier(Method method);
 
 /// Per-array record cap for append_tweets (schema guard, not a resource
@@ -90,6 +102,7 @@ enum class ErrorCode : int {
   kInternal = 9,       ///< Handler invariant broke (never expected).
   kDeadlineExceeded = 10,  ///< Request's deadline expired — retryable.
   kDataCorrupt = 11,   ///< Backing data failed verification — retryable.
+  kLowConfidence = 12,  ///< Inference abstained; not retryable as written.
 };
 const char* ErrorCodeToString(ErrorCode code);
 
@@ -103,8 +116,10 @@ struct Request {
   /// executing it late. 0 (absent) defers to ServeOptions::
   /// default_deadline_ms; both 0 means no deadline.
   int64_t deadline_ms = 0;
-  // lookup_user
+  // lookup_user / infer_user
   twitter::UserId user = twitter::kInvalidUser;
+  // infer_user: validated strategy name; empty means the server default.
+  std::string strategy;
   // lookup_district
   std::string state;
   std::string county;
@@ -155,6 +170,28 @@ std::string ExecuteOnIndex(const StudyIndex& index, const Request& request,
 
 /// Batch-server shim: generation 0, not streaming.
 std::string ExecuteOnIndex(const StudyIndex& index, const Request& request);
+
+/// How one infer_user request resolved, for the scheduler's `infer.*`
+/// metrics.
+enum class InferOutcome : int {
+  kDecided = 0,    ///< Confident prediction returned.
+  kAbstained = 1,  ///< `low_confidence` envelope.
+  kNotFound = 2,   ///< User has no evidence in the index.
+  kRejected = 3,   ///< Inference not enabled on this server.
+};
+
+/// Executes one infer_user request against the immutable evidence index
+/// and renders the response line. Pure like ExecuteOnIndex: identical
+/// (index, params, request) tuples yield identical bytes on any thread,
+/// so responses are byte-identical across worker counts. A null `index`
+/// (inference not enabled) answers `bad_request`; an unknown user
+/// `not_found`; an abstention the typed `low_confidence` envelope with
+/// the confidence it fell short at. `outcome` (optional) receives the
+/// resolution for metrics.
+std::string ExecuteInferUser(const infer::InferenceIndex* index,
+                             const infer::InferParams& params,
+                             const Request& request,
+                             InferOutcome* outcome = nullptr);
 
 }  // namespace stir::serve
 

@@ -36,9 +36,14 @@ RequestScheduler::RequestScheduler(std::shared_ptr<const StudyIndex> index,
   options_.max_batch_size = std::max(1, options_.max_batch_size);
   options_.queue_capacity = std::max(1, options_.queue_capacity);
   // Tier thresholds: non-increasing, each at least 1 so every tier makes
-  // progress on an idle server, tier 0 always the full queue.
+  // progress on an idle server, tier 0 always the full queue. The clamp
+  // chain enforces infer >= tier1 >= tier2 (tier numbers 1/2/3), so a
+  // config that only sets the lookup/append limits keeps infer_user at
+  // least as protected as the lookups.
+  options_.infer_fill_limit =
+      std::clamp(options_.infer_fill_limit, 0.0, 1.0);
   options_.tier1_fill_limit =
-      std::clamp(options_.tier1_fill_limit, 0.0, 1.0);
+      std::clamp(options_.tier1_fill_limit, 0.0, options_.infer_fill_limit);
   options_.tier2_fill_limit =
       std::clamp(options_.tier2_fill_limit, 0.0, options_.tier1_fill_limit);
   const auto threshold = [&](double limit) {
@@ -46,8 +51,15 @@ RequestScheduler::RequestScheduler(std::shared_ptr<const StudyIndex> index,
     return std::clamp(static_cast<int>(scaled), 1, options_.queue_capacity);
   };
   tier_thresholds_[0] = options_.queue_capacity;
-  tier_thresholds_[1] = threshold(options_.tier1_fill_limit);
-  tier_thresholds_[2] = threshold(options_.tier2_fill_limit);
+  tier_thresholds_[1] = threshold(options_.infer_fill_limit);
+  tier_thresholds_[2] = threshold(options_.tier1_fill_limit);
+  tier_thresholds_[3] = threshold(options_.tier2_fill_limit);
+  if (options_.infer_index != nullptr) {
+    // Non-owning alias, like the batch StudyIndex constructor: the caller
+    // keeps the evidence index alive.
+    infer_index_ = std::shared_ptr<const infer::InferenceIndex>(
+        std::shared_ptr<void>(), options_.infer_index);
+  }
   if (obs::MetricsRegistry* m = options_.metrics; m != nullptr) {
     m_received_ = m->GetCounter("serve.requests.received");
     m_admitted_ = m->GetCounter("serve.requests.admitted");
@@ -64,6 +76,12 @@ RequestScheduler::RequestScheduler(std::shared_ptr<const StudyIndex> index,
       m_method_[i] = m->GetCounter(
           std::string("serve.method.") +
           MethodToString(static_cast<Method>(i)));
+    }
+    if (options_.infer_index != nullptr) {
+      m_infer_requests_ = m->GetCounter("infer.requests");
+      m_infer_decided_ = m->GetCounter("infer.decided");
+      m_infer_abstained_ = m->GetCounter("infer.abstained");
+      m_infer_not_found_ = m->GetCounter("infer.not_found");
     }
     m_queue_depth_ = m->GetGauge("serve.queue_depth");
     m_queue_depth_max_ = m->GetGauge("serve.queue_depth_max");
@@ -99,6 +117,18 @@ std::shared_ptr<const StudyIndex> RequestScheduler::PinIndex(
   std::lock_guard<std::mutex> lock(index_mu_);
   if (generation != nullptr) *generation = generation_;
   return index_;
+}
+
+void RequestScheduler::SwapInferIndex(
+    std::shared_ptr<const infer::InferenceIndex> index) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  infer_index_ = std::move(index);
+}
+
+std::shared_ptr<const infer::InferenceIndex> RequestScheduler::PinInferIndex()
+    const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return infer_index_;
 }
 
 bool RequestScheduler::draining() const {
@@ -423,6 +453,7 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
   // snapshot alive across any concurrent SwapIndex.
   int64_t generation = 0;
   std::shared_ptr<const StudyIndex> pinned = PinIndex(&generation);
+  std::shared_ptr<const infer::InferenceIndex> pinned_infer = PinInferIndex();
   const bool streaming = options_.stream != nullptr;
   int64_t batch_span = obs::Tracer::kNoSpan;
   if (options_.tracer != nullptr) {
@@ -459,6 +490,24 @@ void RequestScheduler::ProcessBatch(std::vector<Pending> batch) {
       response = ErrorResponse(true, pending.request.id,
                                ErrorCode::kUnavailable,
                                "injected service fault; retry with backoff");
+    } else if (pending.request.method == Method::kInferUser) {
+      InferOutcome infer_outcome = InferOutcome::kRejected;
+      response = ExecuteInferUser(pinned_infer.get(), options_.infer,
+                                  pending.request, &infer_outcome);
+      obs::IncrementCounter(m_infer_requests_);
+      switch (infer_outcome) {
+        case InferOutcome::kDecided:
+          obs::IncrementCounter(m_infer_decided_);
+          break;
+        case InferOutcome::kAbstained:
+          obs::IncrementCounter(m_infer_abstained_);
+          break;
+        case InferOutcome::kNotFound:
+          obs::IncrementCounter(m_infer_not_found_);
+          break;
+        case InferOutcome::kRejected:
+          break;
+      }
     } else {
       response = ExecuteOnIndex(*pinned, pending.request, generation,
                                 streaming);

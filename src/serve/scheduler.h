@@ -140,6 +140,15 @@ class RequestScheduler {
   std::shared_ptr<const StudyIndex> PinIndex(
       int64_t* generation = nullptr) const;
 
+  /// Atomically publishes a new inference-evidence index (the infer_user
+  /// twin of SwapIndex; same RCU discipline, same mutex). A streaming
+  /// backend swaps both indexes after sealing an epoch so the study and
+  /// inference views advance together.
+  void SwapInferIndex(std::shared_ptr<const infer::InferenceIndex> index);
+
+  /// Pins the live inference index (null when inference is disabled).
+  std::shared_ptr<const infer::InferenceIndex> PinInferIndex() const;
+
   /// Graceful shutdown: stops admitting, flushes lingering partial
   /// batches, and blocks until every admitted request has been answered.
   /// Idempotent; also run by the destructor.
@@ -211,6 +220,10 @@ class RequestScheduler {
   /// index_mu_, so publication never contends with admission.
   mutable std::mutex index_mu_;
   std::shared_ptr<const StudyIndex> index_;
+  /// Inference evidence twin of index_ (null == inference disabled).
+  /// Seeded from ServeOptions::infer_index as a non-owning alias;
+  /// streaming swaps in owned generations.
+  std::shared_ptr<const infer::InferenceIndex> infer_index_;
   int64_t generation_ = 0;
 
   mutable std::mutex mu_;
@@ -249,6 +262,12 @@ class RequestScheduler {
   obs::Counter* m_deadline_requests_ = nullptr;
   obs::Counter* m_deadline_exceeded_ = nullptr;
   obs::Counter* m_method_[kNumMethods] = {};
+  /// infer.* — registered only when inference is enabled, so servers
+  /// without an inference index leave the metric dump untouched.
+  obs::Counter* m_infer_requests_ = nullptr;
+  obs::Counter* m_infer_decided_ = nullptr;
+  obs::Counter* m_infer_abstained_ = nullptr;
+  obs::Counter* m_infer_not_found_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_queue_depth_max_ = nullptr;
   obs::Histogram* m_batch_size_ = nullptr;

@@ -158,8 +158,10 @@ Status StreamEngine::Open() {
   opened_ = true;
 
   std::lock_guard<std::mutex> lock(mu_);
+  evidence_ = std::make_unique<infer::EvidenceBuilder>(db_);
   // Generation 0: the empty index every streaming server starts from.
   PublishIndexLocked(serve::StudyIndex{});
+  current_infer_index_ = evidence_->Build();
   if (have_stream_replay && !stream_replay.records.empty()) {
     ReplayStreamJournalLocked(stream_replay);
   }
@@ -210,6 +212,7 @@ void StreamEngine::ReplayStreamJournalLocked(
     generation_ = markers;
     core::StudyResult result = AssembleResultLocked(/*include_refined=*/false);
     PublishIndexLocked(serve::StudyIndex::Build(result, *db_));
+    current_infer_index_ = evidence_->Build();
     pending_tweets_ = 0;
     dirty_ = false;
     if (m_pending_ != nullptr) m_pending_->Set(0);
@@ -228,6 +231,7 @@ void StreamEngine::AttachScheduler(serve::RequestScheduler* scheduler) {
   scheduler_ = scheduler;
   if (scheduler_ != nullptr) {
     scheduler_->SwapIndex(current_index_, generation_);
+    scheduler_->SwapInferIndex(current_infer_index_);
   }
 }
 
@@ -281,6 +285,9 @@ Status StreamEngine::AddUserLocked(const twitter::User& user, bool journal) {
   }
   by_id_.emplace(user.id, state.get());
   states_.push_back(std::move(state));
+  // Evidence registration is blind to the profile parse above: only the
+  // id crosses into the inference layer (DESIGN.md §16).
+  evidence_->AddUser(user.id);
   ++ingested_users_;
   obs::IncrementCounter(m_ingested_users_);
   dirty_ = true;
@@ -326,6 +333,11 @@ Status StreamEngine::AddTweetLocked(const twitter::Tweet& tweet,
       }
     }
   }
+  // Inference evidence folds from every tweet (not just GPS tweets of
+  // well-defined users), through AdminDb::Locate rather than the
+  // fault-injected geocoder — so the evidence never depends on a fault
+  // schedule and the fold commutes across any ingest order.
+  evidence_->AddTweet(tweet);
   ++ingested_tweets_;
   obs::IncrementCounter(m_ingested_tweets_);
   ++pending_tweets_;
@@ -406,6 +418,7 @@ std::shared_ptr<const serve::StudyIndex> StreamEngine::SealEpochLocked() {
   core::StudyResult result = AssembleResultLocked(/*include_refined=*/false);
   std::shared_ptr<const serve::StudyIndex> index =
       PublishIndexLocked(serve::StudyIndex::Build(result, *db_));
+  current_infer_index_ = evidence_->Build();
   ++epochs_sealed_;
   generation_ = epochs_sealed_;
   pending_tweets_ = 0;
@@ -432,6 +445,7 @@ std::shared_ptr<const serve::StudyIndex> StreamEngine::SealEpochLocked() {
     std::chrono::steady_clock::time_point swap_t0 =
         std::chrono::steady_clock::now();
     scheduler_->SwapIndex(index, generation_);
+    scheduler_->SwapInferIndex(current_infer_index_);
     obs::RecordSample(m_swap_us_, ElapsedUs(swap_t0));
   }
   return index;
@@ -497,6 +511,12 @@ core::StudyResult StreamEngine::SnapshotResult() {
 std::shared_ptr<const serve::StudyIndex> StreamEngine::CurrentIndex() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_index_;
+}
+
+std::shared_ptr<const infer::InferenceIndex> StreamEngine::CurrentInferIndex()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_infer_index_;
 }
 
 int64_t StreamEngine::generation() const {

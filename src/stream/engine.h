@@ -18,6 +18,7 @@
 #include "geo/admin_db.h"
 #include "geo/geocode_journal.h"
 #include "geo/reverse_geocoder.h"
+#include "infer/inference_index.h"
 #include "serve/scheduler.h"
 #include "serve/stream_backend.h"
 #include "serve/study_index.h"
@@ -124,6 +125,14 @@ class StreamEngine : public serve::StreamBackend {
   /// The live (last sealed) generation; pins it for the caller.
   std::shared_ptr<const serve::StudyIndex> CurrentIndex() const;
 
+  /// The live inference-evidence generation (DESIGN.md §16), republished
+  /// at every seal alongside the study index so infer_user answers
+  /// advance in lockstep with the lookups. Evidence folds are
+  /// commutative integer counts and the snapshot is value-determined,
+  /// so a sealed streaming generation is byte-identical to a batch
+  /// InferenceIndex::Build over the same prefix.
+  std::shared_ptr<const infer::InferenceIndex> CurrentInferIndex() const;
+
   /// Assembles the full study result over everything ingested so far —
   /// sealed or not — through the exact batch stages (GroupUser per final
   /// user in arrival order, core::AggregateGroups). The CLI's streaming
@@ -181,7 +190,11 @@ class StreamEngine : public serve::StreamBackend {
   std::vector<std::unique_ptr<UserState>> states_;  ///< Arrival order.
   std::unordered_map<twitter::UserId, UserState*> by_id_;
   core::FunnelStats stats_;
+  /// Inference evidence accumulator, fed by the same ingest path as the
+  /// study state (guarded by mu_ like everything else here).
+  std::unique_ptr<infer::EvidenceBuilder> evidence_;
   std::shared_ptr<const serve::StudyIndex> current_index_;
+  std::shared_ptr<const infer::InferenceIndex> current_infer_index_;
   serve::RequestScheduler* scheduler_ = nullptr;
   int64_t generation_ = 0;
   int64_t epochs_sealed_ = 0;

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "io/corpus.h"
+#include "io/truth_sidecar.h"
 
 namespace stir::twitter {
 
@@ -46,9 +47,9 @@ SimTime DatasetGenerator::SampleTimestamp(Rng& rng) const {
          second_of_hour;
 }
 
-template <typename UserSink, typename TweetSink>
+template <typename UserSink, typename TweetSink, typename TruthSink>
 Status DatasetGenerator::Synthesize(UserSink&& on_user, TweetSink&& on_tweet,
-                                    GroundTruth* truth,
+                                    TruthSink&& on_truth,
                                     CorpusStreamInfo* info) const {
   Rng master(options_.seed);
 
@@ -117,22 +118,30 @@ Status DatasetGenerator::Synthesize(UserSink&& on_user, TweetSink&& on_tweet,
         std::clamp<int64_t>(total, 1, options_.max_tweets_per_user);
 
     STIR_RETURN_IF_ERROR(on_user(user));
-    if (truth != nullptr) {
-      truth->mobility.emplace(uid, mobility);
-      truth->profile_style.emplace(uid, profile.style);
-    }
+    on_truth(user, mobility, profile.style);
 
+    // With the night-home bias enabled the timestamp must be drawn before
+    // the region (the hour feeds the redirect), so that path draws in a
+    // different order — its own new, equally deterministic sequence. The
+    // bias-free path keeps the historical draw order exactly, so every
+    // corpus generated before the bias existed is reproduced bit for bit.
+    const bool night_bias = options_.mobility.night_home_bias > 0.0;
     if (is_geotagger) {
       // Full per-tweet walk: region, geotag decision, materialize GPS
       // tweets, sample plain ones.
       for (int64_t t = 0; t < user.total_tweets; ++t) {
-        geo::RegionId region = mobility_model_.SampleTweetRegion(mobility, rng);
+        SimTime time = night_bias ? SampleTimestamp(rng) : 0;
+        geo::RegionId region =
+            night_bias
+                ? mobility_model_.SampleTweetRegion(mobility, HourOfDay(time),
+                                                    rng)
+                : mobility_model_.SampleTweetRegion(mobility, rng);
         bool geotag = mobility_model_.SampleGeotag(mobility, region, rng);
         if (!geotag && !rng.Bernoulli(options_.plain_tweet_sample)) continue;
         Tweet tweet;
         tweet.id = next_tweet_id++;
         tweet.user = uid;
-        tweet.time = SampleTimestamp(rng);
+        tweet.time = night_bias ? time : SampleTimestamp(rng);
         if (geotag) tweet.gps = db_->SamplePointIn(region, rng);
         tweet.text = tweet_generator_.Generate(region, rng);
         STIR_RETURN_IF_ERROR(on_tweet(std::move(tweet)));
@@ -145,11 +154,16 @@ Status DatasetGenerator::Synthesize(UserSink&& on_user, TweetSink&& on_tweet,
           rng.Poisson(static_cast<double>(user.total_tweets) *
                       options_.plain_tweet_sample));
       for (int64_t t = 0; t < sampled; ++t) {
-        geo::RegionId region = mobility_model_.SampleTweetRegion(mobility, rng);
+        SimTime time = night_bias ? SampleTimestamp(rng) : 0;
+        geo::RegionId region =
+            night_bias
+                ? mobility_model_.SampleTweetRegion(mobility, HourOfDay(time),
+                                                    rng)
+                : mobility_model_.SampleTweetRegion(mobility, rng);
         Tweet tweet;
         tweet.id = next_tweet_id++;
         tweet.user = uid;
-        tweet.time = SampleTimestamp(rng);
+        tweet.time = night_bias ? time : SampleTimestamp(rng);
         tweet.text = tweet_generator_.Generate(region, rng);
         STIR_RETURN_IF_ERROR(on_tweet(std::move(tweet)));
       }
@@ -170,7 +184,12 @@ GeneratedData DatasetGenerator::Generate() const {
         out.dataset.AddTweet(std::move(tweet));
         return Status::OK();
       },
-      &out.truth, &info);
+      [&](const User& user, const MobilityProfile& mobility,
+          ProfileStyle style) {
+        out.truth.mobility.emplace(user.id, mobility);
+        out.truth.profile_style.emplace(user.id, style);
+      },
+      &info);
   STIR_CHECK(status.ok()) << status.ToString();
   out.crawl_requests = info.crawl_requests;
   out.crawl_elapsed_seconds = info.crawl_elapsed_seconds;
@@ -178,13 +197,26 @@ GeneratedData DatasetGenerator::Generate() const {
 }
 
 StatusOr<CorpusStreamInfo> DatasetGenerator::GenerateToCorpus(
-    io::CorpusWriter* writer) const {
+    io::CorpusWriter* writer, io::TruthSidecarWriter* truth) const {
   STIR_CHECK(writer != nullptr);
   CorpusStreamInfo info;
   STIR_RETURN_IF_ERROR(Synthesize(
       [&](const User& user) { return writer->AddUser(user); },
       [&](Tweet tweet) { return writer->AddTweet(tweet); },
-      /*truth=*/nullptr, &info));
+      [&](const User& user, const MobilityProfile& mobility, ProfileStyle) {
+        if (truth == nullptr) return;
+        io::TruthRecord record;
+        record.user = user.id;
+        record.archetype = ArchetypeToString(mobility.archetype);
+        const geo::Region& home = db_->region(mobility.home);
+        record.home_state = home.state;
+        record.home_county = home.county;
+        const geo::Region& claimed = db_->region(mobility.claimed);
+        record.claimed_state = claimed.state;
+        record.claimed_county = claimed.county;
+        truth->Add(record);
+      },
+      &info));
   return info;
 }
 

@@ -15,6 +15,7 @@
 
 namespace stir::io {
 class CorpusWriter;
+class TruthSidecarWriter;
 }
 
 namespace stir::twitter {
@@ -98,7 +99,14 @@ class DatasetGenerator {
   /// written corpus is field-identical to
   /// CorpusWriter::WriteDataset(Generate().dataset). The caller owns
   /// `writer` and calls Finish() on it afterwards.
-  StatusOr<CorpusStreamInfo> GenerateToCorpus(io::CorpusWriter* writer) const;
+  ///
+  /// `truth` (optional) receives one name-keyed TruthRecord per user as
+  /// the walk passes it — the ground truth the in-memory path keeps in
+  /// GroundTruth, persisted out of core so `stir_cli infer --corpus` can
+  /// score predictions without regenerating. The caller owns it and
+  /// calls Finish() afterwards.
+  StatusOr<CorpusStreamInfo> GenerateToCorpus(
+      io::CorpusWriter* writer, io::TruthSidecarWriter* truth = nullptr) const;
 
   /// The Korean dataset preset at `scale` (1.0 = the paper's 52,200
   /// crawled users / ~11M tweets; default 0.1 runs in seconds).
@@ -114,12 +122,14 @@ class DatasetGenerator {
 
   /// The shared synthesis core: samples the user population (graph crawl
   /// or enumeration) and walks every user's timeline, handing each User
-  /// and Tweet to the sinks in a single deterministic order. `truth` is
-  /// optional (the streaming path drops ground truth). A sink returning
-  /// a non-OK status aborts the walk.
-  template <typename UserSink, typename TweetSink>
+  /// and Tweet to the sinks in a single deterministic order. `on_truth`
+  /// observes each user's ground truth as the walk passes it (the
+  /// in-memory path fills GroundTruth; the streaming path writes the
+  /// sidecar or drops it). A sink returning a non-OK status aborts the
+  /// walk.
+  template <typename UserSink, typename TweetSink, typename TruthSink>
   Status Synthesize(UserSink&& on_user, TweetSink&& on_tweet,
-                    GroundTruth* truth, CorpusStreamInfo* info) const;
+                    TruthSink&& on_truth, CorpusStreamInfo* info) const;
 
   const geo::AdminDb* db_;
   DatasetGeneratorOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace stir::twitter {
@@ -257,6 +258,18 @@ geo::RegionId MobilityModel::SampleTweetRegion(const MobilityProfile& profile,
     if (u <= 0.0) return spot.region;
   }
   return profile.spots.back().region;
+}
+
+geo::RegionId MobilityModel::SampleTweetRegion(const MobilityProfile& profile,
+                                               int hour, Rng& rng) const {
+  // The bias gate comes first so a bias-free model never draws the extra
+  // Bernoulli: the random sequence — and therefore every corpus generated
+  // before this overload existed — is bit-identical.
+  if (options_.night_home_bias > 0.0 && IsNightHour(hour) &&
+      rng.Bernoulli(options_.night_home_bias)) {
+    return profile.home;
+  }
+  return SampleTweetRegion(profile, rng);
 }
 
 bool MobilityModel::SampleGeotag(const MobilityProfile& profile,

@@ -83,6 +83,16 @@ struct MobilityModelOptions {
   /// Minimum distance of a kRelocated user's claimed old hometown from
   /// the actual home.
   double relocation_min_km = 60.0;
+
+  /// Probability that a tweet sampled during the shared night window
+  /// (stir::IsNightHour) is redirected to the home district regardless of
+  /// the spot weights — the diurnal signal home-inference strategies
+  /// exploit ("Your Actions Tell Where You Are", PAPERS.md). 0 — the
+  /// default — disables the redirect entirely: the hour-aware
+  /// SampleTweetRegion overload then draws exactly the random sequence of
+  /// the hour-blind one, so every previously generated corpus stays
+  /// byte-identical. Enable via `stir_cli generate --night-home-bias`.
+  double night_home_bias = 0.0;
 };
 
 /// Generates ground-truth mobility profiles over an AdminDb and samples
@@ -99,6 +109,13 @@ class MobilityModel {
 
   /// Samples the district of one tweet according to the spot weights.
   geo::RegionId SampleTweetRegion(const MobilityProfile& profile,
+                                  Rng& rng) const;
+
+  /// Hour-aware overload: with night_home_bias > 0 and `hour` inside the
+  /// night window, the tweet is redirected home with that probability
+  /// (one extra Bernoulli draw); otherwise it defers to the hour-blind
+  /// sampler above, drawing the identical random sequence.
+  geo::RegionId SampleTweetRegion(const MobilityProfile& profile, int hour,
                                   Rng& rng) const;
 
   /// Decides whether a tweet posted from `region` carries GPS.

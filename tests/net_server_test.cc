@@ -26,6 +26,7 @@
 #include "core/study.h"
 #include "geo/admin_db.h"
 #include "gtest/gtest.h"
+#include "infer/inference_index.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "serve/protocol.h"
@@ -55,16 +56,22 @@ class NetServerTest : public ::testing::Test {
     core::StudyResult result = study.Run(data.dataset);
     index_ = new StudyIndex(StudyIndex::Build(result, db));
     ASSERT_FALSE(index_->empty());
+    infer_index_ = new infer::InferenceIndex(
+        infer::InferenceIndex::Build(data.dataset, db));
+    ASSERT_FALSE(infer_index_->empty());
   }
   static void TearDownTestSuite() {
+    delete infer_index_;
+    infer_index_ = nullptr;
     delete index_;
     index_ = nullptr;
   }
 
   /// A deterministic request stream cycling through every method except
   /// the explicitly history-dependent server_stats: lookups (hit and
-  /// miss), topk, index_info, append (a typed error off streaming mode),
-  /// malformed lines, and CRLF / blank-line framing variation.
+  /// miss), topk, index_info, infer_user, append (a typed error off
+  /// streaming mode), malformed lines, and CRLF / blank-line framing
+  /// variation.
   static std::vector<std::string> MixedStream(int64_t count,
                                               int64_t id_base) {
     std::vector<std::string> lines;
@@ -72,7 +79,7 @@ class NetServerTest : public ::testing::Test {
     for (int64_t i = 0; i < count; ++i) {
       int64_t id = id_base + i;
       std::string line;
-      switch (i % 8) {
+      switch (i % 9) {
         case 0:
           line = "{\"v\":1,\"id\":" + std::to_string(id) +
                  ",\"method\":\"topk_summary\"}";
@@ -105,6 +112,14 @@ class NetServerTest : public ::testing::Test {
                  ",\"method\":\"append_tweets\",\"params\":{\"tweets\":[]}}";
           break;
         case 7:
+          line = "{\"v\":1,\"id\":" + std::to_string(id) +
+                 ",\"method\":\"infer_user\",\"params\":{\"user\":" +
+                 std::to_string(
+                     infer_index_->users()[i % infer_index_->user_count()]
+                         .user) +
+                 ",\"strategy\":\"diurnal\"}}";
+          break;
+        case 8:
           line = "";  // Keep-alive blank line: no response owed.
           break;
       }
@@ -130,6 +145,7 @@ class NetServerTest : public ::testing::Test {
   static std::string SoloResponses(const std::string& payload,
                                    ServeOptions options = {}) {
     options.workers = 1;
+    options.infer_index = infer_index_;
     Server server(index_, options);
     std::istringstream in(payload);
     std::ostringstream out;
@@ -139,9 +155,11 @@ class NetServerTest : public ::testing::Test {
   }
 
   static StudyIndex* index_;
+  static infer::InferenceIndex* infer_index_;
 };
 
 StudyIndex* NetServerTest::index_ = nullptr;
+infer::InferenceIndex* NetServerTest::infer_index_ = nullptr;
 
 int64_t ResponseId(const std::string& response) {
   JsonValue root;
@@ -290,6 +308,7 @@ TEST_F(NetServerTest, PerConnectionDeterminismBattery) {
       ServeOptions options;
       options.workers = workers;
       options.queue_capacity = 4096;  // Wide: determinism excludes shed.
+      options.infer_index = infer_index_;
       Server server(index_, options);
       NetOptions net_options;
       net_options.max_pipeline = window;
@@ -332,6 +351,7 @@ TEST_F(NetServerTest, ManyPipelinedConnectionsAllMatchSolo) {
   ServeOptions options;
   options.workers = 4;
   options.queue_capacity = 8192;
+  options.infer_index = infer_index_;
   Server server(index_, options);
   NetOptions net_options;
   net_options.max_pipeline = 16;
@@ -373,6 +393,7 @@ TEST_F(NetServerTest, AdoptedPipesMatchServeStream) {
 
   ServeOptions options;
   options.workers = 2;
+  options.infer_index = infer_index_;
   Server server(index_, options);
   EpollServer net(&server, NetOptions{});
   ASSERT_TRUE(net.AdoptStdio(in_pipe[0], out_pipe[1]).ok());
@@ -680,23 +701,27 @@ TEST_F(NetServerTest, DrainFlushesInFlightAndTypesBufferedLines) {
 
 // ---------------------------------------------------------------------------
 // Tiered admission control: under overload append_tweets sheds before
-// the lookups, server_stats is never shed, and the shed counts
-// reconcile exactly across net.*, serve.*, and SchedulerStats.
+// the lookups, the lookups shed before infer_user, server_stats is never
+// shed, and the shed counts reconcile exactly across net.*, serve.*, and
+// SchedulerStats.
 
 TEST_F(NetServerTest, TieredSheddingOrderAndExactReconciliation) {
   obs::MetricsRegistry metrics;
   ServeOptions options;
   options.workers = 1;
   options.queue_capacity = 8;
-  options.tier1_fill_limit = 0.75;  // Lookups shed at queue depth 6.
-  options.tier2_fill_limit = 0.25;  // Appends shed at queue depth 2.
+  options.infer_fill_limit = 0.875;  // infer_user sheds at queue depth 7.
+  options.tier1_fill_limit = 0.75;   // Lookups shed at queue depth 6.
+  options.tier2_fill_limit = 0.25;   // Appends shed at queue depth 2.
   options.max_batch_size = 64;
   options.batch_linger_us = 30'000'000;  // Park the worker; drain ends it.
   options.metrics = &metrics;
+  options.infer_index = infer_index_;
   Server server(index_, options);
   ASSERT_EQ(server.scheduler().TierThreshold(0), 8);
-  ASSERT_EQ(server.scheduler().TierThreshold(1), 6);
-  ASSERT_EQ(server.scheduler().TierThreshold(2), 2);
+  ASSERT_EQ(server.scheduler().TierThreshold(1), 7);
+  ASSERT_EQ(server.scheduler().TierThreshold(2), 6);
+  ASSERT_EQ(server.scheduler().TierThreshold(3), 2);
 
   NetOptions net_options;
   net_options.metrics = &metrics;
@@ -704,8 +729,8 @@ TEST_F(NetServerTest, TieredSheddingOrderAndExactReconciliation) {
   ASSERT_TRUE(net.Listen(0).ok());
   ASSERT_TRUE(net.Start().ok());
 
-  // Fill the queue to exactly depth 6 with tier-1 lookups (admitted at
-  // depths 0..5, all under the tier-1 threshold).
+  // Fill the queue to exactly depth 6 with tier-2 lookups (admitted at
+  // depths 0..5, all under the tier-2 threshold).
   constexpr int kFillers = 6;
   std::vector<std::unique_ptr<Client>> fillers;
   for (int i = 0; i < kFillers; ++i) {
@@ -721,7 +746,7 @@ TEST_F(NetServerTest, TieredSheddingOrderAndExactReconciliation) {
     return server.stats().admitted == kFillers;
   }));
 
-  // Depth 6 >= 2: an append_tweets is shed (tier 2) ...
+  // Depth 6 >= 2: an append_tweets is shed (tier 3) ...
   Client append_client;
   ASSERT_TRUE(append_client.Connect(net.port()));
   ASSERT_TRUE(append_client.Send(
@@ -731,7 +756,7 @@ TEST_F(NetServerTest, TieredSheddingOrderAndExactReconciliation) {
   EXPECT_EQ(ResponseErrorCode(append_response), "overloaded");
   EXPECT_EQ(ResponseId(append_response), 200);
 
-  // ... depth 6 >= 6: a lookup is shed too (tier 1) ...
+  // ... depth 6 >= 6: a lookup is shed too (tier 2) ...
   Client lookup_client;
   ASSERT_TRUE(lookup_client.Connect(net.port()));
   ASSERT_TRUE(lookup_client.Send(
@@ -740,6 +765,19 @@ TEST_F(NetServerTest, TieredSheddingOrderAndExactReconciliation) {
   std::string lookup_response = lookup_client.ReadLine();
   EXPECT_EQ(ResponseErrorCode(lookup_response), "overloaded");
   EXPECT_EQ(ResponseId(lookup_response), 300);
+
+  // ... depth 6 < 7: an infer_user (tier 1) is still ADMITTED while the
+  // lookups are shedding — inference sits between server_stats and the
+  // lookups in the shed order. It parks in the queue (depth 7) until the
+  // drain wakes the worker.
+  Client infer_client;
+  ASSERT_TRUE(infer_client.Connect(net.port()));
+  ASSERT_TRUE(infer_client.Send(
+      "{\"v\":1,\"id\":500,\"method\":\"infer_user\",\"params\":{\"user\":" +
+      std::to_string(infer_index_->users()[0].user) + "}}\n"));
+  ASSERT_TRUE(WaitFor([&] {
+    return server.stats().admitted == kFillers + 1;
+  }));
 
   // ... but server_stats (tier 0) is still answered, and its own payload
   // carries the per-tier shed counters.
@@ -753,19 +791,27 @@ TEST_F(NetServerTest, TieredSheddingOrderAndExactReconciliation) {
       root.Find("result")->Find("counters")->Find("shed");
   ASSERT_NE(shed, nullptr);
   EXPECT_EQ(shed->Find("tier0")->integer, 0);
-  EXPECT_EQ(shed->Find("tier1")->integer, 1);
+  EXPECT_EQ(shed->Find("tier1")->integer, 0);
   EXPECT_EQ(shed->Find("tier2")->integer, 1);
+  EXPECT_EQ(shed->Find("tier3")->integer, 1);
 
   for (auto& filler : fillers) filler->ShutdownWrite();
+  infer_client.ShutdownWrite();
   append_client.Close();
   lookup_client.Close();
   control.Close();
-  net.Stop();  // Wakes the parked worker; the 6 fillers are answered.
+  net.Stop();  // Wakes the parked worker; the 7 admitted are answered.
   for (int i = 0; i < kFillers; ++i) {
     std::string response = fillers[i]->ReadAll();
     EXPECT_EQ(ResponseErrorCode(SplitLines(response)[0]), "")
         << "admitted filler " << i << " must be served across the drain";
   }
+  // The admitted infer_user is executed across the drain, never shed: a
+  // real decision or a typed low_confidence abstention, not overloaded.
+  std::string infer_response = SplitLines(infer_client.ReadAll())[0];
+  EXPECT_EQ(ResponseId(infer_response), 500);
+  EXPECT_NE(ResponseErrorCode(infer_response), "overloaded")
+      << infer_response;
 
   // Exact three-way reconciliation: scheduler counters, net counters,
   // and the metrics registry all agree, with nothing lost in between.
@@ -773,8 +819,9 @@ TEST_F(NetServerTest, TieredSheddingOrderAndExactReconciliation) {
   NetStats netstats = net.stats();
   EXPECT_EQ(sched.rejected_overload, 2);
   EXPECT_EQ(sched.rejected_by_tier[0], 0);
-  EXPECT_EQ(sched.rejected_by_tier[1], 1);
+  EXPECT_EQ(sched.rejected_by_tier[1], 0);
   EXPECT_EQ(sched.rejected_by_tier[2], 1);
+  EXPECT_EQ(sched.rejected_by_tier[3], 1);
   for (int t = 0; t < serve::kNumShedTiers; ++t) {
     EXPECT_EQ(netstats.shed_by_tier[t], sched.rejected_by_tier[t])
         << "tier " << t;
@@ -810,12 +857,13 @@ TEST_F(NetServerTest, RequestCorpusOverTcpAndPipesMatchesSolo) {
                    std::istreambuf_iterator<char>());
     if (!payload.empty() && payload.back() != '\n') payload += '\n';
   }
-  ASSERT_GE(corpus_files, 8) << "corpus went missing";
+  ASSERT_GE(corpus_files, 10) << "corpus went missing";
   const std::string expected = SoloResponses(payload);
   ASSERT_FALSE(expected.empty());
 
   ServeOptions options;
   options.workers = 2;
+  options.infer_index = infer_index_;
   Server server(index_, options);
   EpollServer net(&server, NetOptions{});
   ASSERT_TRUE(net.Listen(0).ok());

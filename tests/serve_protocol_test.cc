@@ -9,12 +9,15 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/study.h"
 #include "geo/admin_db.h"
 #include "gtest/gtest.h"
+#include "infer/home_inferrer.h"
+#include "infer/inference_index.h"
 #include "obs/json.h"
 #include "serve/study_index.h"
 #include "twitter/generator.h"
@@ -39,16 +42,22 @@ class ServeProtocolTest : public ::testing::Test {
     core::CorrelationStudy study(&db);
     core::StudyResult result = study.Run(data.dataset);
     index_ = new StudyIndex(StudyIndex::Build(result, db));
+    infer_index_ = new infer::InferenceIndex(
+        infer::InferenceIndex::Build(data.dataset, db));
   }
   static void TearDownTestSuite() {
     delete index_;
     index_ = nullptr;
+    delete infer_index_;
+    infer_index_ = nullptr;
   }
 
   static StudyIndex* index_;
+  static infer::InferenceIndex* infer_index_;
 };
 
 StudyIndex* ServeProtocolTest::index_ = nullptr;
+infer::InferenceIndex* ServeProtocolTest::infer_index_ = nullptr;
 
 std::vector<std::string> ReadLines(const std::filesystem::path& path) {
   std::ifstream in(path);
@@ -68,7 +77,7 @@ ErrorCode ParsedErrorCode(const std::string& response) {
   EXPECT_NE(error, nullptr) << response;
   const JsonValue* code = error->Find("code");
   EXPECT_NE(code, nullptr) << response;
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kLowConfidence); ++c) {
     if (code->string == ErrorCodeToString(static_cast<ErrorCode>(c))) {
       return static_cast<ErrorCode>(c);
     }
@@ -102,10 +111,15 @@ TEST_F(ServeProtocolTest, RequestCorpus) {
             << outcome.message;
         // Executing a parsed request never crashes and always renders
         // valid JSON, whatever the index holds. server_stats and
-        // append_tweets are scheduler-answered, not index-answered.
+        // append_tweets are scheduler-answered, not index-answered;
+        // infer_user routes to the inference executor.
         if (outcome.ok && outcome.request.method != Method::kServerStats &&
             outcome.request.method != Method::kAppendTweets) {
-          std::string response = ExecuteOnIndex(*index_, outcome.request);
+          std::string response =
+              outcome.request.method == Method::kInferUser
+                  ? ExecuteInferUser(infer_index_, infer::InferParams{},
+                                     outcome.request)
+                  : ExecuteOnIndex(*index_, outcome.request);
           EXPECT_TRUE(JsonIsValid(response))
               << stem << ":" << line_number << ": " << response;
         }
@@ -128,7 +142,7 @@ TEST_F(ServeProtocolTest, RequestCorpus) {
       }
     }
   }
-  EXPECT_GE(files, 5) << "corpus directory lost files";
+  EXPECT_GE(files, 8) << "corpus directory lost files";
 }
 
 // ---------------------------------------------------------------------------
@@ -265,8 +279,119 @@ TEST_F(ServeProtocolTest, LookupDistrictPaging) {
   EXPECT_EQ(root.Find("result")->Find("returned")->integer, 0);
 }
 
+// ---------------------------------------------------------------------------
+// infer_user executor
+
+/// The first user (ascending id) whose diurnal inference lands on the
+/// given side of the abstention threshold, or kInvalidUser.
+twitter::UserId FindUserByDecision(const infer::InferenceIndex& index,
+                                   bool want_decided) {
+  std::unique_ptr<infer::HomeInferrer> inferrer =
+      infer::MakeInferrer(infer::Strategy::kDiurnal, infer::InferParams{});
+  for (const infer::UserEvidence& evidence : index.users()) {
+    if (inferrer->Infer(evidence).decided == want_decided) {
+      return evidence.user;
+    }
+  }
+  return twitter::kInvalidUser;
+}
+
+TEST_F(ServeProtocolTest, InferUserRoundTrip) {
+  const twitter::UserId user = FindUserByDecision(*infer_index_, true);
+  ASSERT_NE(user, twitter::kInvalidUser);
+  Request request;
+  request.id = 21;
+  request.method = Method::kInferUser;
+  request.user = user;
+  InferOutcome outcome = InferOutcome::kRejected;
+  std::string response =
+      ExecuteInferUser(infer_index_, infer::InferParams{}, request, &outcome);
+  EXPECT_EQ(outcome, InferOutcome::kDecided);
+  JsonValue root;
+  ASSERT_TRUE(JsonParse(response, &root));
+  EXPECT_EQ(root.Find("id")->integer, 21);
+  EXPECT_TRUE(root.Find("ok")->boolean);
+  const JsonValue* result = root.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Find("user")->integer, user);
+  EXPECT_EQ(result->Find("strategy")->string, "diurnal");
+  EXPECT_FALSE(result->Find("state")->string.empty());
+  EXPECT_FALSE(result->Find("county")->string.empty());
+  EXPECT_GT(result->Find("evidence")->integer, 0);
+  // Responses are pure functions of (index, params, request).
+  EXPECT_EQ(ExecuteInferUser(infer_index_, infer::InferParams{}, request),
+            response);
+}
+
+TEST_F(ServeProtocolTest, InferUserAbstainsWithTypedEnvelope) {
+  const twitter::UserId user = FindUserByDecision(*infer_index_, false);
+  ASSERT_NE(user, twitter::kInvalidUser);
+  Request request;
+  request.id = 22;
+  request.method = Method::kInferUser;
+  request.user = user;
+  InferOutcome outcome = InferOutcome::kRejected;
+  std::string response =
+      ExecuteInferUser(infer_index_, infer::InferParams{}, request, &outcome);
+  EXPECT_EQ(outcome, InferOutcome::kAbstained);
+  EXPECT_EQ(ParsedErrorCode(response), ErrorCode::kLowConfidence);
+}
+
+TEST_F(ServeProtocolTest, InferUserStrategySelection) {
+  const twitter::UserId user = FindUserByDecision(*infer_index_, true);
+  ASSERT_NE(user, twitter::kInvalidUser);
+  Request request;
+  request.id = 23;
+  request.method = Method::kInferUser;
+  request.user = user;
+  request.strategy = "spatial";
+  std::string response =
+      ExecuteInferUser(infer_index_, infer::InferParams{}, request);
+  JsonValue root;
+  ASSERT_TRUE(JsonParse(response, &root));
+  const JsonValue* result = root.Find("result");
+  if (result != nullptr) {
+    EXPECT_EQ(result->Find("strategy")->string, "spatial");
+  } else {
+    // Spatial may abstain where diurnal decides; that is still the
+    // typed envelope, not a failure.
+    EXPECT_EQ(ParsedErrorCode(response), ErrorCode::kLowConfidence);
+  }
+}
+
+TEST_F(ServeProtocolTest, InferUserNotFound) {
+  Request request;
+  request.id = 24;
+  request.method = Method::kInferUser;
+  request.user = 999'999'999;
+  InferOutcome outcome = InferOutcome::kRejected;
+  std::string response =
+      ExecuteInferUser(infer_index_, infer::InferParams{}, request, &outcome);
+  EXPECT_EQ(outcome, InferOutcome::kNotFound);
+  EXPECT_EQ(ParsedErrorCode(response), ErrorCode::kNotFound);
+}
+
+TEST_F(ServeProtocolTest, InferUserRejectedWhenDisabled) {
+  Request request;
+  request.id = 25;
+  request.method = Method::kInferUser;
+  request.user = 1;
+  InferOutcome outcome = InferOutcome::kDecided;
+  std::string response =
+      ExecuteInferUser(nullptr, infer::InferParams{}, request, &outcome);
+  EXPECT_EQ(outcome, InferOutcome::kRejected);
+  EXPECT_EQ(ParsedErrorCode(response), ErrorCode::kBadRequest);
+}
+
+TEST_F(ServeProtocolTest, InferUserShedTierSitsBetweenStatsAndLookups) {
+  EXPECT_LT(ShedTier(Method::kServerStats), ShedTier(Method::kInferUser));
+  EXPECT_LT(ShedTier(Method::kInferUser), ShedTier(Method::kLookupUser));
+  EXPECT_LT(ShedTier(Method::kLookupUser), ShedTier(Method::kAppendTweets));
+  EXPECT_EQ(ShedTier(Method::kAppendTweets), kNumShedTiers - 1);
+}
+
 TEST_F(ServeProtocolTest, AllErrorCodesRenderValidJson) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kLowConfidence); ++c) {
     ErrorCode code = static_cast<ErrorCode>(c);
     EXPECT_TRUE(JsonIsValid(ErrorResponse(true, 1, code, "boom")));
     EXPECT_TRUE(JsonIsValid(ErrorResponse(false, -1, code, "\"quoted\"")));

@@ -320,6 +320,102 @@ if(NOT reject_out MATCHES "not in streaming mode")
   message(FATAL_ERROR "batch server accepted append_tweets: ${reject_out}")
 endif()
 
+# --- Home inference (DESIGN.md §16) ------------------------------------
+# infer_user round-trips over --stdio on the batch server (the evidence
+# index is built from the same corpus by default): a real user answers
+# with a decision or the typed low_confidence envelope, an unknown user
+# gets not_found, a bogus strategy gets bad_request — and the whole
+# stream is byte-deterministic across worker counts and under --stream.
+file(WRITE ${WORK_DIR}/serve_infer_requests.txt
+"{\"v\":1,\"id\":1,\"method\":\"infer_user\",\"params\":{\"user\":${final_user}}}
+{\"v\":1,\"id\":2,\"method\":\"infer_user\",\"params\":{\"user\":${final_user},\"strategy\":\"spatial\"}}
+{\"v\":1,\"id\":3,\"method\":\"infer_user\",\"params\":{\"user\":987654321}}
+{\"v\":1,\"id\":4,\"method\":\"infer_user\",\"params\":{\"user\":${final_user},\"strategy\":\"astral\"}}
+")
+execute_process(
+  COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+          --tweets ${WORK_DIR}/serve_tweets.tsv --stdio --workers 3
+  INPUT_FILE ${WORK_DIR}/serve_infer_requests.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE infer_out ERROR_VARIABLE infer_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "infer smoke serve failed (${rc}): ${infer_err}")
+endif()
+string(REGEX MATCHALL "[^\n]+" infer_responses "${infer_out}")
+list(LENGTH infer_responses infer_count)
+if(NOT infer_count EQUAL 4)
+  message(FATAL_ERROR "expected 4 infer responses, got ${infer_count}:\n${infer_out}")
+endif()
+list(GET infer_responses 0 i_default)
+list(GET infer_responses 1 i_spatial)
+list(GET infer_responses 2 i_missing)
+list(GET infer_responses 3 i_bogus)
+foreach(var i_default i_spatial)
+  if(NOT "${${var}}" MATCHES "\"ok\":true" AND
+     NOT "${${var}}" MATCHES "\"code\":\"low_confidence\"")
+    message(FATAL_ERROR "${var} is neither a decision nor a typed "
+            "abstention: ${${var}}")
+  endif()
+endforeach()
+if(i_default MATCHES "\"ok\":true" AND NOT i_default MATCHES "\"strategy\":\"diurnal\"")
+  message(FATAL_ERROR "default infer_user decision must report the diurnal "
+          "strategy: ${i_default}")
+endif()
+if(NOT i_missing MATCHES "\"code\":\"not_found\"")
+  message(FATAL_ERROR "unknown user must answer not_found: ${i_missing}")
+endif()
+if(NOT i_bogus MATCHES "\"code\":\"bad_request\"")
+  message(FATAL_ERROR "bogus strategy must answer bad_request: ${i_bogus}")
+endif()
+
+foreach(variant "--workers;1" "--workers;3;--stream")
+  execute_process(
+    COMMAND ${SERVE} --users ${WORK_DIR}/serve_users.tsv
+            --tweets ${WORK_DIR}/serve_tweets.tsv --stdio ${variant}
+    INPUT_FILE ${WORK_DIR}/serve_infer_requests.txt
+    RESULT_VARIABLE rc OUTPUT_VARIABLE variant_out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "infer serve '${variant}' failed (${rc}): ${err}")
+  endif()
+  if(NOT variant_out STREQUAL infer_out)
+    message(FATAL_ERROR "infer responses diverge under '${variant}':\n"
+            "=== baseline ===\n${infer_out}\n=== variant ===\n${variant_out}")
+  endif()
+endforeach()
+
+# End-to-end evaluation path: generate a corpus with its ground-truth
+# sidecar, then score all three strategies against it off disk.
+execute_process(
+  COMMAND ${CLI} generate --preset korean --scale 0.05
+          --night-home-bias 0.65
+          --corpus ${WORK_DIR}/infer_corpus.stir
+  RESULT_VARIABLE rc OUTPUT_VARIABLE gen_out ERROR_VARIABLE gen_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate --corpus failed (${rc}): ${gen_out} ${gen_err}")
+endif()
+if(NOT gen_out MATCHES "truth records")
+  message(FATAL_ERROR "generate --corpus wrote no truth sidecar notice: ${gen_out}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/infer_corpus.stir.truth)
+  message(FATAL_ERROR "truth sidecar missing next to the corpus")
+endif()
+execute_process(
+  COMMAND ${CLI} infer --corpus ${WORK_DIR}/infer_corpus.stir
+          --metrics-out ${WORK_DIR}/infer_metrics.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE eval_out ERROR_VARIABLE eval_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stir_cli infer failed (${rc}): ${eval_out} ${eval_err}")
+endif()
+foreach(needle "strategy spatial" "strategy diurnal" "strategy text"
+        "accuracy@district" "abstain rate")
+  if(NOT eval_out MATCHES "${needle}")
+    message(FATAL_ERROR "infer report missing '${needle}':\n${eval_out}")
+  endif()
+endforeach()
+file(READ ${WORK_DIR}/infer_metrics.json infer_metrics)
+if(NOT infer_metrics MATCHES "infer.eval.diurnal.users")
+  message(FATAL_ERROR "infer metrics export missing eval counters: ${infer_metrics}")
+endif()
+
 # --- CLI contract ------------------------------------------------------
 
 execute_process(
@@ -347,8 +443,33 @@ if(NOT rc EQUAL 0)
 endif()
 foreach(flag stdio port workers max-batch queue-capacity serve-fault-rate
         stream epoch-size max-pipeline max-connections tier1-fill tier2-fill
-        drain-after)
+        drain-after infer-fill infer-strategy infer-abstain
+        infer-night-weight)
   if(NOT err MATCHES "--${flag}")
     message(FATAL_ERROR "--help missing --${flag}: ${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CLI} infer --help
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stir_cli infer --help exited ${rc}: ${err}")
+endif()
+foreach(flag corpus truth strategy abstain night-weight min-gps metrics-out)
+  if(NOT err MATCHES "--${flag}")
+    message(FATAL_ERROR "infer --help missing --${flag}: ${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CLI} generate --help
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stir_cli generate --help exited ${rc}: ${err}")
+endif()
+foreach(flag night-home-bias no-truth)
+  if(NOT err MATCHES "--${flag}")
+    message(FATAL_ERROR "generate --help missing --${flag}: ${err}")
   endif()
 endforeach()

@@ -4,6 +4,7 @@
 //   stir generate --preset korean --scale 0.1 --users u.tsv --tweets t.tsv
 //   stir study    --users u.tsv --tweets t.tsv --report-dir out/
 //   stir study    --users u.tsv --tweets t.tsv --metrics-out metrics.json
+//   stir infer    --corpus corpus.stir
 //   stir audit    < locations.txt
 //
 // generate: synthesize a corpus (Korean crawl or Lady Gaga Search-API
@@ -11,6 +12,8 @@
 // study:    run the paper's full pipeline on a TSV corpus, print the
 //           funnel + group table, optionally export plotting CSVs, a
 //           versioned JSON report, pipeline metrics, and a stage trace.
+// infer:    predict home districts from tweet evidence alone and score
+//           the predictions against the corpus's ground-truth sidecar.
 // audit:    classify free-text profile locations from stdin.
 //
 // Flags are declared in per-command tables (see StudyFlags etc.) that
@@ -26,6 +29,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,9 +37,13 @@
 #include "core/study.h"
 #include "core/study_config.h"
 #include "geo/admin_db.h"
+#include "infer/eval.h"
+#include "infer/home_inferrer.h"
+#include "infer/inference_index.h"
 #include "io/corpus.h"
 #include "io/corpus_reader.h"
 #include "io/fault_fs.h"
+#include "io/truth_sidecar.h"
 #include "obs/metrics.h"
 #include "stream/engine.h"
 #include "text/location_parser.h"
@@ -205,6 +213,8 @@ int Usage() {
                "usage:\n"
                "  stir_cli generate [flags]   synthesize a TSV corpus\n"
                "  stir_cli study    [flags]   run the correlation study\n"
+               "  stir_cli infer    [flags]   infer home districts, score "
+               "vs ground truth\n"
                "  stir_cli audit    [flags]   classify stdin locations\n"
                "run 'stir_cli <command> --help' for the command's flags\n");
   return 2;
@@ -221,6 +231,8 @@ int RunGenerate(int argc, char** argv) {
   std::string users_path;
   std::string tweets_path;
   std::string corpus_path;
+  double night_home_bias = 0.0;
+  bool no_truth = false;
 
   const char* cmd = "generate";
   std::vector<Flag> flags = {
@@ -255,6 +267,23 @@ int RunGenerate(int argc, char** argv) {
        "output a self-contained v3 arena corpus instead of TSV (streamed: "
        "generator memory stays O(users))",
        [&](const std::string& v) { corpus_path = v; return true; }},
+      {"night-home-bias", "P",
+       "probability a night-window tweet is redirected to the user's home "
+       "district, [0, 1] (default 0 = historical byte-identical corpora)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &night_home_bias) || night_home_bias < 0.0 ||
+             night_home_bias > 1.0) {
+           return BadValue(cmd, "night-home-bias", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"no-truth", nullptr,
+       "skip the <corpus>.truth ground-truth sidecar (written by default "
+       "with --corpus so `stir_cli infer` can score without regenerating)",
+       [&](const std::string&) {
+         no_truth = true;
+         return true;
+       }},
   };
 
   bool want_help = false;
@@ -288,12 +317,19 @@ int RunGenerate(int argc, char** argv) {
           ? stir::twitter::DatasetGenerator::LadyGagaConfig(scale)
           : stir::twitter::DatasetGenerator::KoreanConfig(scale);
   if (has_seed) options.seed = seed;
+  options.mobility.night_home_bias = night_home_bias;
   stir::twitter::DatasetGenerator generator(&db, options);
   if (!corpus_path.empty()) {
     // Out-of-core path: users and tweets stream straight into the arena
-    // writer, which spills tweet columns to disk as it goes.
+    // writer, which spills tweet columns to disk as it goes. Ground truth
+    // streams into the sidecar the same way (one record per user).
     stir::io::CorpusWriter writer(corpus_path);
-    auto info = generator.GenerateToCorpus(&writer);
+    std::optional<stir::io::TruthSidecarWriter> truth;
+    if (!no_truth) {
+      truth.emplace(stir::io::TruthSidecarPath(corpus_path));
+    }
+    auto info = generator.GenerateToCorpus(&writer,
+                                           truth ? &*truth : nullptr);
     stir::StatusOr<stir::io::CorpusWriteStats> stats =
         info.ok() ? writer.Finish()
                   : stir::StatusOr<stir::io::CorpusWriteStats>(info.status());
@@ -301,6 +337,14 @@ int RunGenerate(int argc, char** argv) {
       std::fprintf(stderr, "corpus write failed: %s\n",
                    stats.status().ToString().c_str());
       return 1;
+    }
+    if (truth) {
+      stir::Status truth_status = truth->Finish();
+      if (!truth_status.ok()) {
+        std::fprintf(stderr, "truth sidecar write failed: %s\n",
+                     truth_status.ToString().c_str());
+        return 1;
+      }
     }
     std::printf("wrote %lld users (%lld tweets, %lld materialized, %lld GPS) "
                 "to %s (%lld bytes%s)\n",
@@ -311,6 +355,11 @@ int RunGenerate(int argc, char** argv) {
                 corpus_path.c_str(),
                 static_cast<long long>(stats->file_bytes),
                 stats->grouped ? ", grouped" : "");
+    if (truth) {
+      std::printf("wrote %lld truth records to %s\n",
+                  static_cast<long long>(truth->record_count()),
+                  stir::io::TruthSidecarPath(corpus_path).c_str());
+    }
     return 0;
   }
   stir::twitter::GeneratedData data = generator.Generate();
@@ -801,6 +850,213 @@ int RunStudy(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// infer
+
+int RunInfer(int argc, char** argv) {
+  std::string users_path;
+  std::string tweets_path;
+  std::string corpus_path;
+  std::string truth_path;
+  std::string gazetteer = "korean";
+  std::string strategy_name;  // Empty evaluates every strategy.
+  std::string metrics_out;
+  stir::infer::InferParams params;
+  int64_t min_gps = 5;
+  bool lenient_load = false;
+
+  const char* cmd = "infer";
+  std::vector<Flag> flags = {
+      {"users", "FILE", "input users TSV",
+       [&](const std::string& v) { users_path = v; return true; }},
+      {"tweets", "FILE", "input tweets TSV or column snapshot",
+       [&](const std::string& v) { tweets_path = v; return true; }},
+      {"corpus", "FILE",
+       "input self-contained v3 arena corpus (alternative to "
+       "--users/--tweets; format is sniffed from magic bytes)",
+       [&](const std::string& v) { corpus_path = v; return true; }},
+      {"truth", "FILE",
+       "ground-truth sidecar to score against (default: the .truth file "
+       "next to the corpus)",
+       [&](const std::string& v) { truth_path = v; return true; }},
+      {"gazetteer", "NAME", "gazetteer: korean | world (default korean)",
+       [&](const std::string& v) {
+         if (GazetteerByName(v) == nullptr) {
+           return BadValue(cmd, "gazetteer", "korean or world");
+         }
+         gazetteer = v;
+         return true;
+       }},
+      {"strategy", "NAME",
+       "evaluate one strategy: spatial | diurnal | text (default: all)",
+       [&](const std::string& v) {
+         stir::infer::Strategy unused;
+         if (!stir::infer::StrategyFromString(v, &unused)) {
+           return BadValue(cmd, "strategy", "spatial, diurnal or text");
+         }
+         strategy_name = v;
+         return true;
+       }},
+      {"abstain", "P",
+       "confidence threshold below which strategies abstain, [0, 1] "
+       "(default 0.4)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &params.abstain_threshold) ||
+             params.abstain_threshold < 0.0 ||
+             params.abstain_threshold > 1.0) {
+           return BadValue(cmd, "abstain", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"night-weight", "N",
+       "diurnal strategy weight multiplier for night-window tweets, >= 1 "
+       "(default 3)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &params.night_weight) ||
+             params.night_weight < 1) {
+           return BadValue(cmd, "night-weight", ">= 1");
+         }
+         return true;
+       }},
+      {"min-gps", "N",
+       "located GPS tweets for the \"GPS-rich\" accuracy slice, >= 0 "
+       "(default 5)",
+       [&](const std::string& v) {
+         if (!ParseInt64(v, &min_gps) || min_gps < 0) {
+           return BadValue(cmd, "min-gps", ">= 0");
+         }
+         return true;
+       }},
+      {"metrics-out", "FILE",
+       "write the evaluation counters as a JSON metrics snapshot to FILE",
+       [&](const std::string& v) { metrics_out = v; return true; }},
+      {"lenient-load", nullptr,
+       "quarantine malformed TSV rows instead of failing the load",
+       [&](const std::string&) {
+         lenient_load = true;
+         return true;
+       }},
+  };
+
+  bool want_help = false;
+  int rc = ParseArgs(argc, argv, 2, flags, cmd, &want_help);
+  if (rc != 0) return rc;
+  if (want_help) {
+    PrintHelp(cmd,
+              "infer each user's home district from tweet evidence alone "
+              "and score the predictions against generator ground truth",
+              flags);
+    return 0;
+  }
+  const bool tsv_in = !users_path.empty() || !tweets_path.empty();
+  if (corpus_path.empty() == !tsv_in) {
+    std::fprintf(stderr,
+                 "stir_cli %s: exactly one input form is required: "
+                 "--corpus FILE, or --users FILE with --tweets FILE\n",
+                 cmd);
+    return 2;
+  }
+  if (tsv_in && (users_path.empty() || tweets_path.empty())) {
+    std::fprintf(stderr, "stir_cli %s: --users and --tweets go together\n",
+                 cmd);
+    return 2;
+  }
+
+  const AdminDb& db = *GazetteerByName(gazetteer);
+  stir::io::CorpusSpec spec;
+  spec.corpus_path = corpus_path;
+  spec.users_path = users_path;
+  spec.tweets_path = tweets_path;
+  spec.tsv.strict = !lenient_load;
+  auto reader = stir::io::CorpusReader::Open(spec);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+
+  // Resolve the truth sidecar: an explicit --truth wins; otherwise the
+  // one the reader detected next to the corpus.
+  if (truth_path.empty() && reader->has_truth()) {
+    truth_path = reader->truth_path();
+  }
+  if (truth_path.empty()) {
+    std::fprintf(stderr,
+                 "stir_cli %s: no ground-truth sidecar found next to the "
+                 "corpus; pass --truth FILE (sidecars are written by "
+                 "`stir_cli generate --corpus`)\n",
+                 cmd);
+    return 2;
+  }
+  auto truth = stir::io::ReadTruthSidecar(truth_path);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "truth sidecar load failed: %s\n",
+                 truth.status().ToString().c_str());
+    return 1;
+  }
+
+  // Build the evidence index from tweets only — over the zero-copy view
+  // when the corpus is v3, else over the materialized dataset. Profile
+  // strings and the truth records never reach this layer.
+  stir::infer::InferenceIndex index;
+  if (reader->has_view()) {
+    index = stir::infer::InferenceIndex::Build(reader->view(), db);
+  } else {
+    auto materialized = reader->Materialize();
+    if (!materialized.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   materialized.status().ToString().c_str());
+      return 1;
+    }
+    index = stir::infer::InferenceIndex::Build(**materialized, db);
+  }
+
+  std::vector<stir::infer::StrategyEval> evals;
+  if (strategy_name.empty()) {
+    for (int s = 0; s < stir::infer::kNumStrategies; ++s) {
+      evals.push_back(stir::infer::EvaluateStrategy(
+          index, *truth, static_cast<stir::infer::Strategy>(s), params,
+          min_gps));
+    }
+  } else {
+    stir::infer::Strategy strategy = params.default_strategy;
+    stir::infer::StrategyFromString(strategy_name, &strategy);
+    evals.push_back(
+        stir::infer::EvaluateStrategy(index, *truth, strategy, params,
+                                      min_gps));
+  }
+  std::printf("%s", stir::infer::RenderEvalReport(evals).c_str());
+
+  if (!metrics_out.empty()) {
+    stir::obs::MetricsRegistry metrics;
+    for (const stir::infer::StrategyEval& eval : evals) {
+      const std::string prefix =
+          std::string("infer.eval.") +
+          stir::infer::StrategyToString(eval.strategy);
+      metrics.GetCounter(prefix + ".users")->Increment(eval.users);
+      metrics.GetCounter(prefix + ".decided")->Increment(eval.decided);
+      metrics.GetCounter(prefix + ".abstained")->Increment(eval.abstained);
+      metrics.GetCounter(prefix + ".correct_district")
+          ->Increment(eval.correct_district);
+      metrics.GetCounter(prefix + ".correct_province")
+          ->Increment(eval.correct_province);
+      metrics.GetCounter(prefix + ".gps_rich_users")
+          ->Increment(eval.gps_rich_users);
+      metrics.GetCounter(prefix + ".gps_rich_correct_district")
+          ->Increment(eval.gps_rich_correct_district);
+    }
+    stir::Status status =
+        WriteTextFile(metrics_out, metrics.Snapshot().ToJson());
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // audit
 
 int RunAudit(int argc, char** argv) {
@@ -851,6 +1107,7 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "generate") == 0) return RunGenerate(argc, argv);
   if (std::strcmp(argv[1], "study") == 0) return RunStudy(argc, argv);
+  if (std::strcmp(argv[1], "infer") == 0) return RunInfer(argc, argv);
   if (std::strcmp(argv[1], "audit") == 0) return RunAudit(argc, argv);
   std::fprintf(stderr, "stir_cli: unknown command '%s'\n", argv[1]);
   return Usage();

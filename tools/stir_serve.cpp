@@ -30,6 +30,8 @@
 #include "core/study.h"
 #include "core/study_config.h"
 #include "geo/admin_db.h"
+#include "infer/home_inferrer.h"
+#include "infer/inference_index.h"
 #include "io/corpus_reader.h"
 #include "io/fault_fs.h"
 #include "net/epoll_server.h"
@@ -378,6 +380,48 @@ int main(int argc, char** argv) {
          }
          return true;
        }},
+      {"infer-fill", "P",
+       "shed infer_user once the queue is P full, (0, 1] (default 1)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &serve_options.infer_fill_limit) ||
+             serve_options.infer_fill_limit <= 0.0 ||
+             serve_options.infer_fill_limit > 1.0) {
+           return BadValue("infer-fill", "in (0, 1]");
+         }
+         return true;
+       }},
+      {"infer-strategy", "NAME",
+       "default infer_user strategy: spatial | diurnal | text "
+       "(default diurnal)",
+       [&](const std::string& v) {
+         if (!stir::infer::StrategyFromString(
+                 v, &serve_options.infer.default_strategy)) {
+           return BadValue("infer-strategy", "spatial, diurnal or text");
+         }
+         return true;
+       }},
+      {"infer-abstain", "P",
+       "infer_user abstains (answers 'low_confidence') below confidence P, "
+       "[0, 1] (default 0.4)",
+       [&](const std::string& v) {
+         if (!ParseDouble(v, &serve_options.infer.abstain_threshold) ||
+             serve_options.infer.abstain_threshold < 0.0 ||
+             serve_options.infer.abstain_threshold > 1.0) {
+           return BadValue("infer-abstain", "in [0, 1]");
+         }
+         return true;
+       }},
+      {"infer-night-weight", "N",
+       "diurnal strategy weight on night-window GPS tweets, >= 1 "
+       "(default 3)",
+       [&](const std::string& v) {
+         int64_t n = 0;
+         if (!ParseInt64(v, &n) || n < 1) {
+           return BadValue("infer-night-weight", ">= 1");
+         }
+         serve_options.infer.night_weight = n;
+         return true;
+       }},
       {"drain-after", "N",
        "begin a graceful drain after the Nth request line (testing hook)",
        [&](const std::string& v) {
@@ -578,7 +622,9 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<stir::stream::StreamEngine> engine;
   stir::serve::StudyIndex batch_index;
+  stir::infer::InferenceIndex batch_infer_index;
   std::shared_ptr<const stir::serve::StudyIndex> stream_index;
+  std::shared_ptr<const stir::infer::InferenceIndex> stream_infer_index;
   int64_t stream_generation = 0;
   if (stream_mode) {
     stir::stream::StreamOptions stream_options;
@@ -627,6 +673,10 @@ int main(int argc, char** argv) {
     stream_index = engine->CurrentIndex();
     stream_generation = engine->generation();
     serve_options.stream = engine.get();
+    // Seed generation; AttachScheduler below swaps the live one in and
+    // keeps it advancing at every seal.
+    stream_infer_index = engine->CurrentInferIndex();
+    serve_options.infer_index = stream_infer_index.get();
     std::fprintf(stderr,
                  "stir_serve: streaming index ready — generation %lld, "
                  "%zu users, %zu districts, %lld bytes\n",
@@ -647,6 +697,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     batch_index = stir::serve::StudyIndex::Build(result, db);
+    // The inference twin reads the same corpus (zero-copy off a v3 view)
+    // but only tweet evidence — never profile strings (DESIGN.md §16).
+    batch_infer_index =
+        reader->has_view()
+            ? stir::infer::InferenceIndex::Build(reader->view(), db)
+            : stir::infer::InferenceIndex::Build(*dataset, db);
+    serve_options.infer_index = &batch_infer_index;
     std::fprintf(stderr,
                  "stir_serve: index ready — %zu users, %zu districts, "
                  "%lld bytes\n",
